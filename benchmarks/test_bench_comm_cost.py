@@ -1,0 +1,62 @@
+"""Bench COMM + ENC: communication-cost accounting and encoder check.
+
+Paper Sec. 4.1: CS cuts the A/D-conversion (communication) cost to
+``M/N ~ 0.5`` and scans all M samples in ``sqrt(N)`` cycles; the ENC
+check verifies the hardware-modelled scan equals ``Phi_M @ y``.
+"""
+
+import numpy as np
+
+from repro.array.energy import EnergyModel
+from repro.array.scanner import ScanSchedule
+from repro.core.sensing import RowSamplingMatrix
+from repro.experiments.comm_cost import run_comm_cost, run_encoder_check
+
+
+def test_bench_comm_cost(benchmark):
+    results = benchmark.pedantic(
+        run_comm_cost,
+        kwargs={
+            "array_shapes": ((16, 16), (32, 32), (64, 64), (100, 33)),
+            "sampling_fraction": 0.5,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Sec. 4.1 -- communication cost at M/N = 0.5")
+    for result in results:
+        print(result.row())
+    for result in results:
+        assert result.cost_ratio == 0.5
+        assert result.scan_cycles == result.array_shape[1]
+
+    # Energy view: the conversion saving translated to joules.
+    model = EnergyModel()
+    rng = np.random.default_rng(0)
+    print("energy ratio (CS scan / full readout):")
+    for shape in ((32, 32), (64, 64)):
+        n = shape[0] * shape[1]
+        phi = RowSamplingMatrix.random(n, n // 2, rng)
+        schedule = ScanSchedule.from_phi(phi, shape)
+        ratio = model.energy_ratio(schedule)
+        print(f"  {shape[0]}x{shape[1]}: {ratio:.2f} "
+              "(ADC part halves; driver reload does not)")
+        assert 0.5 <= ratio < 1.0
+
+
+def test_bench_encoder_correctness(benchmark):
+    check = benchmark.pedantic(
+        run_encoder_check,
+        kwargs={"shape": (32, 32), "sampling_fraction": 0.5},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"ENC: scan of {check['measurements']} pixels in "
+        f"{check['scan_cycles']} cycles, max |b - Phi y| = "
+        f"{check['max_deviation']:.2e}"
+    )
+    assert check["max_deviation"] < 1e-3
+    assert check["scan_cycles"] == check["expected_cycles"]

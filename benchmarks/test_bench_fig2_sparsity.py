@@ -1,0 +1,29 @@
+"""Bench FIG2: regenerate the Fig. 2 sparsity statistics.
+
+Paper: three body-signal modalities show ~50 % significant DCT
+coefficients (threshold 1e-4 of max) over 100 samples, with rapidly
+decaying sorted-magnitude curves.
+"""
+
+import numpy as np
+
+from repro.experiments.fig2_sparsity import format_table, run_fig2
+
+
+def test_bench_fig2(benchmark):
+    results = benchmark.pedantic(
+        run_fig2, kwargs={"num_samples": 100, "seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(results))
+    print("Fig. 2a decay (|c_sorted| at N/2, relative):")
+    for result in results:
+        half = result.sorted_magnitudes[len(result.sorted_magnitudes) // 2]
+        print(f"  {result.modality:>12}: {half:.2e}")
+    # Paper's Fig. 2b: ~50 % for all modalities.
+    for result in results:
+        assert 0.3 < result.stats.mean_fraction < 0.7
+    # Paper's Fig. 2a: rapid decay.
+    for result in results:
+        curve = result.sorted_magnitudes
+        assert curve[len(curve) // 2] < 1e-3

@@ -1,0 +1,40 @@
+"""Bench FIG5: the fabricated encoder building blocks.
+
+Paper measurements: Fig. 5b Pt sensor linearity; Fig. 5c-d 8-stage
+304-TFT shift register at CLK 10 kHz / data 1 kHz / VDD 3 V; Fig. 5e
+self-biased amplifier, 50 mV -> 1.3 V at 30 kHz (~28 dB).
+"""
+
+from repro.experiments.fig5_circuits import run_fig5b, run_fig5cd, run_fig5e
+
+
+def test_bench_fig5b_sensor(benchmark):
+    curve = benchmark.pedantic(run_fig5b, rounds=1, iterations=1)
+    print()
+    print(curve.row())
+    assert curve.linearity_error < 0.02
+    assert curve.inversion_rmse_c < 0.01
+
+
+def test_bench_fig5cd_shift_register(benchmark):
+    result = benchmark.pedantic(run_fig5cd, rounds=1, iterations=1)
+    print()
+    print(
+        f"Fig. 5c-d: {result.tft_count} TFTs, CLK {result.clock_hz / 1e3:g} kHz, "
+        f"DATA {result.data_hz / 1e3:g} kHz -> functional={result.functional}"
+    )
+    assert result.tft_count == 304  # paper's transistor count
+    assert result.functional  # works at the paper's operating point
+
+
+def test_bench_fig5e_amplifier(benchmark):
+    measurement = benchmark.pedantic(run_fig5e, rounds=1, iterations=1)
+    print()
+    print(
+        f"Fig. 5e: {measurement.input_amplitude_v * 1e3:g} mV @ "
+        f"{measurement.frequency_hz / 1e3:g} kHz -> "
+        f"{measurement.output_amplitude_v:.2f} V ({measurement.gain_db:.1f} dB); "
+        "paper: 1.3 V (~28 dB)"
+    )
+    assert 20.0 < measurement.gain_db < 34.0
+    assert measurement.output_amplitude_v > 0.5

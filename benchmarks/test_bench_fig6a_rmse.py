@@ -1,0 +1,44 @@
+"""Bench FIG6a: temperature-imaging RMSE grid (w/ and w/o CS).
+
+Paper: sampling 45-60 %, sparse errors 0-20 %, oracle-excluded
+defects; at ~10 % errors RMSE drops from 0.20 to 0.05; RMSE decreases
+with sampling percentage with diminishing returns (Eq. 2's measurement
+floor).
+"""
+
+from repro.experiments.fig6a_rmse import format_table, run_fig6a
+
+
+def test_bench_fig6a(benchmark):
+    points = benchmark.pedantic(
+        run_fig6a,
+        kwargs={
+            "num_frames": 6,
+            "sampling_fractions": (0.45, 0.50, 0.55, 0.60),
+            "error_rates": (0.0, 0.05, 0.10, 0.15, 0.20),
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(points))
+
+    at = {(p.sampling_fraction, p.error_rate): p for p in points}
+    # Headline: >= 3x RMSE reduction at 10 % errors and 50 % sampling.
+    headline = at[(0.50, 0.10)]
+    print(
+        f"headline @ (50% sampling, 10% errors): "
+        f"{headline.rmse_without_cs:.3f} -> {headline.rmse_with_cs:.3f} "
+        "(paper: 0.20 -> 0.05)"
+    )
+    assert headline.rmse_without_cs > 3.0 * headline.rmse_with_cs
+    # RMSE decreases in sampling percentage at fixed error rate.
+    for rate in (0.0, 0.10, 0.20):
+        assert at[(0.60, rate)].rmse_with_cs <= at[(0.45, rate)].rmse_with_cs + 0.005
+    # Diminishing returns: the 55->60 step improves less than 45->50.
+    step_low = at[(0.45, 0.10)].rmse_with_cs - at[(0.50, 0.10)].rmse_with_cs
+    step_high = at[(0.55, 0.10)].rmse_with_cs - at[(0.60, 0.10)].rmse_with_cs
+    assert step_high <= step_low + 0.005
+    # With CS, RMSE only rises slightly up to 20 % errors.
+    assert at[(0.50, 0.20)].rmse_with_cs < at[(0.50, 0.0)].rmse_with_cs + 0.03

@@ -1,0 +1,51 @@
+"""Bench FIG6b: tactile object-recognition accuracy (w/ and w/o CS).
+
+Paper: 26 objects, ResNet classifier; without CS the accuracy
+collapses under sparse errors; with CS it recovers (~65 % -> ~84 % at
+10 % errors), with the boost flattening as sampling reaches ~60 %.
+
+This is the heaviest bench (it trains the NumPy ResNet); set
+REPRO_FIG6B_FULL=1 for the full 26-class run, the default uses a
+12-class configuration that finishes in about a minute.
+"""
+
+import os
+
+from repro.experiments.fig6b_accuracy import TactileExperiment, format_table
+
+
+def _run():
+    full = os.environ.get("REPRO_FIG6B_FULL", "0") == "1"
+    experiment = TactileExperiment(
+        samples_per_class=20 if full else 16,
+        epochs=15 if full else 12,
+        num_classes=26 if full else 12,
+        seed=1,
+    )
+    experiment.fit()
+    clean = experiment.clean_accuracy()
+    points = experiment.grid(
+        sampling_fractions=(0.50,),
+        error_rates=(0.0, 0.05, 0.10, 0.15, 0.20),
+    )
+    return clean, points
+
+
+def test_bench_fig6b(benchmark):
+    clean, points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_table(clean, points))
+    by_rate = {p.error_rate: p for p in points}
+    headline = by_rate[0.10]
+    print(
+        f"headline @ 10% errors: {headline.accuracy_without_cs:.1%} -> "
+        f"{headline.accuracy_with_cs:.1%} (paper: 65% -> 84%)"
+    )
+    # The classifier must work on clean data.
+    assert clean > 0.5
+    # CS recovers most of the corruption-induced loss at 10 % errors.
+    assert headline.accuracy_with_cs > headline.accuracy_without_cs + 0.1
+    # Without CS, accuracy degrades monotonically-ish with error rate.
+    assert by_rate[0.20].accuracy_without_cs < by_rate[0.0].accuracy_without_cs
+    # With CS, accuracy at 20 % errors stays within reach of clean.
+    assert by_rate[0.20].accuracy_with_cs > by_rate[0.20].accuracy_without_cs

@@ -1,0 +1,33 @@
+"""Bench FIG6c: resampling vs RPCA without a defect map.
+
+Paper: ten resampling rounds give ~50 % RMSE reduction at 3-10 %
+sparse errors; RPCA outlier exclusion outperforms resampling above
+~8 % errors.
+"""
+
+from repro.experiments.fig6c_strategies import format_table, run_fig6c
+
+
+def test_bench_fig6c(benchmark):
+    points = benchmark.pedantic(
+        run_fig6c,
+        kwargs={
+            "error_rates": (0.0, 0.03, 0.05, 0.08, 0.10, 0.15, 0.20),
+            "rounds": 10,
+            "num_frames": 6,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(points))
+    by_rate = {p.error_rate: p for p in points}
+    # Resampling achieves a solid RMSE reduction at moderate rates.
+    for rate in (0.03, 0.05, 0.10):
+        point = by_rate[rate]
+        assert point.rmse_resample_median < 0.8 * point.rmse_no_cs
+    # RPCA wins at the high end (paper: above ~8 %).
+    for rate in (0.10, 0.15, 0.20):
+        point = by_rate[rate]
+        assert point.rmse_rpca < point.rmse_resample_median

@@ -1,0 +1,66 @@
+"""Bench EQ1 + EQ2: the paper's compressed-sensing estimates.
+
+EQ1: Eq. (1) ``M ~ K log(N/K)`` against an empirical phase transition.
+EQ2: Eq. (2) error decomposition over a noise sweep.
+"""
+
+import numpy as np
+
+from repro.experiments.theory_checks import (
+    run_eq1_phase_transition,
+    run_eq2_bound,
+)
+
+
+def test_bench_eq1_phase_transition(benchmark):
+    points = benchmark.pedantic(
+        run_eq1_phase_transition,
+        kwargs={
+            "shape": (16, 16),
+            "sparsities": (8, 16, 32),
+            "m_grid": (0.15, 0.25, 0.35, 0.5, 0.65, 0.8),
+            "trials": 4,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Eq. (1) -- empirical recovery vs the M ~ K log(N/K) estimate")
+    print(f"{'K':>4} {'M':>5} {'success':>8} {'Eq.(1) M':>9}")
+    for point in points:
+        print(
+            f"{point.sparsity:>4} {point.m:>5} {point.success_rate:>8.2f} "
+            f"{point.eq1_estimate:>9}"
+        )
+    # At generous budgets recovery is certain; at starved budgets it
+    # fails -- the transition brackets the Eq. (1) estimate.
+    for sparsity in (8, 16, 32):
+        mine = [p for p in points if p.sparsity == sparsity]
+        assert mine[-1].success_rate == 1.0
+        assert mine[0].success_rate < 1.0
+
+
+def test_bench_eq2_error_bound(benchmark):
+    points = benchmark.pedantic(
+        run_eq2_bound,
+        kwargs={"noise_levels": (0.0, 0.01, 0.02, 0.05, 0.1), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Eq. (2) -- observed L2 error vs bound terms")
+    print(f"{'noise':>7} {'observed':>9} {'meas term':>10} {'approx term':>12}")
+    for point in points:
+        print(
+            f"{point.noise:>7.3f} {point.observed_rmse_l2:>9.4f} "
+            f"{point.bound_measurement:>10.4f} {point.bound_approximation:>12.4f}"
+        )
+    observed = [p.observed_rmse_l2 for p in points]
+    bounds = [p.bound_measurement for p in points]
+    # Both grow with noise, and the observation stays within the
+    # theorem's constant of the bound.
+    assert observed == sorted(observed)
+    assert bounds == sorted(bounds)
+    for point in points[1:]:
+        assert point.observed_rmse_l2 < 6.0 * point.bound_total

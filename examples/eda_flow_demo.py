@@ -1,0 +1,79 @@
+"""The Sec. 3.3 design-methodology flow, end to end.
+
+Walks the CNT-TFT EDA flow the paper built for its encoder chips:
+
+  1. compact-model parameter extraction from (synthetic) measured I-V
+     data -- the Verilog-A-model calibration step;
+  2. pseudo-CMOS inverter delay characterisation vs load;
+  3. PCell layout generation for a TFT and the 4-TFT inverter;
+  4. design-rule checking against the CNT process deck;
+  5. netlist extraction from the layout;
+  6. layout-versus-schematic comparison.
+
+Run:  python examples/eda_flow_demo.py   (takes ~10 s)
+"""
+
+import numpy as np
+
+from repro.circuits import Circuit, GROUND, build_inverter
+from repro.devices import CntTft, TftParameters
+from repro.eda import (
+    characterize_inverter,
+    compare,
+    default_cnt_rules,
+    extract,
+    extract_parameters,
+    inverter_layout,
+    run_drc,
+    tft_layout,
+)
+
+
+def main() -> None:
+    rules = default_cnt_rules()
+
+    # 1. Parameter extraction: fit the compact model to "measured" data.
+    print("1. compact-model extraction")
+    true_device = CntTft(
+        100.0, 10.0,
+        TftParameters(mobility_cm2=28.0, vth=-0.75, subthreshold_swing=0.13),
+    )
+    vgs = np.linspace(-3.0, 0.2, 40)
+    rng = np.random.default_rng(0)
+    measured = np.maximum(true_device.drain_current(vgs, -1.0), 1e-15)
+    measured = measured * np.exp(rng.normal(0.0, 0.02, size=measured.shape))
+    fit = extract_parameters(vgs, -1.0, measured, 100.0, 10.0)
+    print(f"   {fit.summary()}")
+
+    # 2. Cell characterisation: delay vs load.
+    print("2. inverter delay characterisation")
+    for point in characterize_inverter(loads_farads=(1e-11, 3e-11, 1e-10)):
+        print(f"   load {point.load_farads * 1e12:6.0f} pF -> "
+              f"{point.delay_s * 1e6:6.2f} us")
+
+    # 3.-4. PCells + DRC.
+    print("3. PCell generation + DRC")
+    tft_cell = tft_layout(50.0, 10.0, rules)
+    inverter_cell = inverter_layout(rules)
+    for layout in (tft_cell, inverter_cell):
+        print(f"   {run_drc(layout, rules).summary()}")
+
+    # 5. Extraction.
+    print("4. netlist extraction")
+    netlist = extract(inverter_cell)
+    print(f"   {netlist.device_count()} TFTs over nets {sorted(netlist.nets)}")
+
+    # 6. LVS against the simulated schematic.
+    print("5. LVS")
+    schematic = Circuit("inv")
+    schematic.add_voltage_source("vin", "IN", GROUND, 0.0)
+    build_inverter(schematic, "u0", "IN", "OUT")
+    print(f"   {compare(netlist, schematic).summary()}")
+
+    # And show LVS catching a real mistake.
+    broken = extract(inverter_layout(rules, drive_width_um=140.0))
+    print(f"   (mis-sized layout) {compare(broken, schematic).summary()}")
+
+
+if __name__ == "__main__":
+    main()

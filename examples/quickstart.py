@@ -1,0 +1,44 @@
+"""Quickstart: robust sensing of one frame with compressed sensing.
+
+Generates a synthetic thermal frame, injects 10 % stuck-pixel errors
+(the paper's defect model), then samples half of the healthy pixels and
+reconstructs the frame from the DCT-domain L1 decoder -- reproducing
+the paper's headline RMSE reduction on a single frame.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    OracleExclusionStrategy,
+    evaluate_frame,
+)
+from repro.datasets import ThermalHandGenerator
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    frame = ThermalHandGenerator(seed=7).frame()
+
+    strategy = OracleExclusionStrategy(sampling_fraction=0.5, solver="fista")
+    outcome = evaluate_frame(frame, error_rate=0.10, strategy=strategy, rng=rng)
+
+    print("Robust flexible sensing quickstart")
+    print(f"  frame:                 32x32 synthetic thermal hand")
+    print(f"  sparse errors:         10% stuck-at-0/1 pixels")
+    print(f"  sampling:              50% of healthy pixels (random)")
+    print(f"  RMSE without CS:       {outcome.rmse_without_cs:.4f}  (paper: ~0.20)")
+    print(f"  RMSE with CS:          {outcome.rmse_with_cs:.4f}  (paper: ~0.05)")
+    reduction = outcome.rmse_without_cs / max(outcome.rmse_with_cs, 1e-12)
+    print(f"  improvement:           {reduction:.1f}x")
+
+    worst = np.unravel_index(
+        np.argmax(np.abs(outcome.reconstructed - outcome.clean)),
+        outcome.clean.shape,
+    )
+    print(f"  worst pixel error:     {np.max(np.abs(outcome.reconstructed - outcome.clean)):.3f} at {worst}")
+
+
+if __name__ == "__main__":
+    main()

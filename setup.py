@@ -1,0 +1,16 @@
+"""Setuptools shim (offline environment lacks the ``wheel`` package, so
+PEP-517 editable installs are unavailable; metadata lives in pyproject.toml)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Robust large-area flexible electronics via compressed sensing "
+        "(DAC 2020 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,34 @@
+"""Active-matrix flexible CS encoder (Fig. 4).
+
+``ActiveMatrix`` (pixels + access TFTs) -> ``ScanSchedule`` /
+``ScanDrivers`` (sqrt(N)-cycle scan from ``Phi_M``) -> ``ReadoutChain``
+(amplifier, S/H, ADC) -> ``FlexibleEncoder`` (the whole FE side,
+producing the measurement vector the silicon decoder consumes).
+"""
+
+from .active_matrix import ActiveMatrix
+from .drivers import DriverTiming, ScanDrivers
+from .energy import EnergyModel, ScanEnergy
+from .flexible_encoder import EncoderOutput, FlexibleEncoder
+from .imager import FrameRecord, StreamingImager
+from .programming import DriverProgram, program_drivers, verify_row_program
+from .readout import ReadoutChain
+from .scanner import ScanCycle, ScanSchedule
+
+__all__ = [
+    "ActiveMatrix",
+    "ScanDrivers",
+    "DriverTiming",
+    "ReadoutChain",
+    "ScanSchedule",
+    "ScanCycle",
+    "FlexibleEncoder",
+    "EncoderOutput",
+    "DriverProgram",
+    "program_drivers",
+    "verify_row_program",
+    "StreamingImager",
+    "FrameRecord",
+    "EnergyModel",
+    "ScanEnergy",
+]

@@ -1,0 +1,164 @@
+"""Active-matrix sensor array model (Fig. 4, left).
+
+The fabricated array puts one sensor plus one access TFT at each
+crossing of the row/column grid; four interconnects (ground, row
+control, column control, readout) serve the whole array, which is what
+gives the active-matrix design its pin-count scalability.
+
+This model captures the electrical behaviour the system experiments
+need:
+
+* per-pixel Pt-sensor + access-TFT read current (temperature mode) or
+  a generic normalised transduction (normalised mode);
+* per-pixel gain/offset spread from the device variation model;
+* stuck pixels from a :class:`~repro.devices.defects.DefectMap`;
+* off-pixel leakage summed onto the shared readout line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..devices.cnt_tft import CntTft, TftParameters
+from ..devices.defects import DefectMap
+from ..devices.temperature_sensor import PtTemperatureSensor, TemperaturePixel
+from ..devices.variation import VariationModel
+
+__all__ = ["ActiveMatrix"]
+
+
+class ActiveMatrix:
+    """A ``rows x cols`` sensor array with access TFTs.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)``.
+    variation:
+        Device variation model for the access TFTs (None = ideal).
+    defect_map:
+        Fabrication defects (None = defect-free).
+    sensor:
+        Pt sensor model shared by all pixels (temperature mode).
+    word_line_v:
+        Select voltage driven on an asserted row (low-enabled p-type).
+    read_voltage:
+        Bias across the selected pixel stack.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        variation: VariationModel | None = None,
+        defect_map: DefectMap | None = None,
+        sensor: PtTemperatureSensor | None = None,
+        word_line_v: float = -3.0,
+        read_voltage: float = 1.0,
+    ):
+        rows, cols = shape
+        if rows < 1 or cols < 1:
+            raise ValueError(f"invalid array shape {shape}")
+        if defect_map is not None and defect_map.shape != shape:
+            raise ValueError("defect map shape mismatch")
+        self.shape = (int(rows), int(cols))
+        self.sensor = sensor if sensor is not None else PtTemperatureSensor()
+        self.word_line_v = float(word_line_v)
+        self.read_voltage = float(read_voltage)
+        self.defect_map = defect_map
+        nominal = TftParameters()
+        pixel_reference = TemperaturePixel(
+            sensor=self.sensor, read_voltage=self.read_voltage
+        )
+        self._reference_tft = pixel_reference.access_tft
+        if variation is None:
+            r_on = self._reference_tft.on_resistance(self.word_line_v)
+            self._on_resistance = np.full(shape, r_on)
+        else:
+            parameter_grid = variation.sample_array(nominal, shape)
+            self._on_resistance = np.empty(shape)
+            for r in range(rows):
+                for c in range(cols):
+                    device = CntTft(
+                        width_um=self._reference_tft.width_um,
+                        length_um=self._reference_tft.length_um,
+                        parameters=parameter_grid[r][c],
+                    )
+                    self._on_resistance[r, c] = device.on_resistance(self.word_line_v)
+        self._defect_mask = (
+            defect_map.mask() if defect_map is not None
+            else np.zeros(shape, dtype=bool)
+        )
+        self._stuck = (
+            defect_map.stuck_values() if defect_map is not None
+            else np.full(shape, np.nan)
+        )
+
+    # -- temperature mode --------------------------------------------------
+    def read_currents(self, field_celsius: np.ndarray) -> np.ndarray:
+        """Read current (A) of every pixel for a temperature field.
+
+        Defective pixels return their stuck extremes: opens read ~0 A,
+        shorts read the full-rail current (sensor bypassed).
+        """
+        field_celsius = np.asarray(field_celsius, dtype=float)
+        if field_celsius.shape != self.shape:
+            raise ValueError(
+                f"field shape {field_celsius.shape} != array {self.shape}"
+            )
+        r_pt = self.sensor.resistance(field_celsius)
+        currents = self.read_voltage / (r_pt + self._on_resistance)
+        if self.defect_map is not None:
+            short_current = self.read_voltage / np.minimum(
+                self._on_resistance, 1e3
+            )
+            stuck_high = self._defect_mask & (self._stuck >= 0.5)
+            stuck_low = self._defect_mask & (self._stuck < 0.5)
+            currents = np.where(stuck_high, short_current, currents)
+            currents = np.where(stuck_low, 1e-12, currents)
+        return currents
+
+    def current_bounds(
+        self, t_low: float, t_high: float
+    ) -> tuple[float, float]:
+        """Healthy-pixel current range over a temperature span.
+
+        Uses the nominal (variation-free) access device, as a real
+        system would calibrate against a golden reference.
+        """
+        r_on = self._reference_tft.on_resistance(self.word_line_v)
+        currents = self.read_voltage / (
+            self.sensor.resistance(np.array([t_low, t_high])) + r_on
+        )
+        lo, hi = float(currents.min()), float(currents.max())
+        if lo == hi:
+            raise ValueError("degenerate temperature span")
+        return lo, hi
+
+    # -- normalised mode ----------------------------------------------------
+    def transduce(self, frame: np.ndarray) -> np.ndarray:
+        """Normalised-frame transduction with variation + defects.
+
+        For non-temperature modalities (tactile, ultrasound) the pixel
+        physics differ but the error structure is the same: a per-pixel
+        multiplicative gain error (from the access-TFT spread) and
+        stuck extremes at defects.  Input and output are in [0, 1].
+        """
+        frame = np.asarray(frame, dtype=float)
+        if frame.shape != self.shape:
+            raise ValueError(f"frame shape {frame.shape} != array {self.shape}")
+        nominal_r = self._reference_tft.on_resistance(self.word_line_v)
+        gain = nominal_r / self._on_resistance
+        out = np.clip(frame * gain, 0.0, 1.0)
+        if self.defect_map is not None:
+            out = np.where(self._defect_mask, np.nan_to_num(self._stuck), out)
+        return out
+
+    @property
+    def defect_mask(self) -> np.ndarray:
+        """Boolean mask of fabricated defects (False everywhere if none)."""
+        return self._defect_mask.copy()
+
+    @property
+    def on_resistances(self) -> np.ndarray:
+        """Per-pixel access-TFT on-resistance (ohm)."""
+        return self._on_resistance.copy()

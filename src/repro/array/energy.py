@@ -1,0 +1,110 @@
+"""Scan energy model: what the M/N cost ratio buys in joules.
+
+Sec. 4.1 argues the communication-cost saving in conversions ("the A/D
+conversion usually is the bottleneck of sensing applications").  This
+model prices a full scan in energy:
+
+* **ADC**: one conversion per sampled pixel, a fixed energy each (the
+  dominant term the paper points at);
+* **drivers**: dynamic switching of the row/column lines, ``C V^2`` per
+  line toggle -- flexible interconnect is long and capacitive;
+* **static**: pseudo-CMOS logic burns a ratioed static current, priced
+  per scan-second.
+
+The COMM bench uses it to report the energy ratio alongside the
+conversion ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scanner import ScanSchedule
+
+__all__ = ["EnergyModel", "ScanEnergy"]
+
+
+@dataclass
+class ScanEnergy:
+    """Energy breakdown of one scan (joules)."""
+
+    adc: float
+    drivers: float
+    static: float
+
+    @property
+    def total(self) -> float:
+        """Total scan energy."""
+        return self.adc + self.drivers + self.static
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy prices of the acquisition system.
+
+    Attributes
+    ----------
+    adc_energy_j:
+        Energy per A/D conversion (a ~10-bit SAR at flexible-system
+        speeds: tens of pJ..nJ; the default is deliberately mid-range).
+    line_capacitance_f:
+        Capacitance of one row/column line (long flexible traces).
+    swing_v:
+        Driver voltage swing.
+    static_power_w:
+        Pseudo-CMOS static burn of the driver shift registers.
+    clock_hz:
+        Scan clock (sets the static-energy integration time).
+    """
+
+    adc_energy_j: float = 5.0e-10
+    line_capacitance_f: float = 5.0e-11
+    swing_v: float = 3.0
+    static_power_w: float = 3.0e-6
+    clock_hz: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if min(self.adc_energy_j, self.line_capacitance_f, self.swing_v) <= 0:
+            raise ValueError("energy-model parameters must be positive")
+        if self.static_power_w < 0 or self.clock_hz <= 0:
+            raise ValueError("invalid static power or clock")
+
+    def scan_energy(self, schedule: ScanSchedule) -> ScanEnergy:
+        """Price one CS scan."""
+        rows, _cols = schedule.array_shape
+        conversions = schedule.total_reads
+        line_toggles = 0
+        for cycle in schedule.cycles:
+            # one column-select toggle + one toggle per asserted row,
+            # plus the serial reload of the row register (`rows` ticks).
+            line_toggles += 1 + cycle.reads + rows
+        switch_energy = self.line_capacitance_f * self.swing_v**2
+        scan_seconds = schedule.num_cycles * rows / self.clock_hz
+        return ScanEnergy(
+            adc=conversions * self.adc_energy_j,
+            drivers=line_toggles * switch_energy,
+            static=self.static_power_w * scan_seconds,
+        )
+
+    def full_readout_energy(self, array_shape: tuple[int, int]) -> ScanEnergy:
+        """Price the read-everything baseline (raster scan of N pixels)."""
+        rows, cols = array_shape
+        n = rows * cols
+        # Raster: every pixel read; per cycle one column toggle + all
+        # row toggles (each row is asserted once per column).
+        line_toggles = cols * (1 + rows) + cols * rows  # reload included
+        switch_energy = self.line_capacitance_f * self.swing_v**2
+        scan_seconds = cols * rows / self.clock_hz
+        return ScanEnergy(
+            adc=n * self.adc_energy_j,
+            drivers=line_toggles * switch_energy,
+            static=self.static_power_w * scan_seconds,
+        )
+
+    def energy_ratio(self, schedule: ScanSchedule) -> float:
+        """CS-scan energy over full-readout energy (< 1 is a saving)."""
+        cs = self.scan_energy(schedule).total
+        full = self.full_readout_energy(schedule.array_shape).total
+        return cs / full

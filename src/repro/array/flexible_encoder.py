@@ -1,0 +1,176 @@
+"""End-to-end flexible CS encoder (Fig. 4).
+
+Ties the substrate together: given a physical field and a sensing
+matrix ``Phi_M``, the encoder
+
+1. transduces the field through the :class:`~repro.array.active_matrix.ActiveMatrix`
+   (device variation, defects, leakage),
+2. scans the sampled pixels per the :class:`~repro.array.scanner.ScanSchedule`
+   driven by the :class:`~repro.array.drivers.ScanDrivers`,
+3. digitises each read through the :class:`~repro.array.readout.ReadoutChain`,
+
+and returns the measurement vector ``b ~= Phi_M @ y + eps`` that the
+silicon-side decoder consumes.  A calibration helper maps raw ADC codes
+back to normalised pixel units so the decoder's model matches the
+hardware's transfer function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.sensing import RowSamplingMatrix
+from .active_matrix import ActiveMatrix
+from .drivers import ScanDrivers
+from .readout import ReadoutChain
+from .scanner import ScanSchedule
+
+__all__ = ["EncoderOutput", "FlexibleEncoder"]
+
+
+@dataclass
+class EncoderOutput:
+    """What one encoder scan produces.
+
+    Attributes
+    ----------
+    measurements:
+        Normalised measurement vector ``b`` (length M), ordered to
+        match ``phi.indices``.
+    phi:
+        The sensing matrix used.
+    schedule:
+        The scan plan (for cost accounting).
+    scan_time_s:
+        Wall-clock scan duration at the driver clock.
+    """
+
+    measurements: np.ndarray
+    phi: RowSamplingMatrix
+    schedule: ScanSchedule
+    scan_time_s: float
+
+
+class FlexibleEncoder:
+    """The flexible-electronics side of the CS system.
+
+    Parameters
+    ----------
+    array:
+        The active-matrix sensor array.
+    readout:
+        The analog readout chain (defaults: 10-bit ADC, Fig. 5e-class
+        amplifier gain).
+    drivers:
+        Scan drivers (defaults: 10 kHz clock at 3 V).
+    """
+
+    def __init__(
+        self,
+        array: ActiveMatrix,
+        readout: ReadoutChain | None = None,
+        drivers: ScanDrivers | None = None,
+    ):
+        self.array = array
+        self.readout = readout if readout is not None else ReadoutChain()
+        self.drivers = drivers if drivers is not None else ScanDrivers(array.shape)
+        if self.drivers.array_shape != array.shape:
+            raise ValueError("driver shape mismatch")
+        self._cal_low: np.ndarray | None = None
+        self._cal_span: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _scan(self, readings: np.ndarray, phi: RowSamplingMatrix) -> EncoderOutput:
+        rows, cols = self.array.shape
+        schedule = ScanSchedule.from_phi(phi, self.array.shape)
+        acquired: dict[int, float] = {}
+        for column_select, row_mask in self.drivers.drive(schedule):
+            column = int(np.flatnonzero(column_select)[0])
+            for row in np.flatnonzero(row_mask):
+                acquired[int(row) * cols + column] = readings[int(row), column]
+        measurements = np.array([acquired[i] for i in phi.indices])
+        return EncoderOutput(
+            measurements=measurements,
+            phi=phi,
+            schedule=schedule,
+            scan_time_s=self.drivers.scan_time_s(schedule),
+        )
+
+    def scan_normalized(
+        self, frame: np.ndarray, phi: RowSamplingMatrix
+    ) -> EncoderOutput:
+        """Scan a normalised frame: transduce -> scan -> digitise."""
+        frame = np.asarray(frame, dtype=float)
+        transduced = self.array.transduce(frame)
+        codes = self.readout.convert_normalized(transduced)
+        return self._scan(codes, phi)
+
+    def calibrate_temperature(
+        self, t_low: float = 20.0, t_high: float = 100.0
+    ) -> None:
+        """Per-pixel two-point calibration (the production-test step).
+
+        Exposes the array to two uniform reference temperatures and
+        stores each pixel's code at both, cancelling the access-TFT
+        variation that otherwise swamps the few-percent temperature
+        signal.  Stuck pixels calibrate to a degenerate span and are
+        clamped to a safe span of one LSB (their readings stay extreme,
+        exactly like the fabricated array's defective pixels).
+        """
+        codes = []
+        for temperature in (t_low, t_high):
+            uniform = np.full(self.array.shape, float(temperature))
+            codes.append(
+                self.readout.convert_currents(self.array.read_currents(uniform))
+            )
+        cold_code, hot_code = codes[0], codes[1]
+        # Hot pixels read lower current (Pt resistance rises), so the
+        # low reference code is the hot one.
+        self._cal_low = hot_code
+        span = cold_code - hot_code
+        lsb = 1.0 / (2**self.readout.adc_bits - 1)
+        self._cal_span = np.where(np.abs(span) < lsb, lsb, span)
+
+    def scan_temperature(
+        self,
+        field_celsius: np.ndarray,
+        phi: RowSamplingMatrix,
+        t_low: float = 20.0,
+        t_high: float = 100.0,
+    ) -> EncoderOutput:
+        """Scan a temperature field in Celsius.
+
+        The measurement vector is normalised so that 0 maps to the
+        hottest reading (lowest current: the Pt resistance rises with
+        temperature) and 1 to the coldest, matching the normalised
+        [0, 1] convention of the decoding pipeline.  When
+        :meth:`calibrate_temperature` has run, per-pixel calibration
+        constants are applied (cancelling device variation); otherwise
+        a single golden-reference calibration is used.
+        """
+        currents = self.array.read_currents(field_celsius)
+        codes = self.readout.convert_currents(currents)
+        if self._cal_low is not None and self._cal_span is not None:
+            normalized = (codes - self._cal_low) / self._cal_span
+        else:
+            low_current, high_current = self.array.current_bounds(t_low, t_high)
+            code_low = self.readout.convert_currents(np.array([low_current]))[0]
+            code_high = self.readout.convert_currents(np.array([high_current]))[0]
+            span = code_high - code_low
+            if span == 0:
+                raise ValueError(
+                    "degenerate calibration span: configure the readout "
+                    "chain for the array's current range (see "
+                    "ReadoutChain.for_current_range)"
+                )
+            normalized = (codes - code_low) / span
+        normalized = np.clip(normalized, 0.0, 1.0)
+        return self._scan(normalized, phi)
+
+    def full_readout_normalized(self, frame: np.ndarray) -> np.ndarray:
+        """Read *every* pixel (the non-CS baseline): N conversions."""
+        frame = np.asarray(frame, dtype=float)
+        transduced = self.array.transduce(frame)
+        return self.readout.convert_normalized(transduced)

@@ -1,0 +1,123 @@
+"""Readout chain: near-sensor amplifier, sample-and-hold, ADC.
+
+Sec. 4.1 assumes "the silicon chip implementing the decoder has sample
+and hold circuitry followed by an Analog-to-Digital-Converter"; the
+flexible side contributes the near-sensor amplifier of Fig. 5e.  The
+chain here converts pixel read currents into quantised digital codes:
+
+    current -> transimpedance (V) -> amplifier gain -> S/H droop
+            -> additive noise -> ADC quantisation -> normalised code
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReadoutChain"]
+
+
+@dataclass
+class ReadoutChain:
+    """Parameterised analog front end + ADC.
+
+    Attributes
+    ----------
+    transimpedance_ohm:
+        Current-to-voltage conversion at the column line.
+    amplifier_gain:
+        Voltage gain of the near-sensor amplifier (the Fig. 5e design
+        delivers ~20x; see :class:`repro.circuits.SelfBiasedAmplifier`).
+    sh_droop:
+        Fractional droop of the sample-and-hold between sampling and
+        conversion (0 = ideal).
+    noise_sigma_v:
+        RMS input-referred noise voltage added before quantisation.
+    adc_bits:
+        ADC resolution.
+    full_scale_v:
+        ADC input range ``[0, full_scale_v]``.
+    seed:
+        RNG seed for the noise stream.
+    """
+
+    transimpedance_ohm: float = 1.0e5
+    amplifier_gain: float = 20.0
+    sh_droop: float = 0.001
+    noise_sigma_v: float = 1.0e-3
+    adc_bits: int = 10
+    full_scale_v: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.transimpedance_ohm <= 0 or self.amplifier_gain <= 0:
+            raise ValueError("gains must be positive")
+        if not 0.0 <= self.sh_droop < 1.0:
+            raise ValueError("sh_droop must be in [0, 1)")
+        if self.noise_sigma_v < 0:
+            raise ValueError("noise must be >= 0")
+        if self.adc_bits < 1:
+            raise ValueError("adc_bits must be >= 1")
+        if self.full_scale_v <= 0:
+            raise ValueError("full_scale_v must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    @classmethod
+    def for_current_range(
+        cls, max_current_a: float, headroom: float = 1.2, **kwargs
+    ) -> "ReadoutChain":
+        """Build a chain whose transimpedance ranges a given current.
+
+        Picks ``transimpedance_ohm`` so that ``max_current_a`` lands at
+        ``full_scale / headroom`` after the amplifier -- the auto-range
+        step a real acquisition system performs at calibration time.
+        """
+        if max_current_a <= 0:
+            raise ValueError("max_current_a must be positive")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        probe = cls(**kwargs)
+        transimpedance = probe.full_scale_v / (
+            headroom * max_current_a * probe.amplifier_gain
+        )
+        kwargs["transimpedance_ohm"] = transimpedance
+        return cls(**kwargs)
+
+    @property
+    def lsb_v(self) -> float:
+        """ADC step size."""
+        return self.full_scale_v / (2**self.adc_bits)
+
+    def convert_currents(self, currents: np.ndarray) -> np.ndarray:
+        """Run pixel currents through the chain; returns codes in [0, 1].
+
+        Values are clipped to the ADC range before quantisation, so
+        stuck-high defects saturate at full scale exactly as observed
+        on the fabricated array.
+        """
+        currents = np.asarray(currents, dtype=float)
+        volts = currents * self.transimpedance_ohm * self.amplifier_gain
+        volts = volts * (1.0 - self.sh_droop)
+        if self.noise_sigma_v > 0:
+            volts = volts + self._rng.normal(0.0, self.noise_sigma_v, volts.shape)
+        volts = np.clip(volts, 0.0, self.full_scale_v)
+        codes = np.round(volts / self.lsb_v)
+        codes = np.minimum(codes, 2**self.adc_bits - 1)
+        return codes / (2**self.adc_bits - 1)
+
+    def convert_normalized(self, values: np.ndarray) -> np.ndarray:
+        """Chain for already-normalised pixel values in [0, 1].
+
+        Applies S/H droop, input-referred noise (scaled to full scale)
+        and quantisation -- the non-idealities survive even when the
+        transduction is normalised out.
+        """
+        values = np.asarray(values, dtype=float)
+        volts = values * self.full_scale_v * (1.0 - self.sh_droop)
+        if self.noise_sigma_v > 0:
+            volts = volts + self._rng.normal(0.0, self.noise_sigma_v, volts.shape)
+        volts = np.clip(volts, 0.0, self.full_scale_v)
+        codes = np.round(volts / self.lsb_v)
+        codes = np.minimum(codes, 2**self.adc_bits - 1)
+        return codes / (2**self.adc_bits - 1)

@@ -1,0 +1,93 @@
+"""Circuit substrate: netlists, simulators and the Fig. 5 blocks.
+
+Two complementary simulation levels:
+
+* transistor level -- :class:`~repro.circuits.mna.MnaSimulator` solves
+  the nonlinear MNA equations with the CNT-TFT compact model (used for
+  the pseudo-CMOS cells and the self-biased amplifier);
+* gate level -- :class:`~repro.circuits.logic_sim.LogicSimulator`
+  event-drives the pseudo-CMOS cell library (used for the 304-TFT
+  8-stage shift register).
+"""
+
+from .amplifier import AmplifierDesign, AmplifierMeasurement, SelfBiasedAmplifier
+from .logic_sim import Gate, LogicSimulator, LogicWaveform
+from .mna import ConvergenceError, MnaSimulator, OperatingPoint
+from .netlist import (
+    GROUND,
+    Capacitor,
+    Circuit,
+    Resistor,
+    Tft,
+    VoltageSource,
+    dc,
+    pulse,
+    pwl,
+    sine,
+)
+from .pseudo_cmos import (
+    CELL_LIBRARY,
+    CellSpec,
+    LogicLevels,
+    build_inverter,
+    build_inverter_pseudo_e,
+    build_nand2,
+    cell,
+    default_logic_device,
+)
+from .spice_io import NetlistFormatError, dump_netlist, load_netlist
+from .ring_oscillator import RingOscillator, RingOscillatorResult
+from .shift_register import ShiftRegister, ShiftRegisterResult
+from .waveform import (
+    TransientResult,
+    amplitude,
+    crossing_times,
+    dominant_frequency,
+    gain_db,
+    propagation_delay,
+    to_logic,
+)
+
+__all__ = [
+    "GROUND",
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "Tft",
+    "dc",
+    "sine",
+    "pulse",
+    "pwl",
+    "MnaSimulator",
+    "OperatingPoint",
+    "ConvergenceError",
+    "LogicSimulator",
+    "LogicWaveform",
+    "Gate",
+    "CellSpec",
+    "CELL_LIBRARY",
+    "cell",
+    "LogicLevels",
+    "build_inverter",
+    "build_inverter_pseudo_e",
+    "build_nand2",
+    "default_logic_device",
+    "ShiftRegister",
+    "ShiftRegisterResult",
+    "RingOscillator",
+    "RingOscillatorResult",
+    "dump_netlist",
+    "load_netlist",
+    "NetlistFormatError",
+    "AmplifierDesign",
+    "AmplifierMeasurement",
+    "SelfBiasedAmplifier",
+    "TransientResult",
+    "amplitude",
+    "gain_db",
+    "dominant_frequency",
+    "crossing_times",
+    "propagation_delay",
+    "to_logic",
+]

@@ -1,0 +1,213 @@
+"""Event-driven gate-level logic simulator.
+
+The transistor-level MNA engine handles cells and the amplifier; blocks
+the size of the 8-stage shift register (304 TFTs) simulate at the gate
+level instead, using the pseudo-CMOS :class:`~repro.circuits.pseudo_cmos.CellSpec`
+delays.  Classic discrete-event semantics:
+
+* three-valued nets (0, 1, ``None`` = unknown/X);
+* inertial delay -- a scheduled output change is cancelled when the
+  gate re-evaluates to something else before it matures;
+* external stimuli are just pre-scheduled events on input nets.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .pseudo_cmos import CellSpec, cell
+
+__all__ = ["Gate", "LogicSimulator", "LogicWaveform"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: a library cell bound to nets."""
+
+    name: str
+    spec: CellSpec
+    inputs: tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.spec.inputs:
+            raise ValueError(
+                f"gate {self.name}: cell {self.spec.name} needs "
+                f"{self.spec.inputs} inputs, got {len(self.inputs)}"
+            )
+
+
+@dataclass
+class LogicWaveform:
+    """Per-net value-change record: (time, value) pairs."""
+
+    changes: list[tuple[float, int | None]] = field(default_factory=list)
+
+    def value_at(self, t: float) -> int | None:
+        """Net value at time ``t`` (None before the first assignment)."""
+        value: int | None = None
+        for when, what in self.changes:
+            if when > t:
+                break
+            value = what
+        return value
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Sample onto a time grid; unknown (X) becomes -1."""
+        out = np.empty(len(times), dtype=int)
+        for i, t in enumerate(np.asarray(times, dtype=float)):
+            v = self.value_at(float(t))
+            out[i] = -1 if v is None else v
+        return out
+
+    def edges(self, rising: bool = True) -> list[float]:
+        """Times of 0->1 (or 1->0) transitions."""
+        out = []
+        prev: int | None = None
+        for when, what in self.changes:
+            if prev is not None and what is not None and what != prev:
+                if (rising and what == 1) or (not rising and what == 0):
+                    out.append(when)
+            if what is not None:
+                prev = what
+        return out
+
+
+class LogicSimulator:
+    """Discrete-event simulation of a gate-level netlist."""
+
+    def __init__(self):
+        self._gates: list[Gate] = []
+        self._fanout: dict[str, list[Gate]] = {}
+        self._values: dict[str, int | None] = {}
+        self._stimuli: list[tuple[float, int, str, int]] = []
+        self._counter = itertools.count()
+        self._waveforms: dict[str, LogicWaveform] = {}
+
+    def add_gate(self, name: str, cell_name: str, inputs: list[str], output: str) -> Gate:
+        """Instantiate a library cell.
+
+        ``inputs``/``output`` are net names; nets spring into existence
+        (with unknown value) on first use.
+        """
+        if any(g.name == name for g in self._gates):
+            raise ValueError(f"duplicate gate name {name!r}")
+        gate = Gate(name, cell(cell_name), tuple(inputs), output)
+        if any(g.output == output for g in self._gates):
+            raise ValueError(f"net {output!r} already driven")
+        self._gates.append(gate)
+        for net in gate.inputs:
+            self._fanout.setdefault(net, []).append(gate)
+            self._values.setdefault(net, None)
+        self._values.setdefault(output, None)
+        return gate
+
+    def set_stimulus(self, net: str, changes: list[tuple[float, int]]) -> None:
+        """Schedule value changes on an input net: ``[(time, value), ...]``."""
+        if any(g.output == net for g in self._gates):
+            raise ValueError(f"net {net!r} is gate-driven; cannot stimulate")
+        self._values.setdefault(net, None)
+        for when, what in changes:
+            if what not in (0, 1):
+                raise ValueError(f"stimulus value must be 0/1, got {what!r}")
+            self._stimuli.append((float(when), next(self._counter), net, int(what)))
+
+    def clock_stimulus(
+        self, net: str, frequency_hz: float, stop_s: float,
+        start_value: int = 0, delay_s: float = 0.0,
+    ) -> None:
+        """Convenience 50 %-duty clock on ``net`` until ``stop_s``."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        half = 0.5 / frequency_hz
+        changes = []
+        t, v = delay_s, start_value
+        while t < stop_s:
+            changes.append((t, v))
+            v = 1 - v
+            t += half
+        self.set_stimulus(net, changes)
+
+    def tft_count(self) -> int:
+        """Total TFTs across all instantiated cells."""
+        return sum(g.spec.tft_count for g in self._gates)
+
+    def nets(self) -> list[str]:
+        """All net names."""
+        return list(self._values)
+
+    def run(self, stop_s: float) -> dict[str, LogicWaveform]:
+        """Simulate until ``stop_s``; returns per-net waveforms."""
+        if stop_s <= 0:
+            raise ValueError("stop_s must be positive")
+        queue: list[tuple[float, int, str, int | None]] = [
+            (when, order, net, value)
+            for when, order, net, value in self._stimuli
+        ]
+        heapq.heapify(queue)
+        # pending[net] = (token, value) of the latest scheduled gate event;
+        # popped events whose token no longer matches are stale (inertial
+        # delay: a newer evaluation superseded them).
+        pending: dict[str, tuple[int, int | None]] = {}
+        gate_outputs = {g.output for g in self._gates}
+        self._values = {net: None for net in self._values}
+        waveforms = {net: LogicWaveform() for net in self._values}
+
+        # initial evaluation so constant-input gates settle
+        for gate in self._gates:
+            self._schedule_gate(gate, 0.0, queue, pending)
+
+        while queue:
+            when, token, net, value = heapq.heappop(queue)
+            if when > stop_s:
+                break
+            if net in gate_outputs:
+                scheduled = pending.get(net)
+                if scheduled is None or scheduled[0] != token:
+                    continue  # superseded event
+                pending.pop(net)
+            if self._values.get(net) == value:
+                continue
+            self._values[net] = value
+            waveforms[net].changes.append((when, value))
+            for gate in self._fanout.get(net, []):
+                self._schedule_gate(gate, when, queue, pending)
+        self._waveforms = waveforms
+        return waveforms
+
+    @staticmethod
+    def _evaluate_with_x(spec: CellSpec, values: tuple) -> int | None:
+        """Three-valued evaluation: X inputs that cannot affect the
+        output (controlling values elsewhere, e.g. NAND with a 0) still
+        yield a defined result -- essential for latches to settle."""
+        unknown = [i for i, v in enumerate(values) if v is None]
+        if not unknown:
+            return spec.evaluate(values)
+        outcomes = set()
+        for assignment in range(1 << len(unknown)):
+            trial = list(values)
+            for bit, position in enumerate(unknown):
+                trial[position] = (assignment >> bit) & 1
+            outcomes.add(spec.evaluate(tuple(trial)))
+            if len(outcomes) > 1:
+                return None
+        return outcomes.pop()
+
+    def _schedule_gate(self, gate: Gate, now: float, queue, pending) -> None:
+        values = tuple(self._values.get(net) for net in gate.inputs)
+        new_value = self._evaluate_with_x(gate.spec, values)
+        scheduled = pending.get(gate.output)
+        if scheduled is None:
+            target = self._values.get(gate.output)
+        else:
+            target = scheduled[1]
+        if new_value == target:
+            return  # no change relative to what's already in flight
+        mature = now + gate.spec.delay_s
+        token = next(self._counter)
+        pending[gate.output] = (token, new_value)
+        heapq.heappush(queue, (mature, token, gate.output, new_value))

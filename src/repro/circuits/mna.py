@@ -1,0 +1,390 @@
+"""Modified-nodal-analysis (MNA) circuit simulator.
+
+A small but real nonlinear circuit engine for the transistor-level
+flexible circuits of Fig. 5:
+
+* **DC operating point** -- Newton-Raphson on the MNA equations with
+  the CNT-TFT compact model linearised by numeric differentiation,
+  voltage-step damping, a ``gmin`` leak to ground on every node and a
+  source-stepping fallback for stubborn bias points.
+* **Transient analysis** -- backward Euler with capacitor companion
+  models and per-step Newton; fixed step chosen by the caller (the
+  circuits of interest run at kHz, so microsecond steps are plenty).
+* **DC sweep** -- re-solves the operating point across a source sweep
+  (used for VTC and sensor-linearity curves).
+
+The engine deliberately favours robustness and clarity over speed: the
+largest circuit it simulates transistor-by-transistor (the two-stage
+amplifier plus bias network) has ~15 nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .netlist import GROUND, Capacitor, Circuit, Resistor, Tft, VoltageSource
+from .waveform import TransientResult
+
+__all__ = ["MnaSimulator", "OperatingPoint", "ConvergenceError"]
+
+_GMIN = 1e-12
+_VG_DELTA = 1e-5
+
+
+class ConvergenceError(RuntimeError):
+    """Newton iteration failed to converge."""
+
+
+@dataclass
+class OperatingPoint:
+    """DC solution: node voltages and voltage-source branch currents."""
+
+    voltages: dict[str, float]
+    source_currents: dict[str, float]
+
+    def __getitem__(self, net: str) -> float:
+        if net == GROUND:
+            return 0.0
+        return self.voltages[net]
+
+
+def _tft_terminal_current(device, vg: float, vd: float, vs: float) -> float:
+    """Current flowing from the drain net *into* the TFT (A).
+
+    Handles both polarities and reverse operation (drain/source roles
+    swap when the nominal drain sits at the wrong potential), keeping
+    the characteristic continuous at ``vd == vs``.
+    """
+    if device.polarity == "n":
+        if vd >= vs:
+            return device.drain_current(vg - vs, vd - vs)
+        return -device.drain_current(vg - vd, vs - vd)
+    # p-type: conducts when the gate is low relative to the (high) source.
+    if vd <= vs:
+        return -device.drain_current(vg - vs, vd - vs)
+    return device.drain_current(vg - vd, vs - vd)
+
+
+class MnaSimulator:
+    """Simulate one :class:`~repro.circuits.netlist.Circuit`."""
+
+    def __init__(self, circuit: Circuit, gmin: float = _GMIN):
+        self.circuit = circuit
+        self.gmin = float(gmin)
+        self._nets = circuit.nets()
+        self._index = {net: i for i, net in enumerate(self._nets)}
+        self._sources = circuit.voltage_sources()
+        self._num_nodes = len(self._nets)
+        self._num_unknowns = self._num_nodes + len(self._sources)
+
+    # ------------------------------------------------------------------
+    def _node(self, net: str) -> int | None:
+        """Matrix row of a net, or None for ground."""
+        if net == GROUND:
+            return None
+        return self._index[net]
+
+    def _stamp_conductance(self, g_matrix, a, b, conductance) -> None:
+        ia, ib = self._node(a), self._node(b)
+        if ia is not None:
+            g_matrix[ia, ia] += conductance
+        if ib is not None:
+            g_matrix[ib, ib] += conductance
+        if ia is not None and ib is not None:
+            g_matrix[ia, ib] -= conductance
+            g_matrix[ib, ia] -= conductance
+
+    def _stamp_current(self, rhs, a, b, current) -> None:
+        """Current source of ``current`` amps flowing from net a to net b."""
+        ia, ib = self._node(a), self._node(b)
+        if ia is not None:
+            rhs[ia] -= current
+        if ib is not None:
+            rhs[ib] += current
+
+    def _build_system(
+        self,
+        v: np.ndarray,
+        t: float,
+        dt: float | None,
+        v_prev: np.ndarray | None,
+        source_scale: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble the linearised MNA system ``J dv = -F`` at iterate v.
+
+        Returns (jacobian, residual).  ``v`` holds node voltages followed
+        by source branch currents.
+        """
+        n = self._num_unknowns
+        jacobian = np.zeros((n, n))
+        residual = np.zeros(n)
+
+        def volt(net: str) -> float:
+            i = self._node(net)
+            return 0.0 if i is None else v[i]
+
+        # gmin from every node to ground for conditioning
+        for i in range(self._num_nodes):
+            jacobian[i, i] += self.gmin
+            residual[i] += self.gmin * v[i]
+
+        for component in self.circuit.components:
+            if isinstance(component, Resistor):
+                g = 1.0 / component.ohms
+                ia, ib = self._node(component.a), self._node(component.b)
+                current = g * (volt(component.a) - volt(component.b))
+                if ia is not None:
+                    residual[ia] += current
+                if ib is not None:
+                    residual[ib] -= current
+                self._stamp_conductance(jacobian, component.a, component.b, g)
+            elif isinstance(component, Capacitor):
+                if dt is None:
+                    continue  # open circuit at DC
+                g = component.farads / dt
+                va, vb = volt(component.a), volt(component.b)
+                if v_prev is None:
+                    va_prev, vb_prev = va, vb
+                else:
+                    ia, ib = self._node(component.a), self._node(component.b)
+                    va_prev = 0.0 if ia is None else v_prev[ia]
+                    vb_prev = 0.0 if ib is None else v_prev[ib]
+                current = g * ((va - vb) - (va_prev - vb_prev))
+                ia, ib = self._node(component.a), self._node(component.b)
+                if ia is not None:
+                    residual[ia] += current
+                if ib is not None:
+                    residual[ib] -= current
+                self._stamp_conductance(jacobian, component.a, component.b, g)
+            elif isinstance(component, Tft):
+                self._stamp_tft(component, v, jacobian, residual, volt)
+
+        # voltage sources: extra branch-current unknowns
+        for k, source in enumerate(self._sources):
+            row = self._num_nodes + k
+            branch_current = v[row]
+            ip, im = self._node(source.positive), self._node(source.negative)
+            if ip is not None:
+                residual[ip] += branch_current
+                jacobian[ip, row] += 1.0
+                jacobian[row, ip] += 1.0
+            if im is not None:
+                residual[im] -= branch_current
+                jacobian[im, row] -= 1.0
+                jacobian[row, im] -= 1.0
+            target = source_scale * source.value(t)
+            residual[row] += volt(source.positive) - volt(source.negative) - target
+        return jacobian, residual
+
+    def _stamp_tft(self, component, v, jacobian, residual, volt) -> None:
+        vg = volt(component.gate)
+        vd = volt(component.drain)
+        vs = volt(component.source)
+        device = component.device
+        current = _tft_terminal_current(device, vg, vd, vs)
+        d = _VG_DELTA
+        g_m = (
+            _tft_terminal_current(device, vg + d, vd, vs)
+            - _tft_terminal_current(device, vg - d, vd, vs)
+        ) / (2 * d)
+        g_d = (
+            _tft_terminal_current(device, vg, vd + d, vs)
+            - _tft_terminal_current(device, vg, vd - d, vs)
+        ) / (2 * d)
+        g_s = (
+            _tft_terminal_current(device, vg, vd, vs + d)
+            - _tft_terminal_current(device, vg, vd, vs - d)
+        ) / (2 * d)
+        i_drain = self._node(component.drain)
+        i_source = self._node(component.source)
+        i_gate = self._node(component.gate)
+        if i_drain is not None:
+            residual[i_drain] += current
+            if i_gate is not None:
+                jacobian[i_drain, i_gate] += g_m
+            jacobian[i_drain, i_drain] += g_d
+            if i_source is not None:
+                jacobian[i_drain, i_source] += g_s
+        if i_source is not None:
+            residual[i_source] -= current
+            if i_gate is not None:
+                jacobian[i_source, i_gate] -= g_m
+            if i_drain is not None:
+                jacobian[i_source, i_drain] -= g_d
+            jacobian[i_source, i_source] -= g_s
+
+    # ------------------------------------------------------------------
+    def _newton(
+        self,
+        v0: np.ndarray,
+        t: float,
+        dt: float | None,
+        v_prev: np.ndarray | None,
+        source_scale: float = 1.0,
+        max_iterations: int = 200,
+        tolerance: float = 1e-9,
+        damping_v: float = 0.6,
+    ) -> np.ndarray:
+        v = v0.copy()
+        for _ in range(max_iterations):
+            jacobian, residual = self._build_system(
+                v, t, dt, v_prev, source_scale
+            )
+            try:
+                delta = np.linalg.solve(jacobian, -residual)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(f"singular MNA matrix: {exc}") from exc
+            step = np.max(np.abs(delta[: self._num_nodes])) if self._num_nodes else 0.0
+            if step > damping_v:
+                delta = delta * (damping_v / step)
+            v = v + delta
+            if np.max(np.abs(delta)) < tolerance:
+                return v
+        raise ConvergenceError(
+            f"Newton failed after {max_iterations} iterations "
+            f"(circuit {self.circuit.name!r})"
+        )
+
+    def _initial_guess(self) -> np.ndarray:
+        return np.zeros(self._num_unknowns)
+
+    def dc_operating_point(self, t: float = 0.0) -> OperatingPoint:
+        """Solve the DC bias point (capacitors open).
+
+        Falls back to source stepping (ramping all sources from 0) when
+        the direct Newton solve fails.
+        """
+        v = self._initial_guess()
+        try:
+            v = self._newton(v, t, None, None)
+        except ConvergenceError:
+            # Source stepping: ramp all sources from 10 % to 100 %,
+            # warm-starting each step; a failed intermediate step keeps
+            # the best iterate so far instead of aborting the ramp.
+            for scale in np.linspace(0.1, 1.0, 20):
+                try:
+                    v = self._newton(
+                        v, t, None, None,
+                        source_scale=float(scale), max_iterations=400,
+                    )
+                except ConvergenceError:
+                    if scale == 1.0:
+                        raise
+        return self._to_operating_point(v)
+
+    def _to_operating_point(self, v: np.ndarray) -> OperatingPoint:
+        voltages = {net: float(v[i]) for net, i in self._index.items()}
+        currents = {
+            source.name: float(v[self._num_nodes + k])
+            for k, source in enumerate(self._sources)
+        }
+        return OperatingPoint(voltages=voltages, source_currents=currents)
+
+    def dc_sweep(
+        self, source_name: str, values: np.ndarray, record: list[str]
+    ) -> dict[str, np.ndarray]:
+        """Sweep one DC source and record net voltages.
+
+        Parameters
+        ----------
+        source_name:
+            Name of the voltage source to sweep (its waveform is
+            overridden point by point).
+        values:
+            Sweep values (V).
+        record:
+            Net names to record.
+
+        Returns
+        -------
+        dict
+            ``{"sweep": values, net: voltages}``; source current of the
+            swept source is recorded under ``"I(<source_name>)"``.
+        """
+        values = np.asarray(values, dtype=float)
+        source = next(
+            (s for s in self._sources if s.name == source_name), None
+        )
+        if source is None:
+            raise KeyError(f"no voltage source named {source_name!r}")
+        original = source.waveform
+        results: dict[str, list[float]] = {net: [] for net in record}
+        currents: list[float] = []
+        v = self._initial_guess()
+        try:
+            for value in values:
+                object.__setattr__(source, "waveform", lambda _t, _v=value: _v)
+                try:
+                    v = self._newton(v, 0.0, None, None)
+                except ConvergenceError:
+                    # Warm start failed (e.g. a sharp ratioed-logic
+                    # transition): re-solve this point by source stepping
+                    # from scratch.
+                    v = self._initial_guess()
+                    for scale in np.linspace(0.1, 1.0, 20):
+                        try:
+                            v = self._newton(
+                                v, 0.0, None, None,
+                                source_scale=float(scale),
+                                max_iterations=400,
+                            )
+                        except ConvergenceError:
+                            if scale == 1.0:
+                                raise
+                op = self._to_operating_point(v)
+                for net in record:
+                    results[net].append(op[net])
+                currents.append(op.source_currents[source_name])
+        finally:
+            object.__setattr__(source, "waveform", original)
+        out: dict[str, np.ndarray] = {"sweep": values}
+        for net in record:
+            out[net] = np.array(results[net])
+        out[f"I({source_name})"] = np.array(currents)
+        return out
+
+    def transient(
+        self,
+        stop_s: float,
+        step_s: float,
+        record: list[str] | None = None,
+        start_from_dc: bool = True,
+    ) -> TransientResult:
+        """Backward-Euler transient from 0 to ``stop_s``.
+
+        Parameters
+        ----------
+        stop_s, step_s:
+            Simulation span and fixed time step.
+        record:
+            Nets to record (all nets by default).
+        start_from_dc:
+            Start from the t=0 DC operating point (else from all-zero).
+        """
+        if stop_s <= 0 or step_s <= 0:
+            raise ValueError("stop_s and step_s must be positive")
+        if record is None:
+            record = list(self._nets)
+        missing = [net for net in record if net not in self._index]
+        if missing:
+            raise KeyError(f"unknown nets requested: {missing}")
+        steps = int(round(stop_s / step_s))
+        times = np.arange(steps + 1) * step_s
+        if start_from_dc:
+            v = self._initial_guess()
+            try:
+                v = self._newton(v, 0.0, None, None)
+            except ConvergenceError:
+                v = self._initial_guess()
+        else:
+            v = self._initial_guess()
+        traces = {net: np.empty(steps + 1) for net in record}
+        for net in record:
+            traces[net][0] = v[self._index[net]]
+        for k in range(1, steps + 1):
+            v = self._newton(v.copy(), float(times[k]), step_s, v)
+            for net in record:
+                traces[net][k] = v[self._index[net]]
+        return TransientResult(times=times, traces=traces)

@@ -1,0 +1,233 @@
+"""Netlist data model for transistor-level flexible circuits.
+
+A tiny SPICE-like circuit description: named nets, two-terminal
+primitives (resistor, capacitor, independent voltage source with DC /
+pulse / sine / PWL stimuli) and the three-terminal CNT TFT from
+:mod:`repro.devices`.  The MNA engine in :mod:`repro.circuits.mna`
+simulates these netlists; :mod:`repro.eda.lvs` compares them against
+extracted layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..devices.cnt_tft import CntTft
+
+__all__ = [
+    "GROUND",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "Tft",
+    "Circuit",
+    "dc",
+    "sine",
+    "pulse",
+    "pwl",
+]
+
+GROUND = "0"
+
+
+def dc(value: float) -> Callable[[float], float]:
+    """Constant stimulus."""
+    return lambda _t: float(value)
+
+
+def sine(
+    amplitude: float, frequency_hz: float, offset: float = 0.0, phase: float = 0.0
+) -> Callable[[float], float]:
+    """Sinusoidal stimulus ``offset + A sin(2 pi f t + phase)``."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    omega = 2.0 * np.pi * frequency_hz
+
+    def waveform(t: float) -> float:
+        return offset + amplitude * np.sin(omega * t + phase)
+
+    return waveform
+
+
+def pulse(
+    low: float,
+    high: float,
+    period_s: float,
+    duty: float = 0.5,
+    delay_s: float = 0.0,
+    rise_s: float = 0.0,
+) -> Callable[[float], float]:
+    """Periodic trapezoidal pulse train (SPICE PULSE-like).
+
+    ``rise_s`` applies to both edges; 0 gives ideal square edges.
+    """
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+    if not 0.0 < duty < 1.0:
+        raise ValueError("duty must be in (0, 1)")
+    high_s = duty * period_s
+
+    def waveform(t: float) -> float:
+        tau = (t - delay_s) % period_s
+        if t < delay_s:
+            return float(low)
+        if rise_s > 0.0:
+            if tau < rise_s:
+                return low + (high - low) * tau / rise_s
+            if high_s <= tau < high_s + rise_s:
+                return high - (high - low) * (tau - high_s) / rise_s
+            return float(high if tau < high_s else low)
+        return float(high if tau < high_s else low)
+
+    return waveform
+
+
+def pwl(points: list[tuple[float, float]]) -> Callable[[float], float]:
+    """Piecewise-linear stimulus through ``(time, value)`` points."""
+    if len(points) < 1:
+        raise ValueError("pwl needs at least one point")
+    times = np.array([p[0] for p in points], dtype=float)
+    values = np.array([p[1] for p in points], dtype=float)
+    if np.any(np.diff(times) < 0):
+        raise ValueError("pwl times must be non-decreasing")
+
+    def waveform(t: float) -> float:
+        return float(np.interp(t, times, values))
+
+    return waveform
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Linear resistor between two nets."""
+
+    name: str
+    a: str
+    b: str
+    ohms: float
+
+    def __post_init__(self) -> None:
+        if self.ohms <= 0:
+            raise ValueError(f"resistor {self.name}: ohms must be positive")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Linear capacitor between two nets."""
+
+    name: str
+    a: str
+    b: str
+    farads: float
+
+    def __post_init__(self) -> None:
+        if self.farads <= 0:
+            raise ValueError(f"capacitor {self.name}: farads must be positive")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Independent voltage source; ``waveform(t)`` gives the value."""
+
+    name: str
+    positive: str
+    negative: str
+    waveform: Callable[[float], float]
+
+    def value(self, t: float) -> float:
+        """Source voltage at time ``t`` (seconds)."""
+        return float(self.waveform(t))
+
+
+@dataclass(frozen=True)
+class Tft:
+    """CNT TFT instance: gate / drain / source nets + device model."""
+
+    name: str
+    gate: str
+    drain: str
+    source: str
+    device: CntTft
+
+
+@dataclass
+class Circuit:
+    """A named collection of components over string-named nets.
+
+    Net ``"0"`` (:data:`GROUND`) is the reference.  Components are added
+    through the ``add_*`` helpers which also validate name uniqueness.
+    """
+
+    name: str = "circuit"
+    components: list = field(default_factory=list)
+
+    def _check_name(self, name: str) -> None:
+        if any(c.name == name for c in self.components):
+            raise ValueError(f"duplicate component name {name!r}")
+
+    def add_resistor(self, name: str, a: str, b: str, ohms: float) -> Resistor:
+        """Add a resistor and return it."""
+        self._check_name(name)
+        component = Resistor(name, a, b, ohms)
+        self.components.append(component)
+        return component
+
+    def add_capacitor(self, name: str, a: str, b: str, farads: float) -> Capacitor:
+        """Add a capacitor and return it."""
+        self._check_name(name)
+        component = Capacitor(name, a, b, farads)
+        self.components.append(component)
+        return component
+
+    def add_voltage_source(
+        self, name: str, positive: str, negative: str, waveform
+    ) -> VoltageSource:
+        """Add a voltage source; ``waveform`` is a number or callable."""
+        self._check_name(name)
+        if not callable(waveform):
+            waveform = dc(float(waveform))
+        component = VoltageSource(name, positive, negative, waveform)
+        self.components.append(component)
+        return component
+
+    def add_tft(
+        self, name: str, gate: str, drain: str, source: str, device: CntTft
+    ) -> Tft:
+        """Add a CNT TFT and return it."""
+        self._check_name(name)
+        component = Tft(name, gate, drain, source, device)
+        self.components.append(component)
+        return component
+
+    def nets(self) -> list[str]:
+        """All net names, ground excluded, in first-use order."""
+        seen: dict[str, None] = {}
+        for component in self.components:
+            if isinstance(component, Tft):
+                terminals = (component.gate, component.drain, component.source)
+            elif isinstance(component, VoltageSource):
+                terminals = (component.positive, component.negative)
+            else:
+                terminals = (component.a, component.b)
+            for net in terminals:
+                if net != GROUND:
+                    seen.setdefault(net, None)
+        return list(seen)
+
+    def tft_count(self) -> int:
+        """Number of TFT instances (the paper counts circuit complexity
+        in TFTs, e.g. 304 for the 8-stage shift register)."""
+        return sum(1 for c in self.components if isinstance(c, Tft))
+
+    def voltage_sources(self) -> list[VoltageSource]:
+        """All voltage sources, in insertion order."""
+        return [c for c in self.components if isinstance(c, VoltageSource)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name!r}, {len(self.components)} components, "
+            f"{len(self.nets())} nets)"
+        )

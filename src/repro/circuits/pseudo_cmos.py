@@ -1,0 +1,300 @@
+"""Pseudo-CMOS cell library for the p-type-only CNT process.
+
+Sec. 3.2: air-stable n-type CNT TFTs are unavailable, so the paper
+adopts the *pseudo-CMOS* design style (Huang et al., DATE 2010) which
+builds rail-to-rail logic from mono-type transistors using a
+level-shifted two-stage topology with an auxiliary negative supply VSS.
+
+This module provides both views of the library:
+
+* **Transistor level** -- netlist builders (:func:`build_inverter`,
+  :func:`build_nand2`) that instantiate the pseudo-D topology with
+  p-type CNT TFTs, simulated by :mod:`repro.circuits.mna` for VTC and
+  delay characterisation;
+* **Gate level** -- :class:`CellSpec` entries (logic function, TFT
+  count, nominal delay) consumed by the event-driven simulator in
+  :mod:`repro.circuits.logic_sim` for larger blocks like the 8-stage
+  shift register.
+
+Pseudo-D topology used here (all p-type; IN low = asserted pull-up):
+
+* stage 1 (level shifter): M1 ``S=VDD, G=IN, D=A`` versus the
+  always-on load M2 ``S=A, G=VSS, D=VSS`` -- node A swings VDD..VSS,
+  inverted relative to IN;
+* stage 2 (output): M3 ``S=VDD, G=IN, D=OUT`` pulls up when IN is low,
+  M4 ``S=OUT, G=A, D=GND`` pulls down when A is low (i.e. IN high).
+
+Four TFTs per inverter; NAND2 parallels the input devices (6 TFTs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..devices.cnt_tft import CntTft, TftParameters
+from .netlist import GROUND, Circuit
+
+__all__ = [
+    "LogicLevels",
+    "CellSpec",
+    "CELL_LIBRARY",
+    "cell",
+    "build_inverter",
+    "build_inverter_pseudo_e",
+    "build_nand2",
+    "default_logic_device",
+]
+
+#: Nominal supplies of the fabricated circuits (Fig. 5: VDD = 3 V,
+#: VSS = -3 V).
+VDD_NOMINAL = 3.0
+VSS_NOMINAL = -3.0
+
+
+@dataclass(frozen=True)
+class LogicLevels:
+    """Supply configuration of a pseudo-CMOS cell instance."""
+
+    vdd: float = VDD_NOMINAL
+    vss: float = VSS_NOMINAL
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.vss >= 0:
+            raise ValueError("pseudo-CMOS needs a negative vss")
+
+
+def default_logic_device(
+    width_um: float = 50.0, length_um: float = 10.0
+) -> CntTft:
+    """A logic-sized p-type CNT TFT (the paper's logic L is 10 um)."""
+    return CntTft(width_um=width_um, length_um=length_um,
+                  parameters=TftParameters())
+
+
+# ---------------------------------------------------------------------------
+# Gate level
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Gate-level view of one pseudo-CMOS cell.
+
+    Attributes
+    ----------
+    name:
+        Library cell name.
+    inputs:
+        Number of logic inputs.
+    function:
+        ``tuple_of_bits -> bit`` evaluation.
+    tft_count:
+        Transistors in the pseudo-CMOS implementation (used for the
+        complexity accounting that reproduces the paper's "304 CNT
+        TFTs" figure).
+    delay_s:
+        Nominal propagation delay at VDD = 3 V.  Flexible CNT logic is
+        slow -- ring-oscillator stage delays are microseconds -- so the
+        default library sits at a few microseconds per gate, consistent
+        with a shift register that "functions properly with a clock
+        rate of 10 kHz".
+    """
+
+    name: str
+    inputs: int
+    function: Callable[[tuple[int, ...]], int]
+    tft_count: int
+    delay_s: float
+
+    def evaluate(self, values: tuple[int, ...]) -> int:
+        """Evaluate the cell's boolean function."""
+        if len(values) != self.inputs:
+            raise ValueError(
+                f"cell {self.name} expects {self.inputs} inputs, got {len(values)}"
+            )
+        return int(self.function(values))
+
+
+CELL_LIBRARY: dict[str, CellSpec] = {
+    "INV": CellSpec("INV", 1, lambda v: 1 - v[0], tft_count=4, delay_s=2.0e-6),
+    "BUF": CellSpec("BUF", 1, lambda v: v[0], tft_count=8, delay_s=4.0e-6),
+    "NAND2": CellSpec(
+        "NAND2", 2, lambda v: 1 - (v[0] & v[1]), tft_count=6, delay_s=3.0e-6
+    ),
+    "NOR2": CellSpec(
+        "NOR2", 2, lambda v: 1 - (v[0] | v[1]), tft_count=6, delay_s=3.0e-6
+    ),
+    "AND2": CellSpec(
+        "AND2", 2, lambda v: v[0] & v[1], tft_count=10, delay_s=5.0e-6
+    ),
+    "XOR2": CellSpec(
+        "XOR2", 2, lambda v: v[0] ^ v[1], tft_count=10, delay_s=6.0e-6
+    ),
+    "MUX2": CellSpec(
+        "MUX2", 3, lambda v: v[1] if v[0] else v[2], tft_count=12, delay_s=6.0e-6
+    ),
+}
+
+
+def cell(name: str) -> CellSpec:
+    """Look up a library cell by name."""
+    try:
+        return CELL_LIBRARY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell {name!r}; library has {sorted(CELL_LIBRARY)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Transistor level
+# ---------------------------------------------------------------------------
+
+def _supplies(circuit: Circuit, levels: LogicLevels, prefix: str) -> tuple[str, str]:
+    """Ensure VDD/VSS rails exist in the circuit; returns their net names."""
+    vdd_net, vss_net = "VDD", "VSS"
+    names = {c.name for c in circuit.components}
+    if f"{prefix}_vdd_src" not in names and "vdd_src" not in names:
+        if not any(
+            getattr(c, "positive", None) == vdd_net for c in circuit.components
+        ):
+            circuit.add_voltage_source("vdd_src", vdd_net, GROUND, levels.vdd)
+        if not any(
+            getattr(c, "positive", None) == vss_net for c in circuit.components
+        ):
+            circuit.add_voltage_source("vss_src", vss_net, GROUND, levels.vss)
+    return vdd_net, vss_net
+
+
+def build_inverter(
+    circuit: Circuit,
+    prefix: str,
+    input_net: str,
+    output_net: str,
+    levels: LogicLevels | None = None,
+    drive_width_um: float = 150.0,
+    load_width_um: float = 50.0,
+    length_um: float = 10.0,
+    add_supplies: bool = True,
+) -> str:
+    """Instantiate a 4-TFT pseudo-D inverter; returns the internal net.
+
+    Parameters
+    ----------
+    circuit:
+        Target circuit (modified in place).
+    prefix:
+        Instance prefix for component and internal net names.
+    input_net, output_net:
+        Logic terminals.
+    levels:
+        Supply levels; rails are created on first use when
+        ``add_supplies`` is set.
+    drive_width_um, load_width_um, length_um:
+        Device sizing: drive devices (M1, M3, M4) wide, the always-on
+        level-shift load (M2) narrow, matching the paper's "M1, M5,
+        M9 = 50 um, others = 150 um" flavour of ratioed sizing.
+    """
+    levels = levels or LogicLevels()
+    if add_supplies:
+        vdd, vss = _supplies(circuit, levels, prefix)
+    else:
+        vdd, vss = "VDD", "VSS"
+    internal = f"{prefix}_a"
+    drive = lambda: CntTft(drive_width_um, length_um)  # noqa: E731
+    load = lambda: CntTft(load_width_um, length_um)  # noqa: E731
+    circuit.add_tft(f"{prefix}_m1", gate=input_net, drain=internal, source=vdd,
+                    device=drive())
+    circuit.add_tft(f"{prefix}_m2", gate=vss, drain=vss, source=internal,
+                    device=load())
+    circuit.add_tft(f"{prefix}_m3", gate=input_net, drain=output_net, source=vdd,
+                    device=drive())
+    circuit.add_tft(f"{prefix}_m4", gate=internal, drain=GROUND, source=output_net,
+                    device=drive())
+    return internal
+
+
+def build_inverter_pseudo_e(
+    circuit: Circuit,
+    prefix: str,
+    input_net: str,
+    output_net: str,
+    levels: LogicLevels | None = None,
+    drive_width_um: float = 150.0,
+    load_width_um: float = 15.0,
+    length_um: float = 10.0,
+    add_supplies: bool = True,
+) -> None:
+    """Instantiate a 2-TFT *pseudo-E* inverter (the simpler style).
+
+    Pseudo-E is the single-stage variant of the pseudo-CMOS family
+    (Huang et al., DATE 2010): a drive device against an always-on
+    level-shift load::
+
+        M1: S=VDD, G=IN,  D=OUT   (pull-up when IN is low)
+        M2: S=OUT, G=VSS, D=VSS   (always-on pull toward VSS)
+
+    Half the transistors of pseudo-D, but *ratioed* output levels (the
+    high level sags below VDD and the low level shifts toward VSS) and
+    lower gain -- the trade the two-stage pseudo-D style exists to fix
+    (see ``tests/circuits/test_pseudo_styles.py`` for the quantified
+    comparison).  The default drive:load ratio is 10:1; weaker ratios
+    sag V_OH further.
+    """
+    levels = levels or LogicLevels()
+    if add_supplies:
+        vdd, vss = _supplies(circuit, levels, prefix)
+    else:
+        vdd, vss = "VDD", "VSS"
+    circuit.add_tft(
+        f"{prefix}_m1", gate=input_net, drain=output_net, source=vdd,
+        device=CntTft(drive_width_um, length_um),
+    )
+    circuit.add_tft(
+        f"{prefix}_m2", gate=vss, drain=vss, source=output_net,
+        device=CntTft(load_width_um, length_um),
+    )
+
+
+def build_nand2(
+    circuit: Circuit,
+    prefix: str,
+    input_a: str,
+    input_b: str,
+    output_net: str,
+    levels: LogicLevels | None = None,
+    drive_width_um: float = 150.0,
+    load_width_um: float = 50.0,
+    length_um: float = 10.0,
+    add_supplies: bool = True,
+) -> str:
+    """Instantiate a 6-TFT pseudo-D NAND2; returns the internal net.
+
+    Pull-up devices parallel the two inputs (output high when either
+    input is low); the stage-1 level shifter mirrors the same parallel
+    pair so node A goes low only when both inputs are high, driving the
+    single pull-down M4.
+    """
+    levels = levels or LogicLevels()
+    if add_supplies:
+        vdd, vss = _supplies(circuit, levels, prefix)
+    else:
+        vdd, vss = "VDD", "VSS"
+    internal = f"{prefix}_a"
+    drive = lambda: CntTft(drive_width_um, length_um)  # noqa: E731
+    load = lambda: CntTft(load_width_um, length_um)  # noqa: E731
+    circuit.add_tft(f"{prefix}_m1a", gate=input_a, drain=internal, source=vdd,
+                    device=drive())
+    circuit.add_tft(f"{prefix}_m1b", gate=input_b, drain=internal, source=vdd,
+                    device=drive())
+    circuit.add_tft(f"{prefix}_m2", gate=vss, drain=vss, source=internal,
+                    device=load())
+    circuit.add_tft(f"{prefix}_m3a", gate=input_a, drain=output_net, source=vdd,
+                    device=drive())
+    circuit.add_tft(f"{prefix}_m3b", gate=input_b, drain=output_net, source=vdd,
+                    device=drive())
+    circuit.add_tft(f"{prefix}_m4", gate=internal, drain=GROUND, source=output_net,
+                    device=drive())
+    return internal

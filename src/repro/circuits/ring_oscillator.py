@@ -1,0 +1,148 @@
+"""Five-stage pseudo-CMOS ring oscillator (the process test vehicle).
+
+Sec. 3.2: the CNT process "was validated thoroughly with wafer level
+fabrications and electrical measurements with > 5000 CNT TFTs and 44
+five-stage ring oscillators".  This module rebuilds that test vehicle
+at the transistor level: an odd chain of pseudo-D inverters closed on
+itself, each stage loaded by its gate/wiring capacitance, simulated
+with the MNA engine until steady oscillation and measured for
+frequency and per-stage delay.
+
+Stage loading combines the next stage's gate capacitance (Cox * W * L
+of the two input devices) with a wiring-parasitic term -- flexible
+substrates carry long, high-capacitance interconnect, which is what
+keeps fabricated CNT ring oscillators in the kHz..100 kHz range rather
+than the MHz the bare devices could do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..devices.cnt_tft import TftParameters
+from .mna import MnaSimulator
+from .netlist import GROUND, Circuit
+from .pseudo_cmos import build_inverter
+from .waveform import TransientResult, crossing_times
+
+__all__ = ["RingOscillatorResult", "RingOscillator"]
+
+
+@dataclass
+class RingOscillatorResult:
+    """Measured oscillation of one ring."""
+
+    frequency_hz: float
+    stage_delay_s: float
+    amplitude_v: float
+    stages: int
+    result: TransientResult
+
+    def row(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.stages}-stage RO: f = {self.frequency_hz / 1e3:.1f} kHz, "
+            f"stage delay = {self.stage_delay_s * 1e6:.2f} us, "
+            f"swing = {2 * self.amplitude_v:.2f} Vpp"
+        )
+
+
+class RingOscillator:
+    """Odd-stage pseudo-CMOS inverter ring.
+
+    Parameters
+    ----------
+    stages:
+        Ring length; must be odd (5 in the paper's test vehicle).
+    wiring_c_farads:
+        Per-stage wiring parasitic added to the gate load.
+    drive_width_um, load_width_um, length_um:
+        Inverter sizing (library defaults).
+    """
+
+    def __init__(
+        self,
+        stages: int = 5,
+        wiring_c_farads: float = 2.0e-11,
+        drive_width_um: float = 150.0,
+        load_width_um: float = 50.0,
+        length_um: float = 10.0,
+    ):
+        if stages < 3 or stages % 2 == 0:
+            raise ValueError("ring needs an odd stage count >= 3")
+        if wiring_c_farads < 0:
+            raise ValueError("wiring capacitance must be >= 0")
+        self.stages = stages
+        self.wiring_c_farads = float(wiring_c_farads)
+        self.drive_width_um = float(drive_width_um)
+        self.load_width_um = float(load_width_um)
+        self.length_um = float(length_um)
+        self.circuit = self._build()
+
+    def _stage_load_farads(self) -> float:
+        """Gate capacitance of the next stage's two input devices plus
+        the wiring parasitic."""
+        cox = TftParameters().cox_f_per_m2
+        gate_area_m2 = 2.0 * (self.drive_width_um * 1e-6) * (self.length_um * 1e-6)
+        return cox * gate_area_m2 + self.wiring_c_farads
+
+    def _build(self) -> Circuit:
+        circuit = Circuit(f"ring_oscillator_{self.stages}")
+        load = self._stage_load_farads()
+        for stage in range(self.stages):
+            input_net = f"n{stage}"
+            output_net = f"n{(stage + 1) % self.stages}"
+            build_inverter(
+                circuit,
+                f"inv{stage}",
+                input_net,
+                output_net,
+                drive_width_um=self.drive_width_um,
+                load_width_um=self.load_width_um,
+                length_um=self.length_um,
+            )
+            circuit.add_capacitor(f"cl{stage}", output_net, GROUND, load)
+        return circuit
+
+    def tft_count(self) -> int:
+        """Total transistors in the ring."""
+        return self.circuit.tft_count()
+
+    def simulate(
+        self, periods_hint: int = 12, points_per_period: int = 60
+    ) -> RingOscillatorResult:
+        """Run the ring to steady oscillation and measure it.
+
+        The simulation starts from the all-zero state (not a DC
+        solution), which kicks the ring into oscillation; the first
+        half of the transient is discarded as start-up.
+        """
+        # Rough period estimate from an RC-delay model to size the run.
+        load = self._stage_load_farads()
+        delay_estimate = 6.0e4 * load + 1.0e-7  # fitted to characterisation
+        period_estimate = 2.0 * self.stages * delay_estimate
+        stop = periods_hint * period_estimate
+        step = period_estimate / points_per_period
+        simulator = MnaSimulator(self.circuit)
+        result = simulator.transient(
+            stop_s=stop, step_s=step, record=["n0"], start_from_dc=False
+        )
+        steady = result.window(0.5 * stop)
+        trace = steady["n0"]
+        level = 0.5 * (trace.max() + trace.min())
+        rising = crossing_times(steady.times, trace, level, rising=True)
+        if len(rising) < 3:
+            raise RuntimeError(
+                "ring did not settle into oscillation; extend periods_hint"
+            )
+        period = float(np.median(np.diff(rising)))
+        frequency = 1.0 / period
+        return RingOscillatorResult(
+            frequency_hz=frequency,
+            stage_delay_s=period / (2.0 * self.stages),
+            amplitude_v=0.5 * (trace.max() - trace.min()),
+            stages=self.stages,
+            result=result,
+        )

@@ -1,0 +1,145 @@
+"""SPICE-like netlist serialisation.
+
+Interchange format for the transistor-level circuits: a SPICE-flavoured
+card deck with one component per line, so netlists survive round trips
+to disk and diff cleanly in reviews.
+
+Supported cards::
+
+    * comment
+    .title <name>
+    R<name> <a> <b> <ohms>
+    C<name> <a> <b> <farads>
+    V<name> <p> <n> DC <volts>
+    M<name> <drain> <gate> <source> W=<um> L=<um> [POLARITY=p|n]
+    .end
+
+Only DC sources serialise (time-varying stimuli are Python callables);
+loading produces a fully simulatable :class:`~repro.circuits.netlist.Circuit`.
+TFT model parameters beyond geometry/polarity use the library defaults
+on load (pass ``parameters`` to override).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..devices.cnt_tft import CntTft, TftParameters
+from .netlist import Capacitor, Circuit, Resistor, Tft, VoltageSource
+
+__all__ = ["dump_netlist", "load_netlist", "NetlistFormatError"]
+
+
+class NetlistFormatError(ValueError):
+    """The text is not a valid netlist deck."""
+
+
+def _format_value(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def dump_netlist(circuit: Circuit) -> str:
+    """Serialise a circuit to the card-deck text format.
+
+    Raises :class:`NetlistFormatError` for sources with non-constant
+    waveforms (evaluate-at-zero is deliberately not silently assumed).
+    """
+    lines = [f".title {circuit.name}"]
+    for component in circuit.components:
+        if isinstance(component, Resistor):
+            lines.append(
+                f"R{component.name} {component.a} {component.b} "
+                f"{_format_value(component.ohms)}"
+            )
+        elif isinstance(component, Capacitor):
+            lines.append(
+                f"C{component.name} {component.a} {component.b} "
+                f"{_format_value(component.farads)}"
+            )
+        elif isinstance(component, VoltageSource):
+            v0 = component.value(0.0)
+            v1 = component.value(1.0)
+            if v0 != v1:
+                raise NetlistFormatError(
+                    f"source {component.name!r} is time-varying; only DC "
+                    "sources serialise"
+                )
+            lines.append(
+                f"V{component.name} {component.positive} {component.negative} "
+                f"DC {_format_value(v0)}"
+            )
+        elif isinstance(component, Tft):
+            device = component.device
+            lines.append(
+                f"M{component.name} {component.drain} {component.gate} "
+                f"{component.source} W={_format_value(device.width_um)} "
+                f"L={_format_value(device.length_um)} "
+                f"POLARITY={device.polarity}"
+            )
+        else:  # pragma: no cover - future component types
+            raise NetlistFormatError(f"cannot serialise {component!r}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+_TFT_RE = re.compile(
+    r"W=(?P<w>[\d.eE+-]+)\s+L=(?P<l>[\d.eE+-]+)(?:\s+POLARITY=(?P<pol>[pn]))?",
+)
+
+
+def load_netlist(
+    text: str, parameters: TftParameters | None = None
+) -> Circuit:
+    """Parse the card-deck format back into a :class:`Circuit`."""
+    circuit = Circuit()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        if line.startswith(".title"):
+            circuit.name = line[len(".title"):].strip() or "circuit"
+            continue
+        if line == ".end":
+            break
+        kind = line[0].upper()
+        try:
+            if kind == "R":
+                name, a, b, value = line[1:].split()
+                circuit.add_resistor(name, a, b, float(value))
+            elif kind == "C":
+                name, a, b, value = line[1:].split()
+                circuit.add_capacitor(name, a, b, float(value))
+            elif kind == "V":
+                name, p, n, dc_kw, value = line[1:].split()
+                if dc_kw.upper() != "DC":
+                    raise NetlistFormatError(
+                        f"line {line_number}: only DC sources supported"
+                    )
+                circuit.add_voltage_source(name, p, n, float(value))
+            elif kind == "M":
+                head, _, tail = line[1:].partition(" W=")
+                name, drain, gate, source = head.split()
+                match = _TFT_RE.search("W=" + tail)
+                if match is None:
+                    raise NetlistFormatError(
+                        f"line {line_number}: malformed TFT card"
+                    )
+                device = CntTft(
+                    width_um=float(match.group("w")),
+                    length_um=float(match.group("l")),
+                    parameters=parameters,
+                    polarity=match.group("pol") or "p",
+                )
+                circuit.add_tft(name, gate=gate, drain=drain, source=source,
+                                device=device)
+            else:
+                raise NetlistFormatError(
+                    f"line {line_number}: unknown card {line[0]!r}"
+                )
+        except NetlistFormatError:
+            raise
+        except ValueError as exc:
+            raise NetlistFormatError(
+                f"line {line_number}: {exc}"
+            ) from exc
+    return circuit

@@ -1,0 +1,132 @@
+"""Waveform containers and measurement helpers.
+
+Both simulators (MNA transient, gate-level event-driven) produce
+waveforms; the Fig. 5 benches measure them the way the paper's scope
+shots are read: amplitude, gain in dB, dominant frequency, edge delays
+and logic levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TransientResult", "amplitude", "gain_db", "dominant_frequency",
+           "crossing_times", "propagation_delay", "to_logic"]
+
+
+@dataclass
+class TransientResult:
+    """Sampled transient traces: shared time axis + per-net voltages."""
+
+    times: np.ndarray
+    traces: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        for net, trace in self.traces.items():
+            if len(trace) != len(self.times):
+                raise ValueError(f"trace {net!r} length mismatch")
+
+    def __getitem__(self, net: str) -> np.ndarray:
+        return self.traces[net]
+
+    def window(self, t_start: float, t_stop: float | None = None) -> "TransientResult":
+        """Slice all traces to ``[t_start, t_stop]`` (end by default)."""
+        if t_stop is None:
+            t_stop = float(self.times[-1])
+        mask = (self.times >= t_start) & (self.times <= t_stop)
+        return TransientResult(
+            times=self.times[mask],
+            traces={net: trace[mask] for net, trace in self.traces.items()},
+        )
+
+    def nets(self) -> list[str]:
+        """Recorded net names."""
+        return list(self.traces)
+
+
+def amplitude(trace: np.ndarray) -> float:
+    """Half the peak-to-peak excursion of a (steady-state) trace."""
+    trace = np.asarray(trace, dtype=float)
+    if trace.size == 0:
+        raise ValueError("empty trace")
+    return float(0.5 * (trace.max() - trace.min()))
+
+
+def gain_db(input_trace: np.ndarray, output_trace: np.ndarray) -> float:
+    """Amplitude gain ``20 log10(A_out / A_in)`` in dB."""
+    a_in = amplitude(input_trace)
+    a_out = amplitude(output_trace)
+    if a_in == 0.0:
+        raise ValueError("input trace has zero amplitude")
+    if a_out == 0.0:
+        return float("-inf")
+    return float(20.0 * np.log10(a_out / a_in))
+
+
+def dominant_frequency(times: np.ndarray, trace: np.ndarray) -> float:
+    """Frequency (Hz) of the largest non-DC FFT bin.
+
+    Assumes a uniform time axis.
+    """
+    times = np.asarray(times, dtype=float)
+    trace = np.asarray(trace, dtype=float)
+    if len(times) != len(trace) or len(times) < 4:
+        raise ValueError("need matching traces with >= 4 samples")
+    dt = float(times[1] - times[0])
+    spectrum = np.abs(np.fft.rfft(trace - trace.mean()))
+    frequencies = np.fft.rfftfreq(len(trace), dt)
+    return float(frequencies[int(np.argmax(spectrum))])
+
+
+def crossing_times(
+    times: np.ndarray, trace: np.ndarray, level: float, rising: bool = True
+) -> np.ndarray:
+    """Linear-interpolated times where ``trace`` crosses ``level``."""
+    times = np.asarray(times, dtype=float)
+    trace = np.asarray(trace, dtype=float)
+    above = trace >= level
+    if rising:
+        hits = np.flatnonzero(~above[:-1] & above[1:])
+    else:
+        hits = np.flatnonzero(above[:-1] & ~above[1:])
+    out = []
+    for i in hits:
+        v0, v1 = trace[i], trace[i + 1]
+        if v1 == v0:
+            out.append(times[i])
+        else:
+            frac = (level - v0) / (v1 - v0)
+            out.append(times[i] + frac * (times[i + 1] - times[i]))
+    return np.array(out)
+
+
+def propagation_delay(
+    times: np.ndarray,
+    input_trace: np.ndarray,
+    output_trace: np.ndarray,
+    level: float,
+    input_rising: bool = True,
+    output_rising: bool = False,
+) -> float:
+    """Median delay from input edges to the next output edge (seconds)."""
+    t_in = crossing_times(times, input_trace, level, rising=input_rising)
+    t_out = crossing_times(times, output_trace, level, rising=output_rising)
+    if len(t_in) == 0 or len(t_out) == 0:
+        raise ValueError("no edges found at the given level")
+    delays = []
+    for t in t_in:
+        later = t_out[t_out > t]
+        if len(later) > 0:
+            delays.append(later[0] - t)
+    if not delays:
+        raise ValueError("no output edge follows any input edge")
+    return float(np.median(delays))
+
+
+def to_logic(trace: np.ndarray, vdd: float, threshold: float = 0.5) -> np.ndarray:
+    """Quantise an analog trace to 0/1 at ``threshold * vdd``."""
+    if vdd <= 0:
+        raise ValueError("vdd must be positive")
+    return (np.asarray(trace, dtype=float) >= threshold * vdd).astype(int)

@@ -1,0 +1,160 @@
+"""Sparse-error and measurement-noise injection models.
+
+Sec. 4.2 of the paper describes how device defects and transient errors
+manifest in the fabricated temperature array: affected pixels "usually
+show extreme results, either very high or almost zero currents".  The
+experiment of Fig. 7 therefore normalises frames to [0, 1] and forces a
+randomly chosen fraction of pixels to exactly 0 or 1.
+
+This module implements that model plus the distinction between
+*permanent* defects (same pixels every frame -- detectable by testing)
+and *transient* errors (fresh pixels every frame), and the additive
+measurement noise ``eps`` of Eq. (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SparseErrorModel", "inject_sparse_errors", "add_measurement_noise"]
+
+
+def inject_sparse_errors(
+    frame: np.ndarray,
+    error_rate: float,
+    rng: np.random.Generator,
+    low_value: float = 0.0,
+    high_value: float = 1.0,
+    high_fraction: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Force a random fraction of pixels to extreme stuck values.
+
+    Parameters
+    ----------
+    frame:
+        Input frame (any shape), assumed normalised to ``[0, 1]``.
+    error_rate:
+        Fraction of pixels to corrupt, in ``[0, 1]``.
+    rng:
+        Source of randomness.
+    low_value, high_value:
+        The "almost zero" and "very high" stuck readings.
+    high_fraction:
+        Probability that a corrupted pixel sticks high rather than low.
+
+    Returns
+    -------
+    (corrupted, error_mask):
+        The corrupted copy of ``frame`` and a boolean mask of corrupted
+        pixels (same shape as ``frame``).
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+    if not 0.0 <= high_fraction <= 1.0:
+        raise ValueError(f"high_fraction must be in [0, 1], got {high_fraction}")
+    frame = np.asarray(frame, dtype=float)
+    n = frame.size
+    count = int(round(error_rate * n))
+    mask = np.zeros(n, dtype=bool)
+    corrupted = frame.copy().ravel()
+    if count > 0:
+        positions = rng.choice(n, size=count, replace=False)
+        mask[positions] = True
+        stuck_high = rng.random(count) < high_fraction
+        corrupted[positions] = np.where(stuck_high, high_value, low_value)
+    return corrupted.reshape(frame.shape), mask.reshape(frame.shape)
+
+
+@dataclass
+class SparseErrorModel:
+    """Stateful error model distinguishing permanent and transient errors.
+
+    Parameters
+    ----------
+    permanent_rate:
+        Fraction of pixels with permanent defects (fixed across frames;
+        these are what production testing can identify, Sec. 4.2).
+    transient_rate:
+        Fraction of additional pixels hit by transient errors, redrawn
+        per frame (not detectable in advance, Sec. 4.3).
+    seed:
+        Seed for the model's private RNG.
+    low_value, high_value, high_fraction:
+        Stuck-value parameters, as in :func:`inject_sparse_errors`.
+    """
+
+    permanent_rate: float = 0.0
+    transient_rate: float = 0.0
+    seed: int = 0
+    low_value: float = 0.0
+    high_value: float = 1.0
+    high_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        total = self.permanent_rate + self.transient_rate
+        if not 0.0 <= self.permanent_rate <= 1.0:
+            raise ValueError("permanent_rate must be in [0, 1]")
+        if not 0.0 <= self.transient_rate <= 1.0:
+            raise ValueError("transient_rate must be in [0, 1]")
+        if total > 1.0:
+            raise ValueError("combined error rate exceeds 1.0")
+        self._rng = np.random.default_rng(self.seed)
+        self._permanent_mask: np.ndarray | None = None
+
+    def permanent_mask(self, shape: tuple[int, ...]) -> np.ndarray:
+        """The fixed defect mask for this model instance (lazily drawn)."""
+        if self._permanent_mask is None or self._permanent_mask.shape != shape:
+            n = int(np.prod(shape))
+            count = int(round(self.permanent_rate * n))
+            mask = np.zeros(n, dtype=bool)
+            if count > 0:
+                mask[self._rng.choice(n, size=count, replace=False)] = True
+            self._permanent_mask = mask.reshape(shape)
+        return self._permanent_mask
+
+    def corrupt(self, frame: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Apply permanent + transient errors to one frame.
+
+        Returns the corrupted frame and the combined error mask.
+        Transient positions are redrawn on every call; permanent
+        positions are stable for the lifetime of the model.
+        """
+        frame = np.asarray(frame, dtype=float)
+        permanent = self.permanent_mask(frame.shape)
+        corrupted = frame.copy()
+        self._stick(corrupted, permanent)
+        transient = np.zeros(frame.shape, dtype=bool)
+        n = frame.size
+        count = int(round(self.transient_rate * n))
+        if count > 0:
+            healthy = np.flatnonzero(~permanent.ravel())
+            count = min(count, len(healthy))
+            hits = self._rng.choice(healthy, size=count, replace=False)
+            transient.ravel()[hits] = True
+            self._stick(corrupted, transient)
+        return corrupted, permanent | transient
+
+    def _stick(self, frame: np.ndarray, mask: np.ndarray) -> None:
+        count = int(mask.sum())
+        if count == 0:
+            return
+        stuck_high = self._rng.random(count) < self.high_fraction
+        frame[mask] = np.where(stuck_high, self.high_value, self.low_value)
+
+
+def add_measurement_noise(
+    measurements: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Additive white Gaussian readout noise ``eps`` (Eq. 2).
+
+    Models the analog chain (amplifier + S/H + ADC front end) noise on
+    the FE side; ``sigma`` is expressed in normalised pixel units.
+    """
+    if sigma < 0:
+        raise ValueError(f"noise sigma must be >= 0, got {sigma}")
+    measurements = np.asarray(measurements, dtype=float)
+    if sigma == 0.0:
+        return measurements.copy()
+    return measurements + rng.normal(0.0, sigma, size=measurements.shape)

@@ -1,0 +1,86 @@
+"""Evaluation metrics used by the paper's case studies.
+
+Fig. 6 reports root-mean-square error (temperature imaging) and
+classification accuracy (tactile object recognition).  PSNR and a
+normalised-error variant are included for the extended analyses in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rmse",
+    "psnr",
+    "normalized_error",
+    "classification_accuracy",
+    "confusion_matrix",
+]
+
+
+def rmse(reference: np.ndarray, estimate: np.ndarray) -> float:
+    """Root-mean-square error between two arrays of identical shape."""
+    reference = np.asarray(reference, dtype=float)
+    estimate = np.asarray(estimate, dtype=float)
+    if reference.shape != estimate.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {estimate.shape}"
+        )
+    return float(np.sqrt(np.mean((reference - estimate) ** 2)))
+
+
+def psnr(reference: np.ndarray, estimate: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for an exact match)."""
+    error = rmse(reference, estimate)
+    if error == 0.0:
+        return float("inf")
+    return float(20.0 * np.log10(peak / error))
+
+
+def normalized_error(reference: np.ndarray, estimate: np.ndarray) -> float:
+    """Relative L2 error ``||est - ref|| / ||ref||`` (0 for exact match)."""
+    reference = np.asarray(reference, dtype=float)
+    estimate = np.asarray(estimate, dtype=float)
+    if reference.shape != estimate.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {estimate.shape}"
+        )
+    denom = np.linalg.norm(reference)
+    if denom == 0.0:
+        return float(np.linalg.norm(estimate))
+    return float(np.linalg.norm(estimate - reference) / denom)
+
+
+def classification_accuracy(
+    true_labels: np.ndarray, predicted_labels: np.ndarray
+) -> float:
+    """Fraction of correct predictions."""
+    true_labels = np.asarray(true_labels)
+    predicted_labels = np.asarray(predicted_labels)
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError(
+            f"shape mismatch: {true_labels.shape} vs {predicted_labels.shape}"
+        )
+    if true_labels.size == 0:
+        raise ValueError("cannot compute accuracy of zero predictions")
+    return float(np.mean(true_labels == predicted_labels))
+
+
+def confusion_matrix(
+    true_labels: np.ndarray, predicted_labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``(num_classes, num_classes)`` count matrix, rows = true class."""
+    true_labels = np.asarray(true_labels, dtype=int)
+    predicted_labels = np.asarray(predicted_labels, dtype=int)
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError(
+            f"shape mismatch: {true_labels.shape} vs {predicted_labels.shape}"
+        )
+    if np.any(true_labels < 0) or np.any(true_labels >= num_classes):
+        raise ValueError("true labels out of range")
+    if np.any(predicted_labels < 0) or np.any(predicted_labels >= num_classes):
+        raise ValueError("predicted labels out of range")
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(matrix, (true_labels, predicted_labels), 1)
+    return matrix

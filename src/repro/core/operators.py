@@ -1,0 +1,159 @@
+"""The combined encode/synthesis operator ``A = Phi_M @ Psi``.
+
+Eq. (8) of the paper splits the CS system into the FE-side encoder
+(``Phi_M @ y``) and the silicon-side decoder model (``Phi_M @ Psi @ x``).
+Every solver in :mod:`repro.core.solvers` works against the linear map
+
+    ``A x = Phi_M (Psi x)``,   ``A^T r = Psi^T (Phi_M^T r)``
+
+This module wraps that map in a small operator class that supports both a
+matrix-free fast path (row sampling + fast DCT, ``O(N log N)`` per apply)
+and a dense path for arbitrary matrices (Gaussian / Bernoulli ablations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sensing import RowSamplingMatrix
+
+__all__ = ["SensingOperator"]
+
+
+class SensingOperator:
+    """Linear operator ``A = Phi @ Psi`` with forward and adjoint applies.
+
+    Parameters
+    ----------
+    phi:
+        Measurement matrix: either a :class:`RowSamplingMatrix` (the
+        paper's hardware-friendly encoder) or a dense ``(m, n)`` array.
+    basis:
+        Sparsifying synthesis basis: any matrix-free basis object
+        exposing ``synthesize`` / ``analyze`` / ``n`` (e.g.
+        :class:`Dct2Basis` or :class:`~repro.core.wavelet.Haar2Basis`),
+        a dense ``(n, n)`` array, or ``None`` for the identity basis
+        (the "no transform" ablation).
+    """
+
+    def __init__(
+        self,
+        phi: RowSamplingMatrix | np.ndarray,
+        basis,
+    ):
+        self._phi = phi
+        self._basis = basis
+        if isinstance(phi, RowSamplingMatrix):
+            self.m, self.n = phi.m, phi.n
+        else:
+            phi = np.asarray(phi, dtype=float)
+            if phi.ndim != 2:
+                raise ValueError("dense phi must be a 2-D array")
+            self._phi = phi
+            self.m, self.n = phi.shape
+        basis_n = self._basis_size()
+        if basis_n is not None and basis_n != self.n:
+            raise ValueError(
+                f"basis size {basis_n} does not match phi columns {self.n}"
+            )
+        self.shape = (self.m, self.n)
+
+    @staticmethod
+    def _is_matrix_free(basis) -> bool:
+        return (
+            hasattr(basis, "synthesize")
+            and hasattr(basis, "analyze")
+            and hasattr(basis, "n")
+        )
+
+    def _basis_size(self) -> int | None:
+        if self._basis is None:
+            return None
+        if self._is_matrix_free(self._basis):
+            return int(self._basis.n)
+        self._basis = np.asarray(self._basis, dtype=float)
+        if self._basis.ndim != 2 or self._basis.shape[0] != self._basis.shape[1]:
+            raise ValueError("dense basis must be a square 2-D array")
+        return self._basis.shape[0]
+
+    # -- basis applies ----------------------------------------------------
+    def synthesize(self, coeffs: np.ndarray) -> np.ndarray:
+        """``Psi @ x``: coefficients to pixel vector."""
+        if self._basis is None:
+            return np.asarray(coeffs, dtype=float)
+        if self._is_matrix_free(self._basis):
+            return self._basis.synthesize(coeffs)
+        return self._basis @ coeffs
+
+    def analyze(self, pixels: np.ndarray) -> np.ndarray:
+        """``Psi.T @ y``: pixel vector to coefficients."""
+        if self._basis is None:
+            return np.asarray(pixels, dtype=float)
+        if self._is_matrix_free(self._basis):
+            return self._basis.analyze(pixels)
+        return self._basis.T @ pixels
+
+    # -- full operator applies --------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` for a coefficient vector ``x`` of length ``n``."""
+        y = self.synthesize(x)
+        if isinstance(self._phi, RowSamplingMatrix):
+            return self._phi.apply(y)
+        return self._phi @ y
+
+    def rmatvec(self, r: np.ndarray) -> np.ndarray:
+        """``A.T @ r`` for a measurement vector ``r`` of length ``m``."""
+        if isinstance(self._phi, RowSamplingMatrix):
+            scattered = self._phi.adjoint(r)
+        else:
+            scattered = self._phi.T @ np.asarray(r, dtype=float)
+        return self.analyze(scattered)
+
+    def to_matrix(self) -> np.ndarray:
+        """Materialise the dense ``(m, n)`` matrix ``A`` (small problems)."""
+        if isinstance(self._phi, RowSamplingMatrix):
+            phi = self._phi.to_matrix()
+        else:
+            phi = self._phi
+        if self._basis is None:
+            return phi.copy()
+        if self._is_matrix_free(self._basis):
+            return phi @ self._basis.to_matrix()
+        return phi @ self._basis
+
+    def spectral_norm(self, iterations: int = 30, seed: int = 0) -> float:
+        """Estimate ``||A||_2`` by power iteration on ``A.T A``.
+
+        Used by gradient solvers (ISTA/FISTA/IHT) to pick a safe step
+        size.  For an orthonormal basis and row sampling the exact value
+        is 1, but the estimate keeps solvers correct for dense ablations.
+        """
+        rng = np.random.default_rng(seed)
+        v = rng.normal(size=self.n)
+        v /= np.linalg.norm(v)
+        sigma = 1.0
+        for _ in range(iterations):
+            w = self.rmatvec(self.matvec(v))
+            norm = np.linalg.norm(w)
+            if norm == 0.0:
+                return 0.0
+            v = w / norm
+            sigma = np.sqrt(norm)
+        return float(sigma)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = (
+            "row-sampling"
+            if isinstance(self._phi, RowSamplingMatrix)
+            else "dense"
+        )
+        basis = (
+            "identity"
+            if self._basis is None
+            else (
+                type(self._basis).__name__
+                if self._is_matrix_free(self._basis)
+                else "dense"
+            )
+        )
+        return f"SensingOperator(m={self.m}, n={self.n}, phi={kind}, basis={basis})"

@@ -1,0 +1,227 @@
+"""Sensing (measurement) matrices for the compressed-sensing encoder.
+
+The paper's encoder (Sec. 3.1, Eq. 8 and Fig. 4) uses a sampling matrix
+``Phi_M`` consisting of ``M`` randomly chosen rows of the ``N x N``
+identity matrix: the flexible-electronics side simply *scans out a random
+subset of pixels*.  This module provides that matrix (in an efficient
+index-based representation), classic dense baselines (Gaussian /
+Bernoulli) used by the ablation benches, and the expansion of ``Phi_M``
+into per-column driver control words for the active-matrix scan schedule
+of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "RowSamplingMatrix",
+    "gaussian_matrix",
+    "bernoulli_matrix",
+    "sample_indices",
+    "weighted_sample_indices",
+    "column_control_words",
+]
+
+
+def sample_indices(
+    n: int,
+    m: int,
+    rng: np.random.Generator,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Choose ``m`` distinct pixel indices out of ``n`` uniformly at random.
+
+    Parameters
+    ----------
+    n:
+        Total number of sensors (pixels).
+    m:
+        Number of measurements to take.
+    rng:
+        Source of randomness.
+    exclude:
+        Optional array of pixel indices that must not be sampled (e.g.
+        pixels identified as defective by testing, Sec. 4.2).
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted integer array of ``m`` sampled indices.
+    """
+    if m < 0:
+        raise ValueError(f"cannot take {m} measurements")
+    candidates = np.arange(n)
+    if exclude is not None and len(exclude) > 0:
+        mask = np.ones(n, dtype=bool)
+        mask[np.asarray(exclude, dtype=int)] = False
+        candidates = candidates[mask]
+    if m > len(candidates):
+        raise ValueError(
+            f"requested {m} measurements but only {len(candidates)} "
+            "non-excluded pixels are available"
+        )
+    chosen = rng.choice(candidates, size=m, replace=False)
+    return np.sort(chosen)
+
+
+def weighted_sample_indices(
+    n: int,
+    m: int,
+    weights: np.ndarray,
+    rng: np.random.Generator,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sample ``m`` distinct indices with probability proportional to
+    ``weights`` (an informative-pixel prior; see
+    :class:`~repro.core.strategies.WeightedSamplingStrategy`).
+
+    Excluded indices get zero probability.  Weights must be
+    non-negative with at least ``m`` strictly positive entries after
+    exclusion.
+    """
+    weights = np.asarray(weights, dtype=float).ravel()
+    if weights.shape != (n,):
+        raise ValueError(f"weights must have length {n}, got {weights.shape}")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    probabilities = weights.copy()
+    if exclude is not None and len(exclude) > 0:
+        probabilities[np.asarray(exclude, dtype=int)] = 0.0
+    positive = np.count_nonzero(probabilities)
+    if m > positive:
+        raise ValueError(
+            f"requested {m} samples but only {positive} pixels have "
+            "positive weight"
+        )
+    probabilities = probabilities / probabilities.sum()
+    chosen = rng.choice(n, size=m, replace=False, p=probabilities)
+    return np.sort(chosen)
+
+
+@dataclass(frozen=True)
+class RowSamplingMatrix:
+    """``Phi_M``: ``M`` randomly sampled rows of the ``N x N`` identity.
+
+    Stored as the sorted index set of sampled pixels rather than a dense
+    matrix, because applying it is just fancy indexing.
+
+    Attributes
+    ----------
+    n:
+        Number of columns (total sensors).
+    indices:
+        Sorted array of the ``M`` sampled pixel indices.
+    """
+
+    n: int
+    indices: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        idx = np.asarray(self.indices, dtype=int)
+        if idx.ndim != 1:
+            raise ValueError("indices must be a 1-D integer array")
+        if len(np.unique(idx)) != len(idx):
+            raise ValueError("sampled row indices must be distinct")
+        if len(idx) > 0 and (idx.min() < 0 or idx.max() >= self.n):
+            raise ValueError("sampled indices out of range")
+        object.__setattr__(self, "indices", np.sort(idx))
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        m: int,
+        rng: np.random.Generator,
+        exclude: np.ndarray | None = None,
+    ) -> "RowSamplingMatrix":
+        """Draw a random ``Phi_M`` avoiding the ``exclude`` pixel set."""
+        return cls(n=n, indices=sample_indices(n, m, rng, exclude=exclude))
+
+    @property
+    def m(self) -> int:
+        """Number of measurements (sampled rows)."""
+        return len(self.indices)
+
+    def apply(self, y: np.ndarray) -> np.ndarray:
+        """``Phi_M @ y``: select the sampled entries of the pixel vector."""
+        y = np.asarray(y)
+        if y.shape[0] != self.n:
+            raise ValueError(
+                f"vector length {y.shape[0]} does not match n={self.n}"
+            )
+        return y[self.indices]
+
+    def adjoint(self, v: np.ndarray) -> np.ndarray:
+        """``Phi_M.T @ v``: scatter measurements back into an N-vector."""
+        v = np.asarray(v, dtype=float)
+        if v.shape[0] != self.m:
+            raise ValueError(
+                f"vector length {v.shape[0]} does not match m={self.m}"
+            )
+        out = np.zeros(self.n, dtype=float)
+        out[self.indices] = v
+        return out
+
+    def to_matrix(self) -> np.ndarray:
+        """Materialise the dense ``M x N`` 0/1 matrix (testing / small N)."""
+        phi = np.zeros((self.m, self.n))
+        phi[np.arange(self.m), self.indices] = 1.0
+        return phi
+
+
+def gaussian_matrix(m: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Dense i.i.d. Gaussian sensing matrix with unit-norm expected columns.
+
+    Classic CS baseline used by the sensing-matrix ablation; entries are
+    ``N(0, 1/m)`` so that column norms concentrate around 1.
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"invalid matrix shape ({m}, {n})")
+    return rng.normal(0.0, 1.0 / np.sqrt(m), size=(m, n))
+
+
+def bernoulli_matrix(m: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Dense random +-1/sqrt(m) Bernoulli sensing matrix (ablation baseline)."""
+    if m < 1 or n < 1:
+        raise ValueError(f"invalid matrix shape ({m}, {n})")
+    signs = rng.choice([-1.0, 1.0], size=(m, n))
+    return signs / np.sqrt(m)
+
+
+def column_control_words(
+    phi: RowSamplingMatrix, array_shape: tuple[int, int]
+) -> list[np.ndarray]:
+    """Expand ``Phi_M`` into per-scan-cycle row-driver control words.
+
+    Fig. 4: summing the rows of ``Phi_M`` gives a 1 x N vector that splits
+    into ``sqrt(N)`` blocks, one per column of the active matrix.  During
+    scan cycle ``c`` the column driver enables column ``c`` and the row
+    driver asserts the rows whose pixels in that column were sampled.
+    Because each column of ``Phi_M`` contains at most one '1', each pixel
+    is read at most once.
+
+    Parameters
+    ----------
+    phi:
+        The row-sampling measurement matrix.
+    array_shape:
+        ``(rows, cols)`` of the active matrix; ``rows * cols == phi.n``.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        ``cols`` boolean vectors of length ``rows``; element ``r`` of word
+        ``c`` is True when pixel ``(r, c)`` must be scanned out.
+    """
+    rows, cols = array_shape
+    if rows * cols != phi.n:
+        raise ValueError(
+            f"array shape {array_shape} does not hold n={phi.n} pixels"
+        )
+    mask = np.zeros(phi.n, dtype=bool)
+    mask[phi.indices] = True
+    grid = mask.reshape(rows, cols)
+    return [grid[:, c].copy() for c in range(cols)]

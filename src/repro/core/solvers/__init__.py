@@ -1,0 +1,102 @@
+"""Sparse-recovery solvers for the silicon-side CS decoder (Eq. 9).
+
+The registry in :func:`solve` lets the pipeline and the ablation benches
+pick a decoder by name:
+
+=========  ====================================================  ===========
+name       algorithm                                             scaling
+=========  ====================================================  ===========
+``bp``     basis pursuit via linear programming (reference)      dense LP
+``bp_dr``  basis pursuit via Douglas-Rachford splitting          matrix-free
+``ista``   proximal gradient on BPDN                             matrix-free
+``fista``  accelerated proximal gradient on BPDN (default)       matrix-free
+``omp``    orthogonal matching pursuit                           LS per atom
+``cosamp`` CoSaMP                                                LS per iter
+``iht``    iterative hard thresholding                           matrix-free
+=========  ====================================================  ===========
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..operators import SensingOperator
+from .admm import solve_bp_dr
+from .base import SolverResult, hard_threshold, soft_threshold
+from .basis_pursuit import solve_basis_pursuit
+from .debias import debias_on_support
+from .fista import default_lambda, solve_fista, solve_ista
+from .greedy import solve_cosamp, solve_iht, solve_omp
+
+__all__ = [
+    "SolverResult",
+    "solve",
+    "solver_names",
+    "solve_basis_pursuit",
+    "solve_bp_dr",
+    "solve_ista",
+    "solve_fista",
+    "solve_omp",
+    "solve_cosamp",
+    "solve_iht",
+    "debias_on_support",
+    "soft_threshold",
+    "hard_threshold",
+    "default_lambda",
+]
+
+_GRADIENT_SOLVERS: dict[str, Callable[..., SolverResult]] = {
+    "ista": solve_ista,
+    "fista": solve_fista,
+}
+_GREEDY_SOLVERS: dict[str, Callable[..., SolverResult]] = {
+    "omp": solve_omp,
+    "cosamp": solve_cosamp,
+    "iht": solve_iht,
+}
+
+
+def solver_names() -> tuple[str, ...]:
+    """All registered solver names."""
+    return ("bp", "bp_dr", *_GRADIENT_SOLVERS, *_GREEDY_SOLVERS)
+
+
+def solve(
+    name: str,
+    operator: SensingOperator,
+    b: np.ndarray,
+    sparsity: int | None = None,
+    **options,
+) -> SolverResult:
+    """Dispatch a recovery solve to the named algorithm.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`solver_names`.
+    operator, b:
+        Sensing operator ``A = Phi_M @ Psi`` and measurements ``b``.
+    sparsity:
+        Target sparsity ``K``; required by the greedy solvers and
+        ignored by the convex ones.
+    options:
+        Forwarded to the underlying solver (``lam``, ``step``,
+        ``max_iterations``, ``tolerance``...).
+    """
+    if name == "bp":
+        return solve_basis_pursuit(operator, b, **options)
+    if name == "bp_dr":
+        return solve_bp_dr(operator, b, **options)
+    if name in _GRADIENT_SOLVERS:
+        return _GRADIENT_SOLVERS[name](operator, b, **options)
+    if name in _GREEDY_SOLVERS:
+        if sparsity is None:
+            # Eq. (1) read backwards: with M ~ K log(N/K) measurements
+            # available, assume roughly K ~ M / 2 recoverable atoms.
+            sparsity = max(1, operator.m // 2)
+        return _GREEDY_SOLVERS[name](operator, b, sparsity=sparsity, **options)
+    raise ValueError(
+        f"unknown solver {name!r}; expected one of {solver_names()}"
+    )

@@ -1,0 +1,72 @@
+"""Common interfaces for the CS recovery solvers.
+
+All solvers take the :class:`~repro.core.operators.SensingOperator`
+``A = Phi_M @ Psi`` and the measurement vector ``b = Phi_M @ y`` and
+return an estimate of the sparse coefficient vector ``x`` solving (or
+approximating) the paper's Eq. (9)::
+
+    minimize ||x||_1  subject to  A x = b
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..operators import SensingOperator
+
+__all__ = ["SolverResult", "soft_threshold", "hard_threshold", "residual_norm"]
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a sparse-recovery solve.
+
+    Attributes
+    ----------
+    coefficients:
+        Recovered coefficient vector ``x_cs`` (length ``n``).
+    iterations:
+        Number of iterations the solver ran.
+    converged:
+        Whether the solver's own stopping criterion was met (as opposed
+        to hitting the iteration cap).
+    residual:
+        Final ``||A x - b||_2``.
+    solver:
+        Name of the solver that produced this result.
+    info:
+        Solver-specific diagnostics (e.g. LP status, support size).
+    """
+
+    coefficients: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+    solver: str
+    info: dict = field(default_factory=dict)
+
+
+def soft_threshold(x: np.ndarray, threshold: float) -> np.ndarray:
+    """Soft-thresholding (proximal operator of ``threshold * ||.||_1``)."""
+    return np.sign(x) * np.maximum(np.abs(x) - threshold, 0.0)
+
+
+def hard_threshold(x: np.ndarray, k: int) -> np.ndarray:
+    """Keep the ``k`` largest-magnitude entries of ``x``, zero the rest."""
+    if k <= 0:
+        return np.zeros_like(x)
+    if k >= len(x):
+        return x.copy()
+    out = np.zeros_like(x)
+    keep = np.argpartition(np.abs(x), -k)[-k:]
+    out[keep] = x[keep]
+    return out
+
+
+def residual_norm(
+    operator: SensingOperator, x: np.ndarray, b: np.ndarray
+) -> float:
+    """``||A x - b||_2`` for reporting in :class:`SolverResult`."""
+    return float(np.linalg.norm(operator.matvec(x) - b))

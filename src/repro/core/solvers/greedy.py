@@ -1,0 +1,161 @@
+"""Greedy sparse-recovery solvers: OMP, CoSaMP and IHT.
+
+Baselines for the solver-ablation bench.  OMP and CoSaMP need least-
+squares solves on the active support, so they materialise the columns
+they touch; IHT is fully matrix-free and scales like FISTA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..operators import SensingOperator
+from .base import SolverResult, hard_threshold, residual_norm
+
+__all__ = ["solve_omp", "solve_cosamp", "solve_iht"]
+
+
+def _columns(operator: SensingOperator, support: np.ndarray) -> np.ndarray:
+    """Extract the columns of ``A`` indexed by ``support`` (m x |S|)."""
+    cols = np.zeros((operator.m, len(support)))
+    unit = np.zeros(operator.n)
+    for j, index in enumerate(support):
+        unit[index] = 1.0
+        cols[:, j] = operator.matvec(unit)
+        unit[index] = 0.0
+    return cols
+
+
+def _ls_on_support(
+    operator: SensingOperator, b: np.ndarray, support: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Least-squares fit of ``b`` on the given support; returns (x, residual)."""
+    x = np.zeros(operator.n)
+    if len(support) == 0:
+        return x, b.copy()
+    cols = _columns(operator, support)
+    coefficients, *_ = np.linalg.lstsq(cols, b, rcond=None)
+    x[support] = coefficients
+    return x, b - cols @ coefficients
+
+
+def solve_omp(
+    operator: SensingOperator,
+    b: np.ndarray,
+    sparsity: int,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Orthogonal Matching Pursuit: grow the support one atom at a time.
+
+    Parameters
+    ----------
+    operator, b:
+        Sensing operator and measurement vector.
+    sparsity:
+        Maximum number of atoms (the target sparsity ``K``).
+    tolerance:
+        Stop early once ``||residual||_2`` falls below this.
+    """
+    b = np.asarray(b, dtype=float)
+    if sparsity < 1:
+        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+    sparsity = min(sparsity, operator.m, operator.n)
+    support: list[int] = []
+    x = np.zeros(operator.n)
+    residual = b.copy()
+    iteration = 0
+    for iteration in range(1, sparsity + 1):
+        correlations = operator.rmatvec(residual)
+        correlations[support] = 0.0
+        best = int(np.argmax(np.abs(correlations)))
+        support.append(best)
+        x, residual = _ls_on_support(operator, b, np.array(support))
+        if np.linalg.norm(residual) <= tolerance:
+            break
+    return SolverResult(
+        coefficients=x,
+        iterations=iteration,
+        converged=np.linalg.norm(residual) <= max(tolerance, 1e-6 * np.linalg.norm(b)),
+        residual=residual_norm(operator, x, b),
+        solver="omp",
+        info={"support_size": len(support)},
+    )
+
+
+def solve_cosamp(
+    operator: SensingOperator,
+    b: np.ndarray,
+    sparsity: int,
+    max_iterations: int = 50,
+    tolerance: float = 1e-7,
+) -> SolverResult:
+    """Compressive Sampling Matching Pursuit (Needell & Tropp 2009)."""
+    b = np.asarray(b, dtype=float)
+    if sparsity < 1:
+        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+    sparsity = min(sparsity, operator.m // 2 if operator.m >= 2 else 1, operator.n)
+    sparsity = max(sparsity, 1)
+    x = np.zeros(operator.n)
+    residual = b.copy()
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        proxy = operator.rmatvec(residual)
+        candidates = np.argpartition(np.abs(proxy), -2 * sparsity)[-2 * sparsity:]
+        merged = np.union1d(candidates, np.nonzero(x)[0])
+        ls_fit, _ = _ls_on_support(operator, b, merged.astype(int))
+        x_next = hard_threshold(ls_fit, sparsity)
+        residual = b - operator.matvec(x_next)
+        change = np.linalg.norm(x_next - x)
+        x = x_next
+        if np.linalg.norm(residual) <= tolerance or change <= tolerance:
+            converged = True
+            break
+    return SolverResult(
+        coefficients=x,
+        iterations=iteration,
+        converged=converged,
+        residual=residual_norm(operator, x, b),
+        solver="cosamp",
+        info={"sparsity": sparsity},
+    )
+
+
+def solve_iht(
+    operator: SensingOperator,
+    b: np.ndarray,
+    sparsity: int,
+    step: float | None = None,
+    max_iterations: int = 300,
+    tolerance: float = 1e-7,
+) -> SolverResult:
+    """Iterative Hard Thresholding (Blumensath & Davies 2009).
+
+    Fully matrix-free: each iteration is one forward and one adjoint
+    apply plus a hard threshold onto the best ``sparsity`` atoms.
+    """
+    b = np.asarray(b, dtype=float)
+    if sparsity < 1:
+        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+    if step is None:
+        sigma = operator.spectral_norm()
+        step = 1.0 if sigma == 0.0 else 1.0 / (sigma * sigma)
+    x = np.zeros(operator.n)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        gradient = operator.rmatvec(operator.matvec(x) - b)
+        x_next = hard_threshold(x - step * gradient, sparsity)
+        change = np.linalg.norm(x_next - x)
+        x = x_next
+        if change <= tolerance * max(1.0, np.linalg.norm(x)):
+            converged = True
+            break
+    return SolverResult(
+        coefficients=x,
+        iterations=iteration,
+        converged=converged,
+        residual=residual_norm(operator, x, b),
+        solver="iht",
+        info={"sparsity": sparsity, "step": step},
+    )

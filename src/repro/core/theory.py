@@ -1,0 +1,166 @@
+"""Compressed-sensing theory helpers: Eqs. (1) and (2) of the paper.
+
+Eq. (1) estimates the number of measurements needed to recover a
+``K``-sparse signal out of ``N`` sensors::
+
+    M ~ K * log(N / K)
+
+Eq. (2) bounds the reconstruction error by a measurement term and an
+approximation term::
+
+    ||x_cs - x*||_2  <~  sqrt(N / M) * eps  +  ||x* - x_K||_1 / sqrt(K)
+
+These are the quantities the EQ1/EQ2 benches sweep; the module also
+provides sparsity measures and mutual coherence used in EXPERIMENTS.md's
+sanity analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "required_measurements",
+    "recoverable_sparsity",
+    "error_bound",
+    "best_k_term",
+    "significant_coefficients",
+    "sparsity_fraction",
+    "mutual_coherence",
+]
+
+
+def required_measurements(sparsity: int, n: int) -> int:
+    """Eq. (1): ``M ~ K log(N/K)`` measurements for a K-sparse signal.
+
+    Uses the natural logarithm and rounds up; clamped to ``[K, N]`` so the
+    estimate is always physically meaningful.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 1 <= sparsity <= n:
+        raise ValueError(f"sparsity must be in [1, {n}], got {sparsity}")
+    estimate = int(np.ceil(sparsity * np.log(n / sparsity)))
+    return int(min(max(estimate, sparsity), n))
+
+
+def recoverable_sparsity(m: int, n: int) -> int:
+    """Invert Eq. (1): the largest ``K`` with ``K log(N/K) <= M``.
+
+    Used to size the greedy solvers' support when only the measurement
+    budget is known.
+    """
+    if n < 1 or m < 1:
+        raise ValueError(f"m and n must be >= 1, got m={m}, n={n}")
+    best = 1
+    for k in range(1, n + 1):
+        if required_measurements(k, n) <= m:
+            best = k
+        else:
+            break
+    return best
+
+
+def best_k_term(coefficients: np.ndarray, k: int) -> np.ndarray:
+    """``x_K``: the best K-term approximation (keep K largest magnitudes)."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    out = np.zeros_like(coefficients)
+    if k == 0:
+        return out
+    k = min(k, coefficients.size)
+    flat = coefficients.ravel()
+    keep = np.argpartition(np.abs(flat), -k)[-k:]
+    out.ravel()[keep] = flat[keep]
+    return out
+
+
+def error_bound(
+    coefficients: np.ndarray,
+    m: int,
+    noise: float,
+    sparsity: int,
+) -> dict[str, float]:
+    """Evaluate the two terms of the Eq. (2) error bound.
+
+    Parameters
+    ----------
+    coefficients:
+        True coefficient vector ``x*`` (any shape; flattened).
+    m:
+        Number of measurements ``M``.
+    noise:
+        Measurement noise level ``eps`` -- the noise *norm* bound
+        ``||e||_2 <= eps`` of the Candes/Wakin theorem (for i.i.d.
+        per-sample noise of std ``sigma``, pass ``sigma * sqrt(M)``).
+    sparsity:
+        Approximation sparsity ``K``.
+
+    Returns
+    -------
+    dict
+        ``measurement_term`` = sqrt(N/M) * eps,
+        ``approximation_term`` = ||x* - x_K||_1 / sqrt(K),
+        ``total`` = their sum.
+    """
+    coefficients = np.asarray(coefficients, dtype=float).ravel()
+    n = coefficients.size
+    if m < 1 or m > n:
+        raise ValueError(f"m must be in [1, {n}], got {m}")
+    if sparsity < 1:
+        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+    if noise < 0:
+        raise ValueError(f"noise must be >= 0, got {noise}")
+    tail = coefficients - best_k_term(coefficients, sparsity)
+    measurement_term = float(np.sqrt(n / m) * noise)
+    approximation_term = float(np.sum(np.abs(tail)) / np.sqrt(sparsity))
+    return {
+        "measurement_term": measurement_term,
+        "approximation_term": approximation_term,
+        "total": measurement_term + approximation_term,
+    }
+
+
+def significant_coefficients(
+    coefficients: np.ndarray, relative_threshold: float = 1e-4
+) -> int:
+    """Count coefficients with ``|c| >= relative_threshold * max|c|``.
+
+    This is the significance criterion of Fig. 2b (threshold
+    ``1e-4 * max(coefficients)``).
+    """
+    if relative_threshold < 0:
+        raise ValueError("relative_threshold must be >= 0")
+    magnitudes = np.abs(np.asarray(coefficients, dtype=float)).ravel()
+    peak = magnitudes.max(initial=0.0)
+    if peak == 0.0:
+        return 0
+    return int(np.count_nonzero(magnitudes >= relative_threshold * peak))
+
+
+def sparsity_fraction(
+    coefficients: np.ndarray, relative_threshold: float = 1e-4
+) -> float:
+    """Fraction of significant coefficients (Fig. 2b, ~0.5 for body signals)."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    if coefficients.size == 0:
+        raise ValueError("empty coefficient array")
+    return significant_coefficients(coefficients, relative_threshold) / coefficients.size
+
+
+def mutual_coherence(matrix: np.ndarray) -> float:
+    """Largest absolute inner product between distinct normalised columns.
+
+    A standard proxy for the recovery capability of a sensing matrix;
+    lower is better.  Used by the sensing-matrix ablation.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] < 2:
+        raise ValueError("need a 2-D matrix with at least two columns")
+    norms = np.linalg.norm(matrix, axis=0)
+    valid = norms > 0
+    normalized = matrix[:, valid] / norms[valid]
+    gram = np.abs(normalized.T @ normalized)
+    np.fill_diagonal(gram, 0.0)
+    return float(gram.max())

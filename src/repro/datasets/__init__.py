@@ -1,0 +1,49 @@
+"""Synthetic sensing datasets matched to the paper's Fig. 2 statistics.
+
+Modalities: thermal hand imaging (32 x 32), body pressure maps
+(41 x 41), tactile object grasps with 26 classes (32 x 32) and breast
+ultrasound (100 x 33).  See DESIGN.md's substitution table for the
+mapping to the paper's real datasets.
+"""
+
+from .base import (
+    FrameGenerator,
+    add_bandlimited_texture,
+    ellipse_mask,
+    gaussian_blob,
+    quantize,
+    smooth,
+)
+from .io import load_frames, load_tactile, save_frames, save_tactile
+from .sparsity import SparsityStats, sorted_dct_magnitudes, sparsity_stats
+from .tactile import (
+    NUM_CLASSES,
+    TactileDataset,
+    TactileObjectGenerator,
+    make_tactile_dataset,
+)
+from .thermal import PressureMapGenerator, ThermalHandGenerator
+from .ultrasound import UltrasoundGenerator
+
+__all__ = [
+    "FrameGenerator",
+    "gaussian_blob",
+    "ellipse_mask",
+    "smooth",
+    "add_bandlimited_texture",
+    "quantize",
+    "ThermalHandGenerator",
+    "PressureMapGenerator",
+    "UltrasoundGenerator",
+    "TactileObjectGenerator",
+    "TactileDataset",
+    "make_tactile_dataset",
+    "NUM_CLASSES",
+    "sorted_dct_magnitudes",
+    "SparsityStats",
+    "sparsity_stats",
+    "save_frames",
+    "load_frames",
+    "save_tactile",
+    "load_tactile",
+]

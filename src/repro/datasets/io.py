@@ -1,0 +1,50 @@
+"""Dataset persistence: save/load frame stacks and labelled splits.
+
+Generating a large tactile split takes seconds; persisting it as a
+compressed ``.npz`` lets benches and notebooks reuse identical data
+(and pins the exact frames a result was computed on).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .tactile import TactileDataset
+
+__all__ = ["save_frames", "load_frames", "save_tactile", "load_tactile"]
+
+
+def save_frames(path: str | Path, frames: np.ndarray) -> None:
+    """Save a ``(count, rows, cols)`` stack as compressed npz."""
+    frames = np.asarray(frames, dtype=float)
+    if frames.ndim != 3:
+        raise ValueError(f"expected (count, rows, cols), got {frames.shape}")
+    np.savez_compressed(Path(path), frames=frames)
+
+
+def load_frames(path: str | Path) -> np.ndarray:
+    """Load a stack saved by :func:`save_frames`."""
+    with np.load(Path(path)) as data:
+        if "frames" not in data:
+            raise ValueError(f"{path}: not a frame archive")
+        return np.array(data["frames"], dtype=float)
+
+
+def save_tactile(path: str | Path, dataset: TactileDataset) -> None:
+    """Save a labelled tactile split."""
+    np.savez_compressed(
+        Path(path), frames=dataset.frames, labels=dataset.labels
+    )
+
+
+def load_tactile(path: str | Path) -> TactileDataset:
+    """Load a split saved by :func:`save_tactile`."""
+    with np.load(Path(path)) as data:
+        if "frames" not in data or "labels" not in data:
+            raise ValueError(f"{path}: not a tactile archive")
+        return TactileDataset(
+            frames=np.array(data["frames"], dtype=float),
+            labels=np.array(data["labels"], dtype=int),
+        )

@@ -1,0 +1,82 @@
+"""Synthetic breast-ultrasound frames, 100 x 33 (Fig. 2's third modality).
+
+Stand-in for the open raw-ultrasonic-signal database of
+Piotrzkowska-Wroblewska et al. (ref [15]): envelope-detected RF frames
+of 100 axial samples x 33 scan lines containing
+
+* depth-dependent attenuation of the mean echo level,
+* fully-developed speckle (Rayleigh-distributed magnitude with axial
+  correlation from the pulse length),
+* an elliptical lesion inclusion, hypo- or hyper-echoic per frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import FrameGenerator, ellipse_mask, smooth
+
+__all__ = ["UltrasoundGenerator"]
+
+
+class UltrasoundGenerator(FrameGenerator):
+    """Envelope ultrasound frames with a lesion inclusion.
+
+    Parameters
+    ----------
+    shape:
+        ``(axial_samples, scan_lines)``; the source database frames map
+        to 100 x 33.
+    seed:
+        RNG seed.
+    lesion_probability:
+        Chance a frame contains a lesion (the database mixes benign /
+        malignant / clear views).
+    """
+
+    # Speckle keeps genuine high-frequency content, so the texture
+    # post-pass can stay subtle here.
+    texture_amplitude = 1.0e-3
+
+    def __init__(
+        self,
+        shape: tuple[int, int] = (100, 33),
+        seed: int = 0,
+        lesion_probability: float = 0.8,
+    ):
+        super().__init__(seed=seed)
+        rows, cols = shape
+        if rows < 16 or cols < 8:
+            raise ValueError("ultrasound frames need at least 16x8 pixels")
+        if not 0.0 <= lesion_probability <= 1.0:
+            raise ValueError("lesion_probability must be in [0, 1]")
+        self.shape = (int(rows), int(cols))
+        self.lesion_probability = float(lesion_probability)
+
+    def _draw_frame(self, rng: np.random.Generator) -> np.ndarray:
+        rows, cols = self.shape
+        depth = np.linspace(0.0, 1.0, rows)[:, None]
+        # Attenuation: echo level decays with depth (TGC-compensated
+        # only partially, as in raw RF data).
+        attenuation = np.exp(-rng.uniform(0.8, 1.6) * depth)
+        # Fully developed speckle: Rayleigh magnitude.
+        in_phase = rng.normal(0.0, 1.0, size=self.shape)
+        quadrature = rng.normal(0.0, 1.0, size=self.shape)
+        speckle = np.hypot(in_phase, quadrature) / np.sqrt(2.0)
+        # Axial correlation from the pulse envelope, lateral from beam width.
+        speckle = smooth(speckle, sigma=1.2)
+        frame = attenuation * speckle
+        if rng.random() < self.lesion_probability:
+            lesion = ellipse_mask(
+                self.shape,
+                (rows * rng.uniform(0.25, 0.7), cols * rng.uniform(0.3, 0.7)),
+                (rows * rng.uniform(0.08, 0.2), cols * rng.uniform(0.12, 0.3)),
+                rng.uniform(0.0, np.pi),
+            )
+            contrast = rng.choice([rng.uniform(0.2, 0.5), rng.uniform(1.5, 2.2)])
+            soft_edge = smooth(lesion.astype(float), sigma=1.0)
+            frame = frame * (1.0 + (contrast - 1.0) * soft_edge)
+        peak = frame.max()
+        if peak > 0:
+            frame = frame / peak
+        return np.clip(frame, 0.0, 1.0)

@@ -1,0 +1,34 @@
+"""Device substrate: CNT-TFT compact model, sensors, variation, defects.
+
+These models replace the paper's fabricated wafers (see DESIGN.md's
+substitution table): the system-level experiments only need devices with
+the right statistical behaviour -- linear sensing currents, log-normal
+mobility spread, stuck-high/stuck-low defect modes at the reported
+rates -- all of which are captured here.
+"""
+
+from .cnt_tft import NTYPE, PTYPE, CntTft, TftParameters
+from .defects import DefectMap, DefectType, LineDefectMap, PixelDefect
+from .stability import BiasStressModel
+from .purification import PurificationChain, PurificationStep, default_chain, tft_yield
+from .temperature_sensor import PtTemperatureSensor, TemperaturePixel
+from .variation import VariationModel
+
+__all__ = [
+    "CntTft",
+    "TftParameters",
+    "PTYPE",
+    "NTYPE",
+    "DefectMap",
+    "DefectType",
+    "PixelDefect",
+    "LineDefectMap",
+    "PurificationChain",
+    "PurificationStep",
+    "default_chain",
+    "tft_yield",
+    "PtTemperatureSensor",
+    "TemperaturePixel",
+    "VariationModel",
+    "BiasStressModel",
+]

@@ -1,0 +1,258 @@
+"""Behavioural compact model of a carbon-nanotube thin-film transistor.
+
+Sec. 3.3 of the paper relies on a Verilog-A behavioural CNT-TFT model
+(ref [11], Shao et al., IEEE Design & Test 2019) extracted from wafer
+measurements.  We implement the same class of model in Python: a
+unified charge-control TFT equation with
+
+* exponential-to-linear smoothing of the overdrive (captures the
+  subthreshold region with slope ``ss``),
+* smooth triode/saturation interpolation of the effective ``V_ds``,
+* channel-length modulation ``lambda_``, and
+* polarity handling for the p-type-only CNT process (the fabricated
+  arrays are "low-enabled", Sec. 3.1).
+
+Default parameters are calibrated to the ranges reported for the
+ultrahigh-purity CNT process of ref [9] (low-voltage operation at
+|V| <= 3 V, mobility of tens of cm^2/Vs, ~kHz-to-tens-of-kHz circuit
+speeds on flexible substrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["TftParameters", "CntTft", "PTYPE", "NTYPE"]
+
+PTYPE = "p"
+NTYPE = "n"
+
+
+@dataclass(frozen=True)
+class TftParameters:
+    """Extracted compact-model parameter set.
+
+    Attributes
+    ----------
+    mobility_cm2:
+        Effective carrier mobility in cm^2/(V s).
+    cox_f_per_m2:
+        Gate-dielectric capacitance per area (F/m^2).
+    vth:
+        Threshold voltage (V); negative for p-type enhancement devices.
+    subthreshold_swing:
+        Exponential smoothing scale of the overdrive (V); about
+        ``SS_dec / ln(10)`` for a subthreshold swing of ``SS_dec``
+        V/decade.
+    lambda_:
+        Channel-length modulation (1/V).
+    saturation_knee:
+        Exponent of the triode/saturation interpolation (higher =
+        sharper knee).
+    contact_resistance:
+        Lumped source+drain contact resistance (ohm) for one device of
+        width 1 um; scales inversely with width.
+    leakage_a_per_um:
+        Width-proportional off-state leakage floor (A/um), setting a
+        realistic ~1e5-1e6 on/off ratio for CNT TFTs.
+    mobility_temp_exponent:
+        Power-law exponent of the mobility's temperature dependence,
+        ``mu(T) = mu0 * (T/T0)^(-a)`` with T in kelvin (CNT networks
+        show weakly band-like transport around room temperature).
+    vth_temp_mv_per_k:
+        Linear threshold drift with temperature (mV/K, signed toward
+        weaker |Vth| as T rises for the p-type devices).
+    reference_temp_c:
+        Temperature at which the nominal parameters were extracted.
+    """
+
+    mobility_cm2: float = 25.0
+    cox_f_per_m2: float = 3.0e-4
+    vth: float = -0.8
+    subthreshold_swing: float = 0.12
+    lambda_: float = 0.05
+    saturation_knee: float = 4.0
+    contact_resistance: float = 5.0e3
+    leakage_a_per_um: float = 1.0e-13
+    mobility_temp_exponent: float = 1.0
+    vth_temp_mv_per_k: float = 1.0
+    reference_temp_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.mobility_cm2 <= 0:
+            raise ValueError("mobility must be positive")
+        if self.cox_f_per_m2 <= 0:
+            raise ValueError("cox must be positive")
+        if self.subthreshold_swing <= 0:
+            raise ValueError("subthreshold swing must be positive")
+        if self.saturation_knee <= 0:
+            raise ValueError("saturation knee must be positive")
+        if self.contact_resistance < 0:
+            raise ValueError("contact resistance must be >= 0")
+        if self.leakage_a_per_um < 0:
+            raise ValueError("leakage must be >= 0")
+
+    def with_variation(self, mobility_scale: float, vth_shift: float) -> "TftParameters":
+        """Return a device-specific copy (used by the variation model)."""
+        return replace(
+            self,
+            mobility_cm2=self.mobility_cm2 * mobility_scale,
+            vth=self.vth + vth_shift,
+        )
+
+    def at_temperature(self, temperature_c: float) -> "TftParameters":
+        """Parameter set re-evaluated at an operating temperature.
+
+        Applies the power-law mobility scaling and the linear threshold
+        drift relative to ``reference_temp_c``.  Used by self-heating /
+        environment studies; the channel sits at the substrate
+        temperature for the thin, low-power flexible stack.
+        """
+        t_kelvin = temperature_c + 273.15
+        t0_kelvin = self.reference_temp_c + 273.15
+        if t_kelvin <= 0:
+            raise ValueError("temperature below absolute zero")
+        scale = (t_kelvin / t0_kelvin) ** (-self.mobility_temp_exponent)
+        # p-type Vth drifts toward zero (weaker) as T rises; n-type the
+        # mirror direction.
+        direction = 1.0 if self.vth <= 0 else -1.0
+        delta_vth = (
+            direction * self.vth_temp_mv_per_k * 1e-3
+            * (temperature_c - self.reference_temp_c)
+        )
+        return replace(
+            self,
+            mobility_cm2=self.mobility_cm2 * scale,
+            vth=self.vth + delta_vth,
+        )
+
+
+class CntTft:
+    """One CNT TFT instance with fixed geometry and parameters.
+
+    Parameters
+    ----------
+    width_um, length_um:
+        Drawn channel width and length in micrometres (the paper's pixel
+        device is W/L = 500/25 um; logic devices use L = 10 um).
+    parameters:
+        Compact-model parameters (defaults: the calibrated p-type set).
+    polarity:
+        ``"p"`` (the CNT process) or ``"n"`` (for model completeness).
+    """
+
+    def __init__(
+        self,
+        width_um: float = 50.0,
+        length_um: float = 10.0,
+        parameters: TftParameters | None = None,
+        polarity: str = PTYPE,
+    ):
+        if width_um <= 0 or length_um <= 0:
+            raise ValueError("width and length must be positive")
+        if polarity not in (PTYPE, NTYPE):
+            raise ValueError(f"polarity must be 'p' or 'n', got {polarity!r}")
+        self.width_um = float(width_um)
+        self.length_um = float(length_um)
+        self.parameters = parameters if parameters is not None else TftParameters()
+        self.polarity = polarity
+
+    @property
+    def _gain_factor(self) -> float:
+        """``mu * Cox * W / L`` in A/V^2."""
+        p = self.parameters
+        mobility = p.mobility_cm2 * 1e-4  # cm^2/Vs -> m^2/Vs
+        return mobility * p.cox_f_per_m2 * (self.width_um / self.length_um)
+
+    def _effective_overdrive(self, vgs: np.ndarray) -> np.ndarray:
+        """Smoothly clipped overdrive |Vgs - Vth| (0 when off)."""
+        p = self.parameters
+        if self.polarity == PTYPE:
+            ov = -(vgs - p.vth)  # p-type conducts for Vgs below Vth
+        else:
+            ov = vgs - p.vth
+        s = p.subthreshold_swing
+        # softplus: s * ln(1 + exp(ov / s)), numerically stable
+        scaled = ov / s
+        return s * np.where(
+            scaled > 30.0, scaled, np.log1p(np.exp(np.minimum(scaled, 30.0)))
+        )
+
+    def drain_current(self, vgs, vds):
+        """Drain current in amperes for terminal voltages in volts.
+
+        Sign convention: for p-type devices the current returned is the
+        source-to-drain current (positive when ``vds < 0`` and the
+        device is on), matching the usual |Id| plots; for n-type it is
+        the conventional drain current (positive for ``vds > 0``).
+        Accepts scalars or broadcastable arrays.
+        """
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        p = self.parameters
+        if self.polarity == PTYPE:
+            vds_mag = np.maximum(-vds, 0.0)
+        else:
+            vds_mag = np.maximum(vds, 0.0)
+        overdrive = self._effective_overdrive(vgs)
+        vdsat = np.maximum(overdrive, 1e-12)
+        knee = p.saturation_knee
+        vds_eff = vds_mag / (1.0 + (vds_mag / vdsat) ** knee) ** (1.0 / knee)
+        current = (
+            self._gain_factor
+            * (overdrive - 0.5 * vds_eff)
+            * vds_eff
+            * (1.0 + p.lambda_ * vds_mag)
+        )
+        current = self._apply_contact_resistance(current, vds_mag)
+        # Off-state leakage floor: proportional to width and |Vds|
+        # (normalised to 1 V), dominating once the channel is off.
+        leakage = p.leakage_a_per_um * self.width_um * vds_mag
+        current = current + leakage
+        if current.ndim == 0:
+            return float(current)
+        return current
+
+    def _apply_contact_resistance(
+        self, current: np.ndarray, vds_mag: np.ndarray
+    ) -> np.ndarray:
+        """First-order contact-resistance degradation of the current."""
+        p = self.parameters
+        if p.contact_resistance == 0.0:
+            return current
+        r_contact = p.contact_resistance / self.width_um
+        # Id' = Id / (1 + Id * Rc / Vds): series resistor absorbed to
+        # first order; guard the Vds -> 0 limit.
+        safe_vds = np.maximum(vds_mag, 1e-9)
+        return current / (1.0 + current * r_contact / safe_vds)
+
+    def on_resistance(self, vgs: float, vds_probe: float = 0.05) -> float:
+        """Linear-region resistance (ohm) at a small |Vds| probe."""
+        if vds_probe <= 0:
+            raise ValueError("vds_probe must be positive")
+        probe = -vds_probe if self.polarity == PTYPE else vds_probe
+        current = self.drain_current(vgs, probe)
+        if current <= 0:
+            return float("inf")
+        return vds_probe / current
+
+    def transconductance(self, vgs: float, vds: float, delta: float = 1e-4) -> float:
+        """Numerical ``gm = dId/dVgs`` (A/V)."""
+        hi = self.drain_current(vgs + delta, vds)
+        lo = self.drain_current(vgs - delta, vds)
+        return float((hi - lo) / (2.0 * delta))
+
+    def output_conductance(self, vgs: float, vds: float, delta: float = 1e-4) -> float:
+        """Numerical ``gds = d|Id|/d|Vds|`` (A/V)."""
+        sign = -1.0 if self.polarity == PTYPE else 1.0
+        hi = self.drain_current(vgs, vds + sign * delta)
+        lo = self.drain_current(vgs, vds - sign * delta)
+        return float(abs(hi - lo) / (2.0 * delta))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CntTft(W/L={self.width_um:g}/{self.length_um:g} um, "
+            f"{self.polarity}-type, Vth={self.parameters.vth:+.2f} V)"
+        )

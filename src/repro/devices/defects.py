@@ -1,0 +1,226 @@
+"""Device defect taxonomy and array-level defect maps.
+
+The paper distinguishes (Sec. 4.2) *permanent* device defects --
+detectable by production testing, manifesting as pixels stuck at "very
+high or almost zero currents" -- from *transient* errors that strike at
+run time.  This module provides:
+
+* :class:`DefectType` -- the failure modes of a CNT-TFT pixel;
+* :class:`PixelDefect` -- a located defect instance;
+* :class:`DefectMap` -- a per-array defect census with sampling from a
+  yield model and conversion to the stuck-pixel masks consumed by
+  :mod:`repro.core.errors`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DefectType", "PixelDefect", "DefectMap", "LineDefectMap"]
+
+
+class DefectType(enum.Enum):
+    """Failure modes of an active-matrix pixel.
+
+    ``METALLIC_SHORT``
+        A metallic CNT bridges source/drain: the access TFT never turns
+        off, the pixel reads a very high current (sticks near 1 after
+        normalisation).
+    ``OPEN_CHANNEL``
+        Missing tubes / broken electrode: no conduction, the pixel reads
+        almost zero current (sticks near 0).
+    ``GATE_LEAK``
+        Dielectric pinhole: unreliable, modelled as stuck high.
+    """
+
+    METALLIC_SHORT = "metallic_short"
+    OPEN_CHANNEL = "open_channel"
+    GATE_LEAK = "gate_leak"
+
+    @property
+    def stuck_value(self) -> float:
+        """Normalised reading the defect forces on its pixel."""
+        if self is DefectType.OPEN_CHANNEL:
+            return 0.0
+        return 1.0
+
+
+@dataclass(frozen=True)
+class PixelDefect:
+    """One defect at array position ``(row, col)``."""
+
+    row: int
+    col: int
+    kind: DefectType
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.col < 0:
+            raise ValueError("defect position must be non-negative")
+
+
+@dataclass
+class DefectMap:
+    """The defect census of one fabricated array.
+
+    Attributes
+    ----------
+    shape:
+        ``(rows, cols)`` of the array.
+    defects:
+        The located defects.
+    """
+
+    shape: tuple[int, int]
+    defects: list[PixelDefect] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        rows, cols = self.shape
+        if rows < 1 or cols < 1:
+            raise ValueError(f"invalid array shape {self.shape}")
+        for defect in self.defects:
+            if defect.row >= rows or defect.col >= cols:
+                raise ValueError(f"defect {defect} outside array {self.shape}")
+
+    @classmethod
+    def sample(
+        cls,
+        shape: tuple[int, int],
+        defect_rate: float,
+        rng: np.random.Generator,
+        type_weights: dict[DefectType, float] | None = None,
+    ) -> "DefectMap":
+        """Draw a random defect map with the given per-pixel defect rate.
+
+        ``type_weights`` sets the relative frequency of each failure
+        mode; the default splits defects evenly between shorts and opens
+        with a small gate-leak tail (shorts and opens dominate in the
+        paper's measurements).
+        """
+        if not 0.0 <= defect_rate <= 1.0:
+            raise ValueError("defect_rate must be in [0, 1]")
+        if type_weights is None:
+            type_weights = {
+                DefectType.METALLIC_SHORT: 0.45,
+                DefectType.OPEN_CHANNEL: 0.45,
+                DefectType.GATE_LEAK: 0.10,
+            }
+        kinds = list(type_weights)
+        weights = np.array([type_weights[k] for k in kinds], dtype=float)
+        if np.any(weights < 0) or weights.sum() == 0:
+            raise ValueError("type_weights must be non-negative and non-zero")
+        weights = weights / weights.sum()
+        rows, cols = shape
+        n = rows * cols
+        count = int(round(defect_rate * n))
+        defects: list[PixelDefect] = []
+        if count > 0:
+            positions = rng.choice(n, size=count, replace=False)
+            drawn = rng.choice(len(kinds), size=count, p=weights)
+            defects = [
+                PixelDefect(int(pos // cols), int(pos % cols), kinds[k])
+                for pos, k in zip(positions, drawn)
+            ]
+        return cls(shape=shape, defects=defects)
+
+    @property
+    def defect_rate(self) -> float:
+        """Fraction of defective pixels."""
+        rows, cols = self.shape
+        return len(self.defects) / (rows * cols)
+
+    @property
+    def array_yield(self) -> float:
+        """Fraction of working pixels."""
+        return 1.0 - self.defect_rate
+
+    def mask(self) -> np.ndarray:
+        """Boolean defect mask, True at defective pixels."""
+        out = np.zeros(self.shape, dtype=bool)
+        for defect in self.defects:
+            out[defect.row, defect.col] = True
+        return out
+
+    def stuck_values(self) -> np.ndarray:
+        """Per-pixel stuck reading (NaN for healthy pixels)."""
+        out = np.full(self.shape, np.nan)
+        for defect in self.defects:
+            out[defect.row, defect.col] = defect.kind.stuck_value
+        return out
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Overwrite defective pixels of ``frame`` with their stuck values."""
+        frame = np.asarray(frame, dtype=float)
+        if frame.shape != self.shape:
+            raise ValueError(
+                f"frame shape {frame.shape} does not match map {self.shape}"
+            )
+        out = frame.copy()
+        for defect in self.defects:
+            out[defect.row, defect.col] = defect.kind.stuck_value
+        return out
+
+    def counts_by_type(self) -> dict[DefectType, int]:
+        """Histogram of defect kinds."""
+        counts = {kind: 0 for kind in DefectType}
+        for defect in self.defects:
+            counts[defect.kind] += 1
+        return counts
+
+
+@dataclass
+class LineDefectMap(DefectMap):
+    """Structured defects: whole stuck rows/columns.
+
+    A broken row-select line or column readout trace kills an entire
+    line of pixels at once -- the *structured* failure mode of the
+    active matrix (as opposed to the random per-pixel defects of
+    :meth:`DefectMap.sample`).  Structured errors concentrate in a few
+    DCT rows/columns, so they stress the CS reconstruction differently
+    from the same number of random errors.
+    """
+
+    @classmethod
+    def sample_lines(
+        cls,
+        shape: tuple[int, int],
+        num_rows: int,
+        num_cols: int,
+        rng: np.random.Generator,
+        kind: DefectType = DefectType.OPEN_CHANNEL,
+    ) -> "LineDefectMap":
+        """Draw ``num_rows`` stuck rows and ``num_cols`` stuck columns."""
+        rows, cols = shape
+        if not 0 <= num_rows <= rows or not 0 <= num_cols <= cols:
+            raise ValueError("line counts exceed the array dimensions")
+        defects: list[PixelDefect] = []
+        seen: set[tuple[int, int]] = set()
+        dead_rows = rng.choice(rows, size=num_rows, replace=False) if num_rows else []
+        dead_cols = rng.choice(cols, size=num_cols, replace=False) if num_cols else []
+        for r in dead_rows:
+            for c in range(cols):
+                if (int(r), c) not in seen:
+                    seen.add((int(r), c))
+                    defects.append(PixelDefect(int(r), c, kind))
+        for c in dead_cols:
+            for r in range(rows):
+                if (r, int(c)) not in seen:
+                    seen.add((r, int(c)))
+                    defects.append(PixelDefect(r, int(c), kind))
+        return cls(shape=shape, defects=defects)
+
+    @property
+    def dead_rows(self) -> list[int]:
+        """Rows that are completely defective."""
+        rows, cols = self.shape
+        mask = self.mask()
+        return [r for r in range(rows) if mask[r].all()]
+
+    @property
+    def dead_cols(self) -> list[int]:
+        """Columns that are completely defective."""
+        rows, cols = self.shape
+        mask = self.mask()
+        return [c for c in range(cols) if mask[:, c].all()]

@@ -1,0 +1,131 @@
+"""Semiconducting-CNT purification and TFT-yield model.
+
+Sec. 3.2: as-grown CNT mixtures contain metallic (m-) tubes that short
+the channel, so the process applies
+
+1. **polymer sorting** -- conjugated-polymer wrapping selectively
+   disperses s-CNTs (ref [24]), reaching >99.99 % s-purity, then
+2. **a second centrifugation** after 24 h cold storage (4 C), removing
+   aggregated m-CNT/polymer complexes and reaching >99.997 % purity,
+
+which translates into >99.9 % working TFTs over >5000 measured devices.
+
+The model here captures the arithmetic of that chain: each step removes
+a fraction of the *remaining* metallic tubes, and a device fails when at
+least one metallic tube bridges its channel (a percolation-free,
+independent-tube approximation that matches the quoted numbers well for
+the low impurity levels involved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PurificationStep", "PurificationChain", "tft_yield"]
+
+
+@dataclass(frozen=True)
+class PurificationStep:
+    """One purification pass.
+
+    Attributes
+    ----------
+    name:
+        Human-readable step name.
+    metallic_removal:
+        Fraction of remaining metallic tubes removed, in ``[0, 1)``.
+    semiconducting_loss:
+        Fraction of semiconducting tubes lost as collateral, in
+        ``[0, 1)`` (affects material efficiency, not purity much).
+    """
+
+    name: str
+    metallic_removal: float
+    semiconducting_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.metallic_removal < 1.0:
+            raise ValueError("metallic_removal must be in [0, 1)")
+        if not 0.0 <= self.semiconducting_loss < 1.0:
+            raise ValueError("semiconducting_loss must be in [0, 1)")
+
+
+def default_chain() -> "PurificationChain":
+    """The paper's two-step chain, calibrated to its quoted purities.
+
+    Starting from a typical as-grown 2:1 s:m mixture (66.7 % purity),
+    polymer sorting reaching 99.99 % requires removing ~99.98 % of the
+    metallic tubes; the second centrifugation (24 h at 4 C) removing a
+    further ~70 % of what remains lands at ~99.997 %.
+    """
+    return PurificationChain(
+        initial_purity=2.0 / 3.0,
+        steps=(
+            PurificationStep("polymer sorting", metallic_removal=0.99986,
+                             semiconducting_loss=0.30),
+            PurificationStep("second centrifugation (24 h, 4 C)",
+                             metallic_removal=0.715,
+                             semiconducting_loss=0.05),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class PurificationChain:
+    """A sequence of purification steps applied to a CNT dispersion.
+
+    Attributes
+    ----------
+    initial_purity:
+        s-CNT fraction of the as-grown material, in ``(0, 1]``.
+    steps:
+        Ordered purification passes.
+    """
+
+    initial_purity: float
+    steps: tuple[PurificationStep, ...]
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.initial_purity <= 1.0:
+            raise ValueError("initial_purity must be in (0, 1]")
+
+    def purity_after(self, num_steps: int | None = None) -> float:
+        """s-CNT purity after the first ``num_steps`` passes (all by default)."""
+        steps = self.steps if num_steps is None else self.steps[:num_steps]
+        semiconducting = self.initial_purity
+        metallic = 1.0 - self.initial_purity
+        for step in steps:
+            metallic *= 1.0 - step.metallic_removal
+            semiconducting *= 1.0 - step.semiconducting_loss
+        total = semiconducting + metallic
+        if total == 0.0:
+            return 1.0
+        return semiconducting / total
+
+    def final_purity(self) -> float:
+        """Purity after the whole chain."""
+        return self.purity_after()
+
+    def material_efficiency(self) -> float:
+        """Fraction of the starting s-CNT material that survives."""
+        remaining = 1.0
+        for step in self.steps:
+            remaining *= 1.0 - step.semiconducting_loss
+        return remaining
+
+
+def tft_yield(purity: float, tubes_per_channel: float) -> float:
+    """Probability that a TFT channel contains no metallic tube.
+
+    With impurity ``q = 1 - purity`` and ``n`` tubes bridging the
+    channel, the independent-tube model gives ``yield = (1 - q)^n``.
+    At the paper's 99.997 % purity and a typical ~30 bridging tubes this
+    evaluates to ~99.9 %, matching the quoted device yield.
+    """
+    if not 0.0 <= purity <= 1.0:
+        raise ValueError("purity must be in [0, 1]")
+    if tubes_per_channel < 0:
+        raise ValueError("tubes_per_channel must be >= 0")
+    return float(purity**tubes_per_channel)

@@ -1,0 +1,138 @@
+"""Bias-stress instability model for CNT TFTs.
+
+The paper's motivation (Sec. 1) lists *stability* alongside yield and
+defects among the failure mechanisms of flexible devices: prolonged
+gate bias shifts the threshold voltage as carriers trap in the
+dielectric and at the CNT/dielectric interface, and the shift partially
+recovers when the bias is removed.
+
+The standard empirical description is the **stretched exponential**
+(Libsch & Kanicki):
+
+    dVth(t) = dVth_max * (1 - exp(-(t / tau)^beta))        (stress)
+    dVth(t) = dVth_0  * exp(-(t / tau_r)^beta)             (recovery)
+
+with ``dVth_max`` proportional to the gate overdrive.  The model
+tracks the accumulated shift across arbitrary stress/recovery episodes
+and produces updated :class:`~repro.devices.cnt_tft.TftParameters`, so
+system experiments can inject *drift* (slow, correlated errors) as
+opposed to the stuck-pixel defects of :mod:`repro.devices.defects`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .cnt_tft import TftParameters
+
+__all__ = ["BiasStressModel"]
+
+
+@dataclass
+class BiasStressModel:
+    """Stretched-exponential bias-stress drift.
+
+    Attributes
+    ----------
+    tau_s:
+        Characteristic trapping time (seconds).
+    tau_recovery_s:
+        Characteristic de-trapping time (usually much longer).
+    beta:
+        Stretch exponent, typically 0.3-0.6 for disordered dielectrics.
+    shift_per_volt:
+        Saturated |Vth| shift per volt of gate overdrive beyond
+        threshold (the p-type shift is negative: the device gets harder
+        to turn on).
+    """
+
+    tau_s: float = 1.0e4
+    tau_recovery_s: float = 1.0e5
+    beta: float = 0.4
+    shift_per_volt: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.tau_s <= 0 or self.tau_recovery_s <= 0:
+            raise ValueError("time constants must be positive")
+        if not 0.0 < self.beta <= 1.0:
+            raise ValueError("beta must be in (0, 1]")
+        if self.shift_per_volt < 0:
+            raise ValueError("shift_per_volt must be >= 0")
+        self._shift_v = 0.0
+
+    @property
+    def accumulated_shift_v(self) -> float:
+        """Current |Vth| shift magnitude (volts)."""
+        return self._shift_v
+
+    def _saturation_shift(self, overdrive_v: float) -> float:
+        return self.shift_per_volt * max(overdrive_v, 0.0)
+
+    def stress(self, overdrive_v: float, duration_s: float) -> float:
+        """Apply a gate-stress episode; returns the new shift (V).
+
+        ``overdrive_v`` is |Vgs - Vth| during the stress.  Uses the
+        time-shift composition: the current state maps to an effective
+        elapsed time on the new episode's curve, so episodes compose
+        consistently.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be >= 0")
+        saturation = self._saturation_shift(overdrive_v)
+        if saturation <= 0 or duration_s == 0:
+            return self._shift_v
+        start_fraction = min(self._shift_v / saturation, 1.0 - 1e-12)
+        # invert the stretched exponential for the effective start time
+        t_equivalent = self.tau_s * (-np.log(1.0 - start_fraction)) ** (
+            1.0 / self.beta
+        )
+        t_total = t_equivalent + duration_s
+        fraction = 1.0 - np.exp(-((t_total / self.tau_s) ** self.beta))
+        self._shift_v = saturation * fraction
+        return self._shift_v
+
+    def recover(self, duration_s: float) -> float:
+        """Apply an unbiased recovery episode; returns the new shift."""
+        if duration_s < 0:
+            raise ValueError("duration must be >= 0")
+        self._shift_v *= float(
+            np.exp(-((duration_s / self.tau_recovery_s) ** self.beta))
+        )
+        return self._shift_v
+
+    def duty_cycled(
+        self,
+        overdrive_v: float,
+        period_s: float,
+        duty: float,
+        cycles: int,
+    ) -> float:
+        """Alternate stress/recovery for ``cycles`` periods.
+
+        Models the scan duty cycle of an active-matrix driver (a row is
+        stressed only while selected), returning the final shift.
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("duty must be in [0, 1]")
+        if period_s <= 0 or cycles < 1:
+            raise ValueError("need positive period and >= 1 cycle")
+        for _ in range(cycles):
+            self.stress(overdrive_v, duty * period_s)
+            self.recover((1.0 - duty) * period_s)
+        return self._shift_v
+
+    def apply(self, parameters: TftParameters) -> TftParameters:
+        """Updated parameter set with the accumulated shift applied.
+
+        For the p-type devices the threshold moves further negative
+        (harder to turn on); an n-type parameter set (positive Vth)
+        moves further positive.
+        """
+        direction = -1.0 if parameters.vth <= 0 else 1.0
+        return replace(parameters, vth=parameters.vth + direction * self._shift_v)
+
+    def reset(self) -> None:
+        """Forget all accumulated stress."""
+        self._shift_v = 0.0

@@ -1,0 +1,88 @@
+"""Device-to-device variation model for the flexible CNT process.
+
+Sec. 1 attributes the robustness problem to "large device variation,
+device defects and transient errors".  This module provides the
+variation part: per-device mobility and threshold-voltage draws plus an
+optional slow spatial gradient across the substrate (solution-processed
+films dry non-uniformly, producing wafer-scale trends).
+
+The model is deliberately simple and fully seeded so experiments are
+reproducible: log-normal mobility scaling (multiplicative process
+variation) and Gaussian ``Vth`` shifts, both optionally modulated by a
+linear + sinusoidal spatial gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cnt_tft import TftParameters
+
+__all__ = ["VariationModel"]
+
+
+@dataclass
+class VariationModel:
+    """Samples per-device parameter sets around a nominal corner.
+
+    Parameters
+    ----------
+    mobility_sigma:
+        Std-dev of ``ln(mobility scale)``; 0 disables mobility spread.
+    vth_sigma:
+        Std-dev of the threshold shift in volts.
+    gradient_strength:
+        Peak-to-peak relative mobility change across the substrate due
+        to the slow spatial gradient (0 disables).
+    seed:
+        RNG seed.
+    """
+
+    mobility_sigma: float = 0.10
+    vth_sigma: float = 0.05
+    gradient_strength: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mobility_sigma < 0 or self.vth_sigma < 0:
+            raise ValueError("variation sigmas must be >= 0")
+        if self.gradient_strength < 0:
+            raise ValueError("gradient_strength must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+
+    def sample(self, nominal: TftParameters) -> TftParameters:
+        """Draw one device's parameters (no spatial information)."""
+        scale = float(np.exp(self._rng.normal(0.0, self.mobility_sigma)))
+        shift = float(self._rng.normal(0.0, self.vth_sigma))
+        return nominal.with_variation(scale, shift)
+
+    def sample_array(
+        self, nominal: TftParameters, shape: tuple[int, int]
+    ) -> list[list[TftParameters]]:
+        """Draw a full array of per-pixel parameter sets.
+
+        The spatial gradient (if enabled) multiplies the mobility by
+        ``1 + g * (u - 0.5)`` along the slow axis plus a weak sinusoid
+        along the fast axis, mimicking coating-direction non-uniformity.
+        """
+        rows, cols = shape
+        if rows < 1 or cols < 1:
+            raise ValueError(f"invalid array shape {shape}")
+        scales = np.exp(self._rng.normal(0.0, self.mobility_sigma, size=shape))
+        shifts = self._rng.normal(0.0, self.vth_sigma, size=shape)
+        if self.gradient_strength > 0:
+            u = np.linspace(0.0, 1.0, rows)[:, None]
+            v = np.linspace(0.0, 1.0, cols)[None, :]
+            gradient = 1.0 + self.gradient_strength * (
+                (u - 0.5) + 0.25 * np.sin(2.0 * np.pi * v)
+            )
+            scales = scales * gradient
+        return [
+            [
+                nominal.with_variation(float(scales[r, c]), float(shifts[r, c]))
+                for c in range(cols)
+            ]
+            for r in range(rows)
+        ]

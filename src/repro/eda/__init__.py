@@ -1,0 +1,55 @@
+"""EDA flow for the CNT-TFT technology (Sec. 3.3).
+
+Layout geometry + rule deck + DRC + extraction + LVS + compact-model
+parameter extraction + cell characterisation: the "customized physical
+verification scripts" and Verilog-A-model calibration the paper's
+design methodology rests on.
+"""
+
+from .cells import inverter_chain_layout, inverter_layout, tft_layout
+from .characterize import (
+    DelayPoint,
+    FitResult,
+    calibrate_cell_library,
+    characterize_inverter,
+    characterize_nand2,
+    extract_parameters,
+)
+from .drc import DrcReport, DrcViolation, run_drc
+from .extract import ExtractedDevice, ExtractedNetlist, ExtractionError, extract
+from .layout import Layout, MaskLayer, Rect, Shape
+from .gds import LayoutFormatError, dump_layout, load_layout
+from .lvs import LvsResult, compare, extracted_graph, schematic_graph
+from .techfile import DesignRules, default_cnt_rules
+
+__all__ = [
+    "Layout",
+    "MaskLayer",
+    "Rect",
+    "Shape",
+    "DesignRules",
+    "default_cnt_rules",
+    "DrcReport",
+    "DrcViolation",
+    "run_drc",
+    "ExtractedDevice",
+    "ExtractedNetlist",
+    "ExtractionError",
+    "extract",
+    "LvsResult",
+    "compare",
+    "schematic_graph",
+    "extracted_graph",
+    "tft_layout",
+    "inverter_layout",
+    "inverter_chain_layout",
+    "dump_layout",
+    "load_layout",
+    "LayoutFormatError",
+    "DelayPoint",
+    "FitResult",
+    "extract_parameters",
+    "characterize_inverter",
+    "characterize_nand2",
+    "calibrate_cell_library",
+]

@@ -1,0 +1,192 @@
+"""Parameterised layout generators (PCells) for the CNT process.
+
+Generates DRC-clean layouts that the extraction/LVS flow verifies:
+
+* :func:`tft_layout` -- one bottom-gate TFT: gate bar, CNT island
+  extending past the gate, source/drain electrodes;
+* :func:`inverter_layout` -- the 4-TFT pseudo-D inverter with labelled
+  supply/input/output nets, matching
+  :func:`repro.circuits.pseudo_cmos.build_inverter`.
+
+All generators snap to the rule deck's manufacturing grid.
+"""
+
+from __future__ import annotations
+
+from .layout import Layout, MaskLayer
+from .techfile import DesignRules, default_cnt_rules
+
+__all__ = ["tft_layout", "inverter_layout", "inverter_chain_layout"]
+
+
+def _snap(value: float, grid: float) -> float:
+    return round(value / grid) * grid
+
+
+def tft_layout(
+    width_um: float = 50.0,
+    length_um: float = 10.0,
+    rules: DesignRules | None = None,
+    name: str = "tft",
+    gate_net: str = "G",
+    source_net: str = "S",
+    drain_net: str = "D",
+    origin: tuple[float, float] = (0.0, 0.0),
+    layout: Layout | None = None,
+) -> Layout:
+    """Draw one bottom-gate CNT TFT (channel along x).
+
+    The gate bar runs vertically (its width is the channel length);
+    the CNT island crosses it horizontally, overhanging by the deck's
+    channel-overlap rule; source/drain electrodes land on the CNT
+    overhangs.
+    """
+    rules = rules or default_cnt_rules()
+    grid = rules.grid
+    if width_um <= 0 or length_um <= 0:
+        raise ValueError("device dimensions must be positive")
+    length = max(_snap(length_um, grid), rules.width_rule(MaskLayer.GATE_METAL))
+    width = max(_snap(width_um, grid), rules.width_rule(MaskLayer.CNT))
+    overlap = _snap(max(rules.channel_overlap, rules.width_rule(MaskLayer.SD_METAL)), grid)
+    sd_length = max(
+        _snap(2 * rules.width_rule(MaskLayer.SD_METAL), grid), 2 * overlap
+    )
+    x0, y0 = origin
+    out = layout if layout is not None else Layout(name=name)
+    # Gate bar (vertical), extends beyond the channel for the contact.
+    gate_extension = _snap(2 * rules.width_rule(MaskLayer.GATE_METAL), grid)
+    out.add_rect(
+        MaskLayer.GATE_METAL,
+        x0 + sd_length,
+        y0 - gate_extension,
+        x0 + sd_length + length,
+        y0 + width + gate_extension,
+        net=gate_net,
+    )
+    # CNT island crossing the gate with the rule-deck overhang.
+    out.add_rect(
+        MaskLayer.CNT,
+        x0 + sd_length - overlap,
+        y0,
+        x0 + sd_length + length + overlap,
+        y0 + width,
+    )
+    # Source (left) and drain (right) electrodes on the overhangs.
+    out.add_rect(
+        MaskLayer.SD_METAL,
+        x0,
+        y0,
+        x0 + sd_length - overlap + grid,
+        y0 + width,
+        net=source_net,
+    )
+    out.add_rect(
+        MaskLayer.SD_METAL,
+        x0 + sd_length + length + overlap - grid,
+        y0,
+        x0 + 2 * sd_length + length,
+        y0 + width,
+        net=drain_net,
+    )
+    return out
+
+
+def inverter_layout(
+    rules: DesignRules | None = None,
+    drive_width_um: float = 150.0,
+    load_width_um: float = 50.0,
+    length_um: float = 10.0,
+    name: str = "pseudo_inverter",
+) -> Layout:
+    """Draw the 4-TFT pseudo-D inverter as separate DRC-clean devices.
+
+    Device placement uses generous spacing (flexible processes are not
+    area-constrained) with nets carried by shared labels:
+    M1 (IN -> A), M2 (always-on load on A), M3 (IN -> OUT),
+    M4 (A gated pull-down on OUT).  Routing between same-net terminals
+    is represented by the shared net labels; LVS checks connectivity at
+    the netlist level.
+    """
+    rules = rules or default_cnt_rules()
+    out = Layout(name=name)
+    pitch_y = max(drive_width_um, load_width_um) + 6 * rules.spacing_rule(
+        MaskLayer.CNT
+    )
+    devices = [
+        ("IN", "A", "VDD", drive_width_um),    # M1
+        ("VSS", "VSS2", "A", load_width_um),   # M2 (drain net label VSS2
+        #   avoided -- see below)
+        ("IN", "OUT", "VDD", drive_width_um),  # M3
+        ("A", "GND", "OUT", drive_width_um),   # M4
+    ]
+    # M2 connects A -> VSS with gate VSS: to keep the extractor's
+    # source/drain distinction clean we label its terminals directly.
+    devices[1] = ("VSS", "VSS", "A", load_width_um)
+    for index, (gate, drain, source, width) in enumerate(devices):
+        tft_layout(
+            width_um=width,
+            length_um=length_um,
+            rules=rules,
+            gate_net=gate,
+            source_net=source,
+            drain_net=drain,
+            origin=(0.0, index * pitch_y),
+            layout=out,
+        )
+    return out
+
+
+def inverter_chain_layout(
+    stages: int,
+    rules: DesignRules | None = None,
+    drive_width_um: float = 150.0,
+    load_width_um: float = 50.0,
+    length_um: float = 10.0,
+    name: str | None = None,
+) -> Layout:
+    """Row assembly: ``stages`` pseudo-D inverters abutted in a row.
+
+    Each stage's output net feeds the next stage's input net (shared
+    label), modelling the buffer chains / ring-oscillator cores of the
+    driver periphery.  Stage cells are placed on a fixed horizontal
+    pitch with enough spacing to clear every same-layer rule.
+
+    Net naming: input ``IN``, output ``OUT``, internals ``w1..w_{k-1}``.
+    """
+    rules = rules or default_cnt_rules()
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    out = Layout(name=name or f"inverter_chain_{stages}")
+    # Horizontal pitch: one stage's bounding width plus CNT spacing.
+    probe = inverter_layout(rules, drive_width_um, load_width_um, length_um)
+    stage_width = probe.bounding_box().width
+    pitch = stage_width + 4 * rules.spacing_rule(MaskLayer.CNT)
+    for stage in range(stages):
+        input_net = "IN" if stage == 0 else f"w{stage}"
+        output_net = "OUT" if stage == stages - 1 else f"w{stage + 1}"
+        cell = _relabeled_inverter(
+            rules, drive_width_um, load_width_um, length_um,
+            input_net=input_net, output_net=output_net,
+            internal_prefix=f"s{stage}",
+        )
+        out.merge(cell, dx=stage * pitch, dy=0.0)
+    return out
+
+
+def _relabeled_inverter(
+    rules: DesignRules,
+    drive_width_um: float,
+    load_width_um: float,
+    length_um: float,
+    input_net: str,
+    output_net: str,
+    internal_prefix: str,
+) -> Layout:
+    """One pseudo-D inverter cell with renamed IN/OUT/internal nets."""
+    cell = inverter_layout(rules, drive_width_um, load_width_um, length_um)
+    renamed = Layout(name=cell.name)
+    mapping = {"IN": input_net, "OUT": output_net, "A": f"{internal_prefix}_a"}
+    for shape in cell.shapes:
+        net = mapping.get(shape.net, shape.net) if shape.net else None
+        renamed.add(shape.layer, shape.rect, net)
+    return renamed

@@ -1,0 +1,232 @@
+"""Compact-model extraction and cell characterisation (Sec. 3.3).
+
+The paper's flow "first extracted all model parameters based on our
+CNT-TFT's measurement data, then simulation and optimization were
+performed for designing pseudo-CMOS digital cells".  Two pieces:
+
+* :func:`extract_parameters` -- least-squares fit of the compact
+  model's (mobility, Vth, subthreshold swing) to measured transfer
+  curves, i.e. the Verilog-A-model calibration step;
+* :func:`characterize_inverter` -- delay-vs-load characterisation of a
+  pseudo-CMOS inverter by transistor-level transient simulation, the
+  data a standard-cell library (and the gate-level simulator's delay
+  numbers) is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from ..circuits.mna import MnaSimulator
+from ..circuits.netlist import GROUND, Circuit, pulse
+from ..circuits.pseudo_cmos import build_inverter
+from ..circuits.waveform import propagation_delay
+from ..devices.cnt_tft import CntTft, TftParameters
+
+__all__ = [
+    "FitResult",
+    "extract_parameters",
+    "DelayPoint",
+    "characterize_inverter",
+    "characterize_nand2",
+    "calibrate_cell_library",
+]
+
+
+@dataclass
+class FitResult:
+    """Outcome of a compact-model fit."""
+
+    parameters: TftParameters
+    relative_rms_error: float
+    iterations: int
+
+    def summary(self) -> str:
+        """One-line fit report."""
+        p = self.parameters
+        return (
+            f"mobility={p.mobility_cm2:.1f} cm2/Vs, Vth={p.vth:+.2f} V, "
+            f"SS={p.subthreshold_swing * np.log(10):.2f} V/dec, "
+            f"rel. RMS error {self.relative_rms_error:.2%}"
+        )
+
+
+def extract_parameters(
+    vgs: np.ndarray,
+    vds: float,
+    measured_current: np.ndarray,
+    width_um: float,
+    length_um: float,
+    initial: TftParameters | None = None,
+) -> FitResult:
+    """Fit (mobility, Vth, subthreshold swing) to a transfer curve.
+
+    Parameters
+    ----------
+    vgs, vds:
+        Measured bias points: a gate sweep at fixed ``vds``.
+    measured_current:
+        Measured |Id| at each ``vgs`` (amps).
+    width_um, length_um:
+        Known device geometry.
+    initial:
+        Starting parameter set (defaults to the library nominal).
+
+    The fit runs in log-current space so the subthreshold decade(s)
+    carry weight comparable to the on-region.
+    """
+    vgs = np.asarray(vgs, dtype=float)
+    measured_current = np.asarray(measured_current, dtype=float)
+    if vgs.shape != measured_current.shape:
+        raise ValueError("vgs and current arrays must align")
+    if np.any(measured_current <= 0):
+        raise ValueError("measured currents must be positive for a log fit")
+    base = initial or TftParameters()
+
+    def model_current(theta: np.ndarray) -> np.ndarray:
+        mobility, vth, swing = theta
+        params = replace(
+            base,
+            mobility_cm2=float(mobility),
+            vth=float(vth),
+            subthreshold_swing=float(swing),
+        )
+        device = CntTft(width_um, length_um, params)
+        return np.maximum(device.drain_current(vgs, vds), 1e-15)
+
+    def residuals(theta: np.ndarray) -> np.ndarray:
+        return np.log(model_current(theta)) - np.log(measured_current)
+
+    start = np.array([base.mobility_cm2, base.vth, base.subthreshold_swing])
+    fit = least_squares(
+        residuals,
+        start,
+        bounds=([0.1, -5.0, 0.01], [500.0, 5.0, 1.0]),
+        xtol=1e-12,
+        ftol=1e-12,
+    )
+    fitted = replace(
+        base,
+        mobility_cm2=float(fit.x[0]),
+        vth=float(fit.x[1]),
+        subthreshold_swing=float(fit.x[2]),
+    )
+    relative = float(
+        np.sqrt(np.mean((model_current(fit.x) / measured_current - 1.0) ** 2))
+    )
+    return FitResult(
+        parameters=fitted,
+        relative_rms_error=relative,
+        iterations=int(fit.nfev),
+    )
+
+
+@dataclass(frozen=True)
+class DelayPoint:
+    """Inverter delay at one load capacitance."""
+
+    load_farads: float
+    delay_s: float
+
+
+def characterize_inverter(
+    loads_farads: tuple[float, ...] = (1.0e-11, 3.0e-11, 1.0e-10),
+    vdd: float = 3.0,
+    input_period_s: float = 2.0e-3,
+    step_s: float = 1.0e-6,
+) -> list[DelayPoint]:
+    """Measure pseudo-CMOS inverter propagation delay vs output load.
+
+    Drives a slow square wave into a transistor-level inverter with a
+    capacitive load and measures the median 50 %-crossing delay.
+    """
+    points = []
+    for load in loads_farads:
+        if load <= 0:
+            raise ValueError("loads must be positive")
+        circuit = Circuit("inv_char")
+        circuit.add_voltage_source(
+            "vin", "IN", GROUND, pulse(0.0, vdd, input_period_s, delay_s=step_s)
+        )
+        build_inverter(circuit, "inv0", "IN", "OUT")
+        circuit.add_capacitor("cload", "OUT", GROUND, load)
+        simulator = MnaSimulator(circuit)
+        result = simulator.transient(
+            stop_s=2.0 * input_period_s, step_s=step_s, record=["IN", "OUT"]
+        )
+        delay = propagation_delay(
+            result.times,
+            result["IN"],
+            result["OUT"],
+            level=vdd / 2.0,
+            input_rising=True,
+            output_rising=False,
+        )
+        points.append(DelayPoint(load_farads=load, delay_s=delay))
+    return points
+
+
+def characterize_nand2(
+    load_farads: float = 3.0e-11,
+    vdd: float = 3.0,
+    input_period_s: float = 2.0e-3,
+    step_s: float = 1.0e-6,
+) -> float:
+    """Worst-arc NAND2 propagation delay at one load (seconds).
+
+    Toggles input A with input B held high (the sensitising condition)
+    and measures the median 50 %-crossing delay.
+    """
+    if load_farads <= 0:
+        raise ValueError("load must be positive")
+    from ..circuits.pseudo_cmos import build_nand2
+
+    circuit = Circuit("nand_char")
+    circuit.add_voltage_source(
+        "va", "A", GROUND, pulse(0.0, vdd, input_period_s, delay_s=step_s)
+    )
+    circuit.add_voltage_source("vb", "B", GROUND, vdd)
+    build_nand2(circuit, "u0", "A", "B", "OUT")
+    circuit.add_capacitor("cload", "OUT", GROUND, load_farads)
+    result = MnaSimulator(circuit).transient(
+        stop_s=2.0 * input_period_s, step_s=step_s, record=["A", "OUT"]
+    )
+    return propagation_delay(
+        result.times, result["A"], result["OUT"], level=vdd / 2.0,
+        input_rising=True, output_rising=False,
+    )
+
+
+def calibrate_cell_library(
+    load_farads: float = 3.0e-11, vdd: float = 3.0
+) -> dict[str, float]:
+    """Re-derive the gate-level library delays from transistor-level
+    characterisation (the standard-cell timing-library step).
+
+    Measures INV and NAND2 at the representative on-chip load and
+    scales the remaining cells by their topological depth relative to
+    the inverter (BUF = 2 INV, XOR/AND/MUX = composed stages), exactly
+    how the shipped :data:`~repro.circuits.pseudo_cmos.CELL_LIBRARY`
+    numbers were derived.
+
+    Returns
+    -------
+    dict
+        ``cell name -> delay (s)`` for every library cell.
+    """
+    inverter_delay = characterize_inverter(
+        loads_farads=(load_farads,), vdd=vdd
+    )[0].delay_s
+    nand_delay = characterize_nand2(load_farads=load_farads, vdd=vdd)
+    return {
+        "INV": inverter_delay,
+        "BUF": 2.0 * inverter_delay,
+        "NAND2": nand_delay,
+        "NOR2": nand_delay,
+        "AND2": nand_delay + inverter_delay,
+        "XOR2": 2.0 * nand_delay,
+        "MUX2": 2.0 * nand_delay,
+    }

@@ -1,0 +1,178 @@
+"""Design-rule checking for CNT-TFT layouts (Sec. 3.3).
+
+The checker implements the rule classes a printed-flexible process
+cares about:
+
+* **min width** -- every drawn rectangle's smaller dimension;
+* **min spacing** -- between disjoint same-layer rectangles (touching
+  or overlapping rectangles count as connected, not as a violation);
+* **via enclosure** -- every VIA must be enclosed by both GATE_METAL
+  and SD_METAL with the deck's margin;
+* **channel overlap** -- every CNT island over a gate must extend past
+  the gate edge along the channel, and lie on the dielectric;
+* **grid** -- all coordinates on the manufacturing grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .layout import Layout, MaskLayer, Rect, Shape
+from .techfile import DesignRules
+
+__all__ = ["DrcViolation", "DrcReport", "run_drc"]
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    """One rule violation."""
+
+    rule: str
+    layer: MaskLayer
+    message: str
+    rect: Rect
+
+
+@dataclass
+class DrcReport:
+    """Result of a DRC run."""
+
+    layout_name: str
+    violations: list[DrcViolation]
+
+    @property
+    def clean(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+    def by_rule(self) -> dict[str, int]:
+        """Violation counts per rule name."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.clean:
+            return f"{self.layout_name}: DRC clean"
+        details = ", ".join(f"{k}={v}" for k, v in sorted(self.by_rule().items()))
+        return f"{self.layout_name}: {len(self.violations)} violations ({details})"
+
+
+def _check_widths(layout: Layout, rules: DesignRules, out: list) -> None:
+    for shape in layout.shapes:
+        minimum = rules.width_rule(shape.layer)
+        if minimum > 0 and shape.rect.min_dimension < minimum - 1e-9:
+            out.append(
+                DrcViolation(
+                    "min_width",
+                    shape.layer,
+                    f"{shape.layer.value} width {shape.rect.min_dimension:g} "
+                    f"< {minimum:g}",
+                    shape.rect,
+                )
+            )
+
+
+def _check_spacing(layout: Layout, rules: DesignRules, out: list) -> None:
+    for layer in MaskLayer:
+        minimum = rules.spacing_rule(layer)
+        if minimum <= 0:
+            continue
+        shapes = layout.on_layer(layer)
+        for i, a in enumerate(shapes):
+            for b in shapes[i + 1:]:
+                if a.rect.touches_or_intersects(b.rect):
+                    continue  # connected geometry
+                gap = a.rect.distance(b.rect)
+                if gap < minimum - 1e-9:
+                    out.append(
+                        DrcViolation(
+                            "min_spacing",
+                            layer,
+                            f"{layer.value} spacing {gap:g} < {minimum:g}",
+                            a.rect,
+                        )
+                    )
+
+
+def _check_via_enclosure(layout: Layout, rules: DesignRules, out: list) -> None:
+    metals = layout.on_layer(MaskLayer.GATE_METAL) + layout.on_layer(
+        MaskLayer.SD_METAL
+    )
+    for via in layout.on_layer(MaskLayer.VIA):
+        enclosing = [
+            m
+            for m in metals
+            if m.rect.contains(via.rect, margin=rules.via_enclosure - 1e-9)
+        ]
+        layers = {m.layer for m in enclosing}
+        if MaskLayer.GATE_METAL not in layers or MaskLayer.SD_METAL not in layers:
+            out.append(
+                DrcViolation(
+                    "via_enclosure",
+                    MaskLayer.VIA,
+                    "via not enclosed by both metals with margin "
+                    f"{rules.via_enclosure:g}",
+                    via.rect,
+                )
+            )
+
+
+def _check_channel_overlap(layout: Layout, rules: DesignRules, out: list) -> None:
+    gates = layout.on_layer(MaskLayer.GATE_METAL)
+    for cnt in layout.on_layer(MaskLayer.CNT):
+        overlapping = [g for g in gates if g.rect.intersects(cnt.rect)]
+        for gate in overlapping:
+            # The CNT island must extend past the gate on at least one
+            # axis (source/drain access) by the overlap margin.
+            extends_x = (
+                gate.rect.x0 - cnt.rect.x0 >= rules.channel_overlap - 1e-9
+                and cnt.rect.x1 - gate.rect.x1 >= rules.channel_overlap - 1e-9
+            )
+            extends_y = (
+                gate.rect.y0 - cnt.rect.y0 >= rules.channel_overlap - 1e-9
+                and cnt.rect.y1 - gate.rect.y1 >= rules.channel_overlap - 1e-9
+            )
+            if not (extends_x or extends_y):
+                out.append(
+                    DrcViolation(
+                        "channel_overlap",
+                        MaskLayer.CNT,
+                        "CNT island does not extend past the gate by "
+                        f"{rules.channel_overlap:g} on either axis",
+                        cnt.rect,
+                    )
+                )
+
+
+def _check_grid(layout: Layout, rules: DesignRules, out: list) -> None:
+    grid = rules.grid
+    if grid <= 0:
+        return
+    for shape in layout.shapes:
+        r = shape.rect
+        for coordinate in (r.x0, r.y0, r.x1, r.y1):
+            snapped = round(coordinate / grid) * grid
+            if abs(coordinate - snapped) > 1e-9:
+                out.append(
+                    DrcViolation(
+                        "off_grid",
+                        shape.layer,
+                        f"coordinate {coordinate:g} off the {grid:g} um grid",
+                        r,
+                    )
+                )
+                break
+
+
+def run_drc(layout: Layout, rules: DesignRules) -> DrcReport:
+    """Run all rule checks; returns the violation report."""
+    violations: list[DrcViolation] = []
+    _check_widths(layout, rules, violations)
+    _check_spacing(layout, rules, violations)
+    _check_via_enclosure(layout, rules, violations)
+    _check_channel_overlap(layout, rules, violations)
+    _check_grid(layout, rules, violations)
+    return DrcReport(layout_name=layout.name, violations=violations)

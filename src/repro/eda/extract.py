@@ -1,0 +1,187 @@
+"""Netlist extraction from CNT-TFT layouts.
+
+Turns drawn geometry into a transistor netlist:
+
+1. **Connectivity**: same-layer metal shapes that touch or overlap are
+   electrically connected; a VIA shape connects the GATE_METAL and
+   SD_METAL geometry it overlaps.  Union-find produces the nets, which
+   inherit any drawn net labels (conflicting labels on one net are an
+   extraction error).
+2. **Device recognition**: each (CNT island x gate shape) overlap forms
+   a channel; the SD_METAL shapes overlapping that CNT island on
+   opposite sides of the gate are the source/drain terminals.  Channel
+   W/L is measured from the geometry.
+
+The result is an :class:`ExtractedNetlist` that LVS compares against
+the schematic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .layout import Layout, MaskLayer, Rect, Shape
+
+__all__ = ["ExtractedDevice", "ExtractedNetlist", "ExtractionError", "extract"]
+
+
+class ExtractionError(RuntimeError):
+    """Layout cannot be turned into a consistent netlist."""
+
+
+@dataclass(frozen=True)
+class ExtractedDevice:
+    """One recognised TFT."""
+
+    name: str
+    gate_net: str
+    sd_nets: tuple[str, str]
+    width_um: float
+    length_um: float
+
+
+@dataclass
+class ExtractedNetlist:
+    """Nets + devices recognised from a layout."""
+
+    name: str
+    nets: list[str]
+    devices: list[ExtractedDevice]
+    net_labels: dict[str, str] = field(default_factory=dict)
+
+    def device_count(self) -> int:
+        """Number of recognised TFTs."""
+        return len(self.devices)
+
+
+class _UnionFind:
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, i: int) -> int:
+        while self.parent[i] != i:
+            self.parent[i] = self.parent[self.parent[i]]
+            i = self.parent[i]
+        return i
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _conductor_shapes(layout: Layout) -> list[Shape]:
+    conductors = (MaskLayer.GATE_METAL, MaskLayer.SD_METAL, MaskLayer.VIA)
+    return [s for s in layout.shapes if s.layer in conductors]
+
+
+def _build_nets(layout: Layout) -> tuple[dict[int, str], dict[Shape, int], list[str]]:
+    """Union shapes into nets; returns (root -> net name, shape -> root)."""
+    shapes = _conductor_shapes(layout)
+    uf = _UnionFind(len(shapes))
+    for i, a in enumerate(shapes):
+        for j in range(i + 1, len(shapes)):
+            b = shapes[j]
+            same_layer = a.layer == b.layer
+            via_pair = MaskLayer.VIA in (a.layer, b.layer)
+            if not (same_layer or via_pair):
+                continue
+            touching = (
+                a.rect.touches_or_intersects(b.rect)
+                if same_layer
+                else a.rect.intersects(b.rect)
+            )
+            if touching:
+                uf.union(i, j)
+    shape_root = {shape: uf.find(i) for i, shape in enumerate(shapes)}
+    # Name nets: drawn labels win; conflicts are errors; unlabelled nets
+    # get sequential names.
+    root_name: dict[int, str] = {}
+    for shape, root in shape_root.items():
+        if shape.net is None:
+            continue
+        existing = root_name.get(root)
+        if existing is not None and existing != shape.net:
+            raise ExtractionError(
+                f"net label conflict: {existing!r} vs {shape.net!r} on one net"
+            )
+        root_name[root] = shape.net
+    counter = 0
+    for root in sorted(set(shape_root.values())):
+        if root not in root_name:
+            root_name[root] = f"net{counter}"
+            counter += 1
+    names = sorted(set(root_name.values()))
+    return root_name, shape_root, names
+
+
+def _channel_axis(cnt: Rect, gate: Rect) -> str:
+    """Axis along which the CNT extends past the gate ('x' or 'y')."""
+    extends_x = cnt.x0 < gate.x0 and cnt.x1 > gate.x1
+    extends_y = cnt.y0 < gate.y0 and cnt.y1 > gate.y1
+    if extends_x and not extends_y:
+        return "x"
+    if extends_y and not extends_x:
+        return "y"
+    if extends_x and extends_y:
+        # Ambiguous; pick the axis with more extension.
+        over_x = (gate.x0 - cnt.x0) + (cnt.x1 - gate.x1)
+        over_y = (gate.y0 - cnt.y0) + (cnt.y1 - gate.y1)
+        return "x" if over_x >= over_y else "y"
+    raise ExtractionError(
+        "CNT island does not extend past its gate on either axis "
+        "(no source/drain access)"
+    )
+
+
+def extract(layout: Layout) -> ExtractedNetlist:
+    """Extract the transistor netlist from a layout."""
+    root_name, shape_root, names = _build_nets(layout)
+
+    def net_of(shape: Shape) -> str:
+        return root_name[shape_root[shape]]
+
+    gates = layout.on_layer(MaskLayer.GATE_METAL)
+    sd_shapes = layout.on_layer(MaskLayer.SD_METAL)
+    devices: list[ExtractedDevice] = []
+    for cnt_shape in layout.on_layer(MaskLayer.CNT):
+        cnt = cnt_shape.rect
+        for gate_shape in gates:
+            gate = gate_shape.rect
+            channel = cnt.intersection(gate)
+            if channel is None:
+                continue
+            axis = _channel_axis(cnt, gate)
+            touching_sd = [
+                s for s in sd_shapes if s.rect.intersects(cnt)
+            ]
+            if axis == "x":
+                low_side = [s for s in touching_sd if s.rect.x0 <= gate.x0]
+                high_side = [s for s in touching_sd if s.rect.x1 >= gate.x1]
+                length = gate.width
+                width = channel.height
+            else:
+                low_side = [s for s in touching_sd if s.rect.y0 <= gate.y0]
+                high_side = [s for s in touching_sd if s.rect.y1 >= gate.y1]
+                length = gate.height
+                width = channel.width
+            if not low_side or not high_side:
+                raise ExtractionError(
+                    "channel without source/drain electrodes on both sides"
+                )
+            source_net = net_of(low_side[0])
+            drain_net = net_of(high_side[0])
+            if source_net == drain_net:
+                raise ExtractionError(
+                    "source and drain short-circuited on one net"
+                )
+            devices.append(
+                ExtractedDevice(
+                    name=f"x{len(devices)}",
+                    gate_net=net_of(gate_shape),
+                    sd_nets=(source_net, drain_net),
+                    width_um=width,
+                    length_um=length,
+                )
+            )
+    return ExtractedNetlist(name=layout.name, nets=names, devices=devices)

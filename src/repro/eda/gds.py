@@ -1,0 +1,80 @@
+"""Layout serialisation (a text stand-in for GDS/OASIS streams).
+
+Simple line-oriented format, one shape per line::
+
+    LAYOUT <name>
+    RECT <layer> <x0> <y0> <x1> <y1> [NET=<name>]
+    END
+
+Coordinates are micrometres.  Round-trips every
+:class:`~repro.eda.layout.Layout` exactly (within float repr), so cell
+libraries can live on disk next to the rule decks.
+"""
+
+from __future__ import annotations
+
+from .layout import Layout, MaskLayer, Rect
+
+__all__ = ["dump_layout", "load_layout", "LayoutFormatError"]
+
+
+class LayoutFormatError(ValueError):
+    """The text is not a valid layout stream."""
+
+
+def dump_layout(layout: Layout) -> str:
+    """Serialise a layout to the text stream format."""
+    lines = [f"LAYOUT {layout.name}"]
+    for shape in layout.shapes:
+        r = shape.rect
+        card = (
+            f"RECT {shape.layer.value} {r.x0:.6g} {r.y0:.6g} "
+            f"{r.x1:.6g} {r.y1:.6g}"
+        )
+        if shape.net is not None:
+            card += f" NET={shape.net}"
+        lines.append(card)
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def load_layout(text: str) -> Layout:
+    """Parse the text stream back into a :class:`Layout`."""
+    layers = {layer.value: layer for layer in MaskLayer}
+    layout = Layout()
+    saw_header = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("LAYOUT"):
+            layout.name = line[len("LAYOUT"):].strip() or "layout"
+            saw_header = True
+            continue
+        if line == "END":
+            break
+        if not line.startswith("RECT"):
+            raise LayoutFormatError(f"line {line_number}: unknown card")
+        fields = line.split()
+        if len(fields) not in (6, 7):
+            raise LayoutFormatError(f"line {line_number}: malformed RECT")
+        _, layer_name, x0, y0, x1, y1, *rest = fields
+        if layer_name not in layers:
+            raise LayoutFormatError(
+                f"line {line_number}: unknown layer {layer_name!r}"
+            )
+        net = None
+        if rest:
+            if not rest[0].startswith("NET="):
+                raise LayoutFormatError(
+                    f"line {line_number}: expected NET=<name>"
+                )
+            net = rest[0][len("NET="):]
+        try:
+            rect = Rect(float(x0), float(y0), float(x1), float(y1))
+        except ValueError as exc:
+            raise LayoutFormatError(f"line {line_number}: {exc}") from exc
+        layout.add(layers[layer_name], rect, net)
+    if not saw_header:
+        raise LayoutFormatError("missing LAYOUT header")
+    return layout

@@ -1,0 +1,176 @@
+"""Layout geometry for the CNT-TFT process.
+
+Sec. 3.3: the paper's team "customized physical verification scripts to
+automatically perform the design rule checking (DRC) and layout versus
+schematic (LVS) based on fabrication processes of the CNT technology".
+This module provides the geometry substrate those scripts operate on: a
+rectangle-based mask layout over the process layer stack of Fig. 5a
+(electrodes, interconnect, barrier, CNT film, encapsulation).
+
+Units are micrometres throughout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["MaskLayer", "Rect", "Shape", "Layout"]
+
+
+class MaskLayer(enum.Enum):
+    """Mask layers of the flexible CNT process (deposition order of
+    Fig. 5a)."""
+
+    GATE_METAL = "gate_metal"        # bottom-gate electrodes + row lines
+    DIELECTRIC = "dielectric"        # gate dielectric / barrier
+    CNT = "cnt"                      # patterned semiconducting CNT film
+    SD_METAL = "sd_metal"            # source/drain electrodes + column lines
+    VIA = "via"                      # dielectric cut connecting the metals
+    ENCAPSULATION = "encapsulation"  # top passivation
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[x0, x1] x [y0, y1]`` in um."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"degenerate rectangle {self}")
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent."""
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        """Vertical extent."""
+        return self.y1 - self.y0
+
+    @property
+    def min_dimension(self) -> float:
+        """Smaller of width/height (what min-width rules check)."""
+        return min(self.width, self.height)
+
+    @property
+    def area(self) -> float:
+        """Rectangle area (um^2)."""
+        return self.width * self.height
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles overlap with positive area."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def touches_or_intersects(self, other: "Rect") -> bool:
+        """True when the rectangles overlap or share an edge/corner."""
+        return (
+            self.x0 <= other.x1
+            and other.x0 <= self.x1
+            and self.y0 <= other.y1
+            and other.y0 <= self.y1
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Overlap region, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x0, other.x0),
+            max(self.y0, other.y0),
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+        )
+
+    def contains(self, other: "Rect", margin: float = 0.0) -> bool:
+        """True when ``other`` sits inside with at least ``margin`` slack."""
+        return (
+            other.x0 - self.x0 >= margin
+            and self.x1 - other.x1 >= margin
+            and other.y0 - self.y0 >= margin
+            and self.y1 - other.y1 >= margin
+        )
+
+    def distance(self, other: "Rect") -> float:
+        """Euclidean gap between rectangles (0 when touching/overlapping)."""
+        dx = max(other.x0 - self.x1, self.x0 - other.x1, 0.0)
+        dy = max(other.y0 - self.y1, self.y0 - other.y1, 0.0)
+        return (dx * dx + dy * dy) ** 0.5
+
+    def expanded(self, margin: float) -> "Rect":
+        """Grow the rectangle by ``margin`` on every side."""
+        return Rect(
+            self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin
+        )
+
+
+@dataclass(frozen=True)
+class Shape:
+    """One drawn rectangle: layer + geometry + optional net label."""
+
+    layer: MaskLayer
+    rect: Rect
+    net: str | None = None
+
+
+@dataclass
+class Layout:
+    """A named collection of shapes (one cell or a full die)."""
+
+    name: str = "layout"
+    shapes: list[Shape] = field(default_factory=list)
+
+    def add(
+        self, layer: MaskLayer, rect: Rect, net: str | None = None
+    ) -> Shape:
+        """Draw a rectangle; returns the created shape."""
+        shape = Shape(layer, rect, net)
+        self.shapes.append(shape)
+        return shape
+
+    def add_rect(
+        self,
+        layer: MaskLayer,
+        x0: float,
+        y0: float,
+        x1: float,
+        y1: float,
+        net: str | None = None,
+    ) -> Shape:
+        """Convenience coordinate form of :meth:`add`."""
+        return self.add(layer, Rect(x0, y0, x1, y1), net)
+
+    def on_layer(self, layer: MaskLayer) -> list[Shape]:
+        """All shapes of one layer."""
+        return [s for s in self.shapes if s.layer == layer]
+
+    def bounding_box(self) -> Rect:
+        """Smallest rectangle covering all shapes."""
+        if not self.shapes:
+            raise ValueError("empty layout has no bounding box")
+        return Rect(
+            min(s.rect.x0 for s in self.shapes),
+            min(s.rect.y0 for s in self.shapes),
+            max(s.rect.x1 for s in self.shapes),
+            max(s.rect.y1 for s in self.shapes),
+        )
+
+    def merge(self, other: "Layout", dx: float = 0.0, dy: float = 0.0) -> None:
+        """Paste another layout at an offset (flat, no hierarchy)."""
+        for shape in other.shapes:
+            r = shape.rect
+            self.add(
+                shape.layer,
+                Rect(r.x0 + dx, r.y0 + dy, r.x1 + dx, r.y1 + dy),
+                shape.net,
+            )

@@ -1,0 +1,154 @@
+"""Layout-versus-schematic comparison (Sec. 3.3).
+
+Both views are reduced to a bipartite device/net graph:
+
+* one node per net and one node per TFT;
+* an edge from a device to its gate net (role ``"gate"``) and to each
+  channel terminal (role ``"sd"`` -- source and drain are symmetric
+  for a TFT, so LVS must not distinguish them).
+
+The views match when the graphs are isomorphic under those node/edge
+attributes (``networkx`` VF2), with named supply/IO nets pinned so the
+isomorphism cannot permute, say, VDD and GND.  Device geometry (W/L)
+is compared on top of the topology match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..circuits.netlist import Circuit, Tft
+from .extract import ExtractedNetlist
+
+__all__ = ["LvsResult", "compare", "schematic_graph", "extracted_graph"]
+
+
+@dataclass
+class LvsResult:
+    """Outcome of an LVS run."""
+
+    match: bool
+    device_count_layout: int
+    device_count_schematic: int
+    mismatches: list[str]
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        if self.match:
+            return (
+                f"LVS clean: {self.device_count_layout} devices, "
+                "topology and sizing match"
+            )
+        return "LVS FAILED: " + "; ".join(self.mismatches)
+
+
+def schematic_graph(circuit: Circuit, size_tolerance: float = 0.0) -> nx.Graph:
+    """Device/net graph of a schematic (TFTs only; sources define pins)."""
+    graph = nx.Graph()
+    for net in circuit.nets():
+        graph.add_node(("net", net), kind="net", pinned=_pin_label(net))
+    graph.add_node(("net", "0"), kind="net", pinned="0")
+    for component in circuit.components:
+        if not isinstance(component, Tft):
+            continue
+        node = ("dev", component.name)
+        graph.add_node(
+            node,
+            kind="tft",
+            width=round(component.device.width_um, 6),
+            length=round(component.device.length_um, 6),
+        )
+        graph.add_edge(node, ("net", component.gate), role="gate")
+        _add_sd_edge(graph, node, component.drain)
+        _add_sd_edge(graph, node, component.source)
+    return graph
+
+
+def extracted_graph(netlist: ExtractedNetlist) -> nx.Graph:
+    """Device/net graph of an extracted layout netlist."""
+    graph = nx.Graph()
+    for net in netlist.nets:
+        graph.add_node(("net", net), kind="net", pinned=_pin_label(net))
+    for device in netlist.devices:
+        node = ("dev", device.name)
+        graph.add_node(
+            node,
+            kind="tft",
+            width=round(device.width_um, 6),
+            length=round(device.length_um, 6),
+        )
+        graph.add_edge(node, ("net", device.gate_net), role="gate")
+        for terminal in device.sd_nets:
+            _add_sd_edge(graph, node, terminal)
+    return graph
+
+
+_PIN_NAMES = {"VDD", "VSS", "GND", "0", "IN", "OUT", "CLK", "DATA"}
+
+
+def _pin_label(net: str) -> str:
+    """Canonical pin label ('' for internal nets; GND aliases to 0)."""
+    upper = net.upper()
+    if upper not in _PIN_NAMES:
+        return ""
+    if upper == "GND":
+        return "0"
+    return upper
+
+
+def _add_sd_edge(graph: nx.Graph, device_node, net: str) -> None:
+    net_node = ("net", net)
+    if not graph.has_node(net_node):
+        graph.add_node(net_node, kind="net", pinned=_pin_label(net))
+    if graph.has_edge(device_node, net_node):
+        # Both channel terminals on one net (capacitor-connected TFT):
+        # record it as a parallel-terminal flag instead of losing it.
+        graph.edges[device_node, net_node]["role"] = "sd2"
+    else:
+        graph.add_edge(device_node, net_node, role="sd")
+
+
+def _node_match(a: dict, b: dict) -> bool:
+    if a["kind"] != b["kind"]:
+        return False
+    if a["kind"] == "net":
+        return a["pinned"] == b["pinned"]
+    return a["width"] == b["width"] and a["length"] == b["length"]
+
+
+def _edge_match(a: dict, b: dict) -> bool:
+    return a["role"] == b["role"]
+
+
+def compare(layout_netlist: ExtractedNetlist, schematic: Circuit) -> LvsResult:
+    """Compare an extracted netlist against its schematic."""
+    left = extracted_graph(layout_netlist)
+    right = schematic_graph(schematic)
+    mismatches: list[str] = []
+    layout_devices = layout_netlist.device_count()
+    schematic_devices = sum(
+        1 for c in schematic.components if isinstance(c, Tft)
+    )
+    if layout_devices != schematic_devices:
+        mismatches.append(
+            f"device count {layout_devices} vs {schematic_devices}"
+        )
+    # Drop isolated schematic nets (pure-source nets like an unloaded
+    # pin) so a trivially dangling node cannot break the match.
+    for graph in (left, right):
+        isolated = [n for n in graph.nodes if graph.degree(n) == 0]
+        graph.remove_nodes_from(isolated)
+    if not mismatches:
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            left, right, node_match=_node_match, edge_match=_edge_match
+        )
+        if not matcher.is_isomorphic():
+            mismatches.append("no topology/sizing isomorphism found")
+    return LvsResult(
+        match=not mismatches,
+        device_count_layout=layout_devices,
+        device_count_schematic=schematic_devices,
+        mismatches=mismatches,
+    )

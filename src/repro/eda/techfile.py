@@ -1,0 +1,74 @@
+"""Technology rule deck for the flexible CNT-TFT process.
+
+Printed/laminated flexible processes have coarse geometry: the paper's
+logic devices use L = 10 um channels.  The default deck below encodes a
+self-consistent rule set at that scale -- minimum widths and spacings
+per layer, via enclosure, and the CNT/gate overlap the channel needs.
+Numbers are micrometres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .layout import MaskLayer
+
+__all__ = ["DesignRules", "default_cnt_rules"]
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """One process rule deck.
+
+    Attributes
+    ----------
+    min_width:
+        Per-layer minimum drawn width (um).
+    min_spacing:
+        Per-layer minimum same-layer spacing (um).
+    via_enclosure:
+        Metal must enclose a via by this margin on every side.
+    channel_overlap:
+        CNT must extend past the gate edge (along the channel width
+        direction) by at least this much, and the gate must overlap the
+        CNT under the channel.
+    grid:
+        Manufacturing grid; all coordinates must be multiples.
+    """
+
+    min_width: dict[MaskLayer, float] = field(
+        default_factory=lambda: {
+            MaskLayer.GATE_METAL: 5.0,
+            MaskLayer.SD_METAL: 5.0,
+            MaskLayer.CNT: 5.0,
+            MaskLayer.VIA: 4.0,
+            MaskLayer.DIELECTRIC: 5.0,
+            MaskLayer.ENCAPSULATION: 5.0,
+        }
+    )
+    min_spacing: dict[MaskLayer, float] = field(
+        default_factory=lambda: {
+            MaskLayer.GATE_METAL: 5.0,
+            MaskLayer.SD_METAL: 5.0,
+            MaskLayer.CNT: 10.0,
+            MaskLayer.VIA: 5.0,
+            MaskLayer.DIELECTRIC: 5.0,
+            MaskLayer.ENCAPSULATION: 5.0,
+        }
+    )
+    via_enclosure: float = 1.0
+    channel_overlap: float = 2.0
+    grid: float = 0.5
+
+    def width_rule(self, layer: MaskLayer) -> float:
+        """Minimum width of a layer (0 when unconstrained)."""
+        return self.min_width.get(layer, 0.0)
+
+    def spacing_rule(self, layer: MaskLayer) -> float:
+        """Minimum same-layer spacing (0 when unconstrained)."""
+        return self.min_spacing.get(layer, 0.0)
+
+
+def default_cnt_rules() -> DesignRules:
+    """The repository's reference CNT-TFT rule deck."""
+    return DesignRules()

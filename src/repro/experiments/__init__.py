@@ -1,0 +1,60 @@
+"""One module per paper artifact (see DESIGN.md's experiment index).
+
+=========  =======================================================
+id         entry point
+=========  =======================================================
+FIG2       :func:`repro.experiments.fig2_sparsity.run_fig2`
+FIG5b      :func:`repro.experiments.fig5_circuits.run_fig5b`
+FIG5cd     :func:`repro.experiments.fig5_circuits.run_fig5cd`
+FIG5e      :func:`repro.experiments.fig5_circuits.run_fig5e`
+FIG6a      :func:`repro.experiments.fig6a_rmse.run_fig6a`
+FIG6b      :func:`repro.experiments.fig6b_accuracy.run_fig6b`
+FIG6c      :func:`repro.experiments.fig6c_strategies.run_fig6c`
+COMM       :func:`repro.experiments.comm_cost.run_comm_cost`
+ENC        :func:`repro.experiments.comm_cost.run_encoder_check`
+EQ1        :func:`repro.experiments.theory_checks.run_eq1_phase_transition`
+EQ2        :func:`repro.experiments.theory_checks.run_eq2_bound`
+=========  =======================================================
+"""
+
+from .comm_cost import CommCostResult, run_comm_cost, run_encoder_check
+from .fig2_sparsity import Fig2Result, run_fig2
+from .fig5_circuits import SensorCurve, run_fig5b, run_fig5cd, run_fig5e
+from .fig6a_rmse import run_fig6a
+from .fig6b_accuracy import AccuracyPoint, TactileExperiment, run_fig6b
+from .fig6c_strategies import StrategyPoint, run_fig6c
+from .scaling import ScalePoint, run_scaling
+from .tolerance import TolerancePoint, run_tolerance, tolerance_limit
+from .theory_checks import (
+    BoundPoint,
+    PhasePoint,
+    run_eq1_phase_transition,
+    run_eq2_bound,
+)
+
+__all__ = [
+    "run_fig2",
+    "Fig2Result",
+    "run_fig5b",
+    "run_fig5cd",
+    "run_fig5e",
+    "SensorCurve",
+    "run_fig6a",
+    "run_fig6b",
+    "TactileExperiment",
+    "AccuracyPoint",
+    "run_fig6c",
+    "StrategyPoint",
+    "run_comm_cost",
+    "run_encoder_check",
+    "CommCostResult",
+    "run_eq1_phase_transition",
+    "run_eq2_bound",
+    "PhasePoint",
+    "BoundPoint",
+    "run_tolerance",
+    "tolerance_limit",
+    "TolerancePoint",
+    "run_scaling",
+    "ScalePoint",
+]

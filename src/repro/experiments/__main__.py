@@ -1,0 +1,159 @@
+"""Command-line experiment runner.
+
+Regenerates any paper artifact from the shell::
+
+    python -m repro.experiments FIG2
+    python -m repro.experiments FIG6a --frames 8
+    python -m repro.experiments all
+
+See DESIGN.md for the experiment index.  Benches under ``benchmarks/``
+run the same code with timing and assertions; this runner is the
+interactive front end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import comm_cost, fig2_sparsity, fig5_circuits, fig6a_rmse, fig6c_strategies
+from .fig6b_accuracy import TactileExperiment
+from .fig6b_accuracy import format_table as _fig6b_table
+from .theory_checks import run_eq1_phase_transition, run_eq2_bound
+from .scaling import run_scaling
+from .tolerance import format_table as _tol_table
+from .tolerance import run_tolerance, tolerance_limit
+
+
+def _run_fig2(args) -> None:
+    results = fig2_sparsity.run_fig2(num_samples=args.samples, seed=args.seed)
+    print(fig2_sparsity.format_table(results))
+
+
+def _run_fig5(args) -> None:
+    print(fig5_circuits.run_fig5b().row())
+    register = fig5_circuits.run_fig5cd()
+    print(
+        f"Fig. 5c-d: {register.tft_count} TFTs @ CLK "
+        f"{register.clock_hz / 1e3:g} kHz -> functional={register.functional}"
+    )
+    amplifier = fig5_circuits.run_fig5e()
+    print(
+        f"Fig. 5e: 50 mV @ 30 kHz -> {amplifier.output_amplitude_v:.2f} V "
+        f"({amplifier.gain_db:.1f} dB)"
+    )
+
+
+def _run_fig6a(args) -> None:
+    points = fig6a_rmse.run_fig6a(num_frames=args.frames, seed=args.seed)
+    print(fig6a_rmse.format_table(points))
+
+
+def _run_fig6b(args) -> None:
+    experiment = TactileExperiment(
+        samples_per_class=args.samples,
+        epochs=args.epochs,
+        num_classes=args.classes,
+        seed=args.seed,
+    )
+    experiment.fit(verbose=True)
+    points = experiment.grid(sampling_fractions=(0.5,))
+    print(_fig6b_table(experiment.clean_accuracy(), points))
+
+
+def _run_fig6c(args) -> None:
+    points = fig6c_strategies.run_fig6c(num_frames=args.frames, seed=args.seed)
+    print(fig6c_strategies.format_table(points))
+
+
+def _run_comm(args) -> None:
+    for result in comm_cost.run_comm_cost(seed=args.seed):
+        print(result.row())
+    check = comm_cost.run_encoder_check(seed=args.seed)
+    print(
+        f"ENC: {check['measurements']} reads in {check['scan_cycles']} "
+        f"cycles, max deviation {check['max_deviation']:.2e}"
+    )
+
+
+def _run_eq1(args) -> None:
+    print(f"{'K':>4} {'M':>5} {'success':>8} {'Eq.(1) M':>9}")
+    for point in run_eq1_phase_transition(seed=args.seed):
+        print(
+            f"{point.sparsity:>4} {point.m:>5} {point.success_rate:>8.2f} "
+            f"{point.eq1_estimate:>9}"
+        )
+
+
+def _run_eq2(args) -> None:
+    print(f"{'noise':>7} {'observed':>9} {'bound':>8}")
+    for point in run_eq2_bound(seed=args.seed):
+        print(
+            f"{point.noise:>7.3f} {point.observed_rmse_l2:>9.4f} "
+            f"{point.bound_total:>8.4f}"
+        )
+
+
+def _run_scaling(args) -> None:
+    for point in run_scaling():
+        print(point.row())
+
+
+def _run_tolerance(args) -> None:
+    points = run_tolerance(num_frames=args.frames, seed=args.seed)
+    print(_tol_table(points))
+    print(f"tolerance limit: {tolerance_limit(points):.0%} sparse errors")
+
+
+_EXPERIMENTS = {
+    "FIG2": _run_fig2,
+    "FIG5": _run_fig5,
+    "FIG6a": _run_fig6a,
+    "FIG6b": _run_fig6b,
+    "FIG6c": _run_fig6c,
+    "COMM": _run_comm,
+    "EQ1": _run_eq1,
+    "EQ2": _run_eq2,
+    "TOL": _run_tolerance,
+    "SCALE": _run_scaling,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures/tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*_EXPERIMENTS, "all"],
+        help="experiment id from DESIGN.md (or 'all')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--frames", type=int, default=6, help="frames per grid point (FIG6a/6c)"
+    )
+    parser.add_argument(
+        "--samples", type=int, default=20,
+        help="samples per class (FIG6b) / per modality (FIG2)",
+    )
+    parser.add_argument(
+        "--classes", type=int, default=12, help="tactile classes (FIG6b)"
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=12, help="training epochs (FIG6b)"
+    )
+    args = parser.parse_args(argv)
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} ===")
+        start = time.perf_counter()
+        _EXPERIMENTS[name](args)
+        print(f"[{name} done in {time.perf_counter() - start:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""NumPy-only deep-learning substrate for the tactile case study.
+
+A compact CNN framework (layers, Adam, cross-entropy) plus the ResNet
+builder and the paper's exact training recipe (Sec. 4.2).
+"""
+
+from .augment import Augmenter
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+)
+from .network import Adam, Sequential, Sgd, cross_entropy_loss, softmax
+from .resnet import build_resnet
+from .training import Trainer, TrainingHistory
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool",
+    "Dense",
+    "ResidualBlock",
+    "Sequential",
+    "softmax",
+    "cross_entropy_loss",
+    "Adam",
+    "Sgd",
+    "build_resnet",
+    "Trainer",
+    "TrainingHistory",
+    "Augmenter",
+]

@@ -1,0 +1,106 @@
+"""Training-data augmentation for sensor frames.
+
+The synthetic tactile dataset is small by deep-learning standards, so
+the trainer benefits from the classic invariance-injecting transforms
+-- all physically meaningful for a sensor array:
+
+* integer translations (the object lands elsewhere on the glove),
+* 90-degree rotations / flips (grip orientation),
+* multiplicative gain jitter (grip strength),
+* additive sensor noise.
+
+Augmentation happens frame-wise on ``(count, rows, cols)`` stacks and
+returns an enlarged dataset with repeated labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Augmenter"]
+
+
+@dataclass
+class Augmenter:
+    """Random frame augmentation policy.
+
+    Parameters
+    ----------
+    max_shift:
+        Maximum |translation| in pixels per axis.
+    rotate:
+        Allow random 90-degree rotations and flips.
+    gain_jitter:
+        Half-width of the multiplicative gain range ``[1-g, 1+g]``.
+    noise_sigma:
+        Additive Gaussian noise level.
+    seed:
+        RNG seed.
+    """
+
+    max_shift: int = 2
+    rotate: bool = True
+    gain_jitter: float = 0.1
+    noise_sigma: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_shift < 0:
+            raise ValueError("max_shift must be >= 0")
+        if not 0.0 <= self.gain_jitter < 1.0:
+            raise ValueError("gain_jitter must be in [0, 1)")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+
+    def augment_frame(self, frame: np.ndarray) -> np.ndarray:
+        """One randomised variant of a single frame (values stay [0,1])."""
+        frame = np.asarray(frame, dtype=float)
+        if frame.ndim != 2:
+            raise ValueError(f"expected a 2-D frame, got {frame.shape}")
+        out = frame
+        if self.max_shift > 0:
+            dr = int(self._rng.integers(-self.max_shift, self.max_shift + 1))
+            dc = int(self._rng.integers(-self.max_shift, self.max_shift + 1))
+            shifted = np.zeros_like(out)
+            rows, cols = out.shape
+            src_r = slice(max(0, -dr), min(rows, rows - dr))
+            src_c = slice(max(0, -dc), min(cols, cols - dc))
+            dst_r = slice(max(0, dr), min(rows, rows + dr))
+            dst_c = slice(max(0, dc), min(cols, cols + dc))
+            shifted[dst_r, dst_c] = out[src_r, src_c]
+            out = shifted
+        if self.rotate:
+            out = np.rot90(out, k=int(self._rng.integers(0, 4)))
+            if self._rng.random() < 0.5:
+                out = out[:, ::-1]
+        if self.gain_jitter > 0:
+            out = out * self._rng.uniform(
+                1.0 - self.gain_jitter, 1.0 + self.gain_jitter
+            )
+        if self.noise_sigma > 0:
+            out = out + self._rng.normal(0.0, self.noise_sigma, out.shape)
+        return np.clip(np.ascontiguousarray(out), 0.0, 1.0)
+
+    def expand(
+        self, frames: np.ndarray, labels: np.ndarray, copies: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Original stack plus ``copies`` augmented variants per frame."""
+        frames = np.asarray(frames, dtype=float)
+        labels = np.asarray(labels)
+        if frames.ndim != 3:
+            raise ValueError(f"expected (count, rows, cols), got {frames.shape}")
+        if len(frames) != len(labels):
+            raise ValueError("frames/labels length mismatch")
+        if copies < 0:
+            raise ValueError("copies must be >= 0")
+        stacks = [frames]
+        label_stacks = [labels]
+        for _ in range(copies):
+            stacks.append(
+                np.stack([self.augment_frame(frame) for frame in frames])
+            )
+            label_stacks.append(labels.copy())
+        return np.concatenate(stacks), np.concatenate(label_stacks)

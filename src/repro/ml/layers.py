@@ -1,0 +1,460 @@
+"""NumPy neural-network layers (NCHW convention).
+
+The tactile case study (Sec. 4.2) classifies 32 x 32 frames with a
+ResNet trained under Adam + categorical cross-entropy, using max
+pooling and dropout.  No deep-learning framework is available offline,
+so this module implements the required layers from scratch on NumPy:
+
+* ``Conv2d`` -- im2col-based 2-D convolution (stride/padding);
+* ``BatchNorm2d`` -- per-channel batch normalisation with running
+  statistics for inference;
+* ``ReLU``, ``MaxPool2d``, ``Dropout``, ``Flatten``, ``GlobalAvgPool``,
+  ``Dense``;
+* ``ResidualBlock`` -- two conv/BN/ReLU stages with an identity (or
+  1x1-projected) skip connection, the ResNet building block.
+
+Every layer implements ``forward(x, training)`` and ``backward(grad)``
+and exposes ``parameters()`` as ``(name, value, gradient)`` triples for
+the optimisers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool",
+    "Dense",
+    "ResidualBlock",
+]
+
+
+class Layer:
+    """Base layer: stateless by default."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (caching what backward needs)."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate the loss gradient; accumulate parameter grads."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        """``(name, value, gradient)`` triples; empty if stateless."""
+        return []
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Copyable layer state (weights + running statistics)."""
+        return {name: value.copy() for name, value, _ in self.parameters()}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state`."""
+        for name, value, _ in self.parameters():
+            value[...] = state[name]
+
+
+# ---------------------------------------------------------------------------
+# im2col helpers
+# ---------------------------------------------------------------------------
+
+def _im2col(x, kernel, stride, padding):
+    """(N, C, H, W) -> (N * out_h * out_w, C * kh * kw) patch matrix."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(
+        n * out_h * out_w, c * kh * kw
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(cols, x_shape, kernel, stride, padding, out_h, out_w):
+    """Adjoint of :func:`_im2col` (scatter-add patches back)."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding))
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Layer):
+    """2-D convolution with He-initialised weights.
+
+    Parameters
+    ----------
+    in_channels, out_channels, kernel:
+        Filter geometry (square ``kernel``).
+    stride, padding:
+        Spatial stride and zero padding.
+    rng:
+        Weight-initialisation randomness.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if min(in_channels, out_channels, kernel, stride) < 1:
+            raise ValueError("conv dimensions must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        if padding is None:
+            padding = kernel // 2
+        self.stride = stride
+        self.padding = padding
+        self.kernel = (kernel, kernel)
+        fan_in = in_channels * kernel * kernel
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / fan_in), size=(out_channels, in_channels, kernel, kernel)
+        )
+        self.bias = np.zeros(out_channels)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        cols, out_h, out_w = _im2col(x, self.kernel, self.stride, self.padding)
+        w_flat = self.weight.reshape(self.weight.shape[0], -1)
+        out = cols @ w_flat.T + self.bias
+        n = x.shape[0]
+        out = out.reshape(n, out_h, out_w, -1).transpose(0, 3, 1, 2)
+        self._cache = (x.shape, cols, out_h, out_w)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, cols, out_h, out_w = self._cache
+        n = x_shape[0]
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, -1)
+        w_flat = self.weight.reshape(self.weight.shape[0], -1)
+        self.grad_weight[...] = (grad_flat.T @ cols).reshape(self.weight.shape)
+        self.grad_bias[...] = grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ w_flat
+        return _col2im(
+            grad_cols, x_shape, self.kernel, self.stride, self.padding, out_h, out_w
+        )
+
+    def parameters(self):
+        return [
+            ("weight", self.weight, self.grad_weight),
+            ("bias", self.bias, self.grad_bias),
+        ]
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalisation with running inference stats."""
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+        self.grad_gamma = np.zeros(channels)
+        self.grad_beta = np.zeros(channels)
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
+        self._cache = (x_hat, std)
+        return self.gamma[None, :, None, None] * x_hat + self.beta[None, :, None, None]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_hat, std = self._cache
+        n = grad.shape[0] * grad.shape[2] * grad.shape[3]
+        self.grad_gamma[...] = (grad * x_hat).sum(axis=(0, 2, 3))
+        self.grad_beta[...] = grad.sum(axis=(0, 2, 3))
+        gamma = self.gamma[None, :, None, None]
+        grad_xhat = grad * gamma
+        grad_x = (
+            grad_xhat
+            - grad_xhat.mean(axis=(0, 2, 3), keepdims=True)
+            - x_hat * (grad_xhat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        ) / std[None, :, None, None]
+        return grad_x
+
+    def parameters(self):
+        return [
+            ("gamma", self.gamma, self.grad_gamma),
+            ("beta", self.beta, self.grad_beta),
+        ]
+
+    def state(self):
+        out = super().state()
+        out["running_mean"] = self.running_mean.copy()
+        out["running_var"] = self.running_var.copy()
+        return out
+
+    def load_state(self, state):
+        super().load_state(state)
+        self.running_mean = state["running_mean"].copy()
+        self.running_var = state["running_var"].copy()
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self):
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int = 2):
+        if kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        self.kernel = kernel
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        if h % k or w % k:
+            raise ValueError(f"spatial dims {h}x{w} not divisible by {k}")
+        reshaped = x.reshape(n, c, h // k, k, w // k, k)
+        out = reshaped.max(axis=(3, 5))
+        mask = reshaped == out[:, :, :, None, :, None]
+        # Break ties: keep only the first max per window.
+        flat = mask.reshape(n, c, h // k, w // k, k * k)
+        first = np.cumsum(flat, axis=-1) == 1
+        mask = (flat & first).reshape(mask.shape)
+        self._cache = (x.shape, mask)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, mask = self._cache
+        n, c, h, w = x_shape
+        k = self.kernel
+        expanded = grad[:, :, :, None, :, None] * mask
+        return expanded.reshape(n, c, h, w)
+
+
+class Dropout(Layer):
+    """Inverted dropout (identity at inference)."""
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator | None = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    """(N, ...) -> (N, features)."""
+
+    def __init__(self):
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class GlobalAvgPool(Layer):
+    """(N, C, H, W) -> (N, C) spatial mean."""
+
+    def __init__(self):
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._shape
+        return np.broadcast_to(grad[:, :, None, None], self._shape) / (h * w)
+
+
+class Dense(Layer):
+    """Fully connected layer with He initialisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ):
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / in_features), size=(in_features, out_features)
+        )
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.grad_weight[...] = self._input.T @ grad
+        self.grad_bias[...] = grad.sum(axis=0)
+        return grad @ self.weight.T
+
+    def parameters(self):
+        return [
+            ("weight", self.weight, self.grad_weight),
+            ("bias", self.bias, self.grad_bias),
+        ]
+
+
+class ResidualBlock(Layer):
+    """Two conv/BN/ReLU stages with a skip connection (He et al. 2016).
+
+    When ``in_channels != out_channels`` or ``stride > 1`` the skip uses
+    a 1x1 projection convolution, as in the original paper.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu_out = ReLU()
+        if in_channels != out_channels or stride > 1:
+            self.projection = Conv2d(
+                in_channels, out_channels, 1, stride=stride, padding=0, rng=rng
+            )
+        else:
+            self.projection = None
+
+    def _sublayers(self) -> list[tuple[str, Layer]]:
+        layers = [
+            ("conv1", self.conv1),
+            ("bn1", self.bn1),
+            ("conv2", self.conv2),
+            ("bn2", self.bn2),
+        ]
+        if self.projection is not None:
+            layers.append(("projection", self.projection))
+        return layers
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = self.conv1.forward(x, training)
+        out = self.bn1.forward(out, training)
+        out = self.relu1.forward(out, training)
+        out = self.conv2.forward(out, training)
+        out = self.bn2.forward(out, training)
+        if self.projection is not None:
+            skip = self.projection.forward(x, training)
+        else:
+            skip = x
+        return self.relu_out.forward(out + skip, training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.relu_out.backward(grad)
+        grad_main = self.bn2.backward(grad)
+        grad_main = self.conv2.backward(grad_main)
+        grad_main = self.relu1.backward(grad_main)
+        grad_main = self.bn1.backward(grad_main)
+        grad_main = self.conv1.backward(grad_main)
+        if self.projection is not None:
+            grad_skip = self.projection.backward(grad)
+        else:
+            grad_skip = grad
+        return grad_main + grad_skip
+
+    def parameters(self):
+        out = []
+        for prefix, layer in self._sublayers():
+            for name, value, gradient in layer.parameters():
+                out.append((f"{prefix}.{name}", value, gradient))
+        return out
+
+    def state(self):
+        out = {}
+        for prefix, layer in self._sublayers():
+            for name, value in layer.state().items():
+                out[f"{prefix}.{name}"] = value
+        return out
+
+    def load_state(self, state):
+        for prefix, layer in self._sublayers():
+            sub = {
+                name[len(prefix) + 1:]: value
+                for name, value in state.items()
+                if name.startswith(prefix + ".")
+            }
+            layer.load_state(sub)

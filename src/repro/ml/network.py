@@ -1,0 +1,147 @@
+"""Sequential network container, losses and optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Sequential", "softmax", "cross_entropy_loss", "Adam", "Sgd"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift stabilisation."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_loss(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Categorical cross-entropy (mean) and its gradient w.r.t. logits.
+
+    ``labels`` are integer class ids.
+    """
+    labels = np.asarray(labels, dtype=int)
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ValueError("labels must be one id per row of logits")
+    probabilities = softmax(logits)
+    picked = probabilities[np.arange(n), labels]
+    loss = float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+    gradient = probabilities.copy()
+    gradient[np.arange(n), labels] -= 1.0
+    return loss, gradient / n
+
+
+class Sequential:
+    """A straight pipeline of layers."""
+
+    def __init__(self, layers: list[Layer]):
+        if not layers:
+            raise ValueError("need at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the network; set ``training`` during optimisation."""
+        for layer in self.layers:
+            x = layer.forward(x, training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate from the loss gradient on the output."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self):
+        """All ``(name, value, gradient)`` triples, layer-prefixed."""
+        out = []
+        for index, layer in enumerate(self.layers):
+            for name, value, gradient in layer.parameters():
+                out.append((f"layer{index}.{name}", value, gradient))
+        return out
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class ids for a batch of inputs (inference mode)."""
+        predictions = []
+        for start in range(0, len(x), batch_size):
+            logits = self.forward(x[start:start + batch_size], training=False)
+            predictions.append(np.argmax(logits, axis=-1))
+        return np.concatenate(predictions)
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Snapshot of every layer's weights and running statistics."""
+        out = {}
+        for index, layer in enumerate(self.layers):
+            for name, value in layer.state().items():
+                out[f"layer{index}.{name}"] = value
+        return out
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state` snapshot."""
+        for index, layer in enumerate(self.layers):
+            prefix = f"layer{index}."
+            sub = {
+                name[len(prefix):]: value
+                for name, value in state.items()
+                if name.startswith(prefix)
+            }
+            if sub:
+                layer.load_state(sub)
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba 2015), the paper's choice."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, parameters) -> None:
+        """Apply one update to ``(name, value, gradient)`` triples."""
+        self._t += 1
+        for name, value, gradient in parameters:
+            m = self._m.setdefault(name, np.zeros_like(value))
+            v = self._v.setdefault(name, np.zeros_like(value))
+            m[...] = self.beta1 * m + (1 - self.beta1) * gradient
+            v[...] = self.beta2 * v + (1 - self.beta2) * gradient * gradient
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Sgd:
+    """Plain SGD with optional momentum (baseline optimiser)."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, parameters) -> None:
+        """Apply one update to ``(name, value, gradient)`` triples."""
+        for name, value, gradient in parameters:
+            if self.momentum > 0:
+                velocity = self._velocity.setdefault(name, np.zeros_like(value))
+                velocity[...] = self.momentum * velocity - self.learning_rate * gradient
+                value += velocity
+            else:
+                value -= self.learning_rate * gradient

@@ -1,0 +1,89 @@
+"""ResNet classifier for 2-D sensor frames (ref [28], He et al. 2016).
+
+Sec. 4.2: "We used ResNet for identifying objects from the tactile
+data (32x32 arrays), where 'Max pooling' and 'Dropout' are used for
+reducing dimensionality of the data and avoiding overfitting".  The
+builder below assembles exactly that network on the NumPy framework:
+stem conv -> residual stages with max-pool downsampling -> global
+average pool -> dropout -> dense softmax head.
+
+The default configuration is deliberately compact (NumPy training), but
+deep enough to separate the 26 synthetic grasp classes; the same
+builder scales up by widening ``channels`` / adding stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    Dropout,
+    GlobalAvgPool,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+)
+from .network import Sequential
+
+__all__ = ["build_resnet"]
+
+
+def build_resnet(
+    input_shape: tuple[int, int] = (32, 32),
+    num_classes: int = 26,
+    channels: tuple[int, ...] = (16, 32),
+    blocks_per_stage: int = 1,
+    dropout_rate: float = 0.2,
+    seed: int = 0,
+) -> Sequential:
+    """Build the tactile-recognition ResNet.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(rows, cols)`` of the single-channel input frames; each
+        stage halves the spatial size via max pooling, so both dims
+        must be divisible by ``2 ** len(channels)``.
+    num_classes:
+        Output classes (26 objects in the paper's dataset).
+    channels:
+        Channel width per stage.
+    blocks_per_stage:
+        Residual blocks per stage.
+    dropout_rate:
+        Dropout before the dense head (the paper's overfitting guard).
+    seed:
+        Weight-initialisation seed.
+    """
+    rows, cols = input_shape
+    factor = 2 ** len(channels)
+    if rows % factor or cols % factor:
+        raise ValueError(
+            f"input {rows}x{cols} not divisible by the total pooling "
+            f"factor {factor}"
+        )
+    if blocks_per_stage < 1:
+        raise ValueError("blocks_per_stage must be >= 1")
+    rng = np.random.default_rng(seed)
+    layers = [
+        Conv2d(1, channels[0], 3, rng=rng),
+        BatchNorm2d(channels[0]),
+        ReLU(),
+    ]
+    in_channels = channels[0]
+    for stage_channels in channels:
+        for _ in range(blocks_per_stage):
+            layers.append(ResidualBlock(in_channels, stage_channels, rng=rng))
+            in_channels = stage_channels
+        layers.append(MaxPool2d(2))
+    layers.extend(
+        [
+            GlobalAvgPool(),
+            Dropout(dropout_rate, rng=rng),
+            Dense(in_channels, num_classes, rng=rng),
+        ]
+    )
+    return Sequential(layers)

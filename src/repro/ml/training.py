@@ -1,0 +1,143 @@
+"""Training loop replicating the paper's recipe (Sec. 4.2).
+
+"The ResNet model is trained with error backpropagation using Adam
+optimizer and categorical cross-entropy as the loss function.  During
+training, we reduce the learning rate by a factor of 10 until
+validation loss converges.  The weights that achieve the best
+validation accuracy are selected for the final evaluation."
+
+:class:`Trainer` implements exactly that: Adam + cross-entropy,
+reduce-LR-on-plateau (factor 10), best-validation-weights snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import Adam, Sequential, cross_entropy_loss
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training record."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+
+    @property
+    def best_epoch(self) -> int:
+        """Epoch index with the highest validation accuracy."""
+        if not self.val_accuracy:
+            raise RuntimeError("no epochs recorded")
+        return int(np.argmax(self.val_accuracy))
+
+
+@dataclass
+class Trainer:
+    """The paper's training procedure.
+
+    Parameters
+    ----------
+    learning_rate:
+        Initial Adam learning rate.
+    batch_size:
+        Mini-batch size.
+    lr_patience:
+        Epochs without validation-loss improvement before the LR drops
+        by ``lr_factor``.
+    lr_factor:
+        Learning-rate reduction factor (the paper's 10).
+    min_lr:
+        Stop reducing (and training) below this rate.
+    max_epochs:
+        Hard epoch cap.
+    seed:
+        Shuffling seed.
+    """
+
+    learning_rate: float = 1e-2
+    batch_size: int = 32
+    lr_patience: int = 3
+    lr_factor: float = 10.0
+    min_lr: float = 1e-5
+    max_epochs: int = 30
+    seed: int = 0
+
+    def fit(
+        self,
+        model: Sequential,
+        train_frames: np.ndarray,
+        train_labels: np.ndarray,
+        val_frames: np.ndarray,
+        val_labels: np.ndarray,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train ``model`` in place; restores the best-val weights.
+
+        Frames are ``(count, rows, cols)`` in [0, 1]; a channel axis is
+        added internally.
+        """
+        x_train = self._prepare(train_frames)
+        x_val = self._prepare(val_frames)
+        y_train = np.asarray(train_labels, dtype=int)
+        y_val = np.asarray(val_labels, dtype=int)
+        rng = np.random.default_rng(self.seed)
+        optimizer = Adam(self.learning_rate)
+        history = TrainingHistory()
+        best_state = model.state()
+        best_accuracy = -1.0
+        best_val_loss = np.inf
+        stale = 0
+        for _epoch in range(self.max_epochs):
+            order = rng.permutation(len(x_train))
+            epoch_losses = []
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start:start + self.batch_size]
+                logits = model.forward(x_train[batch], training=True)
+                loss, grad = cross_entropy_loss(logits, y_train[batch])
+                model.backward(grad)
+                optimizer.step(model.parameters())
+                epoch_losses.append(loss)
+            val_logits = model.forward(x_val, training=False)
+            val_loss, _ = cross_entropy_loss(val_logits, y_val)
+            val_accuracy = float(
+                np.mean(np.argmax(val_logits, axis=-1) == y_val)
+            )
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            history.val_loss.append(val_loss)
+            history.val_accuracy.append(val_accuracy)
+            history.learning_rates.append(optimizer.learning_rate)
+            if verbose:  # pragma: no cover - logging only
+                print(
+                    f"epoch {_epoch}: train={history.train_loss[-1]:.3f} "
+                    f"val={val_loss:.3f} acc={val_accuracy:.3f} "
+                    f"lr={optimizer.learning_rate:.2g}"
+                )
+            if val_accuracy > best_accuracy:
+                best_accuracy = val_accuracy
+                best_state = model.state()
+            if val_loss < best_val_loss - 1e-4:
+                best_val_loss = val_loss
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.lr_patience:
+                    optimizer.learning_rate /= self.lr_factor
+                    stale = 0
+                    if optimizer.learning_rate < self.min_lr:
+                        break
+        model.load_state(best_state)
+        return history
+
+    @staticmethod
+    def _prepare(frames: np.ndarray) -> np.ndarray:
+        frames = np.asarray(frames, dtype=float)
+        if frames.ndim != 3:
+            raise ValueError(f"expected (count, rows, cols), got {frames.shape}")
+        return frames[:, None, :, :]

@@ -1,0 +1,112 @@
+"""Tests for the active-matrix sensor array model."""
+
+import numpy as np
+import pytest
+
+from repro.array.active_matrix import ActiveMatrix
+from repro.devices.defects import DefectMap, DefectType, PixelDefect
+from repro.devices.variation import VariationModel
+
+
+class TestConstruction:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ActiveMatrix((0, 4))
+
+    def test_defect_map_shape_checked(self):
+        defects = DefectMap(shape=(4, 4))
+        with pytest.raises(ValueError):
+            ActiveMatrix((8, 8), defect_map=defects)
+
+    def test_ideal_array_uniform_resistance(self):
+        array = ActiveMatrix((4, 4))
+        resistances = array.on_resistances
+        assert np.allclose(resistances, resistances[0, 0])
+
+    def test_variation_spreads_resistance(self):
+        array = ActiveMatrix(
+            (8, 8), variation=VariationModel(mobility_sigma=0.2, seed=0)
+        )
+        assert array.on_resistances.std() > 0
+
+
+class TestTemperatureMode:
+    def test_currents_decrease_with_temperature(self):
+        array = ActiveMatrix((4, 4))
+        cold = array.read_currents(np.full((4, 4), 20.0))
+        hot = array.read_currents(np.full((4, 4), 90.0))
+        assert np.all(hot < cold)
+
+    def test_field_shape_checked(self):
+        array = ActiveMatrix((4, 4))
+        with pytest.raises(ValueError):
+            array.read_currents(np.zeros((3, 3)))
+
+    def test_open_defect_reads_near_zero(self):
+        defects = DefectMap(
+            shape=(4, 4), defects=[PixelDefect(1, 2, DefectType.OPEN_CHANNEL)]
+        )
+        array = ActiveMatrix((4, 4), defect_map=defects)
+        currents = array.read_currents(np.full((4, 4), 50.0))
+        assert currents[1, 2] < 1e-9
+
+    def test_short_defect_reads_extreme_high(self):
+        defects = DefectMap(
+            shape=(4, 4), defects=[PixelDefect(0, 0, DefectType.METALLIC_SHORT)]
+        )
+        array = ActiveMatrix((4, 4), defect_map=defects)
+        currents = array.read_currents(np.full((4, 4), 50.0))
+        assert currents[0, 0] > 10 * currents[1, 1]
+
+    def test_current_bounds_ordered(self):
+        array = ActiveMatrix((4, 4))
+        low, high = array.current_bounds(20.0, 100.0)
+        assert low < high
+
+    def test_degenerate_span_rejected(self):
+        array = ActiveMatrix((4, 4))
+        with pytest.raises(ValueError):
+            array.current_bounds(50.0, 50.0)
+
+
+class TestNormalizedMode:
+    def test_ideal_transduction_is_identity(self):
+        array = ActiveMatrix((6, 6))
+        frame = np.random.default_rng(0).random((6, 6))
+        assert np.allclose(array.transduce(frame), frame)
+
+    def test_defects_stick(self):
+        defects = DefectMap(
+            shape=(4, 4),
+            defects=[
+                PixelDefect(0, 0, DefectType.METALLIC_SHORT),
+                PixelDefect(3, 3, DefectType.OPEN_CHANNEL),
+            ],
+        )
+        array = ActiveMatrix((4, 4), defect_map=defects)
+        out = array.transduce(np.full((4, 4), 0.5))
+        assert out[0, 0] == 1.0
+        assert out[3, 3] == 0.0
+
+    def test_variation_perturbs_gain(self):
+        array = ActiveMatrix(
+            (8, 8), variation=VariationModel(mobility_sigma=0.1, seed=1)
+        )
+        frame = np.full((8, 8), 0.5)
+        out = array.transduce(frame)
+        assert not np.allclose(out, frame)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_shape_checked(self):
+        array = ActiveMatrix((4, 4))
+        with pytest.raises(ValueError):
+            array.transduce(np.zeros((2, 2)))
+
+    def test_defect_mask_property(self):
+        defects = DefectMap(
+            shape=(4, 4), defects=[PixelDefect(2, 2, DefectType.GATE_LEAK)]
+        )
+        array = ActiveMatrix((4, 4), defect_map=defects)
+        mask = array.defect_mask
+        assert mask[2, 2]
+        assert mask.sum() == 1

@@ -1,0 +1,66 @@
+"""Tests for the scan energy model."""
+
+import numpy as np
+import pytest
+
+from repro.array.energy import EnergyModel
+from repro.array.scanner import ScanSchedule
+from repro.core.sensing import RowSamplingMatrix
+
+
+def _schedule(shape=(16, 16), fraction=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    n = shape[0] * shape[1]
+    phi = RowSamplingMatrix.random(n, int(fraction * n), rng)
+    return ScanSchedule.from_phi(phi, shape)
+
+
+class TestEnergyModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(adc_energy_j=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel(clock_hz=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel(static_power_w=-1.0)
+
+    def test_breakdown_positive(self):
+        energy = EnergyModel().scan_energy(_schedule())
+        assert energy.adc > 0
+        assert energy.drivers > 0
+        assert energy.static > 0
+        assert energy.total == pytest.approx(
+            energy.adc + energy.drivers + energy.static
+        )
+
+    def test_adc_energy_proportional_to_m(self):
+        model = EnergyModel()
+        half = model.scan_energy(_schedule(fraction=0.5))
+        quarter = model.scan_energy(_schedule(fraction=0.25))
+        assert half.adc == pytest.approx(2.0 * quarter.adc, rel=0.05)
+
+    def test_cs_scan_saves_energy(self):
+        model = EnergyModel()
+        ratio = model.energy_ratio(_schedule(fraction=0.5))
+        assert ratio < 1.0
+
+    def test_adc_dominated_regime_ratio_near_half(self):
+        # When conversions dominate, the energy ratio approaches M/N.
+        model = EnergyModel(adc_energy_j=1e-7, static_power_w=0.0)
+        ratio = model.energy_ratio(_schedule(fraction=0.5))
+        assert ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_driver_dominated_regime_saves_less(self):
+        adc_heavy = EnergyModel(adc_energy_j=1e-7, static_power_w=0.0)
+        driver_heavy = EnergyModel(
+            adc_energy_j=1e-12, line_capacitance_f=1e-9, static_power_w=0.0
+        )
+        schedule = _schedule(fraction=0.5)
+        assert driver_heavy.energy_ratio(schedule) > adc_heavy.energy_ratio(
+            schedule
+        )
+
+    def test_full_readout_reads_everything(self):
+        model = EnergyModel()
+        full = model.full_readout_energy((16, 16))
+        assert full.adc == pytest.approx(256 * model.adc_energy_j)

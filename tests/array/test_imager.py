@@ -1,0 +1,98 @@
+"""Tests for the streaming imager."""
+
+import numpy as np
+import pytest
+
+from repro.array import ActiveMatrix, FlexibleEncoder, ReadoutChain, StreamingImager
+from repro.core.errors import SparseErrorModel
+from repro.core.metrics import rmse
+
+
+def _frames(count=5, shape=(16, 16)):
+    r, c = np.mgrid[0:shape[0], 0:shape[1]]
+    base = 0.5 + 0.35 * np.sin(r / 4.0) * np.cos(c / 5.0)
+    return np.stack(
+        [np.clip(base + 0.02 * np.sin(0.7 * k), 0, 1) for k in range(count)]
+    )
+
+
+def _encoder(shape=(16, 16)):
+    return FlexibleEncoder(
+        ActiveMatrix(shape),
+        readout=ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0, adc_bits=12),
+    )
+
+
+class TestCapture:
+    def test_clean_stream_reconstructs(self):
+        imager = StreamingImager(_encoder(), sampling_fraction=0.6, seed=0)
+        records = imager.stream(_frames(3))
+        assert len(records) == 3
+        assert [r.index for r in records] == [0, 1, 2]
+        for record in records:
+            assert rmse(record.clean, record.reconstructed) < 0.03
+
+    def test_transient_errors_tolerated(self):
+        imager = StreamingImager(
+            _encoder(),
+            sampling_fraction=0.55,
+            error_model=SparseErrorModel(transient_rate=0.05, seed=1),
+            rpca_window=4,
+            seed=0,
+        )
+        records = imager.stream(_frames(6))
+        # later frames benefit from the RPCA history
+        late = records[-1]
+        assert rmse(late.clean, late.reconstructed) < rmse(
+            late.clean, late.corrupted
+        )
+
+    def test_rpca_history_excludes_outliers(self):
+        imager = StreamingImager(
+            _encoder(),
+            sampling_fraction=0.5,
+            error_model=SparseErrorModel(transient_rate=0.08, seed=2),
+            rpca_window=5,
+            seed=1,
+        )
+        records = imager.stream(_frames(6))
+        assert records[-1].excluded_pixels > 0
+        assert records[0].excluded_pixels == 0  # no history yet
+
+    def test_fresh_phi_each_frame(self):
+        imager = StreamingImager(_encoder(), sampling_fraction=0.5, seed=3)
+        frames = _frames(2)
+        record_a = imager.capture(frames[0])
+        record_b = imager.capture(frames[1])
+        # different random masks -> reconstructions differ even for
+        # identical inputs at equal quality
+        assert not np.array_equal(record_a.reconstructed, record_b.reconstructed)
+
+    def test_shape_checked(self):
+        imager = StreamingImager(_encoder((8, 8)))
+        with pytest.raises(ValueError):
+            imager.capture(np.zeros((9, 9)))
+        with pytest.raises(ValueError):
+            imager.stream(np.zeros((8, 8)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingImager(_encoder(), sampling_fraction=0.0)
+        with pytest.raises(ValueError):
+            StreamingImager(_encoder(), rpca_window=-1)
+
+
+class TestShiftRegisterClockSearch:
+    def test_max_clock_above_paper_point(self):
+        from repro.circuits.shift_register import ShiftRegister
+
+        register = ShiftRegister(stages=4)
+        ceiling = register.max_functional_clock(high_hz=2.0e5, resolution=0.3)
+        assert ceiling > 10_000.0  # works at the paper's 10 kHz with margin
+        assert ceiling < 2.0e5
+
+    def test_validation(self):
+        from repro.circuits.shift_register import ShiftRegister
+
+        with pytest.raises(ValueError):
+            ShiftRegister(stages=2).max_functional_clock(low_hz=0.0)

@@ -1,0 +1,87 @@
+"""Tests for the readout chain (amplifier + S/H + ADC)."""
+
+import numpy as np
+import pytest
+
+from repro.array.readout import ReadoutChain
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        ReadoutChain()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ReadoutChain(transimpedance_ohm=0.0)
+        with pytest.raises(ValueError):
+            ReadoutChain(sh_droop=1.0)
+        with pytest.raises(ValueError):
+            ReadoutChain(adc_bits=0)
+        with pytest.raises(ValueError):
+            ReadoutChain(noise_sigma_v=-1.0)
+        with pytest.raises(ValueError):
+            ReadoutChain(full_scale_v=0.0)
+
+
+class TestQuantization:
+    def test_lsb_size(self):
+        chain = ReadoutChain(adc_bits=10, full_scale_v=3.0)
+        assert chain.lsb_v == pytest.approx(3.0 / 1024)
+
+    def test_output_code_grid(self):
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0, adc_bits=4)
+        codes = chain.convert_normalized(np.linspace(0, 1, 100))
+        assert len(np.unique(codes)) <= 16
+        assert np.all((codes >= 0) & (codes <= 1))
+
+    def test_high_resolution_nearly_transparent(self):
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0, adc_bits=16)
+        values = np.random.default_rng(0).random(50)
+        codes = chain.convert_normalized(values)
+        assert np.allclose(codes, values, atol=1e-4)
+
+    def test_clipping_at_full_scale(self):
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0)
+        assert chain.convert_normalized(np.array([2.0]))[0] == 1.0
+        assert chain.convert_normalized(np.array([-1.0]))[0] == 0.0
+
+
+class TestCurrentPath:
+    def test_monotone_in_current(self):
+        chain = ReadoutChain.for_current_range(25e-6, noise_sigma_v=0.0)
+        currents = np.linspace(1e-6, 25e-6, 10)
+        codes = chain.convert_currents(currents)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_for_current_range_avoids_clipping(self):
+        chain = ReadoutChain.for_current_range(25e-6, noise_sigma_v=0.0)
+        top = chain.convert_currents(np.array([25e-6]))[0]
+        assert 0.7 < top < 0.95
+
+    def test_for_current_range_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutChain.for_current_range(0.0)
+        with pytest.raises(ValueError):
+            ReadoutChain.for_current_range(1e-6, headroom=0.5)
+
+
+class TestNoiseAndDroop:
+    def test_noise_spreads_codes(self):
+        chain = ReadoutChain(noise_sigma_v=0.05, adc_bits=12, seed=1)
+        codes = chain.convert_normalized(np.full(2000, 0.5))
+        assert codes.std() > 0.005
+
+    def test_droop_lowers_reading(self):
+        ideal = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0)
+        droopy = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.1)
+        value = np.array([0.8])
+        assert droopy.convert_normalized(value)[0] < ideal.convert_normalized(value)[0]
+
+    def test_seeded_noise_reproducible(self):
+        a = ReadoutChain(noise_sigma_v=0.01, seed=3).convert_normalized(
+            np.full(10, 0.5)
+        )
+        b = ReadoutChain(noise_sigma_v=0.01, seed=3).convert_normalized(
+            np.full(10, 0.5)
+        )
+        assert np.array_equal(a, b)

@@ -1,0 +1,76 @@
+"""Tests for the sqrt(N)-cycle scan scheduler (Fig. 4 / Sec. 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array.scanner import ScanSchedule
+from repro.core.sensing import RowSamplingMatrix
+
+
+def _schedule(shape=(6, 5), m=12, seed=0):
+    rng = np.random.default_rng(seed)
+    n = shape[0] * shape[1]
+    phi = RowSamplingMatrix.random(n, m, rng)
+    return phi, ScanSchedule.from_phi(phi, shape)
+
+
+class TestSchedule:
+    def test_cycle_count_is_column_count(self):
+        _, schedule = _schedule(shape=(8, 5))
+        assert schedule.num_cycles == 5
+
+    def test_total_reads_is_m(self):
+        phi, schedule = _schedule(m=17)
+        assert schedule.total_reads == 17
+
+    def test_pixel_order_covers_phi_indices(self):
+        phi, schedule = _schedule(m=14, seed=1)
+        order = schedule.pixel_order()
+        assert sorted(order.tolist()) == sorted(phi.indices.tolist())
+
+    def test_acquisition_is_column_major(self):
+        phi, schedule = _schedule(m=10, seed=2)
+        order = schedule.pixel_order()
+        cols = order % schedule.array_shape[1]
+        assert np.all(np.diff(cols) >= 0)
+
+    def test_square_array_sqrt_n_cycles(self):
+        # Sec. 4.1: a square array scans in sqrt(N) cycles.
+        _, schedule = _schedule(shape=(16, 16), m=100)
+        assert schedule.num_cycles == 16  # sqrt(256)
+
+
+class TestCommunicationCost:
+    def test_half_sampling_half_cost(self):
+        _, schedule = _schedule(shape=(10, 10), m=50)
+        cost = schedule.communication_cost()
+        assert cost["cost_ratio"] == pytest.approx(0.5)
+        assert cost["adc_conversions"] == 50
+        assert cost["baseline_conversions"] == 100
+
+    def test_custom_baseline(self):
+        _, schedule = _schedule(shape=(10, 10), m=25)
+        cost = schedule.communication_cost(baseline_reads=50)
+        assert cost["cost_ratio"] == pytest.approx(0.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    data=st.data(),
+)
+def test_property_every_sample_read_exactly_once(seed, data):
+    """The scan reads each sampled pixel exactly once, in one cycle."""
+    rows = data.draw(st.integers(min_value=2, max_value=10))
+    cols = data.draw(st.integers(min_value=2, max_value=10))
+    n = rows * cols
+    m = data.draw(st.integers(min_value=1, max_value=n))
+    rng = np.random.default_rng(seed)
+    phi = RowSamplingMatrix.random(n, m, rng)
+    schedule = ScanSchedule.from_phi(phi, (rows, cols))
+    order = schedule.pixel_order()
+    assert len(order) == m
+    assert len(np.unique(order)) == m
+    assert schedule.num_cycles == cols

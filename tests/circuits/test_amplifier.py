@@ -1,0 +1,62 @@
+"""Tests for the self-biased amplifier (Fig. 5e)."""
+
+import pytest
+
+from repro.circuits.amplifier import AmplifierDesign, SelfBiasedAmplifier
+
+
+class TestDesign:
+    def test_defaults_valid(self):
+        AmplifierDesign()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmplifierDesign(drive_width_um=0.0)
+        with pytest.raises(ValueError):
+            AmplifierDesign(coupling_c_farads=0.0)
+        with pytest.raises(ValueError):
+            AmplifierDesign(vss=1.0)
+
+    def test_paper_dimensions(self):
+        design = AmplifierDesign()
+        assert design.length_um == 10.0
+        assert design.coupling_c_farads == pytest.approx(1e-9)
+        assert design.vdd == 3.0 and design.vss == -3.0
+
+
+class TestOperatingPoint:
+    def test_self_bias_equalizes_gate_and_output(self):
+        amplifier = SelfBiasedAmplifier()
+        op = amplifier.operating_point()
+        # Feedback forces V(G1) == V(OUT1) at DC (no gate current).
+        assert op["gate"] == pytest.approx(op["stage1"], abs=0.02)
+
+    def test_bias_sits_mid_supply(self):
+        op = SelfBiasedAmplifier().operating_point()
+        assert 0.5 < op["stage1"] < 2.5
+
+    def test_nine_transistors(self):
+        assert SelfBiasedAmplifier().tft_count() == 9
+
+
+class TestGain:
+    # One shared measurement: the transient sim is the expensive part.
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        return SelfBiasedAmplifier().measure(periods=6, points_per_period=90)
+
+    def test_gain_near_paper_28db(self, measurement):
+        # Paper: ~28 dB at 30 kHz; the calibrated model lands within a
+        # few dB (see EXPERIMENTS.md).
+        assert 20.0 <= measurement.gain_db <= 34.0
+
+    def test_output_amplitude_volt_level(self, measurement):
+        # Paper: 50 mV in -> 1.3 V out; we accept the volt range.
+        assert 0.5 <= measurement.output_amplitude_v <= 2.0
+
+    def test_measure_validation(self):
+        amplifier = SelfBiasedAmplifier()
+        with pytest.raises(ValueError):
+            amplifier.measure(input_amplitude_v=0.0)
+        with pytest.raises(ValueError):
+            amplifier.measure(frequency_hz=-1.0)

@@ -1,0 +1,125 @@
+"""Tests for the event-driven gate-level simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.logic_sim import LogicSimulator
+from repro.circuits.pseudo_cmos import cell
+
+
+class TestBasicGates:
+    def test_inverter_follows_input_with_delay(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "INV", ["a"], "y")
+        sim.set_stimulus("a", [(0.0, 0), (1e-4, 1)])
+        waves = sim.run(5e-4)
+        delay = cell("INV").delay_s
+        assert waves["y"].value_at(1e-4 + 0.5 * delay) == 1  # still old value
+        assert waves["y"].value_at(1e-4 + 1.5 * delay) == 0
+
+    def test_nand_chain_composes(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "NAND2", ["a", "b"], "n")
+        sim.add_gate("u1", "INV", ["n"], "y")  # AND via NAND+INV
+        sim.set_stimulus("a", [(0.0, 1)])
+        sim.set_stimulus("b", [(0.0, 1)])
+        waves = sim.run(1e-3)
+        assert waves["y"].value_at(1e-3) == 1
+
+    def test_inertial_delay_filters_glitch(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "INV", ["a"], "y")
+        delay = cell("INV").delay_s
+        # pulse much shorter than the gate delay
+        sim.set_stimulus("a", [(0.0, 0), (1e-4, 1), (1e-4 + 0.2 * delay, 0)])
+        waves = sim.run(1e-3)
+        # output settles high and never pulses low
+        values = [v for _, v in waves["y"].changes]
+        assert values.count(0) == 0
+
+    def test_x_resolution_with_controlling_input(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "NAND2", ["a", "b"], "y")
+        sim.set_stimulus("a", [(0.0, 0)])  # controlling 0 -> output 1
+        waves = sim.run(1e-3)  # b never driven (X)
+        assert waves["y"].value_at(1e-3) == 1
+
+    def test_x_propagates_without_controlling_input(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "NAND2", ["a", "b"], "y")
+        sim.set_stimulus("a", [(0.0, 1)])  # non-controlling; b unknown
+        waves = sim.run(1e-3)
+        assert waves["y"].value_at(1e-3) is None
+
+
+class TestLatchFeedback:
+    def test_mux_latch_holds_value(self):
+        sim = LogicSimulator()
+        # q = en ? d : q
+        sim.add_gate("latch", "MUX2", ["en", "d", "q"], "q")
+        sim.set_stimulus("en", [(0.0, 1), (1e-3, 0)])
+        sim.set_stimulus("d", [(0.0, 1), (2e-3, 0)])
+        waves = sim.run(4e-3)
+        assert waves["q"].value_at(0.9e-3) == 1  # transparent
+        assert waves["q"].value_at(3.9e-3) == 1  # held after d change
+
+
+class TestValidation:
+    def test_duplicate_gate_name(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "INV", ["a"], "y")
+        with pytest.raises(ValueError):
+            sim.add_gate("u0", "INV", ["b"], "z")
+
+    def test_double_driver_rejected(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "INV", ["a"], "y")
+        with pytest.raises(ValueError):
+            sim.add_gate("u1", "INV", ["b"], "y")
+
+    def test_stimulus_on_driven_net_rejected(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "INV", ["a"], "y")
+        with pytest.raises(ValueError):
+            sim.set_stimulus("y", [(0.0, 1)])
+
+    def test_bad_stimulus_value(self):
+        sim = LogicSimulator()
+        with pytest.raises(ValueError):
+            sim.set_stimulus("a", [(0.0, 2)])
+
+    def test_run_needs_positive_stop(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "INV", ["a"], "y")
+        with pytest.raises(ValueError):
+            sim.run(0.0)
+
+    def test_clock_stimulus_validation(self):
+        sim = LogicSimulator()
+        with pytest.raises(ValueError):
+            sim.clock_stimulus("clk", 0.0, 1.0)
+
+
+class TestAccounting:
+    def test_tft_count_sums_cells(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "INV", ["a"], "y")
+        sim.add_gate("u1", "NAND2", ["y", "b"], "z")
+        assert sim.tft_count() == 4 + 6
+
+    def test_waveform_sampling_marks_unknown(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "INV", ["a"], "y")
+        waves = sim.run(1e-4)  # no stimulus at all
+        sampled = waves["y"].sample(np.array([5e-5]))
+        assert sampled[0] == -1
+
+    def test_edges_listing(self):
+        sim = LogicSimulator()
+        sim.add_gate("u0", "BUF", ["a"], "y")
+        sim.clock_stimulus("a", 1000.0, 3e-3)
+        waves = sim.run(3e-3)
+        rising = waves["a"].edges(rising=True)
+        falling = waves["a"].edges(rising=False)
+        assert len(rising) >= 2
+        assert len(falling) >= 2

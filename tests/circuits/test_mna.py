@@ -1,0 +1,169 @@
+"""Tests for the MNA circuit engine against analytic references."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mna import ConvergenceError, MnaSimulator
+from repro.circuits.netlist import GROUND, Circuit, pulse
+from repro.devices.cnt_tft import CntTft, TftParameters
+
+
+class TestDcLinear:
+    def test_resistor_divider(self):
+        circuit = Circuit("divider")
+        circuit.add_voltage_source("v1", "in", GROUND, 10.0)
+        circuit.add_resistor("r1", "in", "mid", 1000.0)
+        circuit.add_resistor("r2", "mid", GROUND, 3000.0)
+        op = MnaSimulator(circuit).dc_operating_point()
+        assert op["mid"] == pytest.approx(7.5, rel=1e-6)
+
+    def test_source_current(self):
+        circuit = Circuit("load")
+        circuit.add_voltage_source("v1", "in", GROUND, 5.0)
+        circuit.add_resistor("r1", "in", GROUND, 500.0)
+        op = MnaSimulator(circuit).dc_operating_point()
+        # MNA branch current flows from + to - inside the source
+        assert abs(op.source_currents["v1"]) == pytest.approx(0.01, rel=1e-6)
+
+    def test_capacitor_open_at_dc(self):
+        circuit = Circuit("rc")
+        circuit.add_voltage_source("v1", "in", GROUND, 5.0)
+        circuit.add_resistor("r1", "in", "out", 1000.0)
+        circuit.add_capacitor("c1", "out", GROUND, 1e-9)
+        op = MnaSimulator(circuit).dc_operating_point()
+        assert op["out"] == pytest.approx(5.0, rel=1e-5)
+
+    def test_ground_voltage_is_zero(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v1", "a", GROUND, 1.0)
+        circuit.add_resistor("r1", "a", GROUND, 1.0e3)
+        op = MnaSimulator(circuit).dc_operating_point()
+        assert op[GROUND] == 0.0
+
+
+class TestDcNonlinear:
+    def test_tft_load_line(self):
+        """Series resistor + p-type TFT: solution satisfies both laws."""
+        circuit = Circuit("loadline")
+        circuit.add_voltage_source("vdd", "vdd", GROUND, 3.0)
+        circuit.add_voltage_source("vg", "g", GROUND, 0.0)
+        device = CntTft(100, 10)
+        # p-type with source at VDD, drain pulled low through R.
+        circuit.add_tft("m1", gate="g", drain="d", source="vdd", device=device)
+        circuit.add_resistor("rl", "d", GROUND, 1.0e5)
+        op = MnaSimulator(circuit).dc_operating_point()
+        v_d = op["d"]
+        i_resistor = v_d / 1.0e5
+        i_tft = device.drain_current(0.0 - 3.0, v_d - 3.0)
+        assert i_resistor == pytest.approx(i_tft, rel=1e-4)
+
+    def test_off_tft_pulls_nothing(self):
+        circuit = Circuit("off")
+        circuit.add_voltage_source("vdd", "vdd", GROUND, 3.0)
+        circuit.add_voltage_source("vg", "g", GROUND, 3.0)  # gate high -> off
+        circuit.add_tft("m1", gate="g", drain="d", source="vdd",
+                        device=CntTft(100, 10))
+        circuit.add_resistor("rl", "d", GROUND, 1.0e5)
+        op = MnaSimulator(circuit).dc_operating_point()
+        assert op["d"] < 0.05
+
+
+class TestDcSweep:
+    def test_sweep_records_requested_nets(self):
+        circuit = Circuit("sweep")
+        circuit.add_voltage_source("vin", "in", GROUND, 0.0)
+        circuit.add_resistor("r1", "in", "out", 1000.0)
+        circuit.add_resistor("r2", "out", GROUND, 1000.0)
+        sim = MnaSimulator(circuit)
+        values = np.linspace(0, 4, 5)
+        sweep = sim.dc_sweep("vin", values, record=["out"])
+        assert np.allclose(sweep["out"], values / 2.0)
+        assert "I(vin)" in sweep
+
+    def test_sweep_restores_waveform(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("vin", "in", GROUND, 1.5)
+        circuit.add_resistor("r1", "in", GROUND, 1e3)
+        sim = MnaSimulator(circuit)
+        sim.dc_sweep("vin", np.array([0.0, 1.0]), record=["in"])
+        assert circuit.voltage_sources()[0].value(0.0) == 1.5
+
+    def test_unknown_source_rejected(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("vin", "in", GROUND, 1.0)
+        circuit.add_resistor("r1", "in", GROUND, 1e3)
+        with pytest.raises(KeyError):
+            MnaSimulator(circuit).dc_sweep("nope", np.array([0.0]), record=["in"])
+
+
+class TestTransient:
+    def test_rc_charging_time_constant(self):
+        circuit = Circuit("rc")
+        r, c = 1.0e4, 1.0e-8  # tau = 100 us
+        circuit.add_voltage_source(
+            "v1", "in", GROUND, pulse(0.0, 1.0, period_s=1.0, delay_s=0.0)
+        )
+        circuit.add_resistor("r1", "in", "out", r)
+        circuit.add_capacitor("c1", "out", GROUND, c)
+        sim = MnaSimulator(circuit)
+        result = sim.transient(
+            stop_s=5e-4, step_s=1e-6, record=["out"], start_from_dc=False
+        )
+        tau_index = np.searchsorted(result.times, r * c)
+        assert result["out"][tau_index] == pytest.approx(1 - np.exp(-1), abs=0.02)
+        assert result["out"][-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_transient_records_all_nets_by_default(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v1", "a", GROUND, 1.0)
+        circuit.add_resistor("r1", "a", "b", 1e3)
+        circuit.add_resistor("r2", "b", GROUND, 1e3)
+        result = MnaSimulator(circuit).transient(stop_s=1e-5, step_s=1e-6)
+        assert set(result.nets()) == {"a", "b"}
+
+    def test_unknown_record_net_rejected(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v1", "a", GROUND, 1.0)
+        circuit.add_resistor("r1", "a", GROUND, 1e3)
+        with pytest.raises(KeyError):
+            MnaSimulator(circuit).transient(1e-5, 1e-6, record=["nope"])
+
+    def test_validation(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v1", "a", GROUND, 1.0)
+        circuit.add_resistor("r1", "a", GROUND, 1e3)
+        sim = MnaSimulator(circuit)
+        with pytest.raises(ValueError):
+            sim.transient(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            sim.transient(1e-5, 0.0)
+
+
+class TestLinearProperties:
+    def test_superposition_on_resistive_network(self):
+        """For a purely resistive network, the response to two sources
+        equals the sum of the responses to each source alone."""
+
+        def solve_with(v1, v2):
+            circuit = Circuit("super")
+            circuit.add_voltage_source("s1", "a", GROUND, v1)
+            circuit.add_voltage_source("s2", "b", GROUND, v2)
+            circuit.add_resistor("r1", "a", "mid", 1.0e3)
+            circuit.add_resistor("r2", "b", "mid", 2.0e3)
+            circuit.add_resistor("r3", "mid", GROUND, 3.0e3)
+            return MnaSimulator(circuit).dc_operating_point()["mid"]
+
+        both = solve_with(2.0, 5.0)
+        only_first = solve_with(2.0, 0.0)
+        only_second = solve_with(0.0, 5.0)
+        assert both == pytest.approx(only_first + only_second, rel=1e-9)
+
+    def test_scaling_linearity(self):
+        def solve_with(v):
+            circuit = Circuit("lin")
+            circuit.add_voltage_source("s1", "a", GROUND, v)
+            circuit.add_resistor("r1", "a", "out", 1.0e3)
+            circuit.add_resistor("r2", "out", GROUND, 4.0e3)
+            return MnaSimulator(circuit).dc_operating_point()["out"]
+
+        assert solve_with(6.0) == pytest.approx(3.0 * solve_with(2.0), rel=1e-9)

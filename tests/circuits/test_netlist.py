@@ -1,0 +1,109 @@
+"""Tests for the netlist data model and stimuli."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.netlist import (
+    GROUND,
+    Capacitor,
+    Circuit,
+    Resistor,
+    dc,
+    pulse,
+    pwl,
+    sine,
+)
+from repro.devices.cnt_tft import CntTft
+
+
+class TestComponents:
+    def test_resistor_validation(self):
+        with pytest.raises(ValueError):
+            Resistor("r1", "a", "b", 0.0)
+
+    def test_capacitor_validation(self):
+        with pytest.raises(ValueError):
+            Capacitor("c1", "a", "b", -1e-9)
+
+
+class TestCircuit:
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit()
+        circuit.add_resistor("r1", "a", GROUND, 100.0)
+        with pytest.raises(ValueError):
+            circuit.add_resistor("r1", "b", GROUND, 100.0)
+
+    def test_nets_exclude_ground(self):
+        circuit = Circuit()
+        circuit.add_resistor("r1", "a", GROUND, 100.0)
+        circuit.add_resistor("r2", "a", "b", 100.0)
+        assert circuit.nets() == ["a", "b"]
+
+    def test_tft_count(self):
+        circuit = Circuit()
+        device = CntTft(10, 10)
+        circuit.add_tft("m1", "g", "d", "s", device)
+        circuit.add_tft("m2", "g", "d2", "s", device)
+        circuit.add_resistor("r1", "d", GROUND, 1e3)
+        assert circuit.tft_count() == 2
+
+    def test_numeric_waveform_wrapped(self):
+        circuit = Circuit()
+        source = circuit.add_voltage_source("v1", "a", GROUND, 2.5)
+        assert source.value(0.0) == 2.5
+        assert source.value(1.0) == 2.5
+
+    def test_voltage_sources_listed_in_order(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v1", "a", GROUND, 1.0)
+        circuit.add_voltage_source("v2", "b", GROUND, 2.0)
+        assert [s.name for s in circuit.voltage_sources()] == ["v1", "v2"]
+
+
+class TestStimuli:
+    def test_dc(self):
+        waveform = dc(3.3)
+        assert waveform(0.0) == 3.3
+        assert waveform(100.0) == 3.3
+
+    def test_sine_amplitude_offset(self):
+        waveform = sine(1.0, 1000.0, offset=0.5)
+        quarter = 1.0 / 4000.0
+        assert waveform(0.0) == pytest.approx(0.5)
+        assert waveform(quarter) == pytest.approx(1.5)
+
+    def test_sine_validation(self):
+        with pytest.raises(ValueError):
+            sine(1.0, 0.0)
+
+    def test_pulse_square(self):
+        waveform = pulse(0.0, 3.0, period_s=1e-3, duty=0.5)
+        assert waveform(0.1e-3) == 3.0
+        assert waveform(0.6e-3) == 0.0
+        assert waveform(1.1e-3) == 3.0
+
+    def test_pulse_delay(self):
+        waveform = pulse(0.0, 1.0, period_s=1e-3, delay_s=1e-3)
+        assert waveform(0.5e-3) == 0.0
+        assert waveform(1.1e-3) == 1.0
+
+    def test_pulse_rise_time_interpolates(self):
+        waveform = pulse(0.0, 1.0, period_s=1e-3, rise_s=0.1e-3)
+        assert 0.0 < waveform(0.05e-3) < 1.0
+
+    def test_pulse_validation(self):
+        with pytest.raises(ValueError):
+            pulse(0.0, 1.0, period_s=0.0)
+        with pytest.raises(ValueError):
+            pulse(0.0, 1.0, period_s=1.0, duty=1.0)
+
+    def test_pwl_interpolation(self):
+        waveform = pwl([(0.0, 0.0), (1.0, 2.0)])
+        assert waveform(0.5) == pytest.approx(1.0)
+        assert waveform(2.0) == pytest.approx(2.0)  # clamps at the end
+
+    def test_pwl_validation(self):
+        with pytest.raises(ValueError):
+            pwl([])
+        with pytest.raises(ValueError):
+            pwl([(1.0, 0.0), (0.5, 1.0)])

@@ -1,0 +1,108 @@
+"""Tests for the pseudo-CMOS cell library (gate + transistor level)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits.mna import MnaSimulator
+from repro.circuits.netlist import GROUND, Circuit
+from repro.circuits.pseudo_cmos import (
+    CELL_LIBRARY,
+    LogicLevels,
+    build_inverter,
+    build_nand2,
+    cell,
+)
+
+
+class TestCellLibrary:
+    def test_truth_tables(self):
+        assert cell("INV").evaluate((0,)) == 1
+        assert cell("INV").evaluate((1,)) == 0
+        assert cell("BUF").evaluate((1,)) == 1
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert cell("NAND2").evaluate((a, b)) == 1 - (a & b)
+            assert cell("NOR2").evaluate((a, b)) == 1 - (a | b)
+            assert cell("AND2").evaluate((a, b)) == (a & b)
+            assert cell("XOR2").evaluate((a, b)) == (a ^ b)
+
+    def test_mux_semantics(self):
+        mux = cell("MUX2")
+        assert mux.evaluate((1, 1, 0)) == 1  # select=1 -> first data input
+        assert mux.evaluate((0, 1, 0)) == 0  # select=0 -> second data input
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            cell("NAND2").evaluate((1,))
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            cell("NAND9")
+
+    def test_tft_counts_positive(self):
+        for spec in CELL_LIBRARY.values():
+            assert spec.tft_count > 0
+            assert spec.delay_s > 0
+
+    def test_inverter_is_four_tfts(self):
+        # pseudo-D style: two-stage, four mono-type TFTs
+        assert cell("INV").tft_count == 4
+
+
+class TestLogicLevels:
+    def test_needs_negative_vss(self):
+        with pytest.raises(ValueError):
+            LogicLevels(vdd=3.0, vss=0.0)
+        with pytest.raises(ValueError):
+            LogicLevels(vdd=-1.0, vss=-3.0)
+
+
+class TestTransistorLevelInverter:
+    def test_rail_to_rail_transfer(self):
+        circuit = Circuit("inv")
+        circuit.add_voltage_source("vin", "IN", GROUND, 0.0)
+        build_inverter(circuit, "u0", "IN", "OUT")
+        sim = MnaSimulator(circuit)
+        sweep = sim.dc_sweep("vin", np.linspace(0, 3, 16), record=["OUT"])
+        assert sweep["OUT"][0] > 2.7  # input low -> output high
+        assert sweep["OUT"][-1] < 0.1  # input high -> output low
+
+    def test_transfer_is_monotone_decreasing(self):
+        circuit = Circuit("inv")
+        circuit.add_voltage_source("vin", "IN", GROUND, 0.0)
+        build_inverter(circuit, "u0", "IN", "OUT")
+        sweep = MnaSimulator(circuit).dc_sweep(
+            "vin", np.linspace(0, 3, 31), record=["OUT"]
+        )
+        assert np.all(np.diff(sweep["OUT"]) <= 1e-6)
+
+    def test_instantiates_four_tfts(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("vin", "IN", GROUND, 0.0)
+        build_inverter(circuit, "u0", "IN", "OUT")
+        assert circuit.tft_count() == 4
+
+
+class TestTransistorLevelNand:
+    @pytest.mark.parametrize(
+        "a,b,expected_high",
+        [(0.0, 0.0, True), (0.0, 3.0, True), (3.0, 0.0, True), (3.0, 3.0, False)],
+    )
+    def test_truth_table(self, a, b, expected_high):
+        circuit = Circuit("nand")
+        circuit.add_voltage_source("va", "A", GROUND, a)
+        circuit.add_voltage_source("vb", "B", GROUND, b)
+        build_nand2(circuit, "u0", "A", "B", "OUT")
+        op = MnaSimulator(circuit).dc_operating_point()
+        if expected_high:
+            assert op["OUT"] > 2.5
+        else:
+            assert op["OUT"] < 0.1
+
+    def test_instantiates_six_tfts(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("va", "A", GROUND, 0.0)
+        circuit.add_voltage_source("vb", "B", GROUND, 0.0)
+        build_nand2(circuit, "u0", "A", "B", "OUT")
+        assert circuit.tft_count() == 6

@@ -1,0 +1,58 @@
+"""Pseudo-D vs pseudo-E inverter comparison (DATE 2010 styles)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mna import MnaSimulator
+from repro.circuits.netlist import GROUND, Circuit
+from repro.circuits.pseudo_cmos import build_inverter, build_inverter_pseudo_e
+
+
+def _vtc(builder):
+    circuit = Circuit("vtc")
+    circuit.add_voltage_source("vin", "IN", GROUND, 0.0)
+    builder(circuit, "u0", "IN", "OUT")
+    sweep = MnaSimulator(circuit).dc_sweep(
+        "vin", np.linspace(0.0, 3.0, 31), record=["OUT"]
+    )
+    return sweep["sweep"], sweep["OUT"], circuit
+
+
+class TestPseudoE:
+    def test_two_transistors(self):
+        _, _, circuit = _vtc(build_inverter_pseudo_e)
+        assert circuit.tft_count() == 2
+
+    def test_inverting(self):
+        vin, vout, _ = _vtc(build_inverter_pseudo_e)
+        assert vout[0] > vout[-1]
+        assert np.all(np.diff(vout) <= 1e-6)
+
+
+class TestStyleComparison:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        vin, vout_d, _ = _vtc(build_inverter)
+        _, vout_e, _ = _vtc(build_inverter_pseudo_e)
+        return vin, vout_d, vout_e
+
+    def test_pseudo_d_levels_are_self_compatible(self, curves):
+        """The point of the second stage: pseudo-D's output levels fall
+        inside its own input range [0, VDD], so stages cascade directly;
+        pseudo-E's low level escapes toward VSS."""
+        vin, vout_d, vout_e = curves
+        assert 0.0 - 0.05 <= vout_d.min() and vout_d.max() <= 3.0 + 0.05
+        assert vout_e.min() < -0.5  # outside the [0, VDD] input range
+
+    def test_pseudo_d_output_low_closer_to_rail(self, curves):
+        _, vout_d, vout_e = curves
+        # pseudo-D pulls to GND through the dedicated M4; pseudo-E's
+        # ratioed load drags the low level toward VSS instead of a
+        # clean logic low referenced to GND.
+        assert abs(vout_d[-1]) < 0.1
+        assert vout_e[-1] < -0.5  # level-shifted below ground
+
+    def test_pseudo_d_rail_high_pseudo_e_ratioed(self, curves):
+        _, vout_d, vout_e = curves
+        assert vout_d[0] > 2.7  # full pull-up
+        assert 2.0 < vout_e[0] < 2.7  # ratioed V_OH sags below VDD

@@ -1,0 +1,45 @@
+"""Tests for the 5-stage ring oscillator (process test vehicle)."""
+
+import pytest
+
+from repro.circuits.ring_oscillator import RingOscillator
+
+
+class TestConstruction:
+    def test_five_stages_twenty_tfts(self):
+        assert RingOscillator(stages=5).tft_count() == 20
+
+    def test_even_or_short_ring_rejected(self):
+        with pytest.raises(ValueError):
+            RingOscillator(stages=4)
+        with pytest.raises(ValueError):
+            RingOscillator(stages=1)
+
+    def test_negative_parasitics_rejected(self):
+        with pytest.raises(ValueError):
+            RingOscillator(wiring_c_farads=-1e-12)
+
+
+class TestOscillation:
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        return RingOscillator(stages=5).simulate()
+
+    def test_oscillates_in_flexible_regime(self, measurement):
+        # Fabricated CNT-TFT rings sit in the kHz..hundreds-of-kHz range.
+        assert 1e3 < measurement.frequency_hz < 1e6
+
+    def test_stage_delay_consistent_with_frequency(self, measurement):
+        expected = 1.0 / (2.0 * 5 * measurement.stage_delay_s)
+        assert measurement.frequency_hz == pytest.approx(expected, rel=1e-6)
+
+    def test_healthy_swing(self, measurement):
+        # pseudo-CMOS output should swing a good fraction of VDD = 3 V.
+        assert measurement.amplitude_v > 0.8
+
+    def test_more_parasitics_slower(self, measurement):
+        heavy = RingOscillator(stages=5, wiring_c_farads=8e-11).simulate()
+        assert heavy.frequency_hz < measurement.frequency_hz
+
+    def test_row_renders(self, measurement):
+        assert "5-stage RO" in measurement.row()

@@ -1,0 +1,74 @@
+"""Tests for the 8-stage shift register (Fig. 5c-d)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.shift_register import ShiftRegister
+
+
+class TestTftCount:
+    def test_paper_count_304(self):
+        # Sec. 3.4: "the 8-stage shift-register ... consists of 304 CNT TFTs"
+        assert ShiftRegister(stages=8).tft_count() == 304
+
+    def test_scales_linearly_with_stages(self):
+        sr4 = ShiftRegister(stages=4).tft_count()
+        sr8 = ShiftRegister(stages=8).tft_count()
+        assert sr8 - sr4 == 4 * 36
+
+    def test_needs_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(stages=0)
+
+
+class TestFunctionality:
+    def test_functional_at_paper_operating_point(self):
+        # CLK 10 kHz, DATA 1 kHz, VDD 3 V (Fig. 5c-d)
+        result = ShiftRegister(stages=8).simulate(
+            clock_hz=10_000.0, data_hz=1_000.0, vdd=3.0
+        )
+        assert result.functional
+        assert result.tft_count == 304
+
+    def test_fails_at_excessive_clock(self):
+        result = ShiftRegister(stages=8).simulate(
+            clock_hz=200_000.0, data_hz=20_000.0, vdd=3.0
+        )
+        assert not result.functional
+
+    def test_low_supply_slows_then_fails(self):
+        register = ShiftRegister(stages=4)
+        ok = register.simulate(clock_hz=10_000.0, data_hz=1_000.0, vdd=3.0)
+        slow = register.simulate(clock_hz=10_000.0, data_hz=1_000.0, vdd=1.2)
+        assert ok.functional
+        assert not slow.functional
+
+    def test_vdd_validation(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(stages=2).simulate(vdd=0.5)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(stages=2).simulate(clock_hz=0.0)
+
+
+class TestWaveforms:
+    def test_sampled_traces_shapes(self):
+        register = ShiftRegister(stages=4)
+        result = register.simulate(clock_hz=10_000.0, data_hz=1_000.0)
+        times = np.linspace(0, 30 / 10_000.0, 50)
+        sampled = result.sampled(times)
+        assert set(sampled) == {"CLK", "DATA", "Q1", "Q2", "Q3", "Q4"}
+        for trace in sampled.values():
+            assert len(trace) == 50
+
+    def test_stage_outputs_are_delayed_data(self):
+        register = ShiftRegister(stages=2)
+        result = register.simulate(clock_hz=10_000.0, data_hz=1_000.0, periods=40)
+        period = 1.0 / 10_000.0
+        probe_times = (np.arange(10, 35) + 0.45) * period
+        data = result.waveforms["DATA"].sample(probe_times - 2 * period)
+        q2 = result.waveforms["Q2"].sample(probe_times)
+        # Q2 equals DATA delayed by two clock periods (sampled clear of edges)
+        matches = np.mean(data == q2)
+        assert matches > 0.9

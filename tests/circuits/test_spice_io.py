@@ -1,0 +1,77 @@
+"""Tests for SPICE-like netlist serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mna import MnaSimulator
+from repro.circuits.netlist import GROUND, Circuit, sine
+from repro.circuits.pseudo_cmos import build_inverter
+from repro.circuits.spice_io import NetlistFormatError, dump_netlist, load_netlist
+from repro.devices.cnt_tft import CntTft
+
+
+def _example_circuit():
+    circuit = Circuit("example")
+    circuit.add_voltage_source("vdd", "VDD", GROUND, 3.0)
+    circuit.add_resistor("r1", "VDD", "out", 1.5e4)
+    circuit.add_capacitor("c1", "out", GROUND, 2.2e-9)
+    circuit.add_tft("m1", gate="in", drain="out", source="VDD",
+                    device=CntTft(120.0, 12.0))
+    return circuit
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        text = dump_netlist(_example_circuit())
+        loaded = load_netlist(text)
+        assert loaded.name == "example"
+        assert loaded.tft_count() == 1
+        assert sorted(loaded.nets()) == sorted(_example_circuit().nets())
+
+    def test_values_preserved(self):
+        loaded = load_netlist(dump_netlist(_example_circuit()))
+        by_name = {c.name: c for c in loaded.components}
+        assert by_name["r1"].ohms == pytest.approx(1.5e4)
+        assert by_name["c1"].farads == pytest.approx(2.2e-9)
+        assert by_name["vdd"].value(0.0) == pytest.approx(3.0)
+        assert by_name["m1"].device.width_um == pytest.approx(120.0)
+        assert by_name["m1"].device.length_um == pytest.approx(12.0)
+        assert by_name["m1"].device.polarity == "p"
+
+    def test_loaded_circuit_simulates_identically(self):
+        original = Circuit("inv")
+        original.add_voltage_source("vin", "IN", GROUND, 1.0)
+        build_inverter(original, "u0", "IN", "OUT")
+        loaded = load_netlist(dump_netlist(original))
+        op_original = MnaSimulator(original).dc_operating_point()
+        op_loaded = MnaSimulator(loaded).dc_operating_point()
+        assert op_loaded["OUT"] == pytest.approx(op_original["OUT"], abs=1e-9)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "* a comment\n\n.title t\nRr1 a 0 100\n.end\n"
+        loaded = load_netlist(text)
+        assert len(loaded.components) == 1
+
+
+class TestErrors:
+    def test_time_varying_source_rejected_on_dump(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("vin", "a", GROUND, sine(1.0, 1e3))
+        with pytest.raises(NetlistFormatError):
+            dump_netlist(circuit)
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            load_netlist("Xfoo a b c\n")
+
+    def test_malformed_value_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            load_netlist("Rr1 a 0 lots\n")
+
+    def test_non_dc_source_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            load_netlist("Vv1 a 0 SIN 1.0\n")
+
+    def test_malformed_tft_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            load_netlist("Mm1 d g s\n")

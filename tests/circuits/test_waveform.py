@@ -1,0 +1,110 @@
+"""Tests for waveform measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.waveform import (
+    TransientResult,
+    amplitude,
+    crossing_times,
+    dominant_frequency,
+    gain_db,
+    propagation_delay,
+    to_logic,
+)
+
+
+class TestTransientResult:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TransientResult(times=np.arange(3.0), traces={"a": np.zeros(4)})
+
+    def test_window_slices_all_traces(self):
+        result = TransientResult(
+            times=np.linspace(0, 1, 11),
+            traces={"a": np.arange(11.0), "b": np.arange(11.0) * 2},
+        )
+        windowed = result.window(0.5)
+        assert windowed.times[0] >= 0.5
+        assert len(windowed["a"]) == len(windowed.times)
+
+    def test_getitem(self):
+        result = TransientResult(times=np.arange(2.0), traces={"x": np.ones(2)})
+        assert np.array_equal(result["x"], np.ones(2))
+
+
+class TestAmplitude:
+    def test_half_peak_to_peak(self):
+        t = np.linspace(0, 1, 1000)
+        assert amplitude(2.5 * np.sin(2 * np.pi * 5 * t)) == pytest.approx(2.5, rel=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            amplitude(np.array([]))
+
+
+class TestGainDb:
+    def test_known_gain(self):
+        t = np.linspace(0, 1, 2000)
+        vin = 0.1 * np.sin(2 * np.pi * 3 * t)
+        vout = 1.0 * np.sin(2 * np.pi * 3 * t)
+        assert gain_db(vin, vout) == pytest.approx(20.0, abs=0.05)
+
+    def test_zero_output_minus_infinity(self):
+        t = np.linspace(0, 1, 100)
+        assert gain_db(np.sin(t), np.zeros(100)) == float("-inf")
+
+    def test_zero_input_rejected(self):
+        with pytest.raises(ValueError):
+            gain_db(np.zeros(10), np.ones(10))
+
+
+class TestDominantFrequency:
+    def test_pure_tone(self):
+        t = np.linspace(0, 1e-3, 3000, endpoint=False)
+        trace = np.sin(2 * np.pi * 30e3 * t) + 0.5
+        assert dominant_frequency(t, trace) == pytest.approx(30e3, rel=0.01)
+
+    def test_needs_samples(self):
+        with pytest.raises(ValueError):
+            dominant_frequency(np.arange(2.0), np.arange(2.0))
+
+
+class TestCrossings:
+    def test_rising_crossings(self):
+        t = np.linspace(0, 2.2, 2201)
+        trace = np.sin(2 * np.pi * t)
+        rising = crossing_times(t, trace, 0.5, rising=True)
+        # sin crosses 0.5 upward at t = 1/12 + k
+        assert len(rising) == 3
+        assert rising[0] == pytest.approx(1.0 / 12.0, abs=2e-3)
+
+    def test_falling_crossings(self):
+        t = np.linspace(0, 1, 1001)
+        trace = np.sin(2 * np.pi * t)
+        falling = crossing_times(t, trace, 0.0, rising=False)
+        assert falling[0] == pytest.approx(0.5, abs=1e-3)
+
+
+class TestPropagationDelay:
+    def test_known_shift(self):
+        t = np.linspace(0, 1, 10001)
+        vin = (np.sin(2 * np.pi * 2 * t) > 0).astype(float)
+        vout = 1.0 - np.roll(vin, 200)  # inverted, delayed by 0.02
+        delay = propagation_delay(t[300:-300], vin[300:-300], vout[300:-300], 0.5)
+        assert delay == pytest.approx(0.02, abs=2e-3)
+
+    def test_no_edges_rejected(self):
+        t = np.linspace(0, 1, 100)
+        with pytest.raises(ValueError):
+            propagation_delay(t, np.zeros(100), np.zeros(100), 0.5)
+
+
+class TestToLogic:
+    def test_threshold(self):
+        trace = np.array([0.1, 2.9, 1.6, 1.4])
+        assert np.array_equal(to_logic(trace, vdd=3.0), [0, 1, 1, 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            to_logic(np.zeros(3), vdd=0.0)

@@ -1,0 +1,85 @@
+"""Tests for block-wise CS processing."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockProcessor
+from repro.core.errors import inject_sparse_errors
+from repro.core.metrics import rmse
+
+
+def _big_frame(shape=(32, 32)):
+    r, c = np.mgrid[0:shape[0], 0:shape[1]]
+    return 0.5 + 0.3 * np.sin(r / 6.0) * np.cos(c / 7.0) + 0.2 * np.exp(
+        -((r - shape[0] / 2) ** 2 + (c - shape[1] / 2) ** 2) / 40.0
+    )
+
+
+class TestTiling:
+    def test_block_count(self):
+        processor = BlockProcessor(block_shape=(16, 16))
+        assert processor.num_blocks((32, 32)) == 4
+        assert processor.num_blocks((48, 32)) == 6
+
+    def test_overlap_increases_block_count(self):
+        plain = BlockProcessor(block_shape=(16, 16), overlap=0)
+        overlapped = BlockProcessor(block_shape=(16, 16), overlap=8)
+        assert overlapped.num_blocks((40, 40)) > plain.num_blocks((32, 32))
+
+    def test_untileable_frame_rejected(self):
+        processor = BlockProcessor(block_shape=(16, 16))
+        with pytest.raises(ValueError):
+            processor.num_blocks((30, 32))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockProcessor(block_shape=(2, 16))
+        with pytest.raises(ValueError):
+            BlockProcessor(block_shape=(16, 16), overlap=16)
+        with pytest.raises(ValueError):
+            BlockProcessor(sampling_fraction=0.0)
+
+
+class TestReconstruction:
+    def test_reconstructs_smooth_frame(self):
+        frame = _big_frame()
+        processor = BlockProcessor(block_shape=(16, 16), sampling_fraction=0.6)
+        out = processor.reconstruct(frame, np.random.default_rng(0))
+        assert out.shape == frame.shape
+        assert rmse(frame, out) < 0.05
+
+    def test_overlap_blending_reduces_seams(self):
+        frame = _big_frame((40, 40))
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        hard = BlockProcessor(block_shape=(16, 16), overlap=0,
+                              sampling_fraction=0.55)
+        soft = BlockProcessor(block_shape=(16, 16), overlap=8,
+                              sampling_fraction=0.55)
+        out_hard = hard.reconstruct(frame[:32, :32], rng_a)
+        out_soft = soft.reconstruct(frame, rng_b)
+        # seam metric: jump across the tile boundary row
+        seam_hard = np.abs(np.diff(out_hard, axis=0))[15].mean()
+        seam_soft = np.abs(np.diff(out_soft, axis=0))[15].mean()
+        assert seam_soft < seam_hard + 0.02  # soft blending never much worse
+
+    def test_exclusion_mask_respected(self):
+        frame = _big_frame()
+        rng = np.random.default_rng(2)
+        corrupted, mask = inject_sparse_errors(frame, 0.1, rng)
+        processor = BlockProcessor(block_shape=(16, 16), sampling_fraction=0.5)
+        with_mask = processor.reconstruct(
+            corrupted, np.random.default_rng(3), exclude_mask=mask
+        )
+        without = processor.reconstruct(corrupted, np.random.default_rng(3))
+        assert rmse(frame, with_mask) < rmse(frame, without)
+
+    def test_rejects_bad_input(self):
+        processor = BlockProcessor(block_shape=(16, 16))
+        with pytest.raises(ValueError):
+            processor.reconstruct(np.zeros(32), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            processor.reconstruct(
+                np.zeros((32, 32)), np.random.default_rng(0),
+                exclude_mask=np.zeros((16, 16), dtype=bool),
+            )

@@ -1,0 +1,109 @@
+"""Tests for repro.core.dct: Eq. (4)-(7) bases and fast transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dct import Dct2Basis, dct2, dct_basis_1d, dct_basis_2d, idct2
+
+
+class TestDct2:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        image = rng.normal(size=(12, 9))
+        assert np.allclose(idct2(dct2(image)), image)
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        image = np.full((8, 8), 3.0)
+        coefficients = dct2(image)
+        assert coefficients[0, 0] == pytest.approx(3.0 * 8)
+        assert np.allclose(coefficients.ravel()[1:], 0.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            dct2(np.zeros(16))
+        with pytest.raises(ValueError):
+            idct2(np.zeros((2, 2, 2)))
+
+    def test_parseval_energy_preserved(self):
+        rng = np.random.default_rng(1)
+        image = rng.normal(size=(16, 16))
+        coefficients = dct2(image)
+        assert np.sum(coefficients**2) == pytest.approx(np.sum(image**2))
+
+
+class TestDctBasis1d:
+    def test_orthonormal(self):
+        basis = dct_basis_1d(11)
+        assert np.allclose(basis.T @ basis, np.eye(11), atol=1e-12)
+
+    def test_first_column_constant(self):
+        basis = dct_basis_1d(9)
+        assert np.allclose(basis[:, 0], np.sqrt(1.0 / 9))
+
+    def test_size_one(self):
+        assert np.allclose(dct_basis_1d(1), [[1.0]])
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            dct_basis_1d(0)
+
+
+class TestDctBasis2d:
+    def test_orthogonal(self):
+        psi = dct_basis_2d(5, 4)
+        assert np.allclose(psi.T @ psi, np.eye(20), atol=1e-12)
+
+    def test_matches_fast_transform(self):
+        rng = np.random.default_rng(2)
+        image = rng.normal(size=(6, 7))
+        psi = dct_basis_2d(6, 7)
+        # y = Psi @ x with x the DCT coefficients (row-major)
+        assert np.allclose(psi @ dct2(image).ravel(), image.ravel())
+
+    def test_square_default(self):
+        assert dct_basis_2d(4).shape == (16, 16)
+
+
+class TestDct2BasisOperator:
+    def test_synthesize_matches_matrix(self):
+        rng = np.random.default_rng(3)
+        basis = Dct2Basis((5, 6))
+        coeffs = rng.normal(size=30)
+        assert np.allclose(basis.synthesize(coeffs), basis.to_matrix() @ coeffs)
+
+    def test_analyze_is_adjoint(self):
+        rng = np.random.default_rng(4)
+        basis = Dct2Basis((7, 3))
+        x = rng.normal(size=21)
+        y = rng.normal(size=21)
+        lhs = np.dot(basis.synthesize(x), y)
+        rhs = np.dot(x, basis.analyze(y))
+        assert lhs == pytest.approx(rhs)
+
+    def test_analyze_inverts_synthesize(self):
+        rng = np.random.default_rng(5)
+        basis = Dct2Basis((8, 8))
+        x = rng.normal(size=64)
+        assert np.allclose(basis.analyze(basis.synthesize(x)), x)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Dct2Basis((0, 4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=12),
+    cols=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_transform_linear_and_isometric(rows, cols, seed):
+    """dct2 is a linear isometry for any frame shape."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows, cols))
+    b = rng.normal(size=(rows, cols))
+    alpha = float(rng.normal())
+    assert np.allclose(dct2(alpha * a + b), alpha * dct2(a) + dct2(b))
+    assert np.linalg.norm(dct2(a)) == pytest.approx(np.linalg.norm(a))

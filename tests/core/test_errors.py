@@ -1,0 +1,130 @@
+"""Tests for the sparse-error and noise injection models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import (
+    SparseErrorModel,
+    add_measurement_noise,
+    inject_sparse_errors,
+)
+
+
+class TestInjectSparseErrors:
+    def test_exact_corruption_count(self):
+        rng = np.random.default_rng(0)
+        frame = np.full((10, 10), 0.5)
+        corrupted, mask = inject_sparse_errors(frame, 0.13, rng)
+        assert mask.sum() == 13
+        assert np.all((corrupted[mask] == 0.0) | (corrupted[mask] == 1.0))
+
+    def test_untouched_pixels_preserved(self):
+        rng = np.random.default_rng(1)
+        frame = np.random.default_rng(2).random((8, 8))
+        corrupted, mask = inject_sparse_errors(frame, 0.2, rng)
+        assert np.array_equal(corrupted[~mask], frame[~mask])
+
+    def test_zero_rate_is_identity(self):
+        rng = np.random.default_rng(3)
+        frame = np.random.default_rng(4).random((6, 6))
+        corrupted, mask = inject_sparse_errors(frame, 0.0, rng)
+        assert np.array_equal(corrupted, frame)
+        assert mask.sum() == 0
+
+    def test_full_rate_corrupts_everything(self):
+        rng = np.random.default_rng(5)
+        frame = np.full((4, 4), 0.5)
+        corrupted, mask = inject_sparse_errors(frame, 1.0, rng)
+        assert mask.all()
+
+    def test_custom_stuck_values(self):
+        rng = np.random.default_rng(6)
+        frame = np.full((5, 5), 0.5)
+        corrupted, mask = inject_sparse_errors(
+            frame, 0.5, rng, low_value=-1.0, high_value=2.0
+        )
+        assert set(np.unique(corrupted[mask])) <= {-1.0, 2.0}
+
+    def test_high_fraction_extremes(self):
+        rng = np.random.default_rng(7)
+        frame = np.full((10, 10), 0.5)
+        corrupted, mask = inject_sparse_errors(frame, 0.5, rng, high_fraction=1.0)
+        assert np.all(corrupted[mask] == 1.0)
+
+    def test_invalid_rate_rejected(self):
+        rng = np.random.default_rng(8)
+        with pytest.raises(ValueError):
+            inject_sparse_errors(np.zeros((3, 3)), 1.5, rng)
+        with pytest.raises(ValueError):
+            inject_sparse_errors(np.zeros((3, 3)), 0.1, rng, high_fraction=2.0)
+
+
+class TestSparseErrorModel:
+    def test_permanent_mask_is_stable(self):
+        model = SparseErrorModel(permanent_rate=0.1, seed=0)
+        frame = np.full((10, 10), 0.5)
+        _, mask1 = model.corrupt(frame)
+        _, mask2 = model.corrupt(frame)
+        permanent = model.permanent_mask((10, 10))
+        assert mask1[permanent].all()
+        assert mask2[permanent].all()
+
+    def test_transient_positions_redrawn(self):
+        model = SparseErrorModel(transient_rate=0.2, seed=1)
+        frame = np.full((20, 20), 0.5)
+        _, mask1 = model.corrupt(frame)
+        _, mask2 = model.corrupt(frame)
+        assert not np.array_equal(mask1, mask2)
+
+    def test_combined_rate_approx(self):
+        model = SparseErrorModel(permanent_rate=0.05, transient_rate=0.05, seed=2)
+        frame = np.full((20, 20), 0.5)
+        _, mask = model.corrupt(frame)
+        assert mask.sum() == pytest.approx(0.10 * 400, abs=2)
+
+    def test_rejects_invalid_rates(self):
+        with pytest.raises(ValueError):
+            SparseErrorModel(permanent_rate=0.7, transient_rate=0.7)
+        with pytest.raises(ValueError):
+            SparseErrorModel(permanent_rate=-0.1)
+
+    def test_corruption_values_extreme(self):
+        model = SparseErrorModel(permanent_rate=0.3, seed=3)
+        frame = np.full((10, 10), 0.5)
+        corrupted, mask = model.corrupt(frame)
+        assert set(np.unique(corrupted[mask])) <= {0.0, 1.0}
+
+
+class TestMeasurementNoise:
+    def test_zero_sigma_identity(self):
+        rng = np.random.default_rng(9)
+        values = np.arange(5.0)
+        out = add_measurement_noise(values, 0.0, rng)
+        assert np.array_equal(out, values)
+        assert out is not values  # defensive copy
+
+    def test_noise_statistics(self):
+        rng = np.random.default_rng(10)
+        values = np.zeros(20000)
+        out = add_measurement_noise(values, 0.1, rng)
+        assert np.std(out) == pytest.approx(0.1, rel=0.05)
+        assert np.mean(out) == pytest.approx(0.0, abs=0.01)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            add_measurement_noise(np.zeros(3), -1.0, np.random.default_rng(0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rate=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_mask_count_matches_rate(rate, seed):
+    """Corrupted-pixel count is always round(rate * N)."""
+    rng = np.random.default_rng(seed)
+    frame = np.full((12, 12), 0.5)
+    _, mask = inject_sparse_errors(frame, rate, rng)
+    assert mask.sum() == int(round(rate * 144))

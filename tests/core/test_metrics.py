@@ -1,0 +1,119 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    classification_accuracy,
+    confusion_matrix,
+    normalized_error,
+    psnr,
+    rmse,
+)
+
+
+class TestRmse:
+    def test_zero_for_identical(self):
+        x = np.random.default_rng(0).random((5, 5))
+        assert rmse(x, x) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.zeros(4), np.full(4, 2.0)) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+
+class TestPsnr:
+    def test_infinite_for_exact(self):
+        x = np.ones((3, 3))
+        assert psnr(x, x) == float("inf")
+
+    def test_known_value(self):
+        # RMSE 0.1 with peak 1 -> 20 dB
+        assert psnr(np.zeros(10), np.full(10, 0.1)) == pytest.approx(20.0)
+
+    def test_monotone_in_error(self):
+        reference = np.zeros(16)
+        assert psnr(reference, np.full(16, 0.01)) > psnr(reference, np.full(16, 0.1))
+
+
+class TestNormalizedError:
+    def test_zero_for_identical(self):
+        x = np.arange(5.0)
+        assert normalized_error(x, x) == 0.0
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(1)
+        a = rng.random(10) + 1.0
+        b = a + 0.1
+        assert normalized_error(a, b) == pytest.approx(
+            normalized_error(5 * a, 5 * b)
+        )
+
+    def test_zero_reference(self):
+        assert normalized_error(np.zeros(3), np.ones(3)) == pytest.approx(
+            np.sqrt(3.0)
+        )
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        labels = np.array([0, 1, 2])
+        assert classification_accuracy(labels, labels) == 1.0
+
+    def test_half_correct(self):
+        assert classification_accuracy(
+            np.array([0, 1, 2, 3]), np.array([0, 1, 0, 0])
+        ) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classification_accuracy(np.array([]), np.array([]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_accuracy(np.array([0]), np.array([0, 1]))
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        labels = np.array([0, 1, 1, 2])
+        matrix = confusion_matrix(labels, labels, 3)
+        assert np.array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_rows_are_true_classes(self):
+        matrix = confusion_matrix(np.array([0, 0]), np.array([1, 1]), 2)
+        assert matrix[0, 1] == 2
+        assert matrix.sum() == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([3]), np.array([0]), 3)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([-1]), 3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_rmse_symmetric_and_triangleish(seed):
+    """RMSE is symmetric and satisfies the triangle inequality."""
+    rng = np.random.default_rng(seed)
+    a, b, c = rng.normal(size=(3, 20))
+    assert rmse(a, b) == pytest.approx(rmse(b, a))
+    assert rmse(a, c) <= rmse(a, b) + rmse(b, c) + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_confusion_row_sums_count_true_labels(seed):
+    """Each confusion-matrix row sums to that class's sample count."""
+    rng = np.random.default_rng(seed)
+    true = rng.integers(0, 4, size=30)
+    pred = rng.integers(0, 4, size=30)
+    matrix = confusion_matrix(true, pred, 4)
+    for k in range(4):
+        assert matrix[k].sum() == np.sum(true == k)

@@ -1,0 +1,119 @@
+"""Tests for the Fig. 7 evaluation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    RobustnessSweep,
+    evaluate_frame,
+    normalize_frame,
+    process_frames,
+)
+from repro.core.strategies import OracleExclusionStrategy
+
+
+def _frame(shape=(12, 12)):
+    r, c = np.mgrid[0:shape[0], 0:shape[1]]
+    return 20.0 + 10.0 * np.exp(-((r - 6.0) ** 2 + (c - 6.0) ** 2) / 18.0)
+
+
+class TestNormalizeFrame:
+    def test_maps_to_unit_interval(self):
+        out = normalize_frame(_frame())
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_constant_frame_becomes_zero(self):
+        out = normalize_frame(np.full((4, 4), 7.0))
+        assert np.array_equal(out, np.zeros((4, 4)))
+
+    def test_preserves_ordering(self):
+        frame = _frame()
+        out = normalize_frame(frame)
+        assert np.array_equal(np.argsort(frame.ravel()), np.argsort(out.ravel()))
+
+
+class TestEvaluateFrame:
+    def test_outcome_fields_consistent(self):
+        strategy = OracleExclusionStrategy(sampling_fraction=0.6)
+        outcome = evaluate_frame(
+            _frame(), 0.1, strategy, np.random.default_rng(0)
+        )
+        assert outcome.clean.shape == (12, 12)
+        assert outcome.error_mask.sum() == round(0.1 * 144)
+        assert 0.0 <= outcome.rmse_with_cs
+        assert outcome.rmse_without_cs > 0.0
+
+    def test_cs_beats_raw_under_errors(self):
+        strategy = OracleExclusionStrategy(sampling_fraction=0.6)
+        outcome = evaluate_frame(
+            _frame(), 0.15, strategy, np.random.default_rng(1)
+        )
+        assert outcome.rmse_with_cs < outcome.rmse_without_cs
+
+    def test_already_normalized_skips_scaling(self):
+        frame = np.clip(_frame() / 40.0, 0, 1)
+        strategy = OracleExclusionStrategy(sampling_fraction=0.6)
+        outcome = evaluate_frame(
+            frame, 0.0, strategy, np.random.default_rng(2),
+            already_normalized=True,
+        )
+        assert np.array_equal(outcome.clean, frame)
+
+
+class TestRobustnessSweep:
+    def test_grid_size(self):
+        sweep = RobustnessSweep(
+            sampling_fractions=(0.5, 0.6), error_rates=(0.0, 0.1)
+        )
+        frames = np.stack([_frame(), _frame() + 1.0])
+        points = sweep.run(frames)
+        assert len(points) == 4
+        assert {(p.sampling_fraction, p.error_rate) for p in points} == {
+            (0.5, 0.0), (0.5, 0.1), (0.6, 0.0), (0.6, 0.1),
+        }
+
+    def test_rmse_grows_with_error_rate_without_cs(self):
+        sweep = RobustnessSweep(sampling_fractions=(0.5,), error_rates=(0.0, 0.2))
+        points = sweep.run(np.stack([_frame()]))
+        by_rate = {p.error_rate: p for p in points}
+        assert by_rate[0.2].rmse_without_cs > by_rate[0.0].rmse_without_cs
+
+    def test_table_requires_run(self):
+        sweep = RobustnessSweep()
+        with pytest.raises(RuntimeError):
+            sweep.table()
+
+    def test_table_renders_all_points(self):
+        sweep = RobustnessSweep(sampling_fractions=(0.5,), error_rates=(0.0,))
+        sweep.run(np.stack([_frame()]))
+        table = sweep.table()
+        assert "RMSE w/ CS" in table
+        assert len(table.splitlines()) == 2
+
+    def test_rejects_wrong_rank(self):
+        sweep = RobustnessSweep()
+        with pytest.raises(ValueError):
+            sweep.run(_frame())
+
+
+class TestProcessFrames:
+    def test_shapes_preserved(self):
+        frames = np.stack([normalize_frame(_frame())] * 3)
+        strategy = OracleExclusionStrategy(sampling_fraction=0.6)
+        corrupted, reconstructed = process_frames(frames, 0.1, strategy, seed=0)
+        assert corrupted.shape == frames.shape
+        assert reconstructed.shape == frames.shape
+
+    def test_deterministic_given_seed(self):
+        frames = np.stack([normalize_frame(_frame())])
+        strategy = OracleExclusionStrategy(sampling_fraction=0.6)
+        a = process_frames(frames, 0.1, strategy, seed=7)
+        b = process_frames(frames, 0.1, strategy, seed=7)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_rejects_wrong_rank(self):
+        strategy = OracleExclusionStrategy()
+        with pytest.raises(ValueError):
+            process_frames(_frame(), 0.1, strategy)

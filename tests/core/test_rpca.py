@@ -1,0 +1,86 @@
+"""Tests for robust PCA and outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.rpca import detect_outliers, rpca
+
+
+def _low_rank_plus_sparse(p=40, q=30, rank=3, outliers=30, seed=0):
+    rng = np.random.default_rng(seed)
+    low = rng.normal(size=(p, rank)) @ rng.normal(size=(rank, q))
+    sparse = np.zeros((p, q))
+    positions = rng.choice(p * q, size=outliers, replace=False)
+    sparse.ravel()[positions] = rng.choice([-8.0, 8.0], size=outliers)
+    return low, sparse
+
+
+class TestRpca:
+    def test_separates_low_rank_and_sparse(self):
+        low, sparse = _low_rank_plus_sparse()
+        result = rpca(low + sparse)
+        assert result.converged
+        assert np.linalg.norm(result.low_rank - low) / np.linalg.norm(low) < 0.05
+        assert np.linalg.norm(result.sparse - sparse) / np.linalg.norm(sparse) < 0.1
+
+    def test_rank_estimate_close(self):
+        low, sparse = _low_rank_plus_sparse(rank=2, seed=1)
+        result = rpca(low + sparse)
+        assert 1 <= result.rank <= 6
+
+    def test_zero_matrix(self):
+        result = rpca(np.zeros((5, 5)))
+        assert result.converged
+        assert np.array_equal(result.low_rank, np.zeros((5, 5)))
+
+    def test_pure_low_rank_has_small_sparse_part(self):
+        low, _ = _low_rank_plus_sparse(outliers=0, seed=2)
+        result = rpca(low)
+        assert np.linalg.norm(result.sparse) < 0.05 * np.linalg.norm(low)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            rpca(np.zeros(5))
+
+    def test_decomposition_sums_to_input(self):
+        low, sparse = _low_rank_plus_sparse(seed=3)
+        data = low + sparse
+        result = rpca(data, tolerance=1e-8)
+        assert np.linalg.norm(data - result.low_rank - result.sparse) < 1e-5 * np.linalg.norm(data)
+
+
+class TestDetectOutliers:
+    def test_finds_stuck_pixels_in_frame_stack(self):
+        rng = np.random.default_rng(4)
+        r, c = np.mgrid[0:12, 0:12]
+        base = 0.5 + 0.3 * np.sin(r / 3.0) * np.cos(c / 4.0)
+        frames = np.stack([np.clip(base + 0.01 * k, 0, 1) for k in range(8)])
+        corrupted = frames.copy()
+        true_mask = np.zeros_like(frames, dtype=bool)
+        for k in range(8):
+            hits = rng.choice(144, size=10, replace=False)
+            flat = corrupted[k].ravel()
+            flat[hits] = rng.choice([0.0, 1.0], size=10)
+            true_mask[k].ravel()[hits] = True
+        detected = detect_outliers(corrupted, threshold=0.15)
+        # most injected outliers are flagged, few healthy pixels are
+        recall = detected[true_mask].mean()
+        false_rate = detected[~true_mask].mean()
+        assert recall > 0.6
+        assert false_rate < 0.1
+
+    def test_single_frame_accepted(self):
+        frame = np.random.default_rng(5).random((8, 8))
+        mask = detect_outliers(frame)
+        assert mask.shape == (8, 8)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            detect_outliers(np.zeros((2, 2, 2, 2)))
+
+    def test_clean_stack_flags_almost_nothing(self):
+        r, c = np.mgrid[0:10, 0:10]
+        base = 0.5 + 0.3 * np.sin(r / 3.0)
+        frames = np.stack([base + 0.005 * k for k in range(6)])
+        detected = detect_outliers(frames, threshold=0.15)
+        assert detected.mean() < 0.02

@@ -1,0 +1,226 @@
+"""Tests for the CS decoders (Eq. 9 solvers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dct import Dct2Basis, idct2
+from repro.core.operators import SensingOperator
+from repro.core.sensing import RowSamplingMatrix
+from repro.core.solvers import (
+    default_lambda,
+    hard_threshold,
+    soft_threshold,
+    solve,
+    solve_basis_pursuit,
+    solve_cosamp,
+    solve_fista,
+    solve_iht,
+    solve_ista,
+    solve_omp,
+    solver_names,
+)
+
+
+def _sparse_problem(shape=(12, 12), sparsity=12, m=90, seed=0):
+    """A K-sparse-in-DCT image with enough random measurements."""
+    rng = np.random.default_rng(seed)
+    n = shape[0] * shape[1]
+    coefficients = np.zeros(n)
+    support = rng.choice(n, size=sparsity, replace=False)
+    coefficients[support] = rng.normal(size=sparsity) + np.sign(
+        rng.normal(size=sparsity)
+    )
+    image = idct2(coefficients.reshape(shape))
+    phi = RowSamplingMatrix.random(n, m, rng)
+    operator = SensingOperator(phi, Dct2Basis(shape))
+    b = phi.apply(image.ravel())
+    return operator, b, coefficients, image
+
+
+class TestBasisPursuit:
+    def test_exact_recovery(self):
+        operator, b, coefficients, _ = _sparse_problem()
+        result = solve_basis_pursuit(operator, b)
+        assert result.converged
+        assert np.allclose(result.coefficients, coefficients, atol=1e-6)
+
+    def test_residual_near_zero(self):
+        operator, b, _, _ = _sparse_problem(seed=1)
+        result = solve_basis_pursuit(operator, b)
+        assert result.residual < 1e-6
+
+    def test_rejects_wrong_measurement_shape(self):
+        operator, b, _, _ = _sparse_problem()
+        with pytest.raises(ValueError):
+            solve_basis_pursuit(operator, b[:-1])
+
+
+class TestFista:
+    def test_recovers_sparse_signal(self):
+        operator, b, coefficients, _ = _sparse_problem(seed=2)
+        result = solve_fista(operator, b)
+        assert np.linalg.norm(result.coefficients - coefficients) < 1e-2
+
+    def test_continuation_beats_plain_small_lambda(self):
+        operator, b, coefficients, _ = _sparse_problem(seed=3)
+        lam = 1e-8
+        plain = solve_fista(
+            operator, b, lam=lam, continuation_stages=1, max_iterations=60
+        )
+        annealed = solve_fista(
+            operator, b, lam=lam, continuation_stages=6, max_iterations=60
+        )
+        error_plain = np.linalg.norm(plain.coefficients - coefficients)
+        error_annealed = np.linalg.norm(annealed.coefficients - coefficients)
+        assert error_annealed < error_plain
+
+    def test_reports_stage_count(self):
+        operator, b, _, _ = _sparse_problem(seed=4)
+        result = solve_fista(operator, b, continuation_stages=4)
+        assert result.info["stages"] == 4
+
+    def test_rejects_bad_stage_count(self):
+        operator, b, _, _ = _sparse_problem()
+        with pytest.raises(ValueError):
+            solve_fista(operator, b, continuation_stages=0)
+
+    def test_large_lambda_gives_zero(self):
+        operator, b, _, _ = _sparse_problem(seed=5)
+        lam = 10.0 * float(np.max(np.abs(operator.rmatvec(b))))
+        result = solve_fista(operator, b, lam=lam)
+        assert np.allclose(result.coefficients, 0.0)
+
+
+class TestIsta:
+    def test_satisfies_bpdn_optimality(self):
+        """At convergence, the BPDN subgradient conditions hold:
+        |A^T(Ax-b)|_inf <= lam (+tol), with equality-signed residual
+        correlation on the support."""
+        operator, b, _, _ = _sparse_problem(seed=6, sparsity=8)
+        lam = 1e-3 * float(np.max(np.abs(operator.rmatvec(b))))
+        result = solve_ista(operator, b, lam=lam, max_iterations=6000,
+                            tolerance=1e-10)
+        gradient = operator.rmatvec(operator.matvec(result.coefficients) - b)
+        assert np.max(np.abs(gradient)) <= lam * (1 + 1e-3)
+        support = result.coefficients != 0
+        assert np.allclose(
+            gradient[support],
+            -lam * np.sign(result.coefficients[support]),
+            atol=lam * 1e-2,
+        )
+
+    def test_objective_decreases(self):
+        operator, b, _, _ = _sparse_problem(seed=7)
+        lam = default_lambda(operator, b)
+
+        def objective(x):
+            return 0.5 * np.sum((operator.matvec(x) - b) ** 2) + lam * np.sum(
+                np.abs(x)
+            )
+
+        r5 = solve_ista(operator, b, lam=lam, max_iterations=5)
+        r50 = solve_ista(operator, b, lam=lam, max_iterations=50)
+        assert objective(r50.coefficients) <= objective(r5.coefficients) + 1e-12
+
+
+class TestGreedy:
+    def test_omp_exact_on_true_sparsity(self):
+        operator, b, coefficients, _ = _sparse_problem(seed=8)
+        result = solve_omp(operator, b, sparsity=12)
+        assert np.allclose(result.coefficients, coefficients, atol=1e-8)
+
+    def test_omp_support_size_bounded(self):
+        operator, b, _, _ = _sparse_problem(seed=9)
+        result = solve_omp(operator, b, sparsity=5)
+        assert np.count_nonzero(result.coefficients) <= 5
+
+    def test_cosamp_exact(self):
+        operator, b, coefficients, _ = _sparse_problem(seed=10)
+        result = solve_cosamp(operator, b, sparsity=12)
+        assert np.allclose(result.coefficients, coefficients, atol=1e-6)
+
+    def test_iht_recovers(self):
+        operator, b, coefficients, _ = _sparse_problem(seed=11, sparsity=8)
+        result = solve_iht(operator, b, sparsity=8, max_iterations=500)
+        assert np.linalg.norm(result.coefficients - coefficients) < 1e-4
+
+    def test_sparsity_validation(self):
+        operator, b, _, _ = _sparse_problem()
+        for solver in (solve_omp, solve_cosamp, solve_iht):
+            with pytest.raises(ValueError):
+                solver(operator, b, sparsity=0)
+
+
+class TestRegistry:
+    def test_all_names_dispatch(self):
+        operator, b, coefficients, _ = _sparse_problem(seed=12)
+        expected = {"bp": "basis_pursuit"}
+        for name in solver_names():
+            result = solve(name, operator, b, sparsity=12)
+            assert result.solver == expected.get(name, name)
+            assert result.coefficients.shape == (operator.n,)
+
+    def test_unknown_name_rejected(self):
+        operator, b, _, _ = _sparse_problem()
+        with pytest.raises(ValueError):
+            solve("magic", operator, b)
+
+    def test_greedy_defaults_sparsity_from_m(self):
+        operator, b, _, _ = _sparse_problem(seed=13)
+        result = solve("omp", operator, b)
+        assert result.info["support_size"] <= operator.m // 2
+
+
+class TestThresholds:
+    def test_soft_threshold_shrinks_toward_zero(self):
+        x = np.array([-3.0, -0.5, 0.0, 0.5, 3.0])
+        out = soft_threshold(x, 1.0)
+        assert np.array_equal(out, [-2.0, 0.0, 0.0, 0.0, 2.0])
+
+    def test_hard_threshold_keeps_top_k(self):
+        x = np.array([1.0, -5.0, 3.0, 0.1])
+        out = hard_threshold(x, 2)
+        assert np.array_equal(out, [0.0, -5.0, 3.0, 0.0])
+
+    def test_hard_threshold_edge_cases(self):
+        x = np.array([1.0, 2.0])
+        assert np.array_equal(hard_threshold(x, 0), [0.0, 0.0])
+        assert np.array_equal(hard_threshold(x, 5), x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    threshold=st.floats(min_value=0, max_value=50, allow_nan=False),
+)
+def test_property_soft_threshold_is_proximal(values, threshold):
+    """Soft threshold never increases magnitude and preserves sign."""
+    x = np.array(values)
+    out = soft_threshold(x, threshold)
+    assert np.all(np.abs(out) <= np.abs(x) + 1e-12)
+    nonzero = out != 0
+    assert np.all(np.sign(out[nonzero]) == np.sign(x[nonzero]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    k=st.integers(min_value=0, max_value=25),
+)
+def test_property_hard_threshold_support(seed, k):
+    """Hard threshold keeps exactly min(k, n) of the largest entries."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=20)
+    out = hard_threshold(x, k)
+    expected_support = min(k, 20)
+    assert np.count_nonzero(out) == expected_support
+    if 0 < k < 20:
+        kept_min = np.min(np.abs(out[out != 0]))
+        dropped_max = np.max(np.abs(x[out == 0]))
+        assert kept_min >= dropped_max - 1e-12

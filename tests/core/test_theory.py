@@ -1,0 +1,146 @@
+"""Tests for the Eq. (1)/(2) theory helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    best_k_term,
+    error_bound,
+    mutual_coherence,
+    recoverable_sparsity,
+    required_measurements,
+    significant_coefficients,
+    sparsity_fraction,
+)
+
+
+class TestRequiredMeasurements:
+    def test_formula_at_midpoint(self):
+        # K = N/2 -> K log 2 ~ 0.35 N, clamped at least K
+        n = 1024
+        m = required_measurements(512, n)
+        assert 512 <= m <= n
+
+    def test_monotone_in_sparsity(self):
+        n = 256
+        values = [required_measurements(k, n) for k in (4, 16, 64, 128)]
+        assert values == sorted(values)
+
+    def test_full_sparsity_needs_all(self):
+        assert required_measurements(100, 100) == 100
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            required_measurements(0, 10)
+        with pytest.raises(ValueError):
+            required_measurements(11, 10)
+
+
+class TestRecoverableSparsity:
+    def test_inverse_of_required(self):
+        n = 256
+        for k in (4, 10, 30):
+            m = required_measurements(k, n)
+            assert recoverable_sparsity(m, n) >= k
+
+    def test_small_budget(self):
+        assert recoverable_sparsity(1, 100) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recoverable_sparsity(0, 10)
+
+
+class TestBestKTerm:
+    def test_keeps_largest(self):
+        x = np.array([0.1, -5.0, 2.0, 0.0])
+        out = best_k_term(x, 2)
+        assert np.array_equal(out, [0.0, -5.0, 2.0, 0.0])
+
+    def test_k_zero(self):
+        assert np.array_equal(best_k_term(np.ones(3), 0), np.zeros(3))
+
+    def test_preserves_shape(self):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        assert best_k_term(x, 3).shape == (4, 5)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            best_k_term(np.ones(3), -1)
+
+
+class TestErrorBound:
+    def test_zero_noise_k_sparse_gives_zero(self):
+        x = np.zeros(100)
+        x[:5] = 1.0
+        terms = error_bound(x, m=50, noise=0.0, sparsity=5)
+        assert terms["total"] == 0.0
+
+    def test_measurement_term_scaling(self):
+        x = np.ones(100)
+        t1 = error_bound(x, m=25, noise=1.0, sparsity=100)
+        t2 = error_bound(x, m=100, noise=1.0, sparsity=100)
+        assert t1["measurement_term"] == pytest.approx(2.0 * t2["measurement_term"])
+
+    def test_approximation_term_is_tail_l1(self):
+        x = np.array([10.0, 1.0, 1.0, 1.0, 1.0])
+        terms = error_bound(x, m=3, noise=0.0, sparsity=1)
+        assert terms["approximation_term"] == pytest.approx(4.0 / 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            error_bound(np.ones(10), m=0, noise=0.0, sparsity=1)
+        with pytest.raises(ValueError):
+            error_bound(np.ones(10), m=5, noise=-1.0, sparsity=1)
+        with pytest.raises(ValueError):
+            error_bound(np.ones(10), m=5, noise=0.0, sparsity=0)
+
+
+class TestSignificance:
+    def test_counts_above_relative_threshold(self):
+        x = np.array([1.0, 1e-3, 1e-5])
+        assert significant_coefficients(x, 1e-4) == 2
+
+    def test_all_zero(self):
+        assert significant_coefficients(np.zeros(5)) == 0
+
+    def test_fraction(self):
+        x = np.array([1.0, 1.0, 1e-9, 1e-9])
+        assert sparsity_fraction(x, 1e-4) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparsity_fraction(np.array([]))
+
+
+class TestMutualCoherence:
+    def test_identity_is_zero(self):
+        assert mutual_coherence(np.eye(5)) == 0.0
+
+    def test_duplicate_column_is_one(self):
+        a = np.eye(4)[:, :3]
+        a = np.hstack([a, a[:, :1]])
+        assert mutual_coherence(a) == pytest.approx(1.0)
+
+    def test_needs_two_columns(self):
+        with pytest.raises(ValueError):
+            mutual_coherence(np.ones((3, 1)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    k=st.integers(min_value=1, max_value=30),
+)
+def test_property_best_k_term_is_best(seed, k):
+    """No other K-sparse vector is closer in L2 than the top-K pick."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=30)
+    top = best_k_term(x, k)
+    # compare against a random alternative support of size k
+    alt_support = rng.choice(30, size=k, replace=False)
+    alt = np.zeros(30)
+    alt[alt_support] = x[alt_support]
+    assert np.linalg.norm(x - top) <= np.linalg.norm(x - alt) + 1e-12

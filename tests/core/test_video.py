@@ -1,0 +1,108 @@
+"""Tests for spatio-temporal (3-D DCT) compressed sensing."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import rmse
+from repro.core.strategies import sample_and_reconstruct
+from repro.core.video import Dct3Basis, dct3, idct3, reconstruct_burst
+
+
+def _burst(frames=5, shape=(12, 12)):
+    r, c = np.mgrid[0:shape[0], 0:shape[1]]
+    return np.stack(
+        [
+            0.5 + 0.4 * np.sin(r / 4.0 + 0.08 * k) * np.cos(c / 5.0)
+            for k in range(frames)
+        ]
+    )
+
+
+class TestTransform:
+    def test_round_trip(self):
+        volume = np.random.default_rng(0).normal(size=(4, 6, 5))
+        assert np.allclose(idct3(dct3(volume)), volume)
+
+    def test_isometry(self):
+        volume = np.random.default_rng(1).normal(size=(3, 8, 8))
+        assert np.linalg.norm(dct3(volume)) == pytest.approx(
+            np.linalg.norm(volume)
+        )
+
+    def test_static_burst_concentrates_in_temporal_dc(self):
+        frame = np.random.default_rng(2).random((8, 8))
+        burst = np.stack([frame] * 4)
+        coefficients = dct3(burst)
+        # all temporal-AC planes vanish for a static scene
+        assert np.allclose(coefficients[1:], 0.0, atol=1e-12)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            dct3(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            idct3(np.zeros(16))
+
+
+class TestBasisObject:
+    def test_orthogonal_matrix(self):
+        basis = Dct3Basis((2, 3, 3))
+        psi = basis.to_matrix()
+        assert np.allclose(psi.T @ psi, np.eye(18), atol=1e-12)
+
+    def test_adjoint_identity(self):
+        rng = np.random.default_rng(3)
+        basis = Dct3Basis((3, 4, 4))
+        x = rng.normal(size=48)
+        y = rng.normal(size=48)
+        assert np.dot(basis.synthesize(x), y) == pytest.approx(
+            np.dot(x, basis.analyze(y))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dct3Basis((0, 4, 4))
+
+
+class TestBurstReconstruction:
+    def test_joint_beats_per_frame_at_low_budget(self):
+        burst = _burst()
+        joint = reconstruct_burst(burst, 0.3, np.random.default_rng(4))
+        per_frame = np.stack(
+            [
+                sample_and_reconstruct(frame, 0.3, np.random.default_rng(10 + k))
+                for k, frame in enumerate(burst)
+            ]
+        )
+        assert rmse(burst, joint) < rmse(burst, per_frame)
+
+    def test_exclude_masks_respected(self):
+        burst = _burst(frames=4)
+        masks = np.zeros(burst.shape, dtype=bool)
+        masks[:, 3, :] = True  # a dead row in every frame
+        corrupted = burst.copy()
+        corrupted[:, 3, :] = 0.0
+        recon = reconstruct_burst(
+            corrupted, 0.5, np.random.default_rng(5), exclude_masks=masks
+        )
+        # dead row recovered from the rest of the burst
+        assert rmse(burst[:, 3, :], recon[:, 3, :]) < 0.05
+
+    def test_noise_degrades_gracefully(self):
+        burst = _burst(frames=3)
+        clean = reconstruct_burst(burst, 0.5, np.random.default_rng(6))
+        noisy = reconstruct_burst(
+            burst, 0.5, np.random.default_rng(6), noise_sigma=0.05
+        )
+        assert rmse(burst, noisy) > rmse(burst, clean)
+        assert rmse(burst, noisy) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reconstruct_burst(np.zeros((4, 4)), 0.5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            reconstruct_burst(_burst(), 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            reconstruct_burst(
+                _burst(), 0.5, np.random.default_rng(0),
+                exclude_masks=np.zeros((2, 2, 2), dtype=bool),
+            )

@@ -1,0 +1,138 @@
+"""Tests for the shared dataset-generation machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.base import (
+    add_bandlimited_texture,
+    ellipse_mask,
+    gaussian_blob,
+    quantize,
+    smooth,
+)
+from repro.core.dct import dct2
+from repro.core.theory import sparsity_fraction
+
+
+class TestGaussianBlob:
+    def test_peak_at_center(self):
+        blob = gaussian_blob((21, 21), (10.0, 10.0), (3.0, 3.0))
+        assert blob[10, 10] == pytest.approx(1.0)
+        assert blob.argmax() == 10 * 21 + 10
+
+    def test_anisotropy(self):
+        blob = gaussian_blob((21, 21), (10.0, 10.0), (6.0, 1.5))
+        # elongated along rows: farther row decay slower than col decay
+        assert blob[16, 10] > blob[10, 16]
+
+    def test_rotation_swaps_axes(self):
+        blob = gaussian_blob((21, 21), (10.0, 10.0), (6.0, 1.5), np.pi / 2)
+        assert blob[10, 16] > blob[16, 10]
+
+
+class TestEllipseMask:
+    def test_center_inside(self):
+        mask = ellipse_mask((11, 11), (5.0, 5.0), (3.0, 2.0))
+        assert mask[5, 5]
+        assert not mask[0, 0]
+
+    def test_area_scales(self):
+        small = ellipse_mask((41, 41), (20.0, 20.0), (5.0, 5.0)).sum()
+        large = ellipse_mask((41, 41), (20.0, 20.0), (10.0, 10.0)).sum()
+        assert large > 3 * small
+
+
+class TestSmooth:
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        frame = rng.random((16, 16))
+        out = smooth(frame, 1.5)
+        assert out.mean() == pytest.approx(frame.mean(), rel=0.05)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        frame = rng.random((16, 16))
+        assert smooth(frame, 2.0).std() < frame.std()
+
+    def test_zero_sigma_identity(self):
+        frame = np.random.default_rng(2).random((8, 8))
+        assert np.array_equal(smooth(frame, 0.0), frame)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            smooth(np.zeros((4, 4)), -1.0)
+
+
+class TestBandlimitedTexture:
+    def _smooth_frame(self):
+        return gaussian_blob((32, 32), (16.0, 16.0), (6.0, 6.0))
+
+    def test_raises_significant_fraction(self):
+        frame = self._smooth_frame()
+        rng = np.random.default_rng(3)
+        textured = add_bandlimited_texture(frame, rng, 0.5, 2e-3)
+        before = sparsity_fraction(dct2(frame))
+        after = sparsity_fraction(dct2(textured))
+        assert after > before
+
+    def test_support_fraction_controls_count(self):
+        frame = self._smooth_frame()
+        narrow = add_bandlimited_texture(
+            frame, np.random.default_rng(4), 0.2, 2e-3
+        )
+        wide = add_bandlimited_texture(
+            frame, np.random.default_rng(4), 0.8, 2e-3
+        )
+        assert sparsity_fraction(dct2(wide)) > sparsity_fraction(dct2(narrow))
+
+    def test_small_amplitude_barely_changes_frame(self):
+        frame = self._smooth_frame()
+        textured = add_bandlimited_texture(
+            frame, np.random.default_rng(5), 0.5, 1e-3
+        )
+        assert np.max(np.abs(textured - frame)) < 0.05
+
+    def test_zero_amplitude_identity(self):
+        frame = self._smooth_frame()
+        out = add_bandlimited_texture(frame, np.random.default_rng(6), 0.5, 0.0)
+        assert np.array_equal(out, frame)
+
+    def test_validation(self):
+        frame = self._smooth_frame()
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            add_bandlimited_texture(frame, rng, 1.5)
+        with pytest.raises(ValueError):
+            add_bandlimited_texture(frame, rng, 0.5, -1.0)
+
+
+class TestQuantize:
+    def test_levels(self):
+        values = np.linspace(0, 1, 1000).reshape(50, 20)
+        out = quantize(values, bits=3)
+        assert len(np.unique(out)) == 8
+
+    def test_clips_first(self):
+        out = quantize(np.array([[-0.5, 1.5]]), bits=8)
+        assert out[0, 0] == 0.0
+        assert out[0, 1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((2, 2)), bits=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_quantize_idempotent(bits, seed):
+    """Quantising twice equals quantising once."""
+    rng = np.random.default_rng(seed)
+    frame = rng.random((8, 8))
+    once = quantize(frame, bits)
+    twice = quantize(once, bits)
+    assert np.allclose(once, twice)

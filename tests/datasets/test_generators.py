@@ -1,0 +1,102 @@
+"""Tests for the thermal / pressure / ultrasound frame generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PressureMapGenerator,
+    ThermalHandGenerator,
+    UltrasoundGenerator,
+    sparsity_stats,
+)
+
+
+class TestThermalHand:
+    def test_default_shape_and_range(self):
+        generator = ThermalHandGenerator(seed=0)
+        frame = generator.frame()
+        assert frame.shape == (32, 32)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_frames_batch(self):
+        frames = ThermalHandGenerator(seed=1).frames(5)
+        assert frames.shape == (5, 32, 32)
+
+    def test_frames_vary(self):
+        frames = ThermalHandGenerator(seed=2).frames(2)
+        assert not np.array_equal(frames[0], frames[1])
+
+    def test_deterministic_given_seed(self):
+        a = ThermalHandGenerator(seed=3).frame()
+        b = ThermalHandGenerator(seed=3).frame()
+        assert np.array_equal(a, b)
+
+    def test_hand_is_warm_blob(self):
+        frame = ThermalHandGenerator(seed=4).frame()
+        # Hand interior clearly hotter than the frame corners.
+        corner = np.mean([frame[0, 0], frame[0, -1], frame[-1, 0], frame[-1, -1]])
+        assert frame.max() > corner + 0.3
+
+    def test_celsius_mapping(self):
+        generator = ThermalHandGenerator(seed=5)
+        frame = generator.frame()
+        celsius = generator.celsius(frame)
+        assert celsius.min() >= generator.t_background_c - 1e-9
+        assert celsius.max() <= generator.t_hand_c + 1e-9
+
+    def test_sparsity_near_paper_half(self):
+        frames = ThermalHandGenerator(seed=6).frames(20)
+        stats = sparsity_stats(frames)
+        assert 0.35 < stats.mean_fraction < 0.7
+
+    def test_rejects_tiny_shape(self):
+        with pytest.raises(ValueError):
+            ThermalHandGenerator(shape=(4, 4))
+
+
+class TestPressureMap:
+    def test_paper_shape(self):
+        assert PressureMapGenerator().shape == (41, 41)
+
+    def test_range_and_variability(self):
+        frames = PressureMapGenerator(seed=7).frames(3)
+        assert frames.min() >= 0.0 and frames.max() <= 1.0
+        assert not np.array_equal(frames[0], frames[1])
+
+    def test_sparsity_near_paper_half(self):
+        frames = PressureMapGenerator(seed=8).frames(20)
+        stats = sparsity_stats(frames)
+        assert 0.3 < stats.mean_fraction < 0.7
+
+
+class TestUltrasound:
+    def test_paper_shape(self):
+        assert UltrasoundGenerator().shape == (100, 33)
+
+    def test_attenuation_with_depth(self):
+        frames = UltrasoundGenerator(seed=9, lesion_probability=0.0).frames(10)
+        shallow = frames[:, :20, :].mean()
+        deep = frames[:, -20:, :].mean()
+        assert shallow > 1.5 * deep
+
+    def test_lesion_probability_zero_and_one(self):
+        always = UltrasoundGenerator(seed=10, lesion_probability=1.0).frame()
+        never = UltrasoundGenerator(seed=10, lesion_probability=0.0).frame()
+        assert always.shape == never.shape
+
+    def test_sparsity_near_paper_half(self):
+        frames = UltrasoundGenerator(seed=11).frames(10)
+        stats = sparsity_stats(frames)
+        assert 0.3 < stats.mean_fraction < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UltrasoundGenerator(shape=(4, 4))
+        with pytest.raises(ValueError):
+            UltrasoundGenerator(lesion_probability=2.0)
+
+
+class TestBatchApi:
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            ThermalHandGenerator().frames(0)

@@ -1,0 +1,48 @@
+"""Tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    TactileDataset,
+    load_frames,
+    load_tactile,
+    make_tactile_dataset,
+    save_frames,
+    save_tactile,
+)
+
+
+class TestFrameIo:
+    def test_round_trip(self, tmp_path):
+        frames = np.random.default_rng(0).random((4, 8, 8))
+        path = tmp_path / "frames.npz"
+        save_frames(path, frames)
+        assert np.array_equal(load_frames(path), frames)
+
+    def test_rank_checked(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_frames(tmp_path / "bad.npz", np.zeros((4, 4)))
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_frames(path)
+
+
+class TestTactileIo:
+    def test_round_trip(self, tmp_path):
+        dataset = make_tactile_dataset(2, seed=0, num_classes=3)
+        path = tmp_path / "tactile.npz"
+        save_tactile(path, dataset)
+        loaded = load_tactile(path)
+        assert isinstance(loaded, TactileDataset)
+        assert np.array_equal(loaded.frames, dataset.frames)
+        assert np.array_equal(loaded.labels, dataset.labels)
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "frames.npz"
+        save_frames(path, np.zeros((2, 4, 4)))
+        with pytest.raises(ValueError):
+            load_tactile(path)

@@ -1,0 +1,80 @@
+"""Tests for the Fig. 2 sparsity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.sparsity import sorted_dct_magnitudes, sparsity_stats
+
+
+class TestSortedMagnitudes:
+    def test_descending(self):
+        frame = np.random.default_rng(0).random((16, 16))
+        curve = sorted_dct_magnitudes(frame)
+        assert np.all(np.diff(curve) <= 0)
+
+    def test_normalized_starts_at_one(self):
+        frame = np.random.default_rng(1).random((8, 8))
+        assert sorted_dct_magnitudes(frame)[0] == pytest.approx(1.0)
+
+    def test_unnormalized(self):
+        frame = np.full((8, 8), 2.0)
+        curve = sorted_dct_magnitudes(frame, normalize=False)
+        assert curve[0] == pytest.approx(16.0)  # DC = mean * sqrt(N)
+
+    def test_smooth_decays_faster_than_noise(self):
+        r, c = np.mgrid[0:16, 0:16]
+        smooth = np.exp(-((r - 8.0) ** 2 + (c - 8.0) ** 2) / 20.0)
+        noise = np.random.default_rng(2).random((16, 16))
+        tail_smooth = sorted_dct_magnitudes(smooth)[100]
+        tail_noise = sorted_dct_magnitudes(noise)[100]
+        assert tail_smooth < tail_noise
+
+
+class TestSparsityStats:
+    def test_counts_and_fractions_consistent(self):
+        frames = np.random.default_rng(3).random((5, 8, 8))
+        stats = sparsity_stats(frames)
+        assert stats.num_frames == 5
+        assert stats.frame_size == 64
+        assert np.allclose(stats.fractions, stats.significant_counts / 64)
+
+    def test_noise_is_fully_significant(self):
+        # White noise: nearly all coefficients exceed 1e-4 of max.
+        frames = np.random.default_rng(4).random((3, 16, 16))
+        stats = sparsity_stats(frames)
+        assert stats.mean_fraction > 0.95
+
+    def test_threshold_monotonicity(self):
+        frames = np.random.default_rng(5).random((3, 8, 8))
+        loose = sparsity_stats(frames, relative_threshold=1e-6)
+        tight = sparsity_stats(frames, relative_threshold=1e-1)
+        assert loose.mean_count >= tight.mean_count
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            sparsity_stats(np.zeros((8, 8)))
+
+
+class TestTransformOption:
+    def test_haar_transform_supported(self):
+        frames = np.random.default_rng(6).random((3, 16, 16))
+        stats = sparsity_stats(frames, transform="haar")
+        assert stats.num_frames == 3
+        assert np.all(stats.fractions > 0)
+
+    def test_thermal_frames_sparser_in_dct_than_haar(self):
+        """The generators' noise floor is band-limited in the DCT
+        domain; in the Haar domain it smears over most coefficients, so
+        the Fig. 2b fraction is transform-dependent -- the paper's
+        choice of transform is part of the experimental definition."""
+        from repro.datasets import ThermalHandGenerator
+
+        frames = ThermalHandGenerator(seed=7).frames(5)
+        dct_stats = sparsity_stats(frames, transform="dct")
+        haar_stats = sparsity_stats(frames, transform="haar")
+        assert dct_stats.mean_fraction < haar_stats.mean_fraction
+        assert dct_stats.mean_fraction < 0.7
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ValueError):
+            sparsity_stats(np.zeros((2, 8, 8)), transform="dft")

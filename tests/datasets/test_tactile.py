@@ -1,0 +1,79 @@
+"""Tests for the 26-class tactile dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.tactile import (
+    NUM_CLASSES,
+    TactileObjectGenerator,
+    make_tactile_dataset,
+)
+
+
+class TestGenerator:
+    def test_frame_shape_and_range(self):
+        frame = TactileObjectGenerator(0).frame()
+        assert frame.shape == (32, 32)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_class_index_validated(self):
+        with pytest.raises(ValueError):
+            TactileObjectGenerator(26)
+        with pytest.raises(ValueError):
+            TactileObjectGenerator(-1)
+
+    def test_signature_stable_across_sample_seeds(self):
+        a = TactileObjectGenerator(5, seed=0)
+        b = TactileObjectGenerator(5, seed=99)
+        assert a._signature == b._signature
+
+    def test_different_classes_have_different_signatures(self):
+        a = TactileObjectGenerator(1)._signature
+        b = TactileObjectGenerator(2)._signature
+        assert a != b
+
+    def test_intra_class_variation(self):
+        generator = TactileObjectGenerator(3, seed=0)
+        frames = generator.frames(2)
+        assert not np.array_equal(frames[0], frames[1])
+
+    def test_classes_statistically_separable(self):
+        """Mean frames of two classes differ far more than samples
+        within one class differ from their own mean."""
+        frames_a = TactileObjectGenerator(0, seed=0).frames(10)
+        frames_b = TactileObjectGenerator(1, seed=0).frames(10)
+        mean_a, mean_b = frames_a.mean(axis=0), frames_b.mean(axis=0)
+        between = np.linalg.norm(mean_a - mean_b)
+        within = np.mean([np.linalg.norm(f - mean_a) for f in frames_a])
+        assert between > 0.5 * within
+
+
+class TestDataset:
+    def test_balanced_and_shuffled(self):
+        dataset = make_tactile_dataset(4, seed=0)
+        assert len(dataset) == 4 * NUM_CLASSES
+        counts = np.bincount(dataset.labels, minlength=NUM_CLASSES)
+        assert np.all(counts == 4)
+        # shuffled: labels are not grouped in blocks
+        assert not np.array_equal(dataset.labels, np.sort(dataset.labels))
+
+    def test_subset_of_classes(self):
+        dataset = make_tactile_dataset(3, num_classes=5, seed=1)
+        assert set(np.unique(dataset.labels)) == set(range(5))
+
+    def test_different_split_seeds_differ(self):
+        train = make_tactile_dataset(2, seed=0)
+        test = make_tactile_dataset(2, seed=100)
+        assert not np.array_equal(train.frames, test.frames)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_tactile_dataset(0)
+        with pytest.raises(ValueError):
+            make_tactile_dataset(2, num_classes=0)
+
+    def test_length_mismatch_rejected(self):
+        from repro.datasets.tactile import TactileDataset
+
+        with pytest.raises(ValueError):
+            TactileDataset(frames=np.zeros((2, 4, 4)), labels=np.zeros(3))

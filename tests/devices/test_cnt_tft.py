@@ -1,0 +1,176 @@
+"""Tests for the CNT-TFT compact model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.cnt_tft import NTYPE, PTYPE, CntTft, TftParameters
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        TftParameters()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TftParameters(mobility_cm2=-1.0)
+        with pytest.raises(ValueError):
+            TftParameters(cox_f_per_m2=0.0)
+        with pytest.raises(ValueError):
+            TftParameters(subthreshold_swing=0.0)
+        with pytest.raises(ValueError):
+            TftParameters(contact_resistance=-1.0)
+        with pytest.raises(ValueError):
+            TftParameters(leakage_a_per_um=-1.0)
+
+    def test_with_variation(self):
+        base = TftParameters()
+        varied = base.with_variation(1.2, 0.1)
+        assert varied.mobility_cm2 == pytest.approx(base.mobility_cm2 * 1.2)
+        assert varied.vth == pytest.approx(base.vth + 0.1)
+
+
+class TestPtypeBehaviour:
+    def setup_method(self):
+        self.device = CntTft(width_um=100, length_um=10)
+
+    def test_on_off_ratio_realistic(self):
+        i_on = self.device.drain_current(-3.0, -1.0)
+        i_off = self.device.drain_current(1.0, -1.0)
+        assert 1e3 < i_on / i_off < 1e8
+
+    def test_current_increases_with_gate_drive(self):
+        vgs = np.array([-1.0, -1.5, -2.0, -2.5, -3.0])
+        currents = self.device.drain_current(vgs, -1.0)
+        assert np.all(np.diff(currents) > 0)
+
+    def test_current_increases_with_vds_magnitude(self):
+        vds = np.array([-0.1, -0.5, -1.0, -2.0])
+        currents = self.device.drain_current(-3.0, vds)
+        assert np.all(np.diff(currents) > 0)
+
+    def test_saturation_flattens(self):
+        linear_slope = self.device.drain_current(-3.0, -0.2) - self.device.drain_current(-3.0, -0.1)
+        sat_slope = self.device.drain_current(-3.0, -2.9) - self.device.drain_current(-3.0, -2.8)
+        assert sat_slope < linear_slope
+
+    def test_zero_vds_zero_current(self):
+        assert self.device.drain_current(-3.0, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_scalar_in_scalar_out(self):
+        assert isinstance(self.device.drain_current(-3.0, -1.0), float)
+
+
+class TestGeometryScaling:
+    def test_current_scales_with_width(self):
+        narrow = CntTft(width_um=50, length_um=10)
+        wide = CntTft(width_um=200, length_um=10)
+        ratio = wide.drain_current(-3.0, -1.0) / narrow.drain_current(-3.0, -1.0)
+        assert 3.0 < ratio < 4.5  # slightly sub-linear from contact R
+
+    def test_current_scales_inverse_with_length(self):
+        short = CntTft(width_um=50, length_um=10)
+        long = CntTft(width_um=50, length_um=25)
+        assert short.drain_current(-3.0, -1.0) > long.drain_current(-3.0, -1.0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CntTft(width_um=0, length_um=10)
+        with pytest.raises(ValueError):
+            CntTft(width_um=10, length_um=-1)
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ValueError):
+            CntTft(polarity="x")
+
+
+class TestNtypeSymmetry:
+    def test_ntype_mirrors_ptype(self):
+        params = TftParameters(vth=0.8)
+        n_device = CntTft(100, 10, params, polarity=NTYPE)
+        p_device = CntTft(100, 10, TftParameters(vth=-0.8), polarity=PTYPE)
+        i_n = n_device.drain_current(3.0, 1.0)
+        i_p = p_device.drain_current(-3.0, -1.0)
+        assert i_n == pytest.approx(i_p, rel=1e-9)
+
+
+class TestSmallSignal:
+    def test_transconductance_sign_matches_polarity(self):
+        # dId/dVgs: raising the gate turns a p-type device off, so the
+        # (source-to-drain) current derivative is negative; n-type is
+        # positive.
+        p_device = CntTft(100, 10)
+        assert p_device.transconductance(-2.0, -2.0) < 0
+        n_device = CntTft(100, 10, TftParameters(vth=0.8), polarity=NTYPE)
+        assert n_device.transconductance(2.0, 2.0) > 0
+
+    def test_output_conductance_positive(self):
+        device = CntTft(100, 10)
+        assert device.output_conductance(-3.0, -1.0) > 0
+
+    def test_on_resistance_decreases_with_drive(self):
+        device = CntTft(100, 10)
+        assert device.on_resistance(-3.0) < device.on_resistance(-1.5)
+
+    def test_on_resistance_validation(self):
+        device = CntTft(100, 10)
+        with pytest.raises(ValueError):
+            device.on_resistance(-3.0, vds_probe=0.0)
+
+    def test_off_resistance_huge(self):
+        device = CntTft(100, 10)
+        assert device.on_resistance(1.0) > 1e8
+
+
+class TestContactResistance:
+    def test_contact_resistance_reduces_current(self):
+        ideal = CntTft(100, 10, TftParameters(contact_resistance=0.0))
+        real = CntTft(100, 10, TftParameters(contact_resistance=2e4))
+        assert real.drain_current(-3.0, -1.0) < ideal.drain_current(-3.0, -1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    vgs=st.floats(min_value=-3.0, max_value=1.0),
+    vds=st.floats(min_value=-3.0, max_value=0.0),
+)
+def test_property_current_nonnegative_and_finite(vgs, vds):
+    """The p-type source-drain current is always >= 0 and finite."""
+    device = CntTft(100, 10)
+    current = device.drain_current(vgs, vds)
+    assert np.isfinite(current)
+    assert current >= 0.0
+
+
+class TestTemperatureDependence:
+    def test_reference_temperature_is_identity(self):
+        base = TftParameters()
+        at_ref = base.at_temperature(base.reference_temp_c)
+        assert at_ref.mobility_cm2 == pytest.approx(base.mobility_cm2)
+        assert at_ref.vth == pytest.approx(base.vth)
+
+    def test_mobility_falls_with_temperature(self):
+        base = TftParameters()
+        hot = base.at_temperature(85.0)
+        cold = base.at_temperature(-20.0)
+        assert hot.mobility_cm2 < base.mobility_cm2 < cold.mobility_cm2
+
+    def test_ptype_threshold_weakens_when_hot(self):
+        base = TftParameters(vth=-0.8)
+        hot = base.at_temperature(85.0)
+        assert hot.vth > base.vth  # toward zero
+
+    def test_on_current_temperature_coefficient_small(self):
+        """The access device's drift over the sensing range stays small
+        relative to the Pt sensor's signal (so the pixel remains
+        sensor-dominated)."""
+        cold = CntTft(500, 25, TftParameters().at_temperature(20.0))
+        hot = CntTft(500, 25, TftParameters().at_temperature(100.0))
+        i_cold = cold.drain_current(-3.0, -1.0)
+        i_hot = hot.drain_current(-3.0, -1.0)
+        assert abs(i_hot - i_cold) / i_cold < 0.35
+
+    def test_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            TftParameters().at_temperature(-300.0)

@@ -1,0 +1,105 @@
+"""Tests for defect taxonomy and defect maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.defects import DefectMap, DefectType, PixelDefect
+
+
+class TestDefectType:
+    def test_stuck_values(self):
+        assert DefectType.OPEN_CHANNEL.stuck_value == 0.0
+        assert DefectType.METALLIC_SHORT.stuck_value == 1.0
+        assert DefectType.GATE_LEAK.stuck_value == 1.0
+
+
+class TestPixelDefect:
+    def test_rejects_negative_position(self):
+        with pytest.raises(ValueError):
+            PixelDefect(-1, 0, DefectType.OPEN_CHANNEL)
+
+
+class TestDefectMap:
+    def test_sample_rate(self):
+        rng = np.random.default_rng(0)
+        defect_map = DefectMap.sample((20, 20), 0.1, rng)
+        assert len(defect_map.defects) == 40
+        assert defect_map.defect_rate == pytest.approx(0.1)
+        assert defect_map.array_yield == pytest.approx(0.9)
+
+    def test_mask_matches_defects(self):
+        rng = np.random.default_rng(1)
+        defect_map = DefectMap.sample((10, 10), 0.05, rng)
+        mask = defect_map.mask()
+        assert mask.sum() == len(defect_map.defects)
+        for defect in defect_map.defects:
+            assert mask[defect.row, defect.col]
+
+    def test_apply_sets_stuck_values(self):
+        rng = np.random.default_rng(2)
+        defect_map = DefectMap.sample((8, 8), 0.2, rng)
+        frame = np.full((8, 8), 0.5)
+        out = defect_map.apply(frame)
+        mask = defect_map.mask()
+        assert np.all((out[mask] == 0.0) | (out[mask] == 1.0))
+        assert np.all(out[~mask] == 0.5)
+
+    def test_apply_checks_shape(self):
+        defect_map = DefectMap(shape=(4, 4))
+        with pytest.raises(ValueError):
+            defect_map.apply(np.zeros((5, 5)))
+
+    def test_stuck_values_nan_for_healthy(self):
+        defect_map = DefectMap(
+            shape=(3, 3), defects=[PixelDefect(1, 1, DefectType.OPEN_CHANNEL)]
+        )
+        stuck = defect_map.stuck_values()
+        assert stuck[1, 1] == 0.0
+        assert np.isnan(stuck[0, 0])
+
+    def test_counts_by_type_total(self):
+        rng = np.random.default_rng(3)
+        defect_map = DefectMap.sample((30, 30), 0.1, rng)
+        counts = defect_map.counts_by_type()
+        assert sum(counts.values()) == len(defect_map.defects)
+
+    def test_custom_type_weights(self):
+        rng = np.random.default_rng(4)
+        defect_map = DefectMap.sample(
+            (20, 20), 0.2, rng,
+            type_weights={DefectType.OPEN_CHANNEL: 1.0},
+        )
+        counts = defect_map.counts_by_type()
+        assert counts[DefectType.OPEN_CHANNEL] == len(defect_map.defects)
+
+    def test_out_of_array_defect_rejected(self):
+        with pytest.raises(ValueError):
+            DefectMap(
+                shape=(3, 3), defects=[PixelDefect(5, 0, DefectType.GATE_LEAK)]
+            )
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DefectMap.sample((4, 4), 1.5, np.random.default_rng(0))
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            DefectMap.sample(
+                (4, 4), 0.1, np.random.default_rng(0),
+                type_weights={DefectType.GATE_LEAK: 0.0},
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rate=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_yield_complements_rate(rate, seed):
+    """yield + defect rate == 1 for any sampled map."""
+    rng = np.random.default_rng(seed)
+    defect_map = DefectMap.sample((12, 12), rate, rng)
+    assert defect_map.array_yield + defect_map.defect_rate == pytest.approx(1.0)
+    assert defect_map.mask().sum() == int(round(rate * 144))

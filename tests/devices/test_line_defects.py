@@ -1,0 +1,50 @@
+"""Tests for structured (line) defect maps."""
+
+import numpy as np
+import pytest
+
+from repro.devices.defects import DefectType, LineDefectMap
+
+
+class TestSampleLines:
+    def test_dead_lines_reported(self):
+        rng = np.random.default_rng(0)
+        defect_map = LineDefectMap.sample_lines((10, 12), 2, 1, rng)
+        assert len(defect_map.dead_rows) == 2
+        assert len(defect_map.dead_cols) == 1
+
+    def test_defect_count_accounts_for_crossings(self):
+        rng = np.random.default_rng(1)
+        defect_map = LineDefectMap.sample_lines((10, 10), 2, 2, rng)
+        # 2 rows + 2 cols - 4 crossings counted once
+        assert len(defect_map.defects) == 2 * 10 + 2 * 10 - 4
+
+    def test_apply_kills_whole_lines(self):
+        rng = np.random.default_rng(2)
+        defect_map = LineDefectMap.sample_lines(
+            (8, 8), 1, 0, rng, kind=DefectType.OPEN_CHANNEL
+        )
+        frame = np.full((8, 8), 0.5)
+        out = defect_map.apply(frame)
+        dead_row = defect_map.dead_rows[0]
+        assert np.all(out[dead_row] == 0.0)
+
+    def test_zero_lines_is_clean(self):
+        rng = np.random.default_rng(3)
+        defect_map = LineDefectMap.sample_lines((8, 8), 0, 0, rng)
+        assert defect_map.defect_rate == 0.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            LineDefectMap.sample_lines((8, 8), 9, 0, rng)
+        with pytest.raises(ValueError):
+            LineDefectMap.sample_lines((8, 8), 0, -1, rng)
+
+    def test_short_kind_sticks_high(self):
+        rng = np.random.default_rng(5)
+        defect_map = LineDefectMap.sample_lines(
+            (6, 6), 1, 0, rng, kind=DefectType.METALLIC_SHORT
+        )
+        out = defect_map.apply(np.full((6, 6), 0.5))
+        assert np.all(out[defect_map.dead_rows[0]] == 1.0)

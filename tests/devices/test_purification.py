@@ -1,0 +1,76 @@
+"""Tests for the s-CNT purification / yield model (Sec. 3.2)."""
+
+import pytest
+
+from repro.devices.purification import (
+    PurificationChain,
+    PurificationStep,
+    default_chain,
+    tft_yield,
+)
+
+
+class TestPurificationStep:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PurificationStep("bad", metallic_removal=1.0)
+        with pytest.raises(ValueError):
+            PurificationStep("bad", metallic_removal=0.5, semiconducting_loss=1.0)
+
+
+class TestDefaultChain:
+    def test_paper_purity_after_sorting(self):
+        # Paper: polymer sorting reaches s-CNT purity > 99.99 %.
+        chain = default_chain()
+        assert chain.purity_after(1) >= 0.9999 - 1e-6
+
+    def test_paper_final_purity(self):
+        # Paper: second centrifugation reaches > 99.997 %.
+        chain = default_chain()
+        assert chain.final_purity() >= 0.99997 - 1e-6
+
+    def test_purity_monotone_in_steps(self):
+        chain = default_chain()
+        assert (
+            chain.initial_purity
+            < chain.purity_after(1)
+            < chain.purity_after(2) + 1e-12
+        )
+
+    def test_material_efficiency_below_one(self):
+        chain = default_chain()
+        assert 0.0 < chain.material_efficiency() < 1.0
+
+
+class TestTftYield:
+    def test_paper_yield_number(self):
+        # Paper: >99.9 % TFT yield at the final purity (validated on
+        # >5000 devices).  Our independent-tube model reproduces it for
+        # a typical ~30 bridging tubes.
+        purity = default_chain().final_purity()
+        assert tft_yield(purity, 30) >= 0.999 - 2e-4
+
+    def test_yield_decreases_with_tube_count(self):
+        assert tft_yield(0.999, 10) > tft_yield(0.999, 100)
+
+    def test_perfect_purity_perfect_yield(self):
+        assert tft_yield(1.0, 1000) == 1.0
+
+    def test_zero_tubes_always_works(self):
+        assert tft_yield(0.5, 0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tft_yield(1.5, 10)
+        with pytest.raises(ValueError):
+            tft_yield(0.9, -1)
+
+
+class TestCustomChain:
+    def test_initial_purity_validation(self):
+        with pytest.raises(ValueError):
+            PurificationChain(initial_purity=0.0, steps=())
+
+    def test_no_steps_keeps_initial(self):
+        chain = PurificationChain(initial_purity=0.8, steps=())
+        assert chain.final_purity() == pytest.approx(0.8)

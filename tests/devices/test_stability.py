@@ -1,0 +1,94 @@
+"""Tests for the bias-stress drift model."""
+
+import numpy as np
+import pytest
+
+from repro.devices.cnt_tft import TftParameters
+from repro.devices.stability import BiasStressModel
+
+
+class TestStress:
+    def test_shift_grows_and_saturates(self):
+        model = BiasStressModel(tau_s=100.0, shift_per_volt=0.1)
+        first = model.stress(2.0, 50.0)
+        second = model.stress(2.0, 500.0)
+        third = model.stress(2.0, 50_000.0)
+        assert 0 < first < second < third
+        assert third <= 0.2 + 1e-12  # saturation = 0.1 * 2 V
+
+    def test_episodes_compose_like_continuous_stress(self):
+        continuous = BiasStressModel(tau_s=100.0)
+        split = BiasStressModel(tau_s=100.0)
+        continuous.stress(2.0, 300.0)
+        for _ in range(3):
+            split.stress(2.0, 100.0)
+        assert split.accumulated_shift_v == pytest.approx(
+            continuous.accumulated_shift_v, rel=1e-6
+        )
+
+    def test_zero_overdrive_no_shift(self):
+        model = BiasStressModel()
+        assert model.stress(0.0, 1e6) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            BiasStressModel().stress(1.0, -1.0)
+
+
+class TestRecovery:
+    def test_recovery_reduces_shift(self):
+        model = BiasStressModel(tau_s=100.0, tau_recovery_s=1000.0)
+        model.stress(2.0, 500.0)
+        stressed = model.accumulated_shift_v
+        model.recover(2000.0)
+        assert model.accumulated_shift_v < stressed
+
+    def test_full_recovery_asymptotically(self):
+        model = BiasStressModel(tau_recovery_s=10.0)
+        model.stress(2.0, 100.0)
+        model.recover(1e6)
+        assert model.accumulated_shift_v < 1e-6
+
+    def test_reset(self):
+        model = BiasStressModel()
+        model.stress(2.0, 1000.0)
+        model.reset()
+        assert model.accumulated_shift_v == 0.0
+
+
+class TestDutyCycling:
+    def test_duty_cycle_shifts_less_than_dc_stress(self):
+        duty_model = BiasStressModel(tau_s=100.0, tau_recovery_s=200.0)
+        dc_model = BiasStressModel(tau_s=100.0, tau_recovery_s=200.0)
+        duty_model.duty_cycled(2.0, period_s=10.0, duty=0.1, cycles=50)
+        dc_model.stress(2.0, 500.0)
+        assert duty_model.accumulated_shift_v < dc_model.accumulated_shift_v
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiasStressModel().duty_cycled(2.0, 10.0, duty=1.5, cycles=1)
+        with pytest.raises(ValueError):
+            BiasStressModel().duty_cycled(2.0, 0.0, duty=0.5, cycles=1)
+
+
+class TestApply:
+    def test_ptype_shifts_more_negative(self):
+        model = BiasStressModel()
+        model.stress(2.0, 1e5)
+        base = TftParameters(vth=-0.8)
+        shifted = model.apply(base)
+        assert shifted.vth < base.vth
+
+    def test_ntype_shifts_more_positive(self):
+        model = BiasStressModel()
+        model.stress(2.0, 1e5)
+        base = TftParameters(vth=0.8)
+        assert model.apply(base).vth > base.vth
+
+    def test_model_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BiasStressModel(tau_s=0.0)
+        with pytest.raises(ValueError):
+            BiasStressModel(beta=0.0)
+        with pytest.raises(ValueError):
+            BiasStressModel(shift_per_volt=-1.0)

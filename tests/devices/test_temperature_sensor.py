@@ -1,0 +1,77 @@
+"""Tests for the Pt sensor and active-matrix pixel (Fig. 5b)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.temperature_sensor import PtTemperatureSensor, TemperaturePixel
+
+
+class TestPtSensor:
+    def test_resistance_at_reference(self):
+        sensor = PtTemperatureSensor(r0_ohm=1000.0, t0_celsius=25.0)
+        assert sensor.resistance(25.0) == pytest.approx(1000.0)
+
+    def test_resistance_linear_in_temperature(self):
+        sensor = PtTemperatureSensor()
+        temps = np.linspace(0, 120, 20)
+        resistances = sensor.resistance(temps)
+        fitted = np.polyfit(temps, resistances, 1)
+        predicted = np.polyval(fitted, temps)
+        assert np.allclose(resistances, predicted)
+
+    def test_inversion_round_trip(self):
+        sensor = PtTemperatureSensor()
+        temps = np.array([10.0, 40.0, 85.0])
+        assert np.allclose(sensor.temperature(sensor.resistance(temps)), temps)
+
+    def test_standard_pt_coefficient(self):
+        sensor = PtTemperatureSensor()
+        assert sensor.alpha_per_k == pytest.approx(3.9e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PtTemperatureSensor(r0_ohm=0.0)
+        with pytest.raises(ValueError):
+            PtTemperatureSensor(alpha_per_k=-1.0)
+
+
+class TestTemperaturePixel:
+    def setup_method(self):
+        self.pixel = TemperaturePixel()
+
+    def test_current_decreases_with_temperature(self):
+        temps = np.linspace(20, 100, 9)
+        currents = self.pixel.read_current(temps)
+        assert np.all(np.diff(currents) < 0)
+
+    def test_linearity_better_than_two_percent(self):
+        assert self.pixel.linearity_error() < 0.02
+
+    def test_inversion_accurate(self):
+        temps = np.linspace(20, 100, 17)
+        currents = self.pixel.read_current(temps)
+        recovered = self.pixel.temperature_from_current(currents)
+        assert np.allclose(recovered, temps, atol=1e-9)
+
+    def test_off_current_much_smaller_than_on(self):
+        on = self.pixel.read_current(50.0)
+        off = self.pixel.off_current(50.0)
+        assert off < on / 1e2
+
+    def test_inversion_rejects_nonpositive_current(self):
+        with pytest.raises(ValueError):
+            self.pixel.temperature_from_current(np.array([0.0]))
+
+    def test_paper_bias_access_device(self):
+        # The paper's pixel uses a W/L = 500/25 um access TFT.
+        assert self.pixel.access_tft.width_um == 500.0
+        assert self.pixel.access_tft.length_um == 25.0
+
+    def test_read_voltage_validation(self):
+        with pytest.raises(ValueError):
+            TemperaturePixel(read_voltage=0.0)
+
+    def test_weaker_word_line_reduces_current(self):
+        strong = self.pixel.read_current(50.0, word_line_v=-3.0)
+        weak = self.pixel.read_current(50.0, word_line_v=-1.5)
+        assert weak < strong

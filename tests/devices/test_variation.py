@@ -1,0 +1,60 @@
+"""Tests for the device variation model."""
+
+import numpy as np
+import pytest
+
+from repro.devices.cnt_tft import TftParameters
+from repro.devices.variation import VariationModel
+
+
+class TestSample:
+    def test_reproducible_with_seed(self):
+        nominal = TftParameters()
+        a = VariationModel(seed=42).sample(nominal)
+        b = VariationModel(seed=42).sample(nominal)
+        assert a.mobility_cm2 == b.mobility_cm2
+        assert a.vth == b.vth
+
+    def test_zero_sigma_returns_nominal(self):
+        nominal = TftParameters()
+        varied = VariationModel(mobility_sigma=0.0, vth_sigma=0.0).sample(nominal)
+        assert varied.mobility_cm2 == pytest.approx(nominal.mobility_cm2)
+        assert varied.vth == pytest.approx(nominal.vth)
+
+    def test_statistics_match_configuration(self):
+        nominal = TftParameters()
+        model = VariationModel(mobility_sigma=0.2, vth_sigma=0.1, seed=0)
+        samples = [model.sample(nominal) for _ in range(3000)]
+        log_scales = np.log([s.mobility_cm2 / nominal.mobility_cm2 for s in samples])
+        shifts = np.array([s.vth - nominal.vth for s in samples])
+        assert np.std(log_scales) == pytest.approx(0.2, rel=0.1)
+        assert np.std(shifts) == pytest.approx(0.1, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariationModel(mobility_sigma=-0.1)
+        with pytest.raises(ValueError):
+            VariationModel(gradient_strength=-1.0)
+
+
+class TestSampleArray:
+    def test_shape_and_independence(self):
+        nominal = TftParameters()
+        grid = VariationModel(seed=1).sample_array(nominal, (4, 6))
+        assert len(grid) == 4 and len(grid[0]) == 6
+        values = {grid[r][c].vth for r in range(4) for c in range(6)}
+        assert len(values) > 20  # essentially all distinct
+
+    def test_gradient_produces_spatial_trend(self):
+        nominal = TftParameters()
+        model = VariationModel(
+            mobility_sigma=0.0, vth_sigma=0.0, gradient_strength=0.4, seed=2
+        )
+        grid = model.sample_array(nominal, (10, 4))
+        top = np.mean([grid[0][c].mobility_cm2 for c in range(4)])
+        bottom = np.mean([grid[9][c].mobility_cm2 for c in range(4)])
+        assert bottom > top  # mobility rises along the slow axis
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            VariationModel().sample_array(TftParameters(), (0, 4))

@@ -1,0 +1,41 @@
+"""Tests for the timing-library calibration flow."""
+
+import pytest
+
+from repro.circuits.pseudo_cmos import CELL_LIBRARY
+from repro.eda.characterize import calibrate_cell_library, characterize_nand2
+
+
+class TestCalibrateCellLibrary:
+    @pytest.fixture(scope="class")
+    def library(self):
+        return calibrate_cell_library()
+
+    def test_covers_every_shipped_cell(self, library):
+        assert set(library) == set(CELL_LIBRARY)
+
+    def test_delays_positive_and_flexible_scale(self, library):
+        for name, delay in library.items():
+            assert 1e-8 < delay < 1e-4, name
+
+    def test_buffer_is_two_inverters(self, library):
+        assert library["BUF"] == pytest.approx(2.0 * library["INV"])
+
+    def test_composed_cells_slower_than_primitives(self, library):
+        assert library["XOR2"] > library["NAND2"]
+        assert library["AND2"] > library["NAND2"]
+
+    def test_nand_comparable_to_inverter(self, library):
+        # Same output stage, parallel pull-ups: within 2x of the inverter.
+        assert library["NAND2"] < 2.0 * library["INV"]
+
+
+class TestCharacterizeNand2:
+    def test_delay_increases_with_load(self):
+        fast = characterize_nand2(load_farads=1e-11)
+        slow = characterize_nand2(load_farads=1e-10)
+        assert slow > fast
+
+    def test_load_validation(self):
+        with pytest.raises(ValueError):
+            characterize_nand2(load_farads=0.0)

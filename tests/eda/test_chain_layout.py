@@ -1,0 +1,52 @@
+"""Tests for the inverter-chain row assembly PCell."""
+
+import pytest
+
+from repro.circuits.netlist import GROUND, Circuit
+from repro.circuits.pseudo_cmos import build_inverter
+from repro.eda.cells import inverter_chain_layout
+from repro.eda.drc import run_drc
+from repro.eda.extract import extract
+from repro.eda.lvs import compare
+from repro.eda.techfile import default_cnt_rules
+
+
+def _chain_schematic(stages: int) -> Circuit:
+    schematic = Circuit("chain")
+    schematic.add_voltage_source("vin", "IN", GROUND, 0.0)
+    previous = "IN"
+    for stage in range(stages):
+        output = "OUT" if stage == stages - 1 else f"w{stage + 1}"
+        build_inverter(schematic, f"u{stage}", previous, output)
+        previous = output
+    return schematic
+
+
+class TestChainLayout:
+    def test_drc_clean_at_several_lengths(self):
+        rules = default_cnt_rules()
+        for stages in (1, 2, 5):
+            report = run_drc(inverter_chain_layout(stages, rules), rules)
+            assert report.clean, f"{stages} stages: {report.summary()}"
+
+    def test_device_count_scales(self):
+        assert extract(inverter_chain_layout(4)).device_count() == 16
+
+    def test_lvs_against_chain_schematic(self):
+        chain = inverter_chain_layout(3)
+        result = compare(extract(chain), _chain_schematic(3))
+        assert result.match, result.summary()
+
+    def test_lvs_detects_wrong_length(self):
+        chain = inverter_chain_layout(3)
+        result = compare(extract(chain), _chain_schematic(4))
+        assert not result.match
+
+    def test_internal_nets_distinct_per_stage(self):
+        netlist = extract(inverter_chain_layout(3))
+        internals = [net for net in netlist.nets if net.endswith("_a")]
+        assert len(internals) == 3
+
+    def test_needs_positive_stage_count(self):
+        with pytest.raises(ValueError):
+            inverter_chain_layout(0)

@@ -1,0 +1,64 @@
+"""Tests for compact-model extraction and cell characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.devices.cnt_tft import CntTft, TftParameters
+from repro.eda.characterize import characterize_inverter, extract_parameters
+
+
+class TestParameterExtraction:
+    def _measure(self, parameters, width=100.0, length=10.0, vds=-1.0):
+        device = CntTft(width, length, parameters)
+        vgs = np.linspace(-3.0, 0.2, 40)
+        return vgs, np.maximum(device.drain_current(vgs, vds), 1e-15)
+
+    def test_round_trip_recovers_parameters(self):
+        true = TftParameters(mobility_cm2=32.0, vth=-0.65, subthreshold_swing=0.15)
+        vgs, current = self._measure(true)
+        fit = extract_parameters(vgs, -1.0, current, 100.0, 10.0)
+        assert fit.parameters.mobility_cm2 == pytest.approx(32.0, rel=0.02)
+        assert fit.parameters.vth == pytest.approx(-0.65, abs=0.02)
+        assert fit.parameters.subthreshold_swing == pytest.approx(0.15, rel=0.05)
+        assert fit.relative_rms_error < 0.01
+
+    def test_fit_tolerates_measurement_noise(self):
+        rng = np.random.default_rng(0)
+        true = TftParameters(mobility_cm2=20.0, vth=-0.9)
+        vgs, current = self._measure(true)
+        noisy = current * np.exp(rng.normal(0.0, 0.03, size=current.shape))
+        fit = extract_parameters(vgs, -1.0, noisy, 100.0, 10.0)
+        assert fit.parameters.mobility_cm2 == pytest.approx(20.0, rel=0.15)
+        assert fit.parameters.vth == pytest.approx(-0.9, abs=0.1)
+
+    def test_summary_renders(self):
+        true = TftParameters()
+        vgs, current = self._measure(true)
+        fit = extract_parameters(vgs, -1.0, current, 100.0, 10.0)
+        assert "mobility" in fit.summary()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extract_parameters(np.zeros(3), -1.0, np.zeros(4), 10, 10)
+        with pytest.raises(ValueError):
+            extract_parameters(
+                np.zeros(3), -1.0, np.array([1.0, -1.0, 1.0]), 10, 10
+            )
+
+
+class TestInverterCharacterisation:
+    @pytest.fixture(scope="class")
+    def delay_points(self):
+        return characterize_inverter(loads_farads=(1e-11, 1e-10))
+
+    def test_delay_increases_with_load(self, delay_points):
+        assert delay_points[1].delay_s > delay_points[0].delay_s
+
+    def test_delays_in_microsecond_regime(self, delay_points):
+        # Flexible CNT logic: ring-oscillator-scale stage delays.
+        for point in delay_points:
+            assert 1e-8 < point.delay_s < 1e-4
+
+    def test_load_validation(self):
+        with pytest.raises(ValueError):
+            characterize_inverter(loads_farads=(0.0,))

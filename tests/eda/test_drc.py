@@ -1,0 +1,124 @@
+"""Tests for the DRC engine: one constructed violation per rule."""
+
+import pytest
+
+from repro.eda.cells import inverter_layout, tft_layout
+from repro.eda.drc import run_drc
+from repro.eda.layout import Layout, MaskLayer
+from repro.eda.techfile import default_cnt_rules
+
+
+@pytest.fixture
+def rules():
+    return default_cnt_rules()
+
+
+class TestCleanCells:
+    def test_tft_pcell_clean(self, rules):
+        report = run_drc(tft_layout(50, 10, rules), rules)
+        assert report.clean, report.summary()
+
+    def test_inverter_pcell_clean(self, rules):
+        report = run_drc(inverter_layout(rules), rules)
+        assert report.clean, report.summary()
+
+    def test_various_sizes_clean(self, rules):
+        for width, length in [(20, 10), (150, 10), (500, 25)]:
+            report = run_drc(tft_layout(width, length, rules), rules)
+            assert report.clean, f"{width}/{length}: {report.summary()}"
+
+
+class TestWidthRule:
+    def test_narrow_metal_flagged(self, rules):
+        layout = Layout("bad")
+        layout.add_rect(MaskLayer.GATE_METAL, 0, 0, 2, 20)  # 2 < 5 um
+        report = run_drc(layout, rules)
+        assert not report.clean
+        assert report.by_rule().get("min_width") == 1
+
+
+class TestSpacingRule:
+    def test_close_neighbours_flagged(self, rules):
+        layout = Layout("bad")
+        layout.add_rect(MaskLayer.SD_METAL, 0, 0, 10, 10)
+        layout.add_rect(MaskLayer.SD_METAL, 12, 0, 22, 10)  # 2 < 5 um gap
+        report = run_drc(layout, rules)
+        assert report.by_rule().get("min_spacing") == 1
+
+    def test_touching_is_connected_not_violation(self, rules):
+        layout = Layout("ok")
+        layout.add_rect(MaskLayer.SD_METAL, 0, 0, 10, 10)
+        layout.add_rect(MaskLayer.SD_METAL, 10, 0, 20, 10)
+        report = run_drc(layout, rules)
+        assert "min_spacing" not in report.by_rule()
+
+    def test_different_layers_do_not_interact(self, rules):
+        layout = Layout("ok")
+        layout.add_rect(MaskLayer.SD_METAL, 0, 0, 10, 10)
+        layout.add_rect(MaskLayer.GATE_METAL, 11, 0, 21, 10)
+        report = run_drc(layout, rules)
+        assert "min_spacing" not in report.by_rule()
+
+
+class TestViaEnclosure:
+    def test_enclosed_via_clean(self, rules):
+        layout = Layout("ok")
+        layout.add_rect(MaskLayer.GATE_METAL, 0, 0, 10, 10)
+        layout.add_rect(MaskLayer.SD_METAL, 0, 0, 10, 10)
+        layout.add_rect(MaskLayer.VIA, 3, 3, 7, 7)
+        report = run_drc(layout, rules)
+        assert "via_enclosure" not in report.by_rule()
+
+    def test_bare_via_flagged(self, rules):
+        layout = Layout("bad")
+        layout.add_rect(MaskLayer.VIA, 0, 0, 4, 4)
+        report = run_drc(layout, rules)
+        assert report.by_rule().get("via_enclosure") == 1
+
+    def test_single_metal_insufficient(self, rules):
+        layout = Layout("bad")
+        layout.add_rect(MaskLayer.GATE_METAL, 0, 0, 10, 10)
+        layout.add_rect(MaskLayer.VIA, 3, 3, 7, 7)
+        report = run_drc(layout, rules)
+        assert report.by_rule().get("via_enclosure") == 1
+
+
+class TestChannelOverlap:
+    def test_gate_covering_cnt_flagged(self, rules):
+        layout = Layout("bad")
+        layout.add_rect(MaskLayer.CNT, 10, 10, 20, 20)
+        layout.add_rect(MaskLayer.GATE_METAL, 0, 0, 30, 30)  # covers CNT fully
+        report = run_drc(layout, rules)
+        assert report.by_rule().get("channel_overlap") == 1
+
+    def test_proper_overhang_clean(self, rules):
+        layout = Layout("ok")
+        layout.add_rect(MaskLayer.CNT, 0, 10, 30, 20)
+        layout.add_rect(MaskLayer.GATE_METAL, 10, 5, 20, 25)
+        report = run_drc(layout, rules)
+        assert "channel_overlap" not in report.by_rule()
+
+
+class TestGrid:
+    def test_off_grid_coordinate_flagged(self, rules):
+        layout = Layout("bad")
+        layout.add_rect(MaskLayer.SD_METAL, 0.3, 0, 10.3, 10)
+        report = run_drc(layout, rules)
+        assert report.by_rule().get("off_grid") == 1
+
+
+class TestReport:
+    def test_summary_counts(self, rules):
+        layout = Layout("multi")
+        layout.add_rect(MaskLayer.SD_METAL, 0, 0, 2, 2)  # too narrow
+        layout.add_rect(MaskLayer.VIA, 20, 20, 24, 24)  # bare via
+        report = run_drc(layout, rules)
+        assert len(report.violations) == 2
+        assert "min_width=1" in report.summary()
+        assert "via_enclosure=1" in report.summary()
+
+    def test_clean_summary(self, rules):
+        layout = Layout("empty")
+        report = run_drc(layout, rules)
+        assert report.clean
+        assert "DRC clean" in report.summary()

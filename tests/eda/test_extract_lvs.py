@@ -1,0 +1,123 @@
+"""Tests for netlist extraction and LVS."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.netlist import GROUND, Circuit
+from repro.circuits.pseudo_cmos import build_inverter, build_nand2
+from repro.devices.cnt_tft import CntTft
+from repro.eda.cells import inverter_layout, tft_layout
+from repro.eda.extract import ExtractionError, extract
+from repro.eda.layout import Layout, MaskLayer
+from repro.eda.lvs import compare
+
+
+class TestExtraction:
+    def test_single_tft_recognised(self):
+        netlist = extract(tft_layout(50, 10))
+        assert netlist.device_count() == 1
+        device = netlist.devices[0]
+        assert device.gate_net == "G"
+        assert set(device.sd_nets) == {"S", "D"}
+        assert device.width_um == pytest.approx(50.0)
+        assert device.length_um == pytest.approx(10.0)
+
+    def test_inverter_extracts_four_devices(self):
+        netlist = extract(inverter_layout())
+        assert netlist.device_count() == 4
+        nets = set(netlist.nets)
+        assert {"IN", "OUT", "VDD", "VSS", "A", "GND"} <= nets
+
+    def test_geometry_measured_from_layout(self):
+        netlist = extract(tft_layout(120, 20))
+        device = netlist.devices[0]
+        assert device.width_um == pytest.approx(120.0)
+        assert device.length_um == pytest.approx(20.0)
+
+    def test_label_conflict_detected(self):
+        layout = Layout("bad")
+        # One connected metal shape carrying two different labels.
+        layout.add_rect(MaskLayer.SD_METAL, 0, 0, 10, 10, net="A")
+        layout.add_rect(MaskLayer.SD_METAL, 5, 0, 15, 10, net="B")
+        with pytest.raises(ExtractionError):
+            extract(layout)
+
+    def test_via_connects_layers(self):
+        layout = Layout("via")
+        layout.add_rect(MaskLayer.GATE_METAL, 0, 0, 10, 10, net="X")
+        layout.add_rect(MaskLayer.SD_METAL, 0, 0, 10, 10)
+        layout.add_rect(MaskLayer.VIA, 3, 3, 7, 7)
+        netlist = extract(layout)
+        # all three shapes merge into one net named by the label
+        assert netlist.nets == ["X"]
+
+    def test_floating_cnt_ignored(self):
+        layout = Layout("float")
+        layout.add_rect(MaskLayer.CNT, 0, 0, 10, 10)
+        netlist = extract(layout)
+        assert netlist.device_count() == 0
+
+    def test_channel_without_sd_raises(self):
+        layout = Layout("bad")
+        layout.add_rect(MaskLayer.GATE_METAL, 10, 0, 20, 30, net="G")
+        layout.add_rect(MaskLayer.CNT, 5, 5, 25, 25)
+        with pytest.raises(ExtractionError):
+            extract(layout)
+
+
+class TestLvs:
+    def _inverter_schematic(self):
+        schematic = Circuit("inv")
+        schematic.add_voltage_source("vin", "IN", GROUND, 0.0)
+        build_inverter(schematic, "u0", "IN", "OUT")
+        return schematic
+
+    def test_inverter_matches(self):
+        result = compare(extract(inverter_layout()), self._inverter_schematic())
+        assert result.match, result.summary()
+        assert "LVS clean" in result.summary()
+
+    def test_wrong_sizing_fails(self):
+        result = compare(
+            extract(inverter_layout(drive_width_um=120)),
+            self._inverter_schematic(),
+        )
+        assert not result.match
+
+    def test_device_count_mismatch_fails(self):
+        result = compare(extract(tft_layout()), self._inverter_schematic())
+        assert not result.match
+        assert any("device count" in m for m in result.mismatches)
+
+    def test_wrong_topology_fails(self):
+        # NAND2 schematic has 6 devices, so compare a 6-device layout of
+        # the wrong connectivity: two stacked 3-device groups.
+        schematic = Circuit("nand")
+        schematic.add_voltage_source("va", "A", GROUND, 0.0)
+        schematic.add_voltage_source("vb", "B", GROUND, 0.0)
+        build_nand2(schematic, "u0", "A", "B", "OUT")
+        layout = Layout("six")
+        for i in range(6):
+            tft_layout(
+                width_um=150.0,
+                length_um=10.0,
+                gate_net="A",
+                source_net="VDD",
+                drain_net=f"n{i}",
+                origin=(0.0, i * 300.0),
+                layout=layout,
+            )
+        result = compare(extract(layout), schematic)
+        assert not result.match
+
+    def test_source_drain_symmetry(self):
+        """LVS must accept swapped source/drain labels on a TFT."""
+        swapped = tft_layout(50, 10, source_net="D", drain_net="S")
+        schematic = Circuit("single")
+        schematic.add_voltage_source("vg", "G", GROUND, 0.0)
+        schematic.add_voltage_source("vs", "S", GROUND, 0.0)
+        schematic.add_voltage_source("vd", "D", GROUND, 0.0)
+        schematic.add_tft("m0", gate="G", drain="D", source="S",
+                          device=CntTft(50, 10))
+        result = compare(extract(swapped), schematic)
+        assert result.match, result.summary()

@@ -1,0 +1,59 @@
+"""Tests for layout stream serialisation."""
+
+import pytest
+
+from repro.eda.cells import inverter_layout
+from repro.eda.extract import extract
+from repro.eda.gds import LayoutFormatError, dump_layout, load_layout
+from repro.eda.layout import Layout, MaskLayer
+
+
+class TestRoundTrip:
+    def test_shapes_preserved(self):
+        original = inverter_layout()
+        loaded = load_layout(dump_layout(original))
+        assert loaded.name == original.name
+        assert len(loaded.shapes) == len(original.shapes)
+        for a, b in zip(loaded.shapes, original.shapes):
+            assert a.layer == b.layer
+            assert a.net == b.net
+            assert a.rect == b.rect
+
+    def test_extraction_identical_after_round_trip(self):
+        original = inverter_layout()
+        loaded = load_layout(dump_layout(original))
+        assert extract(loaded).device_count() == extract(original).device_count()
+
+    def test_net_labels_optional(self):
+        layout = Layout("mixed")
+        layout.add_rect(MaskLayer.CNT, 0, 0, 5, 5)
+        layout.add_rect(MaskLayer.SD_METAL, 0, 0, 5, 5, net="X")
+        loaded = load_layout(dump_layout(layout))
+        assert loaded.shapes[0].net is None
+        assert loaded.shapes[1].net == "X"
+
+    def test_comments_ignored(self):
+        text = "LAYOUT t\n# comment\nRECT cnt 0 0 5 5\nEND\n"
+        assert len(load_layout(text).shapes) == 1
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(LayoutFormatError):
+            load_layout("RECT cnt 0 0 5 5\n")
+
+    def test_unknown_layer(self):
+        with pytest.raises(LayoutFormatError):
+            load_layout("LAYOUT t\nRECT mystery 0 0 5 5\n")
+
+    def test_degenerate_rect(self):
+        with pytest.raises(LayoutFormatError):
+            load_layout("LAYOUT t\nRECT cnt 0 0 0 5\n")
+
+    def test_malformed_card(self):
+        with pytest.raises(LayoutFormatError):
+            load_layout("LAYOUT t\nRECT cnt 0 0 5\n")
+
+    def test_unknown_card(self):
+        with pytest.raises(LayoutFormatError):
+            load_layout("LAYOUT t\nPOLY cnt 0 0 5 5\n")

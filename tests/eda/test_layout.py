@@ -1,0 +1,93 @@
+"""Tests for the layout geometry primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eda.layout import Layout, MaskLayer, Rect
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 5, 5)
+
+    def test_dimensions(self):
+        rect = Rect(1, 2, 4, 8)
+        assert rect.width == 3
+        assert rect.height == 6
+        assert rect.min_dimension == 3
+        assert rect.area == 18
+
+    def test_intersects(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersects(Rect(5, 5, 15, 15))
+        assert not a.intersects(Rect(10, 0, 20, 10))  # touching, no area
+        assert a.touches_or_intersects(Rect(10, 0, 20, 10))
+
+    def test_intersection_region(self):
+        a = Rect(0, 0, 10, 10)
+        overlap = a.intersection(Rect(5, 5, 15, 15))
+        assert overlap == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(20, 20, 30, 30)) is None
+
+    def test_contains_with_margin(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(2, 2, 8, 8), margin=2.0)
+        assert not outer.contains(Rect(1, 2, 8, 8), margin=2.0)
+
+    def test_distance(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.distance(Rect(5, 0, 7, 2)) == pytest.approx(3.0)
+        assert a.distance(Rect(5, 6, 7, 8)) == pytest.approx(5.0)  # 3-4-5
+        assert a.distance(Rect(1, 1, 3, 3)) == 0.0
+
+    def test_expanded(self):
+        rect = Rect(2, 2, 4, 4).expanded(1.0)
+        assert rect == Rect(1, 1, 5, 5)
+
+
+class TestLayout:
+    def test_add_and_filter_by_layer(self):
+        layout = Layout("cell")
+        layout.add_rect(MaskLayer.GATE_METAL, 0, 0, 5, 5)
+        layout.add_rect(MaskLayer.CNT, 0, 0, 3, 3)
+        assert len(layout.on_layer(MaskLayer.GATE_METAL)) == 1
+        assert len(layout.on_layer(MaskLayer.VIA)) == 0
+
+    def test_bounding_box(self):
+        layout = Layout()
+        layout.add_rect(MaskLayer.CNT, -1, 0, 5, 5)
+        layout.add_rect(MaskLayer.CNT, 2, -3, 4, 10)
+        assert layout.bounding_box() == Rect(-1, -3, 5, 10)
+
+    def test_empty_bounding_box_rejected(self):
+        with pytest.raises(ValueError):
+            Layout().bounding_box()
+
+    def test_merge_offsets(self):
+        child = Layout()
+        child.add_rect(MaskLayer.CNT, 0, 0, 2, 2, net="a")
+        parent = Layout()
+        parent.merge(child, dx=10.0, dy=5.0)
+        shape = parent.shapes[0]
+        assert shape.rect == Rect(10, 5, 12, 7)
+        assert shape.net == "a"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x0=st.floats(min_value=-50, max_value=50),
+    y0=st.floats(min_value=-50, max_value=50),
+    w=st.floats(min_value=0.1, max_value=20),
+    h=st.floats(min_value=0.1, max_value=20),
+    margin=st.floats(min_value=0.0, max_value=5),
+)
+def test_property_expanded_contains_original(x0, y0, w, h, margin):
+    """A rectangle expanded by m contains the original with margin m."""
+    rect = Rect(x0, y0, x0 + w, y0 + h)
+    grown = rect.expanded(margin)
+    assert grown.contains(rect, margin=margin - 1e-9)
+    assert grown.area >= rect.area

@@ -1,0 +1,28 @@
+"""Tests for the `python -m repro.experiments` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_fig2_runs(self, capsys):
+        assert main(["FIG2", "--samples", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2b" in out
+        assert "temperature" in out
+
+    def test_comm_runs(self, capsys):
+        assert main(["COMM"]) == 0
+        out = capsys.readouterr().out
+        assert "cost= 0.50" in out
+        assert "ENC:" in out
+
+    def test_fig6a_runs(self, capsys):
+        assert main(["FIG6a", "--frames", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "RMSE w/ CS" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["FIG99"])

@@ -1,0 +1,52 @@
+"""Tests for the sparse-error tolerance experiment (TOL)."""
+
+import pytest
+
+from repro.experiments.tolerance import (
+    TolerancePoint,
+    format_table,
+    run_tolerance,
+    tolerance_limit,
+)
+
+
+class TestRunTolerance:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_tolerance(
+            error_rates=(0.0, 0.20, 0.40), num_frames=2, seed=0
+        )
+
+    def test_paper_claim_over_twenty_percent(self, points):
+        # Sec. 1: the system tolerates > 20 % sparse errors.
+        by_rate = {p.error_rate: p for p in points}
+        assert by_rate[0.20].rmse_with_cs < 0.08
+        assert by_rate[0.40].rmse_with_cs < 0.08
+
+    def test_raw_error_grows(self, points):
+        rates = [p.rmse_without_cs for p in points]
+        assert rates == sorted(rates)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            run_tolerance(error_rates=(0.6,), sampling_fraction=0.5)
+
+
+class TestToleranceLimit:
+    def test_limit_picks_largest_passing(self):
+        points = [
+            TolerancePoint(0.1, 0.02, 0.1),
+            TolerancePoint(0.3, 0.05, 0.3),
+            TolerancePoint(0.5, 0.30, 0.5),
+        ]
+        assert tolerance_limit(points, rmse_threshold=0.08) == 0.3
+
+    def test_limit_zero_when_nothing_passes(self):
+        points = [TolerancePoint(0.1, 0.5, 0.1)]
+        assert tolerance_limit(points) == 0.0
+
+    def test_table_renders(self):
+        points = [TolerancePoint(0.1, 0.02, 0.1)]
+        table = format_table(points)
+        assert "err rate" in table
+        assert "0.10" in table

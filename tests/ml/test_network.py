@@ -1,0 +1,126 @@
+"""Tests for the Sequential container, loss and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Dense, ReLU
+from repro.ml.network import Adam, Sequential, Sgd, cross_entropy_loss, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 7))
+        probabilities = softmax(logits)
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+        assert np.all(probabilities > 0)
+
+    def test_shift_invariant(self):
+        logits = np.random.default_rng(1).normal(size=(3, 4))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_extreme_logits_stable(self):
+        probabilities = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probabilities).all()
+        assert probabilities[0, 0] == pytest.approx(1.0)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = cross_entropy_loss(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((4, 8))
+        loss, _ = cross_entropy_loss(logits, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(8))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+        _, analytic = cross_entropy_loss(logits, labels)
+        numeric = np.zeros_like(logits)
+        flat = logits.ravel()
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + 1e-6
+            up, _ = cross_entropy_loss(logits, labels)
+            flat[i] = original - 1e-6
+            down, _ = cross_entropy_loss(logits, labels)
+            flat[i] = original
+            numeric.ravel()[i] = (up - down) / 2e-6
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_label_shape_checked(self):
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestSequential:
+    def _toy_model(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return Sequential([Dense(4, 8, rng=rng), ReLU(), Dense(8, 3, rng=rng)])
+
+    def test_forward_backward_shapes(self):
+        model = self._toy_model()
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        out = model.forward(x)
+        assert out.shape == (5, 3)
+        grad = model.backward(np.ones((5, 3)))
+        assert grad.shape == (5, 4)
+
+    def test_predict_batches(self):
+        model = self._toy_model()
+        x = np.random.default_rng(2).normal(size=(10, 4))
+        predictions = model.predict(x, batch_size=3)
+        assert predictions.shape == (10,)
+        assert np.all((0 <= predictions) & (predictions < 3))
+
+    def test_state_roundtrip(self):
+        model = self._toy_model(seed=3)
+        x = np.random.default_rng(4).normal(size=(2, 4))
+        reference = model.forward(x)
+        state = model.state()
+        other = self._toy_model(seed=77)
+        other.load_state(state)
+        assert np.allclose(other.forward(x), reference)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+
+class TestOptimisers:
+    def _loss_after_steps(self, optimizer, steps=60, seed=5):
+        rng = np.random.default_rng(seed)
+        model = Sequential([Dense(4, 16, rng=rng), ReLU(), Dense(16, 3, rng=rng)])
+        x = rng.normal(size=(24, 4))
+        labels = rng.integers(0, 3, size=24)
+        loss = None
+        for _ in range(steps):
+            logits = model.forward(x, training=True)
+            loss, grad = cross_entropy_loss(logits, labels)
+            model.backward(grad)
+            optimizer.step(model.parameters())
+        return loss
+
+    def test_adam_reduces_loss(self):
+        final = self._loss_after_steps(Adam(1e-2), steps=150)
+        initial = np.log(3)  # uniform-prediction loss for 3 classes
+        assert final < 0.5 * initial
+
+    def test_sgd_reduces_loss(self):
+        final = self._loss_after_steps(Sgd(0.5, momentum=0.9), steps=120)
+        assert final < 0.8
+
+    def test_adam_beats_plain_sgd_early(self):
+        adam_loss = self._loss_after_steps(Adam(1e-2), steps=30)
+        sgd_loss = self._loss_after_steps(Sgd(1e-2), steps=30)
+        assert adam_loss < sgd_loss
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(0.0)
+        with pytest.raises(ValueError):
+            Sgd(1e-2, momentum=1.0)

@@ -1,0 +1,105 @@
+"""Tests for the ResNet builder and the paper's training recipe."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_tactile_dataset
+from repro.ml.resnet import build_resnet
+from repro.ml.training import Trainer
+
+
+class TestBuildResnet:
+    def test_output_shape(self):
+        model = build_resnet(num_classes=26, channels=(4, 8))
+        x = np.zeros((3, 1, 32, 32))
+        assert model.forward(x).shape == (3, 26)
+
+    def test_pooling_divisibility_checked(self):
+        with pytest.raises(ValueError):
+            build_resnet(input_shape=(30, 30), channels=(4, 8))
+
+    def test_blocks_per_stage_validated(self):
+        with pytest.raises(ValueError):
+            build_resnet(blocks_per_stage=0)
+
+    def test_seed_reproducible(self):
+        a = build_resnet(channels=(4,), seed=3)
+        b = build_resnet(channels=(4,), seed=3)
+        x = np.random.default_rng(0).normal(size=(2, 1, 32, 32))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_contains_paper_ingredients(self):
+        """Max pooling and dropout, as quoted in Sec. 4.2."""
+        from repro.ml.layers import Dropout, MaxPool2d
+
+        model = build_resnet(channels=(4, 8))
+        kinds = {type(layer) for layer in model.layers}
+        assert MaxPool2d in kinds
+        assert Dropout in kinds
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def tiny_task(self):
+        train = make_tactile_dataset(15, seed=0, num_classes=5)
+        val = make_tactile_dataset(4, seed=50, num_classes=5)
+        return train, val
+
+    def test_overfits_small_problem(self, tiny_task):
+        train, val = tiny_task
+        model = build_resnet(num_classes=5, channels=(8, 16), seed=1)
+        trainer = Trainer(max_epochs=20, seed=0)
+        history = trainer.fit(
+            model, train.frames, train.labels, val.frames, val.labels
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert max(history.val_accuracy) > 0.5
+
+    def test_best_weights_restored(self, tiny_task):
+        train, val = tiny_task
+        model = build_resnet(num_classes=5, channels=(4,), seed=2)
+        trainer = Trainer(max_epochs=6, seed=0)
+        history = trainer.fit(
+            model, train.frames, train.labels, val.frames, val.labels
+        )
+        val_logits = model.forward(val.frames[:, None, :, :], training=False)
+        accuracy = float(
+            np.mean(np.argmax(val_logits, axis=-1) == val.labels)
+        )
+        assert accuracy == pytest.approx(max(history.val_accuracy), abs=1e-9)
+
+    def test_lr_reduction_triggers_on_plateau(self, tiny_task):
+        train, val = tiny_task
+        model = build_resnet(num_classes=5, channels=(4,), seed=3)
+        # A vanishing learning rate guarantees a validation plateau, so
+        # with patience 1 the LR must be reduced and training must then
+        # continue at the lower rate (min_lr far below).
+        trainer = Trainer(
+            max_epochs=8, lr_patience=1, learning_rate=1e-8, min_lr=1e-14,
+            seed=0,
+        )
+        history = trainer.fit(
+            model, train.frames, train.labels, val.frames, val.labels
+        )
+        assert min(history.learning_rates) < 1e-8
+
+    def test_input_rank_checked(self, tiny_task):
+        train, val = tiny_task
+        model = build_resnet(num_classes=5, channels=(4,))
+        trainer = Trainer(max_epochs=1)
+        with pytest.raises(ValueError):
+            trainer.fit(
+                model,
+                train.frames[:, None, :, :],  # wrong: already 4-D
+                train.labels,
+                val.frames,
+                val.labels,
+            )
+
+    def test_history_best_epoch(self, tiny_task):
+        train, val = tiny_task
+        model = build_resnet(num_classes=5, channels=(4,), seed=4)
+        history = Trainer(max_epochs=3, seed=0).fit(
+            model, train.frames, train.labels, val.frames, val.labels
+        )
+        assert 0 <= history.best_epoch < 3
