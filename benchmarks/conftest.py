@@ -1,0 +1,52 @@
+"""Instrumented mode for every benchmark in this directory.
+
+Setting ``REPRO_INSTRUMENT=1`` wraps each bench in a fresh
+:mod:`repro.instrument` collection session and, after the bench
+finishes, writes the validated JSON report next to the usual
+``BENCH_*`` trajectories as ``BENCH_<test name>.instrument.json``
+(directory overridable via ``REPRO_INSTRUMENT_DIR``).  The report
+contains solver-level breakdowns -- one ``solver.*`` span per solve
+performed, with iterations, convergence flag, final residual, residual
+trajectory and wall time -- instead of just the bench's total runtime::
+
+    REPRO_INSTRUMENT=1 REPRO_INSTRUMENT_DIR=/tmp \\
+        PYTHONPATH=src python -m pytest \\
+        benchmarks/test_bench_fig6a_rmse.py --benchmark-only
+
+Without the variable the fixture is pass-through and instrumentation
+stays disabled, preserving the un-instrumented timing numbers (the
+zero-overhead-when-disabled guarantee is itself asserted by
+``tests/instrument/test_tracer.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import instrument
+
+
+@pytest.fixture(autouse=True)
+def instrumented_bench(request):
+    """Collect and dump an instrumentation report per bench when enabled."""
+    if os.environ.get("REPRO_INSTRUMENT", "") in ("", "0"):
+        yield
+        return
+    instrument.reset()
+    instrument.enable()
+    try:
+        yield
+        report = instrument.report(meta={"benchmark": request.node.name})
+        problems = instrument.validate_report(report)
+        assert not problems, f"invalid instrumentation report: {problems}"
+        out_dir = os.environ.get("REPRO_INSTRUMENT_DIR", ".")
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(
+            out_dir, f"BENCH_{request.node.name}.instrument.json"
+        )
+        instrument.write_report(report, path)
+    finally:
+        instrument.disable()
+        instrument.reset()

@@ -26,10 +26,14 @@ Subpackages
     compact-model parameter extraction and cell characterisation.
 ``repro.experiments``
     One module per paper figure/table; see DESIGN.md for the index.
+``repro.instrument``
+    Dependency-free tracing/metrics subsystem and the profiling CLI
+    (``python -m repro.instrument``); see docs/INSTRUMENTATION.md.
 """
 
 __version__ = "1.0.0"
 
+from . import instrument  # stdlib-only; must precede core (hooks import it)
 from . import core
 
-__all__ = ["core", "__version__"]
+__all__ = ["core", "instrument", "__version__"]

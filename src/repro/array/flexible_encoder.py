@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import instrument
 from ..core.sensing import RowSamplingMatrix
 from .active_matrix import ActiveMatrix
 from .drivers import ScanDrivers
@@ -83,29 +84,41 @@ class FlexibleEncoder:
 
     # ------------------------------------------------------------------
     def _scan(self, readings: np.ndarray, phi: RowSamplingMatrix) -> EncoderOutput:
-        rows, cols = self.array.shape
-        schedule = ScanSchedule.from_phi(phi, self.array.shape)
-        acquired: dict[int, float] = {}
-        for column_select, row_mask in self.drivers.drive(schedule):
-            column = int(np.flatnonzero(column_select)[0])
-            for row in np.flatnonzero(row_mask):
-                acquired[int(row) * cols + column] = readings[int(row), column]
-        measurements = np.array([acquired[i] for i in phi.indices])
-        return EncoderOutput(
-            measurements=measurements,
-            phi=phi,
-            schedule=schedule,
-            scan_time_s=self.drivers.scan_time_s(schedule),
-        )
+        """Drive the scan schedule and gather the sampled pixel codes.
+
+        Instrumented under the ``encoder.scan`` span (measurement count,
+        scan cycles, modelled scan time) with ``encoder.scans`` /
+        ``encoder.measurements`` counters.
+        """
+        with instrument.span("encoder.scan", m=len(phi.indices)) as sp:
+            rows, cols = self.array.shape
+            schedule = ScanSchedule.from_phi(phi, self.array.shape)
+            acquired: dict[int, float] = {}
+            for column_select, row_mask in self.drivers.drive(schedule):
+                column = int(np.flatnonzero(column_select)[0])
+                for row in np.flatnonzero(row_mask):
+                    acquired[int(row) * cols + column] = readings[int(row), column]
+            measurements = np.array([acquired[i] for i in phi.indices])
+            scan_time_s = self.drivers.scan_time_s(schedule)
+            sp.set(cycles=schedule.num_cycles, scan_time_s=scan_time_s)
+            instrument.incr("encoder.scans")
+            instrument.incr("encoder.measurements", len(phi.indices))
+            return EncoderOutput(
+                measurements=measurements,
+                phi=phi,
+                schedule=schedule,
+                scan_time_s=scan_time_s,
+            )
 
     def scan_normalized(
         self, frame: np.ndarray, phi: RowSamplingMatrix
     ) -> EncoderOutput:
         """Scan a normalised frame: transduce -> scan -> digitise."""
-        frame = np.asarray(frame, dtype=float)
-        transduced = self.array.transduce(frame)
-        codes = self.readout.convert_normalized(transduced)
-        return self._scan(codes, phi)
+        with instrument.span("encoder.scan_normalized"):
+            frame = np.asarray(frame, dtype=float)
+            transduced = self.array.transduce(frame)
+            codes = self.readout.convert_normalized(transduced)
+            return self._scan(codes, phi)
 
     def calibrate_temperature(
         self, t_low: float = 20.0, t_high: float = 100.0
@@ -150,27 +163,36 @@ class FlexibleEncoder:
         constants are applied (cancelling device variation); otherwise
         a single golden-reference calibration is used.
         """
-        currents = self.array.read_currents(field_celsius)
-        codes = self.readout.convert_currents(currents)
-        if self._cal_low is not None and self._cal_span is not None:
-            normalized = (codes - self._cal_low) / self._cal_span
-        else:
-            low_current, high_current = self.array.current_bounds(t_low, t_high)
-            code_low = self.readout.convert_currents(np.array([low_current]))[0]
-            code_high = self.readout.convert_currents(np.array([high_current]))[0]
-            span = code_high - code_low
-            if span == 0:
-                raise ValueError(
-                    "degenerate calibration span: configure the readout "
-                    "chain for the array's current range (see "
-                    "ReadoutChain.for_current_range)"
+        with instrument.span("encoder.scan_temperature"):
+            currents = self.array.read_currents(field_celsius)
+            codes = self.readout.convert_currents(currents)
+            if self._cal_low is not None and self._cal_span is not None:
+                normalized = (codes - self._cal_low) / self._cal_span
+            else:
+                low_current, high_current = self.array.current_bounds(
+                    t_low, t_high
                 )
-            normalized = (codes - code_low) / span
-        normalized = np.clip(normalized, 0.0, 1.0)
-        return self._scan(normalized, phi)
+                code_low = self.readout.convert_currents(
+                    np.array([low_current])
+                )[0]
+                code_high = self.readout.convert_currents(
+                    np.array([high_current])
+                )[0]
+                span = code_high - code_low
+                if span == 0:
+                    raise ValueError(
+                        "degenerate calibration span: configure the readout "
+                        "chain for the array's current range (see "
+                        "ReadoutChain.for_current_range)"
+                    )
+                normalized = (codes - code_low) / span
+            normalized = np.clip(normalized, 0.0, 1.0)
+            return self._scan(normalized, phi)
 
     def full_readout_normalized(self, frame: np.ndarray) -> np.ndarray:
         """Read *every* pixel (the non-CS baseline): N conversions."""
-        frame = np.asarray(frame, dtype=float)
-        transduced = self.array.transduce(frame)
-        return self.readout.convert_normalized(transduced)
+        with instrument.span("encoder.full_readout"):
+            frame = np.asarray(frame, dtype=float)
+            transduced = self.array.transduce(frame)
+            instrument.incr("encoder.full_readouts")
+            return self.readout.convert_normalized(transduced)

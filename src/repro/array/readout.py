@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import instrument
+
 __all__ = ["ReadoutChain"]
 
 
@@ -97,6 +99,7 @@ class ReadoutChain:
         on the fabricated array.
         """
         currents = np.asarray(currents, dtype=float)
+        instrument.incr("readout.conversions", currents.size)
         volts = currents * self.transimpedance_ohm * self.amplifier_gain
         volts = volts * (1.0 - self.sh_droop)
         if self.noise_sigma_v > 0:
@@ -114,6 +117,7 @@ class ReadoutChain:
         transduction is normalised out.
         """
         values = np.asarray(values, dtype=float)
+        instrument.incr("readout.conversions", values.size)
         volts = values * self.full_scale_v * (1.0 - self.sh_droop)
         if self.noise_sigma_v > 0:
             volts = volts + self._rng.normal(0.0, self.noise_sigma_v, volts.shape)

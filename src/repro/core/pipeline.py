@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import instrument
 from .errors import inject_sparse_errors
 from .metrics import rmse
 from .strategies import OracleExclusionStrategy
@@ -88,19 +89,28 @@ def evaluate_frame(
         Skip normalisation when the caller did it (e.g. on a shared
         dataset-wide scale).
     """
-    clean = np.asarray(frame, dtype=float)
-    if not already_normalized:
-        clean = normalize_frame(clean)
-    corrupted, mask = inject_sparse_errors(clean, error_rate, rng)
-    reconstructed = strategy.reconstruct(corrupted, rng, error_mask=mask)
-    return FrameOutcome(
-        clean=clean,
-        corrupted=corrupted,
-        error_mask=mask,
-        reconstructed=reconstructed,
-        rmse_with_cs=rmse(clean, reconstructed),
-        rmse_without_cs=rmse(clean, corrupted),
-    )
+    with instrument.span(
+        "pipeline.evaluate_frame", error_rate=error_rate
+    ) as sp:
+        clean = np.asarray(frame, dtype=float)
+        if not already_normalized:
+            clean = normalize_frame(clean)
+        corrupted, mask = inject_sparse_errors(clean, error_rate, rng)
+        reconstructed = strategy.reconstruct(corrupted, rng, error_mask=mask)
+        outcome = FrameOutcome(
+            clean=clean,
+            corrupted=corrupted,
+            error_mask=mask,
+            reconstructed=reconstructed,
+            rmse_with_cs=rmse(clean, reconstructed),
+            rmse_without_cs=rmse(clean, corrupted),
+        )
+        sp.set(
+            rmse_with_cs=outcome.rmse_with_cs,
+            rmse_without_cs=outcome.rmse_without_cs,
+        )
+        instrument.incr("pipeline.frames")
+        return outcome
 
 
 @dataclass
@@ -164,10 +174,16 @@ class RobustnessSweep:
                 )
                 with_cs: list[float] = []
                 without_cs: list[float] = []
-                for frame in frames:
-                    outcome = evaluate_frame(frame, rate, strategy, rng)
-                    with_cs.append(outcome.rmse_with_cs)
-                    without_cs.append(outcome.rmse_without_cs)
+                with instrument.span(
+                    "pipeline.sweep_point",
+                    sampling_fraction=fraction,
+                    error_rate=rate,
+                    frames=len(frames),
+                ):
+                    for frame in frames:
+                        outcome = evaluate_frame(frame, rate, strategy, rng)
+                        with_cs.append(outcome.rmse_with_cs)
+                        without_cs.append(outcome.rmse_without_cs)
                 self._results.append(
                     SweepPoint(
                         sampling_fraction=fraction,
@@ -216,11 +232,17 @@ def process_frames(
     rng = np.random.default_rng(seed)
     corrupted_stack = np.empty_like(frames)
     reconstructed_stack = np.empty_like(frames)
-    for i, frame in enumerate(frames):
-        clean = frame if already_normalized else normalize_frame(frame)
-        corrupted, mask = inject_sparse_errors(clean, error_rate, rng)
-        corrupted_stack[i] = corrupted
-        reconstructed_stack[i] = strategy.reconstruct(
-            corrupted, rng, error_mask=mask
-        )
+    with instrument.span(
+        "pipeline.process_frames",
+        frames=len(frames),
+        error_rate=error_rate,
+    ):
+        for i, frame in enumerate(frames):
+            clean = frame if already_normalized else normalize_frame(frame)
+            corrupted, mask = inject_sparse_errors(clean, error_rate, rng)
+            corrupted_stack[i] = corrupted
+            reconstructed_stack[i] = strategy.reconstruct(
+                corrupted, rng, error_mask=mask
+            )
+            instrument.incr("pipeline.frames")
     return corrupted_stack, reconstructed_stack

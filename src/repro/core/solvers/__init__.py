@@ -22,6 +22,7 @@ from typing import Callable
 
 import numpy as np
 
+from ... import instrument
 from ..operators import SensingOperator
 from .admm import solve_bp_dr
 from .base import SolverResult, hard_threshold, soft_threshold
@@ -84,7 +85,16 @@ def solve(
     options:
         Forwarded to the underlying solver (``lam``, ``step``,
         ``max_iterations``, ``tolerance``...).
+
+    Notes
+    -----
+    Every dispatched solve is observable through
+    :mod:`repro.instrument`: the underlying solver opens a
+    ``solver.<name>`` span carrying iterations, convergence flag, final
+    residual and (for the iterative solvers) the residual trajectory,
+    and this dispatcher counts requests under ``decoder.requests``.
     """
+    instrument.incr("decoder.requests")
     if name == "bp":
         return solve_basis_pursuit(operator, b, **options)
     if name == "bp_dr":

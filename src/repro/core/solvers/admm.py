@@ -23,8 +23,9 @@ from __future__ import annotations
 import numpy as np
 from scipy.sparse.linalg import LinearOperator, cg
 
+from ... import instrument
 from ..operators import SensingOperator
-from .base import SolverResult, residual_norm, soft_threshold
+from .base import SolverResult, finish_solve_span, residual_norm, soft_threshold
 
 __all__ = ["solve_bp_dr"]
 
@@ -73,44 +74,53 @@ def solve_bp_dr(
         Proximal step (any positive value converges; ~0.1x the
         coefficient scale is a good default).
     max_iterations, tolerance:
-        Stop when the iterate change falls below ``tolerance``
-        (relative).
+        Stop when the relative iterate change of the auxiliary variable
+        ``z`` falls below ``tolerance``; ``converged`` is ``False``
+        when the iteration cap is hit first.
 
     Returns
     -------
     SolverResult
+        ``info['gamma']`` echoes the proximal step;
         ``info['tight_frame']`` records whether the closed-form
-        projection (the hardware-encoder case) was available.
+        projection (the hardware-encoder case) was available.  When
+        instrumentation is enabled the ``solver.bp_dr`` span records
+        the per-iteration relative-change trajectory (the solver's own
+        stopping quantity; the L1 iterate is infeasible until the final
+        projection, so the residual is not meaningful mid-run).
     """
-    b = np.asarray(b, dtype=float)
-    if b.shape != (operator.m,):
-        raise ValueError(
-            f"measurement vector shape {b.shape} does not match m={operator.m}"
-        )
-    if gamma <= 0:
-        raise ValueError("gamma must be positive")
-    project, tight_frame = _make_projector(operator, b)
-    # Start from the minimum-norm interpolant (already feasible).
-    z = project(np.zeros(operator.n))
-    x = z.copy()
-    converged = False
-    iteration = 0
-    for iteration in range(1, max_iterations + 1):
-        x = soft_threshold(z, gamma)
-        reflected = project(2.0 * x - z)
-        z_next = z + reflected - x
-        change = np.linalg.norm(z_next - z)
-        z = z_next
-        if change <= tolerance * max(1.0, np.linalg.norm(z)):
-            converged = True
-            break
-    # The constraint-feasible iterate is the projection of the final x.
-    x = project(soft_threshold(z, gamma))
-    return SolverResult(
-        coefficients=x,
-        iterations=iteration,
-        converged=converged,
-        residual=residual_norm(operator, x, b),
-        solver="bp_dr",
-        info={"gamma": gamma, "tight_frame": tight_frame},
-    )
+    with instrument.span("solver.bp_dr", m=operator.m, n=operator.n) as sp:
+        b = np.asarray(b, dtype=float)
+        if b.shape != (operator.m,):
+            raise ValueError(
+                f"measurement vector shape {b.shape} does not match m={operator.m}"
+            )
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        project, tight_frame = _make_projector(operator, b)
+        # Start from the minimum-norm interpolant (already feasible).
+        z = project(np.zeros(operator.n))
+        x = z.copy()
+        converged = False
+        iteration = 0
+        for iteration in range(1, max_iterations + 1):
+            x = soft_threshold(z, gamma)
+            reflected = project(2.0 * x - z)
+            z_next = z + reflected - x
+            change = np.linalg.norm(z_next - z)
+            z = z_next
+            if sp.active:
+                sp.record(change / max(1.0, np.linalg.norm(z)))
+            if change <= tolerance * max(1.0, np.linalg.norm(z)):
+                converged = True
+                break
+        # The constraint-feasible iterate is the projection of the final x.
+        x = project(soft_threshold(z, gamma))
+        return finish_solve_span(sp, SolverResult(
+            coefficients=x,
+            iterations=iteration,
+            converged=converged,
+            residual=residual_norm(operator, x, b),
+            solver="bp_dr",
+            info={"gamma": gamma, "tight_frame": tight_frame},
+        ))

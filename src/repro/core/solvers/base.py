@@ -14,9 +14,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ... import instrument
 from ..operators import SensingOperator
 
-__all__ = ["SolverResult", "soft_threshold", "hard_threshold", "residual_norm"]
+__all__ = [
+    "SolverResult",
+    "finish_solve_span",
+    "soft_threshold",
+    "hard_threshold",
+    "residual_norm",
+]
 
 
 @dataclass
@@ -37,7 +44,25 @@ class SolverResult:
     solver:
         Name of the solver that produced this result.
     info:
-        Solver-specific diagnostics (e.g. LP status, support size).
+        Solver-specific diagnostics.  Keys by solver:
+
+        ================  ==============================================
+        solver            ``info`` keys
+        ================  ==============================================
+        ``basis_pursuit`` ``status`` -- the HiGHS LP status message
+        ``bp_dr``         ``gamma`` -- proximal step used;
+                          ``tight_frame`` -- whether the closed-form
+                          affine projection (``A A^T = I``) applied
+        ``ista``          ``lambda`` -- L1 weight; ``step`` -- gradient
+                          step size
+        ``fista``         ``lambda``, ``step`` -- as for ``ista``;
+                          ``stages`` -- continuation stages executed
+        ``omp``           ``support_size`` -- atoms in the final support
+        ``cosamp``        ``sparsity`` -- target sparsity after clipping
+                          to ``min(K, m // 2, n)``
+        ``iht``           ``sparsity`` -- target sparsity; ``step`` --
+                          gradient step size
+        ================  ==============================================
     """
 
     coefficients: np.ndarray
@@ -70,3 +95,33 @@ def residual_norm(
 ) -> float:
     """``||A x - b||_2`` for reporting in :class:`SolverResult`."""
     return float(np.linalg.norm(operator.matvec(x) - b))
+
+
+def finish_solve_span(span, result: SolverResult) -> SolverResult:
+    """Publish a finished solve to the instrumentation layer.
+
+    Attaches the :class:`SolverResult` diagnostics (iterations,
+    convergence flag, final residual, scalar ``info`` entries) to the
+    enclosing ``solver.*`` span and feeds the per-solver call counter
+    and iteration/residual histograms.  A no-op when instrumentation is
+    disabled (``span`` is then the null span), so solvers can call it
+    unconditionally.  Returns ``result`` for use in return statements.
+    """
+    if span.active:
+        span.set(
+            solver=result.solver,
+            iterations=result.iterations,
+            converged=result.converged,
+            residual=result.residual,
+            **{
+                key: value
+                for key, value in result.info.items()
+                if isinstance(value, (bool, int, float, str))
+            },
+        )
+        instrument.incr(f"solver.{result.solver}.calls")
+        instrument.observe(f"solver.{result.solver}.iterations", result.iterations)
+        instrument.observe(f"solver.{result.solver}.residual", result.residual)
+        if not result.converged:
+            instrument.incr(f"solver.{result.solver}.nonconverged")
+    return result

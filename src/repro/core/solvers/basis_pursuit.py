@@ -22,8 +22,9 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linprog
 
+from ... import instrument
 from ..operators import SensingOperator
-from .base import SolverResult, residual_norm
+from .base import SolverResult, finish_solve_span, residual_norm
 
 __all__ = ["solve_basis_pursuit"]
 
@@ -47,35 +48,41 @@ def solve_basis_pursuit(
     Returns
     -------
     SolverResult
-        ``converged`` mirrors the LP success flag; ``info['status']``
-        carries the HiGHS status message.
+        ``converged`` mirrors the LP success flag; ``iterations`` is
+        the simplex/IPM iteration count HiGHS reports;
+        ``info['status']`` carries the HiGHS status message.  The LP is
+        a black box, so the ``solver.basis_pursuit`` span carries no
+        residual trajectory -- only the final diagnostics.
     """
-    b = np.asarray(b, dtype=float)
-    if b.shape != (operator.m,):
-        raise ValueError(
-            f"measurement vector shape {b.shape} does not match m={operator.m}"
+    with instrument.span(
+        "solver.basis_pursuit", m=operator.m, n=operator.n
+    ) as sp:
+        b = np.asarray(b, dtype=float)
+        if b.shape != (operator.m,):
+            raise ValueError(
+                f"measurement vector shape {b.shape} does not match m={operator.m}"
+            )
+        a = operator.to_matrix()
+        m, n = a.shape
+        cost = np.ones(2 * n)
+        a_eq = np.hstack([a, -a])
+        result = linprog(
+            cost,
+            A_eq=a_eq,
+            b_eq=b,
+            bounds=[(0, None)] * (2 * n),
+            method="highs",
+            options={"primal_feasibility_tolerance": tolerance},
         )
-    a = operator.to_matrix()
-    m, n = a.shape
-    cost = np.ones(2 * n)
-    a_eq = np.hstack([a, -a])
-    result = linprog(
-        cost,
-        A_eq=a_eq,
-        b_eq=b,
-        bounds=[(0, None)] * (2 * n),
-        method="highs",
-        options={"primal_feasibility_tolerance": tolerance},
-    )
-    if result.x is None:
-        x = np.zeros(n)
-    else:
-        x = result.x[:n] - result.x[n:]
-    return SolverResult(
-        coefficients=x,
-        iterations=int(getattr(result, "nit", 0) or 0),
-        converged=bool(result.success),
-        residual=residual_norm(operator, x, b),
-        solver="basis_pursuit",
-        info={"status": result.message},
-    )
+        if result.x is None:
+            x = np.zeros(n)
+        else:
+            x = result.x[:n] - result.x[n:]
+        return finish_solve_span(sp, SolverResult(
+            coefficients=x,
+            iterations=int(getattr(result, "nit", 0) or 0),
+            converged=bool(result.success),
+            residual=residual_norm(operator, x, b),
+            solver="basis_pursuit",
+            info={"status": result.message},
+        ))

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import instrument
 from ..operators import SensingOperator
-from .base import SolverResult, residual_norm, soft_threshold
+from .base import SolverResult, finish_solve_span, residual_norm, soft_threshold
 
 __all__ = ["solve_ista", "solve_fista", "default_lambda"]
 
@@ -75,28 +76,42 @@ def solve_ista(
     step:
         Gradient step; defaults to ``1 / ||A||_2^2`` (guaranteed descent).
     max_iterations, tolerance:
-        Stop when the relative iterate change drops below ``tolerance``.
+        Stop when the relative iterate change drops below ``tolerance``,
+        i.e. ``||x_{k+1} - x_k|| <= tolerance * max(1, ||x_{k+1}||)``;
+        ``converged`` is ``False`` when the iteration cap is hit first.
+
+    Returns
+    -------
+    SolverResult
+        ``info`` carries ``lambda`` and ``step`` (see
+        :class:`~repro.core.solvers.base.SolverResult`).  When
+        instrumentation is enabled the ``solver.ista`` span records the
+        per-iteration residual-norm trajectory.
     """
-    b, lam, step = _prepare(operator, b, lam, step)
-    x = np.zeros(operator.n)
-    converged = False
-    iteration = 0
-    for iteration in range(1, max_iterations + 1):
-        gradient = operator.rmatvec(operator.matvec(x) - b)
-        x_next = soft_threshold(x - step * gradient, step * lam)
-        change = np.linalg.norm(x_next - x)
-        x = x_next
-        if change <= tolerance * max(1.0, np.linalg.norm(x)):
-            converged = True
-            break
-    return SolverResult(
-        coefficients=x,
-        iterations=iteration,
-        converged=converged,
-        residual=residual_norm(operator, x, b),
-        solver="ista",
-        info={"lambda": lam, "step": step},
-    )
+    with instrument.span("solver.ista", m=operator.m, n=operator.n) as sp:
+        b, lam, step = _prepare(operator, b, lam, step)
+        x = np.zeros(operator.n)
+        converged = False
+        iteration = 0
+        for iteration in range(1, max_iterations + 1):
+            residual_vec = operator.matvec(x) - b
+            if sp.active:
+                sp.record(np.linalg.norm(residual_vec))
+            gradient = operator.rmatvec(residual_vec)
+            x_next = soft_threshold(x - step * gradient, step * lam)
+            change = np.linalg.norm(x_next - x)
+            x = x_next
+            if change <= tolerance * max(1.0, np.linalg.norm(x)):
+                converged = True
+                break
+        return finish_solve_span(sp, SolverResult(
+            coefficients=x,
+            iterations=iteration,
+            converged=converged,
+            residual=residual_norm(operator, x, b),
+            solver="ista",
+            info={"lambda": lam, "step": step},
+        ))
 
 
 def solve_fista(
@@ -123,43 +138,56 @@ def solve_fista(
     continuation_stages:
         Number of annealing stages (1 disables continuation);
         ``max_iterations`` is the per-stage cap.
+
+    Returns
+    -------
+    SolverResult
+        ``iterations`` counts all stages; ``converged`` reflects the
+        final (target-``lam``) stage's relative-change criterion.
+        ``info`` carries ``lambda``, ``step`` and ``stages``.  When
+        instrumentation is enabled the ``solver.fista`` span records
+        the per-iteration residual-norm trajectory across all stages.
     """
-    b, lam, step = _prepare(operator, b, lam, step)
-    if continuation_stages < 1:
-        raise ValueError(
-            f"continuation_stages must be >= 1, got {continuation_stages}"
-        )
-    lam_max = float(np.max(np.abs(operator.rmatvec(b))))
-    if continuation_stages > 1 and lam_max > lam > 0:
-        ratios = np.geomspace(min(0.5 * lam_max, max(lam, 1e-15)), lam,
-                              continuation_stages)
-        stages = [float(v) for v in ratios]
-        stages[-1] = lam
-    else:
-        stages = [lam]
-    x = np.zeros(operator.n)
-    total_iterations = 0
-    converged = False
-    for stage_lam in stages:
-        z = x.copy()
-        t = 1.0
+    with instrument.span("solver.fista", m=operator.m, n=operator.n) as sp:
+        b, lam, step = _prepare(operator, b, lam, step)
+        if continuation_stages < 1:
+            raise ValueError(
+                f"continuation_stages must be >= 1, got {continuation_stages}"
+            )
+        lam_max = float(np.max(np.abs(operator.rmatvec(b))))
+        if continuation_stages > 1 and lam_max > lam > 0:
+            ratios = np.geomspace(min(0.5 * lam_max, max(lam, 1e-15)), lam,
+                                  continuation_stages)
+            stages = [float(v) for v in ratios]
+            stages[-1] = lam
+        else:
+            stages = [lam]
+        x = np.zeros(operator.n)
+        total_iterations = 0
         converged = False
-        for _ in range(max_iterations):
-            total_iterations += 1
-            gradient = operator.rmatvec(operator.matvec(z) - b)
-            x_next = soft_threshold(z - step * gradient, step * stage_lam)
-            t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
-            z = x_next + ((t - 1.0) / t_next) * (x_next - x)
-            change = np.linalg.norm(x_next - x)
-            x, t = x_next, t_next
-            if change <= tolerance * max(1.0, np.linalg.norm(x)):
-                converged = True
-                break
-    return SolverResult(
-        coefficients=x,
-        iterations=total_iterations,
-        converged=converged,
-        residual=residual_norm(operator, x, b),
-        solver="fista",
-        info={"lambda": lam, "step": step, "stages": len(stages)},
-    )
+        for stage_lam in stages:
+            z = x.copy()
+            t = 1.0
+            converged = False
+            for _ in range(max_iterations):
+                total_iterations += 1
+                residual_vec = operator.matvec(z) - b
+                if sp.active:
+                    sp.record(np.linalg.norm(residual_vec))
+                gradient = operator.rmatvec(residual_vec)
+                x_next = soft_threshold(z - step * gradient, step * stage_lam)
+                t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+                z = x_next + ((t - 1.0) / t_next) * (x_next - x)
+                change = np.linalg.norm(x_next - x)
+                x, t = x_next, t_next
+                if change <= tolerance * max(1.0, np.linalg.norm(x)):
+                    converged = True
+                    break
+        return finish_solve_span(sp, SolverResult(
+            coefficients=x,
+            iterations=total_iterations,
+            converged=converged,
+            residual=residual_norm(operator, x, b),
+            solver="fista",
+            info={"lambda": lam, "step": step, "stages": len(stages)},
+        ))

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import instrument
 from ..operators import SensingOperator
-from .base import SolverResult, hard_threshold, residual_norm
+from .base import SolverResult, finish_solve_span, hard_threshold, residual_norm
 
 __all__ = ["solve_omp", "solve_cosamp", "solve_iht"]
 
@@ -52,34 +53,48 @@ def solve_omp(
     operator, b:
         Sensing operator and measurement vector.
     sparsity:
-        Maximum number of atoms (the target sparsity ``K``).
+        Maximum number of atoms (the target sparsity ``K``); clipped to
+        ``min(K, m, n)``.  One atom joins the support per iteration.
     tolerance:
-        Stop early once ``||residual||_2`` falls below this.
+        Stop early once ``||residual||_2`` falls below this;
+        ``converged`` additionally tolerates ``1e-6 * ||b||_2``
+        (relative floor for well-scaled problems).
+
+    Returns
+    -------
+    SolverResult
+        ``info['support_size']`` is the number of atoms in the final
+        support.  When instrumentation is enabled the ``solver.omp``
+        span records the residual norm after each atom selection.
     """
-    b = np.asarray(b, dtype=float)
-    if sparsity < 1:
-        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
-    sparsity = min(sparsity, operator.m, operator.n)
-    support: list[int] = []
-    x = np.zeros(operator.n)
-    residual = b.copy()
-    iteration = 0
-    for iteration in range(1, sparsity + 1):
-        correlations = operator.rmatvec(residual)
-        correlations[support] = 0.0
-        best = int(np.argmax(np.abs(correlations)))
-        support.append(best)
-        x, residual = _ls_on_support(operator, b, np.array(support))
-        if np.linalg.norm(residual) <= tolerance:
-            break
-    return SolverResult(
-        coefficients=x,
-        iterations=iteration,
-        converged=np.linalg.norm(residual) <= max(tolerance, 1e-6 * np.linalg.norm(b)),
-        residual=residual_norm(operator, x, b),
-        solver="omp",
-        info={"support_size": len(support)},
-    )
+    with instrument.span("solver.omp", m=operator.m, n=operator.n) as sp:
+        b = np.asarray(b, dtype=float)
+        if sparsity < 1:
+            raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+        sparsity = min(sparsity, operator.m, operator.n)
+        support: list[int] = []
+        x = np.zeros(operator.n)
+        residual = b.copy()
+        iteration = 0
+        for iteration in range(1, sparsity + 1):
+            correlations = operator.rmatvec(residual)
+            correlations[support] = 0.0
+            best = int(np.argmax(np.abs(correlations)))
+            support.append(best)
+            x, residual = _ls_on_support(operator, b, np.array(support))
+            if sp.active:
+                sp.record(np.linalg.norm(residual))
+            if np.linalg.norm(residual) <= tolerance:
+                break
+        return finish_solve_span(sp, SolverResult(
+            coefficients=x,
+            iterations=iteration,
+            converged=np.linalg.norm(residual)
+            <= max(tolerance, 1e-6 * np.linalg.norm(b)),
+            residual=residual_norm(operator, x, b),
+            solver="omp",
+            info={"support_size": len(support)},
+        ))
 
 
 def solve_cosamp(
@@ -89,36 +104,58 @@ def solve_cosamp(
     max_iterations: int = 50,
     tolerance: float = 1e-7,
 ) -> SolverResult:
-    """Compressive Sampling Matching Pursuit (Needell & Tropp 2009)."""
-    b = np.asarray(b, dtype=float)
-    if sparsity < 1:
-        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
-    sparsity = min(sparsity, operator.m // 2 if operator.m >= 2 else 1, operator.n)
-    sparsity = max(sparsity, 1)
-    x = np.zeros(operator.n)
-    residual = b.copy()
-    converged = False
-    iteration = 0
-    for iteration in range(1, max_iterations + 1):
-        proxy = operator.rmatvec(residual)
-        candidates = np.argpartition(np.abs(proxy), -2 * sparsity)[-2 * sparsity:]
-        merged = np.union1d(candidates, np.nonzero(x)[0])
-        ls_fit, _ = _ls_on_support(operator, b, merged.astype(int))
-        x_next = hard_threshold(ls_fit, sparsity)
-        residual = b - operator.matvec(x_next)
-        change = np.linalg.norm(x_next - x)
-        x = x_next
-        if np.linalg.norm(residual) <= tolerance or change <= tolerance:
-            converged = True
-            break
-    return SolverResult(
-        coefficients=x,
-        iterations=iteration,
-        converged=converged,
-        residual=residual_norm(operator, x, b),
-        solver="cosamp",
-        info={"sparsity": sparsity},
-    )
+    """Compressive Sampling Matching Pursuit (Needell & Tropp 2009).
+
+    Parameters
+    ----------
+    operator, b:
+        Sensing operator and measurement vector.
+    sparsity:
+        Target sparsity ``K``; clipped to ``min(K, m // 2, n)`` so the
+        ``2K`` candidate set stays identifiable from ``m`` measurements.
+    max_iterations, tolerance:
+        Stop when the residual norm or the iterate change drops below
+        ``tolerance``; ``converged`` is ``False`` at the iteration cap.
+
+    Returns
+    -------
+    SolverResult
+        ``info['sparsity']`` is the post-clipping target sparsity.
+        When instrumentation is enabled the ``solver.cosamp`` span
+        records the per-iteration residual-norm trajectory.
+    """
+    with instrument.span("solver.cosamp", m=operator.m, n=operator.n) as sp:
+        b = np.asarray(b, dtype=float)
+        if sparsity < 1:
+            raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+        sparsity = min(sparsity, operator.m // 2 if operator.m >= 2 else 1, operator.n)
+        sparsity = max(sparsity, 1)
+        x = np.zeros(operator.n)
+        residual = b.copy()
+        converged = False
+        iteration = 0
+        for iteration in range(1, max_iterations + 1):
+            proxy = operator.rmatvec(residual)
+            candidates = np.argpartition(np.abs(proxy), -2 * sparsity)[-2 * sparsity:]
+            merged = np.union1d(candidates, np.nonzero(x)[0])
+            ls_fit, _ = _ls_on_support(operator, b, merged.astype(int))
+            x_next = hard_threshold(ls_fit, sparsity)
+            residual = b - operator.matvec(x_next)
+            change = np.linalg.norm(x_next - x)
+            x = x_next
+            if sp.active:
+                sp.record(np.linalg.norm(residual))
+            if np.linalg.norm(residual) <= tolerance or change <= tolerance:
+                converged = True
+                break
+        return finish_solve_span(sp, SolverResult(
+            coefficients=x,
+            iterations=iteration,
+            converged=converged,
+            residual=residual_norm(operator, x, b),
+            solver="cosamp",
+            info={"sparsity": sparsity},
+        ))
 
 
 def solve_iht(
@@ -133,29 +170,52 @@ def solve_iht(
 
     Fully matrix-free: each iteration is one forward and one adjoint
     apply plus a hard threshold onto the best ``sparsity`` atoms.
+
+    Parameters
+    ----------
+    operator, b:
+        Sensing operator and measurement vector.
+    sparsity:
+        Target sparsity ``K`` (atoms kept by the hard threshold).
+    step:
+        Gradient step; defaults to ``1 / ||A||_2^2``.
+    max_iterations, tolerance:
+        Stop when the relative iterate change drops below ``tolerance``;
+        ``converged`` is ``False`` when the iteration cap is hit first.
+
+    Returns
+    -------
+    SolverResult
+        ``info`` carries ``sparsity`` and ``step``.  When
+        instrumentation is enabled the ``solver.iht`` span records the
+        per-iteration residual-norm trajectory.
     """
-    b = np.asarray(b, dtype=float)
-    if sparsity < 1:
-        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
-    if step is None:
-        sigma = operator.spectral_norm()
-        step = 1.0 if sigma == 0.0 else 1.0 / (sigma * sigma)
-    x = np.zeros(operator.n)
-    converged = False
-    iteration = 0
-    for iteration in range(1, max_iterations + 1):
-        gradient = operator.rmatvec(operator.matvec(x) - b)
-        x_next = hard_threshold(x - step * gradient, sparsity)
-        change = np.linalg.norm(x_next - x)
-        x = x_next
-        if change <= tolerance * max(1.0, np.linalg.norm(x)):
-            converged = True
-            break
-    return SolverResult(
-        coefficients=x,
-        iterations=iteration,
-        converged=converged,
-        residual=residual_norm(operator, x, b),
-        solver="iht",
-        info={"sparsity": sparsity, "step": step},
-    )
+    with instrument.span("solver.iht", m=operator.m, n=operator.n) as sp:
+        b = np.asarray(b, dtype=float)
+        if sparsity < 1:
+            raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+        if step is None:
+            sigma = operator.spectral_norm()
+            step = 1.0 if sigma == 0.0 else 1.0 / (sigma * sigma)
+        x = np.zeros(operator.n)
+        converged = False
+        iteration = 0
+        for iteration in range(1, max_iterations + 1):
+            residual_vec = operator.matvec(x) - b
+            if sp.active:
+                sp.record(np.linalg.norm(residual_vec))
+            gradient = operator.rmatvec(residual_vec)
+            x_next = hard_threshold(x - step * gradient, sparsity)
+            change = np.linalg.norm(x_next - x)
+            x = x_next
+            if change <= tolerance * max(1.0, np.linalg.norm(x)):
+                converged = True
+                break
+        return finish_solve_span(sp, SolverResult(
+            coefficients=x,
+            iterations=iteration,
+            converged=converged,
+            residual=residual_norm(operator, x, b),
+            solver="iht",
+            info={"sparsity": sparsity, "step": step},
+        ))

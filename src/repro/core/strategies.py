@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import instrument
 from .dct import Dct2Basis
 from .operators import SensingOperator
 from .rpca import detect_outliers
@@ -91,16 +92,21 @@ def sample_and_reconstruct(
         m = min(m, n - len(exclude))
         if m < 1:
             raise ValueError("exclusion mask leaves no pixels to sample")
-    phi = RowSamplingMatrix.random(n, m, rng, exclude=exclude)
-    basis = Dct2Basis(frame.shape)
-    operator = SensingOperator(phi, basis)
-    measurements = phi.apply(frame.ravel())
-    if noise_sigma > 0.0:
-        measurements = measurements + rng.normal(
-            0.0, noise_sigma, size=measurements.shape
-        )
-    result = solve(solver, operator, measurements, **(solver_options or {}))
-    return operator.synthesize(result.coefficients).reshape(frame.shape)
+    with instrument.span(
+        "decode.sample_and_reconstruct", n=n, m=m, solver=solver
+    ):
+        instrument.incr("decode.calls")
+        instrument.incr("decode.measurements", m)
+        phi = RowSamplingMatrix.random(n, m, rng, exclude=exclude)
+        basis = Dct2Basis(frame.shape)
+        operator = SensingOperator(phi, basis)
+        measurements = phi.apply(frame.ravel())
+        if noise_sigma > 0.0:
+            measurements = measurements + rng.normal(
+                0.0, noise_sigma, size=measurements.shape
+            )
+        result = solve(solver, operator, measurements, **(solver_options or {}))
+        return operator.synthesize(result.coefficients).reshape(frame.shape)
 
 
 @dataclass
@@ -230,7 +236,10 @@ class RpcaExclusionStrategy:
 
     def detect(self, frame_stack: np.ndarray) -> np.ndarray:
         """Outlier mask for each frame in a ``(frames, rows, cols)`` stack."""
-        return detect_outliers(frame_stack, threshold=self.outlier_threshold)
+        with instrument.span(
+            "decode.rpca_detect", frames=int(np.asarray(frame_stack).shape[0])
+        ):
+            return detect_outliers(frame_stack, threshold=self.outlier_threshold)
 
     def reconstruct(
         self,
@@ -341,19 +350,25 @@ class WeightedSamplingStrategy:
                 raise ValueError("error_mask shape must match frame shape")
             exclude = np.flatnonzero(error_mask.ravel())
             m = min(m, n - len(exclude))
-        indices = weighted_sample_indices(
-            n, m, weights.ravel(), rng, exclude=exclude
-        )
-        phi = RowSamplingMatrix(n=n, indices=indices)
-        operator = SensingOperator(phi, Dct2Basis(corrupted.shape))
-        measurements = phi.apply(corrupted.ravel())
-        if self.noise_sigma > 0.0:
-            measurements = measurements + rng.normal(
-                0.0, self.noise_sigma, size=measurements.shape
+        with instrument.span(
+            "decode.weighted_sample_and_reconstruct",
+            n=n, m=m, solver=self.solver,
+        ):
+            instrument.incr("decode.calls")
+            instrument.incr("decode.measurements", m)
+            indices = weighted_sample_indices(
+                n, m, weights.ravel(), rng, exclude=exclude
             )
-        result = solve(
-            self.solver, operator, measurements, **self.solver_options
-        )
-        return operator.synthesize(result.coefficients).reshape(
-            corrupted.shape
-        )
+            phi = RowSamplingMatrix(n=n, indices=indices)
+            operator = SensingOperator(phi, Dct2Basis(corrupted.shape))
+            measurements = phi.apply(corrupted.ravel())
+            if self.noise_sigma > 0.0:
+                measurements = measurements + rng.normal(
+                    0.0, self.noise_sigma, size=measurements.shape
+                )
+            result = solve(
+                self.solver, operator, measurements, **self.solver_options
+            )
+            return operator.synthesize(result.coefficients).reshape(
+                corrupted.shape
+            )

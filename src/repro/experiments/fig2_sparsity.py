@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import instrument
 from ..datasets import (
     PressureMapGenerator,
     SparsityStats,
@@ -60,17 +61,21 @@ def run_fig2(num_samples: int = 100, seed: int = 0) -> list[Fig2Result]:
     if num_samples < 1:
         raise ValueError("num_samples must be >= 1")
     results = []
-    for modality in MODALITIES:
-        generator = _generator(modality, seed)
-        frames = generator.frames(num_samples)
-        results.append(
-            Fig2Result(
-                modality=modality,
-                array_shape=generator.shape,
-                sorted_magnitudes=sorted_dct_magnitudes(frames[0]),
-                stats=sparsity_stats(frames),
-            )
-        )
+    with instrument.span(
+        "experiment.fig2_sparsity", num_samples=num_samples, seed=seed
+    ):
+        for modality in MODALITIES:
+            with instrument.span("experiment.fig2_modality", modality=modality):
+                generator = _generator(modality, seed)
+                frames = generator.frames(num_samples)
+                results.append(
+                    Fig2Result(
+                        modality=modality,
+                        array_shape=generator.shape,
+                        sorted_magnitudes=sorted_dct_magnitudes(frames[0]),
+                        stats=sparsity_stats(frames),
+                    )
+                )
     return results
 
 

@@ -13,6 +13,7 @@ sampling percentage with diminishing returns.
 
 from __future__ import annotations
 
+from .. import instrument
 from ..core.pipeline import RobustnessSweep, SweepPoint
 from ..core.strategies import OracleExclusionStrategy
 from ..datasets import ThermalHandGenerator
@@ -51,15 +52,21 @@ def run_fig6a(
     seed: int = 0,
 ) -> list[SweepPoint]:
     """Regenerate the Fig. 6a grid on synthetic thermal frames."""
-    frames = ThermalHandGenerator(seed=seed).frames(num_frames)
-    sweep = default_sweep(
-        sampling_fractions=sampling_fractions,
-        error_rates=error_rates,
+    with instrument.span(
+        "experiment.fig6a_rmse",
+        num_frames=num_frames,
         solver=solver,
-        noise_sigma=noise_sigma,
         seed=seed,
-    )
-    return sweep.run(frames)
+    ):
+        frames = ThermalHandGenerator(seed=seed).frames(num_frames)
+        sweep = default_sweep(
+            sampling_fractions=sampling_fractions,
+            error_rates=error_rates,
+            solver=solver,
+            noise_sigma=noise_sigma,
+            seed=seed,
+        )
+        return sweep.run(frames)
 
 
 def format_table(points: list[SweepPoint]) -> str:

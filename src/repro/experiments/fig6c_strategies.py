@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import instrument
 from ..core.errors import inject_sparse_errors
 from ..core.metrics import rmse
 from ..core.pipeline import normalize_frame
@@ -58,59 +59,66 @@ def run_fig6c(
     generator = ThermalHandGenerator(seed=seed)
     base = normalize_frame(generator.frame())
     points = []
-    for rate in error_rates:
-        rng = np.random.default_rng([seed, int(rate * 1000)])
-        # Temporal burst: small smooth drift of the same scene.
-        clean_stack = np.stack(
-            [
-                np.clip(base + 0.02 * np.sin(0.5 * k) , 0.0, 1.0)
-                for k in range(num_frames)
-            ]
-        )
-        corrupted_stack = np.empty_like(clean_stack)
-        for k in range(num_frames):
-            corrupted_stack[k], _ = inject_sparse_errors(clean_stack[k], rate, rng)
+    with instrument.span(
+        "experiment.fig6c_strategies",
+        num_frames=num_frames,
+        rounds=rounds,
+        solver=solver,
+        seed=seed,
+    ):
+        for rate in error_rates:
+            rng = np.random.default_rng([seed, int(rate * 1000)])
+            # Temporal burst: small smooth drift of the same scene.
+            clean_stack = np.stack(
+                [
+                    np.clip(base + 0.02 * np.sin(0.5 * k) , 0.0, 1.0)
+                    for k in range(num_frames)
+                ]
+            )
+            corrupted_stack = np.empty_like(clean_stack)
+            for k in range(num_frames):
+                corrupted_stack[k], _ = inject_sparse_errors(clean_stack[k], rate, rng)
 
-        median = ResamplingStrategy(
-            sampling_fraction=sampling_fraction,
-            rounds=rounds,
-            aggregate="median",
-            solver=solver,
-        )
-        mean = ResamplingStrategy(
-            sampling_fraction=sampling_fraction,
-            rounds=rounds,
-            aggregate="mean",
-            solver=solver,
-        )
-        rpca_strategy = RpcaExclusionStrategy(
-            sampling_fraction=sampling_fraction, solver=solver
-        )
-        rmse_median, rmse_mean, rmse_rpca, rmse_raw = [], [], [], []
-        for k in range(num_frames):
-            clean = clean_stack[k]
-            corrupted = corrupted_stack[k]
-            rmse_median.append(rmse(clean, median.reconstruct(corrupted, rng)))
-            rmse_mean.append(rmse(clean, mean.reconstruct(corrupted, rng)))
-            rmse_rpca.append(
-                rmse(
-                    clean,
-                    rpca_strategy.reconstruct(
-                        corrupted, rng,
-                        frame_stack=corrupted_stack, frame_index=k,
-                    ),
+            median = ResamplingStrategy(
+                sampling_fraction=sampling_fraction,
+                rounds=rounds,
+                aggregate="median",
+                solver=solver,
+            )
+            mean = ResamplingStrategy(
+                sampling_fraction=sampling_fraction,
+                rounds=rounds,
+                aggregate="mean",
+                solver=solver,
+            )
+            rpca_strategy = RpcaExclusionStrategy(
+                sampling_fraction=sampling_fraction, solver=solver
+            )
+            rmse_median, rmse_mean, rmse_rpca, rmse_raw = [], [], [], []
+            for k in range(num_frames):
+                clean = clean_stack[k]
+                corrupted = corrupted_stack[k]
+                rmse_median.append(rmse(clean, median.reconstruct(corrupted, rng)))
+                rmse_mean.append(rmse(clean, mean.reconstruct(corrupted, rng)))
+                rmse_rpca.append(
+                    rmse(
+                        clean,
+                        rpca_strategy.reconstruct(
+                            corrupted, rng,
+                            frame_stack=corrupted_stack, frame_index=k,
+                        ),
+                    )
+                )
+                rmse_raw.append(rmse(clean, corrupted))
+            points.append(
+                StrategyPoint(
+                    error_rate=rate,
+                    rmse_rpca=float(np.mean(rmse_rpca)),
+                    rmse_resample_median=float(np.mean(rmse_median)),
+                    rmse_resample_mean=float(np.mean(rmse_mean)),
+                    rmse_no_cs=float(np.mean(rmse_raw)),
                 )
             )
-            rmse_raw.append(rmse(clean, corrupted))
-        points.append(
-            StrategyPoint(
-                error_rate=rate,
-                rmse_rpca=float(np.mean(rmse_rpca)),
-                rmse_resample_median=float(np.mean(rmse_median)),
-                rmse_resample_mean=float(np.mean(rmse_mean)),
-                rmse_no_cs=float(np.mean(rmse_raw)),
-            )
-        )
     return points
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import instrument
 from ..core.metrics import rmse
 from ..core.pipeline import evaluate_frame
 from ..core.strategies import OracleExclusionStrategy
@@ -61,20 +62,26 @@ def run_tolerance(
         sampling_fraction=sampling_fraction, solver=solver
     )
     points = []
-    for rate in error_rates:
-        rng = np.random.default_rng([seed, int(rate * 1000)])
-        with_cs, without_cs = [], []
-        for frame in frames:
-            outcome = evaluate_frame(frame, rate, strategy, rng)
-            with_cs.append(outcome.rmse_with_cs)
-            without_cs.append(outcome.rmse_without_cs)
-        points.append(
-            TolerancePoint(
-                error_rate=rate,
-                rmse_with_cs=float(np.mean(with_cs)),
-                rmse_without_cs=float(np.mean(without_cs)),
+    with instrument.span(
+        "experiment.tolerance",
+        num_frames=num_frames,
+        solver=solver,
+        seed=seed,
+    ):
+        for rate in error_rates:
+            rng = np.random.default_rng([seed, int(rate * 1000)])
+            with_cs, without_cs = [], []
+            for frame in frames:
+                outcome = evaluate_frame(frame, rate, strategy, rng)
+                with_cs.append(outcome.rmse_with_cs)
+                without_cs.append(outcome.rmse_without_cs)
+            points.append(
+                TolerancePoint(
+                    error_rate=rate,
+                    rmse_with_cs=float(np.mean(with_cs)),
+                    rmse_without_cs=float(np.mean(without_cs)),
+                )
             )
-        )
     return points
 
 

@@ -1,0 +1,210 @@
+"""Profiling CLI: run a named experiment under full instrumentation.
+
+Examples::
+
+    # Profile the Fig. 6a RMSE grid end-to-end, write the JSON report.
+    PYTHONPATH=src python -m repro.instrument --experiment fig6a_rmse \\
+        --frames 2 --output fig6a.profile.json
+
+    # Quick smoke profile of the Fig. 2 sparsity statistics.
+    PYTHONPATH=src python -m repro.instrument --experiment fig2_sparsity \\
+        --samples 6 --output fig2.profile.json
+
+    # Validate a previously emitted report against the schema.
+    PYTHONPATH=src python -m repro.instrument --validate fig2.profile.json
+
+    # List profilable experiments.
+    PYTHONPATH=src python -m repro.instrument --list
+
+With ``--output`` the JSON report goes to the file and the human table
+to stdout; without it the JSON goes to stdout and the table to stderr,
+so ``python -m repro.instrument --experiment X > report.json`` works.
+The report follows the schema in ``docs/INSTRUMENTATION.md`` and is
+self-validated before being written.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from . import profiled, render_table, span, validate_report, write_report
+
+__all__ = ["main", "profile_experiment", "PROFILES"]
+
+
+def _profile_fig2(args) -> str:
+    from ..experiments.fig2_sparsity import format_table, run_fig2
+
+    results = run_fig2(num_samples=args.samples, seed=args.seed)
+    return format_table(results)
+
+
+def _profile_fig6a(args) -> str:
+    from ..experiments.fig6a_rmse import format_table, run_fig6a
+
+    points = run_fig6a(
+        num_frames=args.frames, solver=args.solver, seed=args.seed
+    )
+    return format_table(points)
+
+
+def _profile_fig6c(args) -> str:
+    from ..experiments.fig6c_strategies import format_table, run_fig6c
+
+    points = run_fig6c(
+        num_frames=max(2, args.frames), solver=args.solver, seed=args.seed
+    )
+    return format_table(points)
+
+
+def _profile_tolerance(args) -> str:
+    from ..experiments.tolerance import format_table, run_tolerance
+
+    points = run_tolerance(
+        num_frames=args.frames, solver=args.solver, seed=args.seed
+    )
+    return format_table(points)
+
+
+def _profile_comm_cost(args) -> str:
+    from ..experiments.comm_cost import run_comm_cost
+
+    return "\n".join(r.row() for r in run_comm_cost(seed=args.seed))
+
+
+def _profile_scaling(args) -> str:
+    from ..experiments.scaling import run_scaling
+
+    return "\n".join(p.row() for p in run_scaling())
+
+
+PROFILES = {
+    "fig2_sparsity": _profile_fig2,
+    "fig6a_rmse": _profile_fig6a,
+    "fig6c_strategies": _profile_fig6c,
+    "tolerance": _profile_tolerance,
+    "comm_cost": _profile_comm_cost,
+    "scaling": _profile_scaling,
+}
+"""Profilable experiments: name -> runner(args) -> result table text."""
+
+
+def profile_experiment(name: str, args) -> tuple[dict, str]:
+    """Run experiment ``name`` under instrumentation.
+
+    Returns ``(report, table_text)`` where ``report`` follows the
+    documented JSON schema and ``table_text`` is the experiment's own
+    result table.
+    """
+    if name not in PROFILES:
+        raise KeyError(
+            f"unknown experiment {name!r}; expected one of {sorted(PROFILES)}"
+        )
+    started = time.time()
+    wall_start = time.perf_counter()
+    with profiled() as session:
+        with span(f"profile.{name}", experiment=name):
+            table = PROFILES[name](args)
+    report = session.report(
+        {
+            "experiment": name,
+            "seed": args.seed,
+            "started_unix": started,
+            "wall_s": time.perf_counter() - wall_start,
+            "argv": {
+                "frames": args.frames,
+                "samples": args.samples,
+                "solver": args.solver,
+            },
+        }
+    )
+    return report, table
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.instrument",
+        description="Profile a named experiment end-to-end and emit the "
+        "instrumentation report (see docs/INSTRUMENTATION.md).",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--experiment", choices=sorted(PROFILES), help="experiment to profile"
+    )
+    group.add_argument(
+        "--validate", metavar="PATH",
+        help="validate an emitted JSON report against the schema and exit",
+    )
+    group.add_argument(
+        "--list", action="store_true", help="list profilable experiments"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--frames", type=int, default=2,
+        help="frames per grid point (fig6a/fig6c/tolerance)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=10,
+        help="samples per modality (fig2_sparsity)",
+    )
+    parser.add_argument(
+        "--solver", default="fista", help="decoder name for the sweeps"
+    )
+    parser.add_argument(
+        "--output", metavar="PATH",
+        help="write the JSON report here (default: stdout)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the human tables"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(PROFILES):
+            print(name)
+        return 0
+
+    if args.validate:
+        with open(args.validate, encoding="utf-8") as handle:
+            try:
+                candidate = json.load(handle)
+            except json.JSONDecodeError as exc:
+                print(f"{args.validate}: not JSON: {exc}", file=sys.stderr)
+                return 1
+        problems = validate_report(candidate)
+        if problems:
+            for problem in problems:
+                print(f"{args.validate}: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid ({len(candidate['spans'])} root spans)")
+        return 0
+
+    report, table = profile_experiment(args.experiment, args)
+    problems = validate_report(report)
+    if problems:  # pragma: no cover - guards reporter regressions
+        for problem in problems:
+            print(f"internal error, invalid report: {problem}", file=sys.stderr)
+        return 2
+    if args.output:
+        write_report(report, args.output)
+        if not args.quiet:
+            print(table)
+            print()
+            print(render_table(report))
+            print(f"\nreport written to {args.output}")
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        if not args.quiet:
+            print(table, file=sys.stderr)
+            print(file=sys.stderr)
+            print(render_table(report), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Thread-safe counters, gauges and histograms.
+
+The :class:`MetricsRegistry` is a flat, name-keyed store of three
+instrument kinds:
+
+* :class:`Counter` -- monotonically increasing totals (ADC conversions,
+  decode calls, measurements taken);
+* :class:`Gauge` -- last-written values (current sweep point, array
+  size);
+* :class:`Histogram` -- distributions (solver iteration counts, final
+  residuals).
+
+Every mutation takes the instrument's own lock, so hooks may fire from
+worker threads without corrupting totals.  Histograms keep raw samples
+up to a cap (percentiles come from the raw window) but always maintain
+exact ``count``/``total``/``min``/``max`` beyond it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "RAW_SAMPLE_CAP"]
+
+RAW_SAMPLE_CAP = 4096
+"""Raw samples retained per histogram for percentile estimates."""
+
+
+class Counter:
+    """A monotonically increasing, thread-safe total."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increment by ``amount`` (must be >= 0)."""
+        amount = float(amount)
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        return self._value
+
+
+class Gauge:
+    """A thread-safe last-written value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The most recently written value (0.0 if never set)."""
+        return self._value
+
+
+class Histogram:
+    """A thread-safe value distribution with bounded memory.
+
+    Exact ``count``, ``total``, ``min`` and ``max`` are maintained for
+    every observation; the first :data:`RAW_SAMPLE_CAP` raw samples are
+    retained so :meth:`percentile` stays useful without unbounded
+    growth (the summary records how many raw samples were dropped).
+    """
+
+    __slots__ = ("_lock", "count", "total", "_min", "_max", "_raw", "raw_dropped")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._raw: list[float] = []
+        self.raw_dropped = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            if len(self._raw) < RAW_SAMPLE_CAP:
+                self._raw.append(value)
+            else:
+                self.raw_dropped += 1
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` in [0, 100] of the raw window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            raw = sorted(self._raw)
+        if not raw:
+            return 0.0
+        rank = min(len(raw) - 1, max(0, round(q / 100.0 * (len(raw) - 1))))
+        return raw[rank]
+
+    def summary(self) -> dict:
+        """JSON-safe summary: count/total/mean/min/max/p50/p95."""
+        with self._lock:
+            count = self.count
+            total = self.total
+            lo = self._min if self._min is not None else 0.0
+            hi = self._max if self._max is not None else 0.0
+            dropped = self.raw_dropped
+        return {
+            "count": count,
+            "total": total,
+            "mean": total / count if count else 0.0,
+            "min": lo,
+            "max": hi,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "raw_dropped": dropped,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed, get-or-create store for the three instrument kinds.
+
+    A name is bound to one kind for the registry's lifetime; asking for
+    the same name as a different kind raises ``TypeError`` (it is
+    almost always a naming-convention bug).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get_or_create(self, store: dict, name: str, factory):
+        name = str(name)
+        with self._lock:
+            for kind, other in (
+                ("counter", self._counters),
+                ("gauge", self._gauges),
+                ("histogram", self._histograms),
+            ):
+                if other is not store and name in other:
+                    raise TypeError(
+                        f"metric {name!r} already registered as a {kind}"
+                    )
+            instrument = store.get(name)
+            if instrument is None:
+                instrument = store[name] = factory()
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(self._histograms, name, Histogram)
+
+    def reset(self) -> None:
+        """Forget every registered instrument."""
+        with self._lock:
+            self._counters = {}
+            self._gauges = {}
+            self._histograms = {}
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every instrument, sorted by name."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: counters[n].value for n in sorted(counters)},
+            "gauges": {n: gauges[n].value for n in sorted(gauges)},
+            "histograms": {
+                n: histograms[n].summary() for n in sorted(histograms)
+            },
+        }

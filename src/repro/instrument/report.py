@@ -1,0 +1,226 @@
+"""Reporters: machine-readable JSON and human-readable tables.
+
+The JSON schema (documented in ``docs/INSTRUMENTATION.md`` and checked
+by :func:`validate_report`) is::
+
+    {
+      "schema": "repro.instrument/v1",
+      "meta": {...},                      # caller-supplied context
+      "spans": [<span>, ...],            # root spans, nested
+      "span_summary": {name: {count, total_s, mean_s, min_s, max_s}},
+      "metrics": {
+        "counters":   {name: value},
+        "gauges":     {name: value},
+        "histograms": {name: {count, total, mean, min, max,
+                              p50, p95, raw_dropped}}
+      },
+      "dropped_spans": 0
+    }
+
+    <span> = {
+      "name": str, "start_s": float, "duration_s": float,
+      "attributes": {...}, "children": [<span>, ...],
+      "trajectory": [float, ...]?, "trajectory_dropped": int?
+    }
+
+The same dict round-trips through ``json.dumps``/``json.loads``
+unchanged, so benchmark tooling can archive reports next to the
+``BENCH_*`` trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "SCHEMA",
+    "build_report",
+    "validate_report",
+    "render_table",
+    "iter_span_dicts",
+    "write_report",
+]
+
+SCHEMA = "repro.instrument/v1"
+"""Schema identifier stamped into (and required of) every report."""
+
+
+def build_report(
+    tracer: Tracer, registry: MetricsRegistry, meta: dict | None = None
+) -> dict:
+    """Assemble the JSON-safe report dict from live collectors."""
+    return {
+        "schema": SCHEMA,
+        "meta": dict(meta or {}),
+        "spans": [span.to_dict() for span in tracer.roots],
+        "span_summary": tracer.summary(),
+        "metrics": registry.snapshot(),
+        "dropped_spans": tracer.dropped,
+    }
+
+
+def write_report(report: dict, path: str, indent: int | None = 2) -> None:
+    """Validate then write a report to ``path`` as JSON."""
+    problems = validate_report(report)
+    if problems:
+        raise ValueError(f"refusing to write invalid report: {problems}")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=indent)
+        handle.write("\n")
+
+
+def iter_span_dicts(report: dict):
+    """Depth-first iterator over every span dict in a report."""
+    stack = list(report.get("spans", []))
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(span.get("children", []))
+
+
+def _validate_span(span, path: str, problems: list[str]) -> None:
+    if not isinstance(span, dict):
+        problems.append(f"{path}: span is not an object")
+        return
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{path}: missing/empty 'name'")
+    for key in ("start_s", "duration_s"):
+        value = span.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{path}: '{key}' must be a number")
+        elif key == "duration_s" and value < 0:
+            problems.append(f"{path}: negative duration")
+    if not isinstance(span.get("attributes"), dict):
+        problems.append(f"{path}: 'attributes' must be an object")
+    children = span.get("children")
+    if not isinstance(children, list):
+        problems.append(f"{path}: 'children' must be a list")
+        children = []
+    if "trajectory" in span:
+        trajectory = span["trajectory"]
+        if not isinstance(trajectory, list) or any(
+            not isinstance(v, (int, float)) or isinstance(v, bool)
+            for v in trajectory
+        ):
+            problems.append(f"{path}: 'trajectory' must be a list of numbers")
+    for i, child in enumerate(children):
+        _validate_span(child, f"{path}.children[{i}]", problems)
+
+
+def validate_report(report) -> list[str]:
+    """Check a report against the documented schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    report is valid.  Used by the CLI's ``--validate`` mode, the CI
+    smoke job and the instrumented benchmark fixture.
+    """
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != SCHEMA:
+        problems.append(
+            f"'schema' must be {SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    if not isinstance(report.get("meta"), dict):
+        problems.append("'meta' must be an object")
+    spans = report.get("spans")
+    if not isinstance(spans, list):
+        problems.append("'spans' must be a list")
+    else:
+        for i, span in enumerate(spans):
+            _validate_span(span, f"spans[{i}]", problems)
+    summary = report.get("span_summary")
+    if not isinstance(summary, dict):
+        problems.append("'span_summary' must be an object")
+    else:
+        for name, entry in summary.items():
+            if not isinstance(entry, dict):
+                problems.append(f"span_summary[{name!r}] is not an object")
+                continue
+            for key in ("count", "total_s", "mean_s", "min_s", "max_s"):
+                if not isinstance(entry.get(key), (int, float)) or isinstance(
+                    entry.get(key), bool
+                ):
+                    problems.append(
+                        f"span_summary[{name!r}].{key} must be a number"
+                    )
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("'metrics' must be an object")
+    else:
+        for section in ("counters", "gauges", "histograms"):
+            block = metrics.get(section)
+            if not isinstance(block, dict):
+                problems.append(f"metrics.{section} must be an object")
+                continue
+            for name, value in block.items():
+                if section == "histograms":
+                    if not isinstance(value, dict) or not isinstance(
+                        value.get("count"), (int, float)
+                    ):
+                        problems.append(
+                            f"metrics.histograms[{name!r}] must be a "
+                            "summary object with a 'count'"
+                        )
+                elif not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    problems.append(
+                        f"metrics.{section}[{name!r}] must be a number"
+                    )
+    if not isinstance(report.get("dropped_spans"), int):
+        problems.append("'dropped_spans' must be an integer")
+    return problems
+
+
+def render_table(report: dict) -> str:
+    """Human-readable summary of a report (span totals + metrics)."""
+    lines: list[str] = []
+    meta = report.get("meta", {})
+    if meta:
+        lines.append(
+            "profile: "
+            + ", ".join(f"{k}={meta[k]}" for k in sorted(meta) if k != "argv")
+        )
+    summary = report.get("span_summary", {})
+    if summary:
+        lines.append("")
+        lines.append(
+            f"{'span':<34} {'count':>7} {'total s':>10} "
+            f"{'mean ms':>10} {'max ms':>10}"
+        )
+        total_order = sorted(
+            summary.items(), key=lambda kv: kv[1]["total_s"], reverse=True
+        )
+        for name, entry in total_order:
+            lines.append(
+                f"{name:<34} {entry['count']:>7d} {entry['total_s']:>10.3f} "
+                f"{1e3 * entry['mean_s']:>10.3f} {1e3 * entry['max_s']:>10.3f}"
+            )
+    counters = report.get("metrics", {}).get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<44} {'value':>12}")
+        for name in sorted(counters):
+            lines.append(f"{name:<44} {counters[name]:>12g}")
+    histograms = report.get("metrics", {}).get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"{'histogram':<34} {'count':>7} {'mean':>10} "
+            f"{'p50':>10} {'p95':>10} {'max':>10}"
+        )
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"{name:<34} {h['count']:>7d} {h['mean']:>10.4g} "
+                f"{h['p50']:>10.4g} {h['p95']:>10.4g} {h['max']:>10.4g}"
+            )
+    if report.get("dropped_spans"):
+        lines.append("")
+        lines.append(f"!! dropped spans: {report['dropped_spans']}")
+    return "\n".join(lines)

@@ -1,0 +1,275 @@
+"""Nestable tracing spans with wall-clock timing.
+
+A :class:`Span` measures one operation (a solver run, an encoder scan,
+one sweep grid point); spans opened while another span is active on the
+same thread become its children, so a profile of ``run_fig6a`` yields a
+tree ``experiment -> sweep point -> frame -> decode -> solver``.
+
+The :class:`Tracer` owns the span tree.  Each thread keeps its own
+active-span stack (``threading.local``), so worker threads produce their
+own root spans without synchronising on the hot path; finished root
+spans are appended to the shared tree under a lock.
+
+Zero-overhead guard: callers never construct spans directly -- they go
+through :func:`repro.instrument.span`, which returns the module-level
+:data:`NULL_SPAN` singleton when instrumentation is disabled.  The null
+span's methods are all no-ops and its ``active`` attribute is ``False``,
+so per-iteration recording inside solver loops can be guarded with a
+single attribute check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["NULL_SPAN", "Span", "Tracer", "TRAJECTORY_CAP"]
+
+TRAJECTORY_CAP = 2048
+"""Per-span cap on recorded trajectory points (excess points are counted,
+not stored, so a runaway solver cannot exhaust memory)."""
+
+
+def _json_safe(value):
+    """Coerce an attribute value to something ``json.dumps`` accepts."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return repr(value)
+
+
+class _NullSpan:
+    """Inert stand-in returned when instrumentation is disabled.
+
+    Supports the full :class:`Span` surface (context manager, ``set``,
+    ``record``) as no-ops; ``active`` is ``False`` so loop bodies can
+    skip the cost of computing values that would only be recorded.
+    """
+
+    __slots__ = ()
+
+    active = False
+    name = ""
+
+    def __enter__(self) -> "_NullSpan":
+        """Enter as a context manager (no-op)."""
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        """Exit as a context manager (no-op, never swallows exceptions)."""
+        return False
+
+    def set(self, **attributes) -> None:
+        """Discard attributes."""
+
+    def record(self, value) -> None:
+        """Discard a trajectory point."""
+
+
+NULL_SPAN = _NullSpan()
+"""The singleton no-op span used while instrumentation is disabled."""
+
+
+class Span:
+    """One timed, attributed operation in the trace tree.
+
+    Use as a context manager (via :func:`repro.instrument.span`); timing
+    starts at ``__enter__`` and stops at ``__exit__``.
+
+    Attributes
+    ----------
+    name:
+        Dotted span name, e.g. ``"solver.fista"`` (see
+        ``docs/INSTRUMENTATION.md`` for the naming convention).
+    attributes:
+        Key/value annotations (``set``), JSON-safe.
+    trajectory:
+        Optional per-iteration series (``record``), e.g. residual norms;
+        capped at :data:`TRAJECTORY_CAP` points.
+    children:
+        Spans opened while this span was active on the same thread.
+    start_s / end_s:
+        Start/end times in seconds relative to the tracer's epoch.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "trajectory",
+        "trajectory_dropped",
+        "start_s",
+        "end_s",
+        "_tracer",
+    )
+
+    active = True
+
+    def __init__(self, name: str, tracer: "Tracer", attributes: dict):
+        self.name = str(name)
+        self.attributes = {k: _json_safe(v) for k, v in attributes.items()}
+        self.children: list[Span] = []
+        self.trajectory: list[float] = []
+        self.trajectory_dropped = 0
+        self.start_s: float | None = None
+        self.end_s: float | None = None
+        self._tracer = tracer
+
+    # -- recording ------------------------------------------------------
+    def set(self, **attributes) -> None:
+        """Attach (or overwrite) JSON-safe attribute values."""
+        for key, value in attributes.items():
+            self.attributes[key] = _json_safe(value)
+
+    def record(self, value) -> None:
+        """Append one trajectory point (e.g. an iteration's residual)."""
+        if len(self.trajectory) < TRAJECTORY_CAP:
+            self.trajectory.append(float(value))
+        else:
+            self.trajectory_dropped += 1
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration; 0.0 until the span has finished."""
+        if self.start_s is None or self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        """Start timing and become the innermost span of this thread."""
+        self._tracer._push(self)
+        self.start_s = self._tracer._now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Stop timing, attach to the parent (or the root list)."""
+        self.end_s = self._tracer._now()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Nested plain-dict form (the reporter's ``spans`` entries)."""
+        out: dict = {
+            "name": self.name,
+            "start_s": self.start_s if self.start_s is not None else 0.0,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+        if self.trajectory:
+            out["trajectory"] = list(self.trajectory)
+        if self.trajectory_dropped:
+            out["trajectory_dropped"] = self.trajectory_dropped
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, duration_s={self.duration_s:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Collects spans into a per-thread-rooted tree.
+
+    Parameters
+    ----------
+    max_spans:
+        Hard cap on the number of spans kept alive; once reached, new
+        ``span()`` calls return :data:`NULL_SPAN` and the drop is
+        counted in :attr:`dropped`, bounding memory for huge sweeps.
+    """
+
+    def __init__(self, max_spans: int = 200_000):
+        self.max_spans = int(max_spans)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.roots: list[Span] = []
+        self.dropped = 0
+        self._count = 0
+        self._epoch = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- span lifecycle -------------------------------------------------
+    def span(self, name: str, **attributes):
+        """Create a new (not yet started) span, or drop past the cap."""
+        with self._lock:
+            if self._count >= self.max_spans:
+                self.dropped += 1
+                return NULL_SPAN
+            self._count += 1
+        return Span(name, self, attributes)
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        while stack and stack[-1] is not span:  # tolerate misuse
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    def current(self) -> Span | None:
+        """The innermost active span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- management -----------------------------------------------------
+    def reset(self) -> None:
+        """Drop all collected spans and restart the clock epoch."""
+        with self._lock:
+            self.roots = []
+            self.dropped = 0
+            self._count = 0
+            self._epoch = time.perf_counter()
+        self._local = threading.local()
+
+    # -- aggregation ----------------------------------------------------
+    def iter_spans(self):
+        """Depth-first iterator over every finished span in the tree."""
+        stack = list(self.roots)
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(span.children)
+
+    def summary(self) -> dict:
+        """Aggregate ``{name: {count, total_s, mean_s, min_s, max_s}}``."""
+        agg: dict[str, dict] = {}
+        for span in self.iter_spans():
+            entry = agg.setdefault(
+                span.name,
+                {"count": 0, "total_s": 0.0, "min_s": None, "max_s": None},
+            )
+            d = span.duration_s
+            entry["count"] += 1
+            entry["total_s"] += d
+            entry["min_s"] = d if entry["min_s"] is None else min(entry["min_s"], d)
+            entry["max_s"] = d if entry["max_s"] is None else max(entry["max_s"], d)
+        for entry in agg.values():
+            entry["mean_s"] = entry["total_s"] / entry["count"]
+            if entry["min_s"] is None:
+                entry["min_s"] = 0.0
+                entry["max_s"] = 0.0
+        return agg

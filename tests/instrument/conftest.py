@@ -1,0 +1,19 @@
+"""Shared fixtures: every test gets clean, disabled instrumentation."""
+
+import pytest
+
+from repro import instrument
+
+
+@pytest.fixture(autouse=True)
+def clean_instrumentation():
+    """Reset collectors and force-disable around every test."""
+    was_enabled = instrument.enabled()
+    instrument.disable()
+    instrument.reset()
+    yield
+    if was_enabled:
+        instrument.enable()
+    else:
+        instrument.disable()
+    instrument.reset()

@@ -1,0 +1,99 @@
+"""The ``python -m repro.instrument`` profiling CLI, in-process."""
+
+import json
+
+import pytest
+
+from repro.instrument.__main__ import PROFILES, main
+from repro.instrument.report import SCHEMA
+
+
+def test_list_mode(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == sorted(PROFILES)
+    assert "fig2_sparsity" in out
+
+
+def test_requires_a_mode():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_experiment_rejected_by_argparse():
+    with pytest.raises(SystemExit):
+        main(["--experiment", "not_a_thing"])
+
+
+def test_profile_writes_valid_report(tmp_path, capsys):
+    out_path = tmp_path / "fig2.profile.json"
+    code = main(
+        [
+            "--experiment",
+            "fig2_sparsity",
+            "--samples",
+            "3",
+            "--seed",
+            "1",
+            "--output",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == SCHEMA
+    assert report["meta"]["experiment"] == "fig2_sparsity"
+    assert report["meta"]["seed"] == 1
+    assert report["meta"]["wall_s"] > 0
+    (root,) = report["spans"]
+    assert root["name"] == "profile.fig2_sparsity"
+    child_names = {c["name"] for c in root["children"]}
+    assert "experiment.fig2_sparsity" in child_names
+    # the human tables went to stdout
+    out = capsys.readouterr().out
+    assert "profile.fig2_sparsity" in out
+    assert str(out_path) in out
+
+
+def test_profile_stdout_mode_emits_json(capsys):
+    code = main(["--experiment", "fig2_sparsity", "--samples", "2", "--quiet"])
+    assert code == 0
+    captured = capsys.readouterr()
+    report = json.loads(captured.out)
+    assert report["schema"] == SCHEMA
+    assert captured.err == ""  # --quiet suppressed the tables
+
+
+def test_validate_mode(tmp_path, capsys):
+    out_path = tmp_path / "r.json"
+    assert (
+        main(
+            [
+                "--experiment",
+                "fig2_sparsity",
+                "--samples",
+                "2",
+                "--output",
+                str(out_path),
+                "--quiet",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["--validate", str(out_path)]) == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_validate_rejects_bad_schema(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "other", "spans": []}))
+    assert main(["--validate", str(bad)]) == 1
+    assert "schema" in capsys.readouterr().err
+
+
+def test_validate_rejects_non_json(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json {")
+    assert main(["--validate", str(bad)]) == 1
+    assert "not JSON" in capsys.readouterr().err

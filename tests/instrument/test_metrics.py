@@ -1,0 +1,154 @@
+"""Counter/gauge/histogram correctness, including under threads."""
+
+import threading
+
+import pytest
+
+from repro import instrument
+from repro.instrument.metrics import (
+    RAW_SAMPLE_CAP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter()
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_thread_safe_under_contention(self):
+        c = Counter()
+
+        def hammer():
+            for _ in range(10_000):
+                c.add(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(1.0)
+        g.set(-3.5)
+        assert g.value == -3.5
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["total"] == 10.0
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(101):
+            h.observe(float(v))
+        assert h.percentile(0) == 0.0
+        assert h.percentile(50) == 50.0
+        assert h.percentile(100) == 100.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_raw_window_caps_but_stats_stay_exact(self):
+        h = Histogram()
+        n = RAW_SAMPLE_CAP + 500
+        for v in range(n):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == n
+        assert s["max"] == float(n - 1)
+        assert s["raw_dropped"] == 500
+
+    def test_thread_safe_totals(self):
+        h = Histogram()
+
+        def hammer():
+            for v in range(2_000):
+                h.observe(float(v))
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        s = h.summary()
+        assert s["count"] == 16_000
+        assert s["total"] == 8 * sum(range(2_000))
+        assert s["min"] == 0.0
+        assert s["max"] == 1999.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_snapshot_shape_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("b").add(2)
+        reg.counter("a").add(1)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(5)
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}
+        # name is free to be rebound to another kind after reset
+        reg.gauge("a").set(1.0)
+
+    def test_module_hooks_under_concurrent_threads(self):
+        instrument.enable()
+
+        def hammer(i):
+            for v in range(1_000):
+                instrument.incr("shared.counter")
+                instrument.observe("shared.histogram", float(v))
+                instrument.set_gauge(f"gauge.{i}", float(v))
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = instrument.get_registry().snapshot()
+        assert snap["counters"]["shared.counter"] == 4_000
+        assert snap["histograms"]["shared.histogram"]["count"] == 4_000
+        assert all(snap["gauges"][f"gauge.{i}"] == 999.0 for i in range(4))

@@ -1,0 +1,131 @@
+"""JSON reporter round-trip, schema validation and the render table."""
+
+import json
+
+import pytest
+
+from repro import instrument
+from repro.instrument import (
+    SCHEMA,
+    build_report,
+    iter_span_dicts,
+    render_table,
+    validate_report,
+    write_report,
+)
+
+
+def _sample_report():
+    """A small but fully populated report built through the real hooks."""
+    with instrument.profiled({"experiment": "unit"}) as session:
+        with instrument.span("outer", m=16) as outer:
+            outer.record(1.0)
+            outer.record(0.5)
+            with instrument.span("inner"):
+                instrument.incr("calls", 2)
+                instrument.observe("residual", 0.25)
+                instrument.set_gauge("size", 16)
+    return session.report({"seed": 0})
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        report = _sample_report()
+        assert json.loads(json.dumps(report)) == report
+
+    def test_file_round_trip_via_write_report(self, tmp_path):
+        report = _sample_report()
+        path = tmp_path / "report.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text()) == report
+
+    def test_report_contents(self):
+        report = _sample_report()
+        assert report["schema"] == SCHEMA
+        assert report["meta"] == {"experiment": "unit", "seed": 0}
+        (outer,) = report["spans"]
+        assert outer["name"] == "outer"
+        assert outer["attributes"] == {"m": 16}
+        assert outer["trajectory"] == [1.0, 0.5]
+        (inner,) = outer["children"]
+        assert inner["name"] == "inner"
+        assert report["span_summary"]["inner"]["count"] == 1
+        assert report["metrics"]["counters"] == {"calls": 2.0}
+        assert report["metrics"]["gauges"] == {"size": 16.0}
+        assert report["metrics"]["histograms"]["residual"]["count"] == 1
+        assert report["dropped_spans"] == 0
+
+    def test_iter_span_dicts_covers_nested(self):
+        report = _sample_report()
+        names = sorted(s["name"] for s in iter_span_dicts(report))
+        assert names == ["inner", "outer"]
+
+
+class TestValidate:
+    def test_valid_report_has_no_problems(self):
+        assert validate_report(_sample_report()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_report([1, 2]) == ["report is not a JSON object"]
+
+    @pytest.mark.parametrize(
+        "mutate, needle",
+        [
+            (lambda r: r.update(schema="nope"), "'schema'"),
+            (lambda r: r.update(meta=None), "'meta'"),
+            (lambda r: r.update(spans={}), "'spans'"),
+            (lambda r: r.update(span_summary=3), "'span_summary'"),
+            (lambda r: r.update(metrics=[]), "'metrics'"),
+            (lambda r: r.update(dropped_spans=0.5), "'dropped_spans'"),
+        ],
+    )
+    def test_top_level_violations(self, mutate, needle):
+        report = _sample_report()
+        mutate(report)
+        problems = validate_report(report)
+        assert problems, "expected a validation failure"
+        assert any(needle in p for p in problems)
+
+    def test_bad_span_fields_reported_with_path(self):
+        report = _sample_report()
+        report["spans"][0]["children"][0]["duration_s"] = -1.0
+        report["spans"][0]["name"] = ""
+        problems = validate_report(report)
+        assert any("spans[0].children[0]" in p for p in problems)
+        assert any("spans[0]" in p and "name" in p for p in problems)
+
+    def test_bad_trajectory_rejected(self):
+        report = _sample_report()
+        report["spans"][0]["trajectory"] = [1.0, "nan"]
+        assert any(
+            "trajectory" in p for p in validate_report(report)
+        )
+
+    def test_write_report_refuses_invalid(self, tmp_path):
+        report = _sample_report()
+        report["schema"] = "wrong"
+        with pytest.raises(ValueError, match="invalid report"):
+            write_report(report, str(tmp_path / "bad.json"))
+        assert not (tmp_path / "bad.json").exists()
+
+
+class TestRenderTable:
+    def test_mentions_spans_counters_histograms(self):
+        text = render_table(_sample_report())
+        assert "outer" in text
+        assert "inner" in text
+        assert "calls" in text
+        assert "residual" in text
+        assert "experiment=unit" in text
+
+    def test_flags_dropped_spans(self):
+        report = _sample_report()
+        report["dropped_spans"] = 7
+        assert "dropped spans: 7" in render_table(report)
+
+    def test_empty_report_renders(self):
+        report = build_report(
+            instrument.Tracer(), instrument.MetricsRegistry()
+        )
+        assert validate_report(report) == []
+        assert render_table(report) == ""

@@ -1,0 +1,190 @@
+"""Span nesting, timing monotonicity and the disabled no-op path."""
+
+import threading
+import time
+
+import numpy as np
+
+from repro import instrument
+from repro.instrument.tracer import NULL_SPAN, TRAJECTORY_CAP, Tracer
+
+
+class TestNesting:
+    def test_children_attach_to_enclosing_span(self):
+        instrument.enable()
+        with instrument.span("outer"):
+            with instrument.span("middle"):
+                with instrument.span("inner"):
+                    pass
+            with instrument.span("sibling"):
+                pass
+        roots = instrument.get_tracer().roots
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["middle", "sibling"]
+        assert [c.name for c in roots[0].children[0].children] == ["inner"]
+
+    def test_sequential_roots_stay_separate(self):
+        instrument.enable()
+        with instrument.span("first"):
+            pass
+        with instrument.span("second"):
+            pass
+        assert [r.name for r in instrument.get_tracer().roots] == [
+            "first",
+            "second",
+        ]
+
+    def test_exception_closes_span_and_marks_error(self):
+        instrument.enable()
+        try:
+            with instrument.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        (root,) = instrument.get_tracer().roots
+        assert root.attributes["error"] == "RuntimeError"
+        assert root.duration_s >= 0.0
+        # the stack unwound: a new span becomes a root, not a child
+        with instrument.span("after"):
+            pass
+        assert [r.name for r in instrument.get_tracer().roots] == [
+            "doomed",
+            "after",
+        ]
+
+    def test_threads_get_independent_root_stacks(self):
+        instrument.enable()
+
+        def worker(i):
+            with instrument.span(f"thread.{i}"):
+                with instrument.span("child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = instrument.get_tracer().roots
+        assert sorted(r.name for r in roots) == [
+            f"thread.{i}" for i in range(4)
+        ]
+        assert all(len(r.children) == 1 for r in roots)
+
+
+class TestTiming:
+    def test_duration_is_positive_and_contains_children(self):
+        instrument.enable()
+        with instrument.span("parent") as parent:
+            time.sleep(0.002)
+            with instrument.span("child") as child:
+                time.sleep(0.002)
+        assert child.duration_s > 0.0
+        assert parent.duration_s >= child.duration_s
+        assert parent.start_s <= child.start_s
+        assert parent.end_s >= child.end_s
+
+    def test_sibling_start_times_are_monotonic(self):
+        instrument.enable()
+        with instrument.span("parent") as parent:
+            for i in range(5):
+                with instrument.span(f"step.{i}"):
+                    pass
+        starts = [c.start_s for c in parent.children]
+        assert starts == sorted(starts)
+        ends = [c.end_s for c in parent.children]
+        assert all(e >= s for s, e in zip(starts, ends))
+
+    def test_summary_aggregates_per_name(self):
+        instrument.enable()
+        for _ in range(3):
+            with instrument.span("repeated"):
+                pass
+        summary = instrument.get_tracer().summary()
+        entry = summary["repeated"]
+        assert entry["count"] == 3
+        assert entry["min_s"] <= entry["mean_s"] <= entry["max_s"]
+        assert abs(entry["total_s"] - 3 * entry["mean_s"]) < 1e-12
+
+
+class TestRecording:
+    def test_attributes_are_json_safe(self):
+        instrument.enable()
+        with instrument.span("s", m=np.int64(7)) as sp:
+            sp.set(residual=np.float64(0.5), solver="fista", flag=True)
+        attrs = instrument.get_tracer().roots[0].to_dict()["attributes"]
+        assert attrs == {"m": 7, "residual": 0.5, "solver": "fista", "flag": True}
+        assert type(attrs["m"]) is int
+
+    def test_trajectory_caps_and_counts_drops(self):
+        instrument.enable()
+        with instrument.span("s") as sp:
+            for i in range(TRAJECTORY_CAP + 10):
+                sp.record(float(i))
+        root = instrument.get_tracer().roots[0]
+        assert len(root.trajectory) == TRAJECTORY_CAP
+        assert root.trajectory_dropped == 10
+        d = root.to_dict()
+        assert d["trajectory_dropped"] == 10
+
+    def test_tracer_span_cap_drops_and_counts(self):
+        tracer = Tracer(max_spans=2)
+        with tracer.span("a", **{}):
+            pass
+        with tracer.span("b", **{}):
+            pass
+        third = tracer.span("c", **{})
+        assert third is NULL_SPAN
+        assert tracer.dropped == 1
+
+
+class TestDisabled:
+    def test_span_returns_null_singleton(self):
+        sp = instrument.span("anything", m=3)
+        assert sp is NULL_SPAN
+        assert sp.active is False
+        with sp as inner:
+            inner.set(ignored=1)
+            inner.record(0.5)
+        assert instrument.get_tracer().roots == []
+
+    def test_metric_hooks_are_noops(self):
+        instrument.incr("c")
+        instrument.observe("h", 1.0)
+        instrument.set_gauge("g", 2.0)
+        snap = instrument.get_registry().snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        try:
+            with instrument.span("x"):
+                raise ValueError("propagates")
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("NULL_SPAN swallowed the exception")
+
+
+class TestProfiled:
+    def test_profiled_restores_disabled_state(self):
+        assert not instrument.enabled()
+        with instrument.profiled() as session:
+            assert instrument.enabled()
+            with instrument.span("inside"):
+                pass
+        assert not instrument.enabled()
+        report = session.report({"k": "v"})
+        assert report["meta"] == {"k": "v"}
+        assert [s["name"] for s in report["spans"]] == ["inside"]
+
+    def test_profiled_reset_first_clears_previous_data(self):
+        instrument.enable()
+        with instrument.span("stale"):
+            pass
+        with instrument.profiled():
+            with instrument.span("fresh"):
+                pass
+        names = [r.name for r in instrument.get_tracer().roots]
+        assert names == ["fresh"]

@@ -1,0 +1,67 @@
+"""Tier-1 enforcement of docstrings on the documented public API.
+
+Runs the dependency-free checker in ``tools/check_docstrings.py`` over
+the enforced modules (core/solvers, array/flexible_encoder.py,
+repro.instrument); CI additionally runs pydocstyle with the same scope
+where available.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docstrings.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_docstrings", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_enforced_modules_have_docstrings(capsys):
+    checker = _load_checker()
+    code = checker.main([])
+    out = capsys.readouterr()
+    assert code == 0, f"missing docstrings:\n{out.out}"
+
+
+def test_checker_flags_missing_docstrings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def documented():\n"
+        '    """Has one."""\n'
+        "\n"
+        "def naked():\n"
+        "    pass\n"
+        "\n"
+        "class Naked:\n"
+        "    def method(self):\n"
+        "        pass\n"
+        "\n"
+        "    def _private(self):\n"
+        "        pass\n"
+    )
+    checker = _load_checker()
+    problems = checker.check_file(bad)
+    messages = "\n".join(problems)
+    assert "missing module docstring" in messages
+    assert "'naked'" in messages
+    assert "'Naked'" in messages
+    assert "'Naked.method'" in messages
+    assert "_private" not in messages
+    assert "documented" not in messages
+
+
+def test_checker_cli_exit_codes(tmp_path, capsys):
+    checker = _load_checker()
+    good = tmp_path / "good.py"
+    good.write_text('"""Module."""\n')
+    assert checker.main([str(good)]) == 0
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1\n")
+    assert checker.main([str(bad)]) == 1
+    err = capsys.readouterr()
+    assert "missing module docstring" in err.out
