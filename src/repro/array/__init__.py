@@ -12,7 +12,7 @@ from .energy import EnergyModel, ScanEnergy
 from .flexible_encoder import EncoderOutput, FlexibleEncoder
 from .imager import FrameRecord, StreamingImager
 from .programming import DriverProgram, program_drivers, verify_row_program
-from .readout import ReadoutChain
+from .readout import ReadoutChain, detect_stuck_lines
 from .scanner import ScanCycle, ScanSchedule
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "ScanDrivers",
     "DriverTiming",
     "ReadoutChain",
+    "detect_stuck_lines",
     "ScanSchedule",
     "ScanCycle",
     "FlexibleEncoder",

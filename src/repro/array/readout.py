@@ -17,7 +17,48 @@ import numpy as np
 
 from .. import instrument
 
-__all__ = ["ReadoutChain"]
+__all__ = ["ReadoutChain", "detect_stuck_lines"]
+
+
+def detect_stuck_lines(
+    codes: np.ndarray, low: float = 0.0, high: float = 1.0
+) -> np.ndarray:
+    """Flag rows/columns whose every pixel reads a rail value.
+
+    A broken gate driver or a shorted column line makes the *entire*
+    line read one extreme code; unlike isolated stuck pixels these are
+    structured faults that random sampling cannot average away, so the
+    decode stack should exclude them (the returned mask plugs straight
+    into ``sample_and_reconstruct(exclude_mask=...)``).
+
+    Parameters
+    ----------
+    codes:
+        2-D frame of normalised readout codes.
+    low, high:
+        The rail values that count as stuck (ADC zero and full scale).
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean mask, same shape as ``codes``, ``True`` on every pixel
+        belonging to a fully stuck row or column.  All-``False`` when
+        nothing is stuck (single-row/column frames are judged like any
+        other line).
+    """
+    codes = np.asarray(codes, dtype=float)
+    if codes.ndim != 2:
+        raise ValueError(f"expected a 2-D frame, got shape {codes.shape}")
+    at_rail = (codes == low) | (codes == high)
+    stuck_rows = at_rail.all(axis=1)
+    stuck_cols = at_rail.all(axis=0)
+    mask = np.zeros(codes.shape, dtype=bool)
+    mask[stuck_rows, :] = True
+    mask[:, stuck_cols] = True
+    if mask.any():
+        instrument.incr("readout.stuck_lines",
+                        int(stuck_rows.sum() + stuck_cols.sum()))
+    return mask
 
 
 @dataclass
@@ -104,10 +145,7 @@ class ReadoutChain:
         volts = volts * (1.0 - self.sh_droop)
         if self.noise_sigma_v > 0:
             volts = volts + self._rng.normal(0.0, self.noise_sigma_v, volts.shape)
-        volts = np.clip(volts, 0.0, self.full_scale_v)
-        codes = np.round(volts / self.lsb_v)
-        codes = np.minimum(codes, 2**self.adc_bits - 1)
-        return codes / (2**self.adc_bits - 1)
+        return self._quantize(volts)
 
     def convert_normalized(self, values: np.ndarray) -> np.ndarray:
         """Chain for already-normalised pixel values in [0, 1].
@@ -121,6 +159,27 @@ class ReadoutChain:
         volts = values * self.full_scale_v * (1.0 - self.sh_droop)
         if self.noise_sigma_v > 0:
             volts = volts + self._rng.normal(0.0, self.noise_sigma_v, volts.shape)
+        return self._quantize(volts)
+
+    def _quantize(self, volts: np.ndarray) -> np.ndarray:
+        """Clip to the ADC range, quantise, and count saturated samples.
+
+        Saturation is a health signal: a pixel pinned at either rail is
+        indistinguishable from a stuck defect downstream, so the counts
+        (``readout.saturated_high`` / ``readout.saturated_low``) feed
+        the resilience layer's stuck-line detection and the instrument
+        report.  NaN inputs (a poisoned analog chain) are clamped to
+        zero rather than silently quantised into garbage codes, and
+        counted under ``readout.nonfinite``.
+        """
+        nonfinite = ~np.isfinite(volts)
+        if nonfinite.any():
+            instrument.incr("readout.nonfinite", int(nonfinite.sum()))
+            volts = np.where(nonfinite, 0.0, volts)
+        instrument.incr(
+            "readout.saturated_high", int((volts >= self.full_scale_v).sum())
+        )
+        instrument.incr("readout.saturated_low", int((volts <= 0.0).sum()))
         volts = np.clip(volts, 0.0, self.full_scale_v)
         codes = np.round(volts / self.lsb_v)
         codes = np.minimum(codes, 2**self.adc_bits - 1)

@@ -45,12 +45,14 @@ from .sensing import (
 )
 from .solvers import SolverResult, debias_on_support, solve, solve_bp_dr, solver_names
 from .strategies import (
+    DecodeResult,
     NaiveStrategy,
     OracleExclusionStrategy,
     ResamplingStrategy,
     RpcaExclusionStrategy,
     WeightedSamplingStrategy,
     sample_and_reconstruct,
+    validate_decode_inputs,
 )
 from .video import Dct3Basis, dct3, idct3, reconstruct_burst
 from .wavelet import Haar2Basis, haar2, ihaar2
@@ -99,6 +101,8 @@ __all__ = [
     "RpcaExclusionStrategy",
     "WeightedSamplingStrategy",
     "sample_and_reconstruct",
+    "DecodeResult",
+    "validate_decode_inputs",
     "Haar2Basis",
     "Dct3Basis",
     "dct3",

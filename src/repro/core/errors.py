@@ -42,13 +42,26 @@ def inject_sparse_errors(
     low_value, high_value:
         The "almost zero" and "very high" stuck readings.
     high_fraction:
-        Probability that a corrupted pixel sticks high rather than low.
+        Fraction of corrupted pixels that stick high rather than low.
+        Rounded deterministically: exactly ``round(high_fraction *
+        count)`` of the ``count`` corrupted pixels go high, so 0.0 and
+        1.0 are exact and e.g. 0.5 splits a 1-pixel corruption to the
+        nearest integer rather than by a coin flip.
 
     Returns
     -------
     (corrupted, error_mask):
         The corrupted copy of ``frame`` and a boolean mask of corrupted
         pixels (same shape as ``frame``).
+
+    Raises
+    ------
+    ValueError
+        For an empty frame or rates outside ``[0, 1]``.  The corrupted
+        count is ``round(error_rate * N)`` clamped to ``N``, so
+        ``error_rate=0.0`` is an exact identity (with a defensive copy)
+        and ``error_rate=1.0`` corrupts every pixel, including on
+        1-pixel frames.
     """
     if not 0.0 <= error_rate <= 1.0:
         raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
@@ -56,13 +69,17 @@ def inject_sparse_errors(
         raise ValueError(f"high_fraction must be in [0, 1], got {high_fraction}")
     frame = np.asarray(frame, dtype=float)
     n = frame.size
-    count = int(round(error_rate * n))
+    if n == 0:
+        raise ValueError(f"frame is empty, got shape {frame.shape}")
+    count = min(n, int(round(error_rate * n)))
     mask = np.zeros(n, dtype=bool)
     corrupted = frame.copy().ravel()
     if count > 0:
         positions = rng.choice(n, size=count, replace=False)
         mask[positions] = True
-        stuck_high = rng.random(count) < high_fraction
+        num_high = int(round(high_fraction * count))
+        stuck_high = np.zeros(count, dtype=bool)
+        stuck_high[rng.permutation(count)[:num_high]] = True
         corrupted[positions] = np.where(stuck_high, high_value, low_value)
     return corrupted.reshape(frame.shape), mask.reshape(frame.shape)
 

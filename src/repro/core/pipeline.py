@@ -55,7 +55,13 @@ def normalize_frame(frame: np.ndarray) -> np.ndarray:
 
 @dataclass
 class FrameOutcome:
-    """Everything the pipeline produced for one frame."""
+    """Everything the pipeline produced for one frame.
+
+    ``decode_outcome`` is populated when the strategy exposes a
+    ``last_outcome`` attribute (e.g. it is wrapped in
+    :class:`repro.resilience.ResilientStrategy`); plain strategies
+    leave it ``None``.
+    """
 
     clean: np.ndarray
     corrupted: np.ndarray
@@ -63,6 +69,7 @@ class FrameOutcome:
     reconstructed: np.ndarray
     rmse_with_cs: float
     rmse_without_cs: float
+    decode_outcome: object | None = None
 
 
 def evaluate_frame(
@@ -97,6 +104,7 @@ def evaluate_frame(
             clean = normalize_frame(clean)
         corrupted, mask = inject_sparse_errors(clean, error_rate, rng)
         reconstructed = strategy.reconstruct(corrupted, rng, error_mask=mask)
+        decode_outcome = getattr(strategy, "last_outcome", None)
         outcome = FrameOutcome(
             clean=clean,
             corrupted=corrupted,
@@ -104,11 +112,17 @@ def evaluate_frame(
             reconstructed=reconstructed,
             rmse_with_cs=rmse(clean, reconstructed),
             rmse_without_cs=rmse(clean, corrupted),
+            decode_outcome=decode_outcome,
         )
         sp.set(
             rmse_with_cs=outcome.rmse_with_cs,
             rmse_without_cs=outcome.rmse_without_cs,
         )
+        if decode_outcome is not None:
+            sp.set(decode_status=decode_outcome.status)
+            instrument.incr(
+                f"pipeline.frames_{decode_outcome.status}"
+            )
         instrument.incr("pipeline.frames")
         return outcome
 

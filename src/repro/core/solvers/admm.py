@@ -25,7 +25,14 @@ from scipy.sparse.linalg import LinearOperator, cg
 
 from ... import instrument
 from ..operators import SensingOperator
-from .base import SolverResult, finish_solve_span, residual_norm, soft_threshold
+from .base import (
+    DivergenceGuard,
+    SolveDeadline,
+    SolverResult,
+    finish_solve_span,
+    residual_norm,
+    soft_threshold,
+)
 
 __all__ = ["solve_bp_dr"]
 
@@ -63,6 +70,7 @@ def solve_bp_dr(
     gamma: float = 0.1,
     max_iterations: int = 1000,
     tolerance: float = 1e-9,
+    time_limit_s: float | None = None,
 ) -> SolverResult:
     """Solve Eq. (9) exactly by Douglas-Rachford splitting.
 
@@ -77,6 +85,11 @@ def solve_bp_dr(
         Stop when the relative iterate change of the auxiliary variable
         ``z`` falls below ``tolerance``; ``converged`` is ``False``
         when the iteration cap is hit first.
+    time_limit_s:
+        Optional wall-clock budget; on expiry the solve stops at the
+        current iterate with ``converged=False`` and
+        ``info['deadline']=True``.  A divergence guard likewise stops
+        runs whose iterates go non-finite (``info['diverged']=True``).
 
     Returns
     -------
@@ -98,12 +111,16 @@ def solve_bp_dr(
         if gamma <= 0:
             raise ValueError("gamma must be positive")
         project, tight_frame = _make_projector(operator, b)
+        guard = DivergenceGuard()
+        deadline = SolveDeadline(time_limit_s)
         # Start from the minimum-norm interpolant (already feasible).
         z = project(np.zeros(operator.n))
         x = z.copy()
         converged = False
         iteration = 0
         for iteration in range(1, max_iterations + 1):
+            if guard.diverged(np.linalg.norm(z)) or deadline.expired():
+                break
             x = soft_threshold(z, gamma)
             reflected = project(2.0 * x - z)
             z_next = z + reflected - x
@@ -116,11 +133,16 @@ def solve_bp_dr(
                 break
         # The constraint-feasible iterate is the projection of the final x.
         x = project(soft_threshold(z, gamma))
+        info = {"gamma": gamma, "tight_frame": tight_frame}
+        if guard.tripped:
+            info["diverged"] = True
+        if deadline.expired_flag:
+            info["deadline"] = True
         return finish_solve_span(sp, SolverResult(
             coefficients=x,
             iterations=iteration,
             converged=converged,
             residual=residual_norm(operator, x, b),
             solver="bp_dr",
-            info={"gamma": gamma, "tight_frame": tight_frame},
+            info=info,
         ))

@@ -10,6 +10,7 @@ approximating) the paper's Eq. (9)::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +20,8 @@ from ..operators import SensingOperator
 
 __all__ = [
     "SolverResult",
+    "DivergenceGuard",
+    "SolveDeadline",
     "finish_solve_span",
     "soft_threshold",
     "hard_threshold",
@@ -73,6 +76,81 @@ class SolverResult:
     info: dict = field(default_factory=dict)
 
 
+class DivergenceGuard:
+    """Detect a diverging iterative solve from its residual trajectory.
+
+    The iterative solvers (ISTA/FISTA/IHT/Douglas-Rachford) are only
+    guaranteed to descend for well-conditioned steps; a poisoned
+    measurement vector (NaN/Inf), an injected fault, or a pathological
+    operator can send the iterates off to infinity instead.  The guard
+    watches one scalar per iteration (the residual norm, or any
+    monotone-ish progress measure) and trips when the value goes
+    non-finite or blows past ``blowup_factor`` times its starting level.
+
+    Solvers break out of their loop when :meth:`diverged` returns
+    ``True`` and report ``converged=False`` with ``info['diverged']``
+    set, so the failure is contained rather than a 400-iteration NaN
+    churn.
+
+    Parameters
+    ----------
+    blowup_factor:
+        How far above the first observed value the measure may grow
+        before the solve is declared divergent.
+    """
+
+    __slots__ = ("blowup_factor", "baseline", "tripped")
+
+    def __init__(self, blowup_factor: float = 1e6):
+        self.blowup_factor = float(blowup_factor)
+        self.baseline: float | None = None
+        self.tripped = False
+
+    def diverged(self, value: float) -> bool:
+        """Feed one iteration's progress measure; ``True`` trips the guard."""
+        value = float(value)
+        if not np.isfinite(value):
+            self.tripped = True
+            return True
+        if self.baseline is None:
+            self.baseline = max(value, 1.0)
+            return False
+        if value > self.blowup_factor * self.baseline:
+            self.tripped = True
+            return True
+        return False
+
+
+class SolveDeadline:
+    """Wall-clock budget for one solve (``None`` disables the check).
+
+    Iterative solvers consult :meth:`expired` once per iteration; when
+    the budget runs out they stop where they are and report
+    ``converged=False`` with ``info['deadline']`` set.  This is the
+    enforcement half of the resilience runtime's per-solver time
+    budgets.
+    """
+
+    __slots__ = ("limit_s", "_start", "expired_flag")
+
+    def __init__(self, limit_s: float | None = None):
+        if limit_s is not None and limit_s <= 0:
+            raise ValueError(f"time_limit_s must be positive, got {limit_s}")
+        self.limit_s = limit_s
+        self._start = time.perf_counter()
+        self.expired_flag = False
+
+    def expired(self) -> bool:
+        """Whether the budget has been exhausted (sticky once ``True``)."""
+        if self.limit_s is None:
+            return False
+        if not self.expired_flag:
+            self.expired_flag = (
+                time.perf_counter() - self._start >= self.limit_s
+            )
+        return self.expired_flag
+
+
 def soft_threshold(x: np.ndarray, threshold: float) -> np.ndarray:
     """Soft-thresholding (proximal operator of ``threshold * ||.||_1``)."""
     return np.sign(x) * np.maximum(np.abs(x) - threshold, 0.0)
@@ -124,4 +202,8 @@ def finish_solve_span(span, result: SolverResult) -> SolverResult:
         instrument.observe(f"solver.{result.solver}.residual", result.residual)
         if not result.converged:
             instrument.incr(f"solver.{result.solver}.nonconverged")
+        if result.info.get("diverged"):
+            instrument.incr(f"solver.{result.solver}.diverged")
+        if result.info.get("deadline"):
+            instrument.incr(f"solver.{result.solver}.deadline_expired")
     return result

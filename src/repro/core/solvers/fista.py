@@ -19,7 +19,14 @@ import numpy as np
 
 from ... import instrument
 from ..operators import SensingOperator
-from .base import SolverResult, finish_solve_span, residual_norm, soft_threshold
+from .base import (
+    DivergenceGuard,
+    SolveDeadline,
+    SolverResult,
+    finish_solve_span,
+    residual_norm,
+    soft_threshold,
+)
 
 __all__ = ["solve_ista", "solve_fista", "default_lambda"]
 
@@ -64,6 +71,7 @@ def solve_ista(
     step: float | None = None,
     max_iterations: int = 500,
     tolerance: float = 1e-7,
+    time_limit_s: float | None = None,
 ) -> SolverResult:
     """Proximal gradient descent (ISTA) for BPDN.
 
@@ -79,24 +87,35 @@ def solve_ista(
         Stop when the relative iterate change drops below ``tolerance``,
         i.e. ``||x_{k+1} - x_k|| <= tolerance * max(1, ||x_{k+1}||)``;
         ``converged`` is ``False`` when the iteration cap is hit first.
+    time_limit_s:
+        Optional wall-clock budget; on expiry the solve stops at the
+        current iterate with ``converged=False`` and
+        ``info['deadline']=True``.
 
     Returns
     -------
     SolverResult
         ``info`` carries ``lambda`` and ``step`` (see
-        :class:`~repro.core.solvers.base.SolverResult`).  When
-        instrumentation is enabled the ``solver.ista`` span records the
-        per-iteration residual-norm trajectory.
+        :class:`~repro.core.solvers.base.SolverResult`), plus
+        ``diverged``/``deadline`` flags when the divergence guard or
+        time budget stopped the solve early.  When instrumentation is
+        enabled the ``solver.ista`` span records the per-iteration
+        residual-norm trajectory.
     """
     with instrument.span("solver.ista", m=operator.m, n=operator.n) as sp:
         b, lam, step = _prepare(operator, b, lam, step)
+        guard = DivergenceGuard()
+        deadline = SolveDeadline(time_limit_s)
         x = np.zeros(operator.n)
         converged = False
         iteration = 0
         for iteration in range(1, max_iterations + 1):
             residual_vec = operator.matvec(x) - b
+            residual_now = np.linalg.norm(residual_vec)
             if sp.active:
-                sp.record(np.linalg.norm(residual_vec))
+                sp.record(residual_now)
+            if guard.diverged(residual_now) or deadline.expired():
+                break
             gradient = operator.rmatvec(residual_vec)
             x_next = soft_threshold(x - step * gradient, step * lam)
             change = np.linalg.norm(x_next - x)
@@ -104,13 +123,18 @@ def solve_ista(
             if change <= tolerance * max(1.0, np.linalg.norm(x)):
                 converged = True
                 break
+        info = {"lambda": lam, "step": step}
+        if guard.tripped:
+            info["diverged"] = True
+        if deadline.expired_flag:
+            info["deadline"] = True
         return finish_solve_span(sp, SolverResult(
             coefficients=x,
             iterations=iteration,
             converged=converged,
             residual=residual_norm(operator, x, b),
             solver="ista",
-            info={"lambda": lam, "step": step},
+            info=info,
         ))
 
 
@@ -122,6 +146,7 @@ def solve_fista(
     max_iterations: int = 400,
     tolerance: float = 1e-7,
     continuation_stages: int = 6,
+    time_limit_s: float | None = None,
 ) -> SolverResult:
     """Accelerated proximal gradient (FISTA, Beck & Teboulle 2009).
 
@@ -138,15 +163,21 @@ def solve_fista(
     continuation_stages:
         Number of annealing stages (1 disables continuation);
         ``max_iterations`` is the per-stage cap.
+    time_limit_s:
+        Optional wall-clock budget across all stages; on expiry the
+        solve stops at the current iterate with ``converged=False``
+        and ``info['deadline']=True``.
 
     Returns
     -------
     SolverResult
         ``iterations`` counts all stages; ``converged`` reflects the
         final (target-``lam``) stage's relative-change criterion.
-        ``info`` carries ``lambda``, ``step`` and ``stages``.  When
-        instrumentation is enabled the ``solver.fista`` span records
-        the per-iteration residual-norm trajectory across all stages.
+        ``info`` carries ``lambda``, ``step`` and ``stages``, plus
+        ``diverged``/``deadline`` flags when the divergence guard or
+        time budget stopped the solve early.  When instrumentation is
+        enabled the ``solver.fista`` span records the per-iteration
+        residual-norm trajectory across all stages.
     """
     with instrument.span("solver.fista", m=operator.m, n=operator.n) as sp:
         b, lam, step = _prepare(operator, b, lam, step)
@@ -162,18 +193,27 @@ def solve_fista(
             stages[-1] = lam
         else:
             stages = [lam]
+        guard = DivergenceGuard()
+        deadline = SolveDeadline(time_limit_s)
         x = np.zeros(operator.n)
         total_iterations = 0
         converged = False
+        stopped = False
         for stage_lam in stages:
+            if stopped:
+                break
             z = x.copy()
             t = 1.0
             converged = False
             for _ in range(max_iterations):
                 total_iterations += 1
                 residual_vec = operator.matvec(z) - b
+                residual_now = np.linalg.norm(residual_vec)
                 if sp.active:
-                    sp.record(np.linalg.norm(residual_vec))
+                    sp.record(residual_now)
+                if guard.diverged(residual_now) or deadline.expired():
+                    stopped = True
+                    break
                 gradient = operator.rmatvec(residual_vec)
                 x_next = soft_threshold(z - step * gradient, step * stage_lam)
                 t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
@@ -183,11 +223,16 @@ def solve_fista(
                 if change <= tolerance * max(1.0, np.linalg.norm(x)):
                     converged = True
                     break
+        info = {"lambda": lam, "step": step, "stages": len(stages)}
+        if guard.tripped:
+            info["diverged"] = True
+        if deadline.expired_flag:
+            info["deadline"] = True
         return finish_solve_span(sp, SolverResult(
             coefficients=x,
             iterations=total_iterations,
             converged=converged,
             residual=residual_norm(operator, x, b),
             solver="fista",
-            info={"lambda": lam, "step": step, "stages": len(stages)},
+            info=info,
         ))

@@ -11,7 +11,14 @@ import numpy as np
 
 from ... import instrument
 from ..operators import SensingOperator
-from .base import SolverResult, finish_solve_span, hard_threshold, residual_norm
+from .base import (
+    DivergenceGuard,
+    SolveDeadline,
+    SolverResult,
+    finish_solve_span,
+    hard_threshold,
+    residual_norm,
+)
 
 __all__ = ["solve_omp", "solve_cosamp", "solve_iht"]
 
@@ -45,6 +52,7 @@ def solve_omp(
     b: np.ndarray,
     sparsity: int,
     tolerance: float = 1e-9,
+    time_limit_s: float | None = None,
 ) -> SolverResult:
     """Orthogonal Matching Pursuit: grow the support one atom at a time.
 
@@ -59,24 +67,36 @@ def solve_omp(
         Stop early once ``||residual||_2`` falls below this;
         ``converged`` additionally tolerates ``1e-6 * ||b||_2``
         (relative floor for well-scaled problems).
+    time_limit_s:
+        Optional wall-clock budget; on expiry the solve stops with the
+        atoms selected so far and ``info['deadline']=True``.
 
     Returns
     -------
     SolverResult
         ``info['support_size']`` is the number of atoms in the final
-        support.  When instrumentation is enabled the ``solver.omp``
-        span records the residual norm after each atom selection.
+        support; ``info['diverged']`` flags a non-finite residual
+        (poisoned measurements).  When instrumentation is enabled the
+        ``solver.omp`` span records the residual norm after each atom
+        selection.
     """
     with instrument.span("solver.omp", m=operator.m, n=operator.n) as sp:
         b = np.asarray(b, dtype=float)
         if sparsity < 1:
             raise ValueError(f"sparsity must be >= 1, got {sparsity}")
         sparsity = min(sparsity, operator.m, operator.n)
+        deadline = SolveDeadline(time_limit_s)
         support: list[int] = []
         x = np.zeros(operator.n)
         residual = b.copy()
         iteration = 0
+        diverged = False
         for iteration in range(1, sparsity + 1):
+            if not np.all(np.isfinite(residual)):
+                diverged = True
+                break
+            if deadline.expired():
+                break
             correlations = operator.rmatvec(residual)
             correlations[support] = 0.0
             best = int(np.argmax(np.abs(correlations)))
@@ -86,14 +106,22 @@ def solve_omp(
                 sp.record(np.linalg.norm(residual))
             if np.linalg.norm(residual) <= tolerance:
                 break
+        info = {"support_size": len(support)}
+        if diverged:
+            info["diverged"] = True
+        if deadline.expired_flag:
+            info["deadline"] = True
         return finish_solve_span(sp, SolverResult(
             coefficients=x,
             iterations=iteration,
-            converged=np.linalg.norm(residual)
-            <= max(tolerance, 1e-6 * np.linalg.norm(b)),
+            converged=not diverged
+            and bool(
+                np.linalg.norm(residual)
+                <= max(tolerance, 1e-6 * np.linalg.norm(b))
+            ),
             residual=residual_norm(operator, x, b),
             solver="omp",
-            info={"support_size": len(support)},
+            info=info,
         ))
 
 
@@ -103,6 +131,7 @@ def solve_cosamp(
     sparsity: int,
     max_iterations: int = 50,
     tolerance: float = 1e-7,
+    time_limit_s: float | None = None,
 ) -> SolverResult:
     """Compressive Sampling Matching Pursuit (Needell & Tropp 2009).
 
@@ -116,11 +145,15 @@ def solve_cosamp(
     max_iterations, tolerance:
         Stop when the residual norm or the iterate change drops below
         ``tolerance``; ``converged`` is ``False`` at the iteration cap.
+    time_limit_s:
+        Optional wall-clock budget; on expiry the solve stops at the
+        current iterate with ``info['deadline']=True``.
 
     Returns
     -------
     SolverResult
-        ``info['sparsity']`` is the post-clipping target sparsity.
+        ``info['sparsity']`` is the post-clipping target sparsity;
+        ``info['diverged']`` flags a non-finite residual.
         When instrumentation is enabled the ``solver.cosamp`` span
         records the per-iteration residual-norm trajectory.
     """
@@ -130,11 +163,18 @@ def solve_cosamp(
             raise ValueError(f"sparsity must be >= 1, got {sparsity}")
         sparsity = min(sparsity, operator.m // 2 if operator.m >= 2 else 1, operator.n)
         sparsity = max(sparsity, 1)
+        deadline = SolveDeadline(time_limit_s)
         x = np.zeros(operator.n)
         residual = b.copy()
         converged = False
         iteration = 0
+        diverged = False
         for iteration in range(1, max_iterations + 1):
+            if not np.all(np.isfinite(residual)):
+                diverged = True
+                break
+            if deadline.expired():
+                break
             proxy = operator.rmatvec(residual)
             candidates = np.argpartition(np.abs(proxy), -2 * sparsity)[-2 * sparsity:]
             merged = np.union1d(candidates, np.nonzero(x)[0])
@@ -148,13 +188,18 @@ def solve_cosamp(
             if np.linalg.norm(residual) <= tolerance or change <= tolerance:
                 converged = True
                 break
+        info = {"sparsity": sparsity}
+        if diverged:
+            info["diverged"] = True
+        if deadline.expired_flag:
+            info["deadline"] = True
         return finish_solve_span(sp, SolverResult(
             coefficients=x,
             iterations=iteration,
             converged=converged,
             residual=residual_norm(operator, x, b),
             solver="cosamp",
-            info={"sparsity": sparsity},
+            info=info,
         ))
 
 
@@ -165,6 +210,7 @@ def solve_iht(
     step: float | None = None,
     max_iterations: int = 300,
     tolerance: float = 1e-7,
+    time_limit_s: float | None = None,
 ) -> SolverResult:
     """Iterative Hard Thresholding (Blumensath & Davies 2009).
 
@@ -182,13 +228,19 @@ def solve_iht(
     max_iterations, tolerance:
         Stop when the relative iterate change drops below ``tolerance``;
         ``converged`` is ``False`` when the iteration cap is hit first.
+    time_limit_s:
+        Optional wall-clock budget; on expiry the solve stops at the
+        current iterate with ``converged=False`` and
+        ``info['deadline']=True``.
 
     Returns
     -------
     SolverResult
-        ``info`` carries ``sparsity`` and ``step``.  When
-        instrumentation is enabled the ``solver.iht`` span records the
-        per-iteration residual-norm trajectory.
+        ``info`` carries ``sparsity`` and ``step``, plus
+        ``diverged``/``deadline`` flags when the divergence guard or
+        time budget stopped the solve early.  When instrumentation is
+        enabled the ``solver.iht`` span records the per-iteration
+        residual-norm trajectory.
     """
     with instrument.span("solver.iht", m=operator.m, n=operator.n) as sp:
         b = np.asarray(b, dtype=float)
@@ -197,13 +249,18 @@ def solve_iht(
         if step is None:
             sigma = operator.spectral_norm()
             step = 1.0 if sigma == 0.0 else 1.0 / (sigma * sigma)
+        guard = DivergenceGuard()
+        deadline = SolveDeadline(time_limit_s)
         x = np.zeros(operator.n)
         converged = False
         iteration = 0
         for iteration in range(1, max_iterations + 1):
             residual_vec = operator.matvec(x) - b
+            residual_now = np.linalg.norm(residual_vec)
             if sp.active:
-                sp.record(np.linalg.norm(residual_vec))
+                sp.record(residual_now)
+            if guard.diverged(residual_now) or deadline.expired():
+                break
             gradient = operator.rmatvec(residual_vec)
             x_next = hard_threshold(x - step * gradient, sparsity)
             change = np.linalg.norm(x_next - x)
@@ -211,11 +268,16 @@ def solve_iht(
             if change <= tolerance * max(1.0, np.linalg.norm(x)):
                 converged = True
                 break
+        info = {"sparsity": sparsity, "step": step}
+        if guard.tripped:
+            info["diverged"] = True
+        if deadline.expired_flag:
+            info["deadline"] = True
         return finish_solve_span(sp, SolverResult(
             coefficients=x,
             iterations=iteration,
             converged=converged,
             residual=residual_norm(operator, x, b),
             solver="iht",
-            info={"sparsity": sparsity, "step": step},
+            info=info,
         ))

@@ -21,6 +21,7 @@ metric evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -29,16 +30,64 @@ from .dct import Dct2Basis
 from .operators import SensingOperator
 from .rpca import detect_outliers
 from .sensing import RowSamplingMatrix, weighted_sample_indices
-from .solvers import solve
+from .solvers import SolverResult, solve
 
 __all__ = [
+    "DecodeResult",
     "sample_and_reconstruct",
+    "validate_decode_inputs",
     "NaiveStrategy",
     "OracleExclusionStrategy",
     "ResamplingStrategy",
     "RpcaExclusionStrategy",
     "WeightedSamplingStrategy",
 ]
+
+
+class DecodeResult(NamedTuple):
+    """Full output of one decode round (``full_output=True``).
+
+    ``reconstruction`` is what the plain call returns; ``solver_result``
+    and ``measurements`` expose the solver diagnostics (residual,
+    convergence, divergence flags) and the measurement vector the
+    resilience layer needs for health validation.
+    """
+
+    reconstruction: np.ndarray
+    solver_result: SolverResult
+    measurements: np.ndarray
+
+
+def validate_decode_inputs(
+    frame: np.ndarray,
+    sampling_fraction: float,
+    noise_sigma: float = 0.0,
+) -> np.ndarray:
+    """Validate the shared decode inputs; returns the frame as float.
+
+    Rejects non-2-D frames, NaN/Inf-poisoned frames (they would
+    propagate through ``Phi_M`` into the solver and surface as a
+    cryptic linalg failure many layers down), a ``sampling_fraction``
+    outside ``(0, 1]`` and a negative ``noise_sigma``.
+    """
+    frame = np.asarray(frame, dtype=float)
+    if frame.ndim != 2:
+        raise ValueError(f"expected a 2-D frame, got shape {frame.shape}")
+    if frame.size == 0:
+        raise ValueError(f"frame is empty, got shape {frame.shape}")
+    if not np.all(np.isfinite(frame)):
+        bad = int(np.count_nonzero(~np.isfinite(frame)))
+        raise ValueError(
+            f"frame contains {bad} NaN/Inf pixel(s); sanitise or gate the "
+            "frame before decoding"
+        )
+    if not 0.0 < sampling_fraction <= 1.0:
+        raise ValueError(
+            f"sampling_fraction must be in (0, 1], got {sampling_fraction}"
+        )
+    if noise_sigma < 0.0:
+        raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+    return frame
 
 
 def sample_and_reconstruct(
@@ -49,7 +98,8 @@ def sample_and_reconstruct(
     exclude_mask: np.ndarray | None = None,
     noise_sigma: float = 0.0,
     solver_options: dict | None = None,
-) -> np.ndarray:
+    full_output: bool = False,
+) -> np.ndarray | DecodeResult:
     """One random-sampling + L1-reconstruction round (the core decode).
 
     Parameters
@@ -68,19 +118,18 @@ def sample_and_reconstruct(
         Std-dev of additive measurement noise ``eps``.
     solver_options:
         Extra keyword arguments for the solver.
+    full_output:
+        Return a :class:`DecodeResult` (reconstruction + solver
+        diagnostics + measurement vector) instead of just the frame;
+        used by :mod:`repro.resilience` for health validation.
 
     Returns
     -------
-    numpy.ndarray
-        Reconstructed frame with the same shape as ``frame``.
+    numpy.ndarray or DecodeResult
+        Reconstructed frame with the same shape as ``frame`` (the
+        default), or the full :class:`DecodeResult`.
     """
-    frame = np.asarray(frame, dtype=float)
-    if frame.ndim != 2:
-        raise ValueError(f"expected a 2-D frame, got shape {frame.shape}")
-    if not 0.0 < sampling_fraction <= 1.0:
-        raise ValueError(
-            f"sampling_fraction must be in (0, 1], got {sampling_fraction}"
-        )
+    frame = validate_decode_inputs(frame, sampling_fraction, noise_sigma)
     n = frame.size
     m = max(1, int(round(sampling_fraction * n)))
     exclude = None
@@ -91,7 +140,11 @@ def sample_and_reconstruct(
         exclude = np.flatnonzero(exclude_mask.ravel())
         m = min(m, n - len(exclude))
         if m < 1:
-            raise ValueError("exclusion mask leaves no pixels to sample")
+            raise ValueError(
+                f"exclusion mask leaves no pixels to sample "
+                f"({len(exclude)} of {n} pixels excluded); relax the mask "
+                "or fall back to unmasked sampling"
+            )
     with instrument.span(
         "decode.sample_and_reconstruct", n=n, m=m, solver=solver
     ):
@@ -106,7 +159,12 @@ def sample_and_reconstruct(
                 0.0, noise_sigma, size=measurements.shape
             )
         result = solve(solver, operator, measurements, **(solver_options or {}))
-        return operator.synthesize(result.coefficients).reshape(frame.shape)
+        reconstruction = operator.synthesize(result.coefficients).reshape(
+            frame.shape
+        )
+        if full_output:
+            return DecodeResult(reconstruction, result, measurements)
+        return reconstruction
 
 
 @dataclass
@@ -333,11 +391,9 @@ class WeightedSamplingStrategy:
         ``prior`` defaults to the corrupted frame itself (self-prior);
         ``error_mask`` pixels are excluded as in the oracle strategy.
         """
-        corrupted = np.asarray(corrupted, dtype=float)
-        if corrupted.ndim != 2:
-            raise ValueError(
-                f"expected a 2-D frame, got shape {corrupted.shape}"
-            )
+        corrupted = validate_decode_inputs(
+            corrupted, self.sampling_fraction, self.noise_sigma
+        )
         if prior is None:
             prior = corrupted
         weights = self.weights_from_prior(prior, self.uniform_floor)
@@ -350,6 +406,11 @@ class WeightedSamplingStrategy:
                 raise ValueError("error_mask shape must match frame shape")
             exclude = np.flatnonzero(error_mask.ravel())
             m = min(m, n - len(exclude))
+            if m < 1:
+                raise ValueError(
+                    f"error mask leaves no pixels to sample "
+                    f"({len(exclude)} of {n} pixels excluded)"
+                )
         with instrument.span(
             "decode.weighted_sample_and_reconstruct",
             n=n, m=m, solver=self.solver,

@@ -14,6 +14,7 @@ COMM       :func:`repro.experiments.comm_cost.run_comm_cost`
 ENC        :func:`repro.experiments.comm_cost.run_encoder_check`
 EQ1        :func:`repro.experiments.theory_checks.run_eq1_phase_transition`
 EQ2        :func:`repro.experiments.theory_checks.run_eq2_bound`
+RES        :func:`repro.experiments.resilience_sweep.run_resilience_sweep`
 =========  =======================================================
 """
 
@@ -23,6 +24,7 @@ from .fig5_circuits import SensorCurve, run_fig5b, run_fig5cd, run_fig5e
 from .fig6a_rmse import run_fig6a
 from .fig6b_accuracy import AccuracyPoint, TactileExperiment, run_fig6b
 from .fig6c_strategies import StrategyPoint, run_fig6c
+from .resilience_sweep import ResiliencePoint, run_resilience_sweep
 from .scaling import ScalePoint, run_scaling
 from .tolerance import TolerancePoint, run_tolerance, tolerance_limit
 from .theory_checks import (
@@ -57,4 +59,6 @@ __all__ = [
     "TolerancePoint",
     "run_scaling",
     "ScalePoint",
+    "run_resilience_sweep",
+    "ResiliencePoint",
 ]

@@ -17,7 +17,14 @@ import argparse
 import sys
 import time
 
-from . import comm_cost, fig2_sparsity, fig5_circuits, fig6a_rmse, fig6c_strategies
+from . import (
+    comm_cost,
+    fig2_sparsity,
+    fig5_circuits,
+    fig6a_rmse,
+    fig6c_strategies,
+    resilience_sweep,
+)
 from .fig6b_accuracy import TactileExperiment
 from .fig6b_accuracy import format_table as _fig6b_table
 from .theory_checks import run_eq1_phase_transition, run_eq2_bound
@@ -100,6 +107,13 @@ def _run_scaling(args) -> None:
         print(point.row())
 
 
+def _run_resilience(args) -> None:
+    points = resilience_sweep.run_resilience_sweep(
+        num_frames=args.frames, seed=args.seed
+    )
+    print(resilience_sweep.format_table(points))
+
+
 def _run_tolerance(args) -> None:
     points = run_tolerance(num_frames=args.frames, seed=args.seed)
     print(_tol_table(points))
@@ -117,6 +131,7 @@ _EXPERIMENTS = {
     "EQ2": _run_eq2,
     "TOL": _run_tolerance,
     "SCALE": _run_scaling,
+    "RES": _run_resilience,
 }
 
 

@@ -81,6 +81,13 @@ def _profile_scaling(args) -> str:
     return "\n".join(p.row() for p in run_scaling())
 
 
+def _profile_resilience(args) -> str:
+    from ..experiments.resilience_sweep import format_table, run_resilience_sweep
+
+    points = run_resilience_sweep(num_frames=args.frames, seed=args.seed)
+    return format_table(points)
+
+
 PROFILES = {
     "fig2_sparsity": _profile_fig2,
     "fig6a_rmse": _profile_fig6a,
@@ -88,6 +95,7 @@ PROFILES = {
     "tolerance": _profile_tolerance,
     "comm_cost": _profile_comm_cost,
     "scaling": _profile_scaling,
+    "resilience_sweep": _profile_resilience,
 }
 """Profilable experiments: name -> runner(args) -> result table text."""
 

@@ -1,0 +1,98 @@
+"""Fault injection, fallback chains and graceful degradation.
+
+The decode stack in :mod:`repro.core` answers "how well can a sparse
+frame be reconstructed?"; this package answers "what happens when the
+decode itself misbehaves?" -- a crashing or diverging solver, poisoned
+or dropped measurements, a blown latency budget.  Three pieces:
+
+* :mod:`~repro.resilience.chaos` -- composable fault injectors that
+  attach to the solver dispatch seam, so any experiment or test can run
+  under a reproducible fault mix;
+* :mod:`~repro.resilience.policies` -- declarative knobs: solver
+  fallback chain, retry bounds, per-solver budgets, circuit breaker;
+* :mod:`~repro.resilience.runtime` + :mod:`~repro.resilience.health` --
+  the supervised decode loop that health-validates every frame and
+  degrades gracefully (last-good-frame hold) instead of failing.
+
+Quickstart::
+
+    import numpy as np
+    from repro.resilience import (
+        ResilientDecoder, chaos, default_taxonomy,
+    )
+
+    decoder = ResilientDecoder()
+    rng = np.random.default_rng(0)
+    with chaos(*default_taxonomy(fault_rate=0.2, seed=0)):
+        outcome = decoder.decode(frame, sampling_fraction=0.5, rng=rng)
+    assert outcome.frame is not None           # always delivered
+    print(outcome.status, outcome.faults_seen)
+
+See ``docs/RESILIENCE.md`` for the full tour.
+"""
+
+from .chaos import (
+    BudgetExhaustionInjector,
+    FaultInjector,
+    InjectedFault,
+    MeasurementDropoutInjector,
+    NanPoisonInjector,
+    SolverDivergenceInjector,
+    SolverExceptionInjector,
+    chaos,
+    default_taxonomy,
+)
+from .health import (
+    DEFAULT_RESIDUAL_FACTOR,
+    DEFAULT_VALUE_RANGE,
+    FrameGuard,
+    HealthReport,
+    residual_sane,
+    validate_reconstruction,
+)
+from .policies import (
+    DEFAULT_FALLBACK_CHAIN,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    SolverBudget,
+)
+from .runtime import (
+    AttemptRecord,
+    DecodeOutcome,
+    ResilientDecoder,
+    ResilientStrategy,
+    resilient_sample_and_reconstruct,
+)
+
+__all__ = [
+    # chaos
+    "InjectedFault",
+    "FaultInjector",
+    "SolverExceptionInjector",
+    "SolverDivergenceInjector",
+    "MeasurementDropoutInjector",
+    "NanPoisonInjector",
+    "BudgetExhaustionInjector",
+    "chaos",
+    "default_taxonomy",
+    # health
+    "HealthReport",
+    "validate_reconstruction",
+    "residual_sane",
+    "FrameGuard",
+    "DEFAULT_VALUE_RANGE",
+    "DEFAULT_RESIDUAL_FACTOR",
+    # policies
+    "SolverBudget",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "DEFAULT_FALLBACK_CHAIN",
+    # runtime
+    "AttemptRecord",
+    "DecodeOutcome",
+    "ResilientDecoder",
+    "ResilientStrategy",
+    "resilient_sample_and_reconstruct",
+]

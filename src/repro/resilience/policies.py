@@ -1,0 +1,222 @@
+"""Policy objects steering the resilient decode runtime.
+
+The runtime itself (:mod:`repro.resilience.runtime`) is a mechanism;
+*what* it does -- which solvers to try in which order, how many fresh
+sampling draws to spend, how long each solver may run, when to stop
+trusting a solver altogether -- lives here as small, declarative,
+test-friendly objects:
+
+* :class:`SolverBudget` -- per-solver iteration/wall-clock caps,
+  translated into the right keyword arguments per solver;
+* :class:`RetryPolicy` -- bounded retries with fresh sampling draws;
+* :class:`CircuitBreaker` -- sidelines a repeatedly failing solver and
+  re-admits it after a cooldown (classic closed/open/half-open);
+* :class:`ResiliencePolicy` -- the bundle the runtime consumes, with a
+  conservative default chain ``fista -> bp_dr -> omp`` (fast accelerated
+  gradient, then the exact Douglas-Rachford splitting, then greedy
+  least-squares -- three genuinely different algorithm families, so one
+  family's pathology rarely takes out all three).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import instrument
+
+__all__ = [
+    "SolverBudget",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "DEFAULT_FALLBACK_CHAIN",
+]
+
+#: Default solver fallback chain (three distinct algorithm families).
+DEFAULT_FALLBACK_CHAIN: tuple[str, ...] = ("fista", "bp_dr", "omp")
+
+#: Which budget keywords each registered solver understands.
+_BUDGET_KWARGS: dict[str, tuple[str, ...]] = {
+    "fista": ("max_iterations", "time_limit_s"),
+    "ista": ("max_iterations", "time_limit_s"),
+    "bp_dr": ("max_iterations", "time_limit_s"),
+    "iht": ("max_iterations", "time_limit_s"),
+    "cosamp": ("max_iterations", "time_limit_s"),
+    "omp": ("time_limit_s",),
+    "bp": (),
+}
+
+
+@dataclass(frozen=True)
+class SolverBudget:
+    """Iteration and wall-clock caps for one solve attempt.
+
+    ``None`` leaves the solver's own default in place.  Budgets keep a
+    pathological attempt from starving the rest of the fallback chain:
+    a solve that exceeds them stops early and reports
+    ``converged=False`` (see ``SolveDeadline`` in the solver base), at
+    which point the runtime moves on.
+    """
+
+    max_iterations: int | None = None
+    time_limit_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.time_limit_s is not None and self.time_limit_s <= 0:
+            raise ValueError(
+                f"time_limit_s must be positive, got {self.time_limit_s}"
+            )
+
+    def solver_options(self, solver: str) -> dict:
+        """The budget as keyword arguments the named solver accepts.
+
+        Unsupported keywords are dropped (e.g. ``omp`` has no iteration
+        cap -- its loop is bounded by the sparsity target -- and the LP
+        solver takes neither).
+        """
+        supported = _BUDGET_KWARGS.get(
+            solver, ("max_iterations", "time_limit_s")
+        )
+        options = {}
+        if self.max_iterations is not None and "max_iterations" in supported:
+            options["max_iterations"] = self.max_iterations
+        if self.time_limit_s is not None and "time_limit_s" in supported:
+            options["time_limit_s"] = self.time_limit_s
+        return options
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries across the fallback chain.
+
+    Parameters
+    ----------
+    max_rounds:
+        How many full passes over the fallback chain to attempt.  Each
+        round consumes fresh randomness from the caller's RNG, so a
+        retry is a genuinely new sampling draw (``Phi_M`` changes) --
+        the right response to a pathological draw, per the paper's
+        resampling strategy -- not a replay of the failing one.
+    """
+
+    max_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-solver closed/open/half-open breaker.
+
+    A solver that keeps failing wastes its budget on every frame; the
+    breaker sidelines it after ``failure_threshold`` *consecutive*
+    failures.  While open, the runtime skips the solver without
+    spending an attempt; after ``cooldown`` skipped uses the breaker
+    goes half-open and lets one probe attempt through -- success
+    re-closes it, failure re-opens it for another cooldown.
+
+    The breaker is deliberately count-based (not wall-clock-based) so
+    chaos tests and retries are exactly reproducible.
+    """
+
+    failure_threshold: int = 3
+    cooldown: int = 8
+    _consecutive: dict[str, int] = field(default_factory=dict, repr=False)
+    _open_skips: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {self.cooldown}")
+
+    def is_open(self, solver: str) -> bool:
+        """Whether the solver is currently sidelined."""
+        return solver in self._open_skips
+
+    def allow(self, solver: str) -> bool:
+        """Gate one prospective attempt.
+
+        Returns ``True`` when the attempt may proceed (closed breaker,
+        or a half-open probe).  While open, each call counts toward the
+        cooldown and returns ``False`` until the probe is due.
+        """
+        if solver not in self._open_skips:
+            return True
+        self._open_skips[solver] += 1
+        if self._open_skips[solver] > self.cooldown:
+            # Half-open: let exactly one probe through.
+            instrument.incr(f"resilience.breaker.{solver}.half_open")
+            return True
+        instrument.incr(f"resilience.breaker.{solver}.short_circuits")
+        return False
+
+    def record_success(self, solver: str) -> None:
+        """A healthy solve: reset the failure streak and close the breaker."""
+        self._consecutive[solver] = 0
+        self._open_skips.pop(solver, None)
+
+    def record_failure(self, solver: str) -> None:
+        """A failed solve: bump the streak; open the breaker at threshold."""
+        self._consecutive[solver] = self._consecutive.get(solver, 0) + 1
+        if (
+            self._consecutive[solver] >= self.failure_threshold
+            and solver not in self._open_skips
+        ):
+            self._open_skips[solver] = 0
+            instrument.incr(f"resilience.breaker.{solver}.opened")
+
+    def reset(self) -> None:
+        """Forget all failure history (all breakers closed)."""
+        self._consecutive.clear()
+        self._open_skips.clear()
+
+
+@dataclass
+class ResiliencePolicy:
+    """Everything the resilient runtime needs to supervise a decode.
+
+    Parameters
+    ----------
+    fallback_chain:
+        Solver names tried in order within each retry round.
+    retry:
+        Cross-chain retry bound (fresh sampling draw per round).
+    budget:
+        Default per-attempt :class:`SolverBudget`; ``budgets`` can
+        override per solver (e.g. a tight cap for the expensive LP).
+    breaker:
+        Shared :class:`CircuitBreaker`; ``None`` disables breaking.
+    value_range, residual_factor:
+        Forwarded to the health checks (see
+        :func:`repro.resilience.health.validate_reconstruction`).
+    accept_nonconverged:
+        Treat a non-converged but otherwise *healthy* solve as a
+        degraded success rather than a failure (the paper's decodes are
+        approximations anyway; a near-miss frame beats no frame).
+    """
+
+    fallback_chain: tuple[str, ...] = DEFAULT_FALLBACK_CHAIN
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    budget: SolverBudget = field(default_factory=SolverBudget)
+    budgets: dict[str, SolverBudget] = field(default_factory=dict)
+    breaker: CircuitBreaker | None = field(default_factory=CircuitBreaker)
+    value_range: tuple[float, float] = (-0.5, 1.5)
+    residual_factor: float = 2.0
+    accept_nonconverged: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.fallback_chain:
+            raise ValueError("fallback_chain must name at least one solver")
+
+    def budget_for(self, solver: str) -> SolverBudget:
+        """The effective budget for one solver (override or default)."""
+        return self.budgets.get(solver, self.budget)

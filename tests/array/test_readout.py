@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.array.readout import ReadoutChain
+from repro.array.readout import ReadoutChain, detect_stuck_lines
 
 
 class TestValidation:
@@ -85,3 +85,87 @@ class TestNoiseAndDroop:
             np.full(10, 0.5)
         )
         assert np.array_equal(a, b)
+
+
+class TestNonFiniteGuards:
+    def test_nan_currents_clamped_to_zero_code(self):
+        chain = ReadoutChain(noise_sigma_v=0.0)
+        codes = chain.convert_currents(np.array([np.nan, np.inf, -np.inf]))
+        assert np.all(np.isfinite(codes))
+        assert codes[0] == 0.0
+
+    def test_nonfinite_counted(self):
+        from repro import instrument
+
+        chain = ReadoutChain(noise_sigma_v=0.0)
+        with instrument.profiled() as session:
+            chain.convert_normalized(np.array([0.5, np.nan]))
+        counters = session.report()["metrics"]["counters"]
+        assert counters.get("readout.nonfinite") == 1
+
+    def test_saturation_counted(self):
+        from repro import instrument
+
+        chain = ReadoutChain(noise_sigma_v=0.0)
+        with instrument.profiled() as session:
+            chain.convert_normalized(np.array([-0.2, 0.5, 1.5]))
+        counters = session.report()["metrics"]["counters"]
+        assert counters.get("readout.saturated_low") == 1
+        assert counters.get("readout.saturated_high") == 1
+
+
+class TestDetectStuckLines:
+    def test_clean_frame_all_false(self):
+        codes = np.full((6, 6), 0.5)
+        assert not detect_stuck_lines(codes).any()
+
+    def test_stuck_row_flagged(self):
+        codes = np.full((6, 6), 0.5)
+        codes[2, :] = 1.0
+        mask = detect_stuck_lines(codes)
+        assert mask[2, :].all()
+        assert mask.sum() == 6
+
+    def test_stuck_column_flagged(self):
+        codes = np.full((6, 6), 0.5)
+        codes[:, 4] = 0.0
+        mask = detect_stuck_lines(codes)
+        assert mask[:, 4].all()
+        assert mask.sum() == 6
+
+    def test_mixed_rails_count_as_stuck(self):
+        codes = np.full((4, 4), 0.5)
+        codes[1, :2] = 0.0
+        codes[1, 2:] = 1.0
+        assert detect_stuck_lines(codes)[1, :].all()
+
+    def test_isolated_stuck_pixel_not_flagged(self):
+        codes = np.full((6, 6), 0.5)
+        codes[3, 3] = 1.0
+        assert not detect_stuck_lines(codes).any()
+
+    def test_row_and_column_union(self):
+        codes = np.full((5, 5), 0.5)
+        codes[0, :] = 1.0
+        codes[:, 0] = 0.0
+        codes[0, 0] = 1.0
+        mask = detect_stuck_lines(codes)
+        assert mask[0, :].all() and mask[:, 0].all()
+        assert mask.sum() == 9
+
+    def test_mask_feeds_exclusion_decode(self):
+        from repro.core import sample_and_reconstruct
+
+        r, c = np.mgrid[0:10, 0:10]
+        frame = 0.5 + 0.3 * np.sin(r / 3.0) * np.cos(c / 4.0)
+        readout = frame.copy()
+        readout[4, :] = 1.0  # broken line
+        mask = detect_stuck_lines(readout)
+        recon = sample_and_reconstruct(
+            readout, 0.6, np.random.default_rng(0), exclude_mask=mask
+        )
+        assert recon.shape == frame.shape
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            detect_stuck_lines(np.zeros(16))

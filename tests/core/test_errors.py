@@ -60,6 +60,42 @@ class TestInjectSparseErrors:
         with pytest.raises(ValueError):
             inject_sparse_errors(np.zeros((3, 3)), 0.1, rng, high_fraction=2.0)
 
+    def test_empty_frame_rejected(self):
+        rng = np.random.default_rng(20)
+        with pytest.raises(ValueError):
+            inject_sparse_errors(np.zeros((0, 4)), 0.1, rng)
+
+    def test_one_pixel_frame_rate_one(self):
+        rng = np.random.default_rng(21)
+        corrupted, mask = inject_sparse_errors(np.full((1, 1), 0.5), 1.0, rng)
+        assert mask.sum() == 1
+        assert corrupted[0, 0] in (0.0, 1.0)
+
+    def test_one_pixel_frame_low_rate_is_identity(self):
+        # round(0.4 * 1) == 0: nothing to corrupt on a 1-pixel frame
+        rng = np.random.default_rng(22)
+        corrupted, mask = inject_sparse_errors(np.full((1, 1), 0.5), 0.4, rng)
+        assert mask.sum() == 0
+        assert corrupted[0, 0] == 0.5
+
+    def test_high_fraction_rounding_deterministic(self):
+        # 13 corrupted pixels at high_fraction=0.5 -> exactly round(6.5)
+        rng = np.random.default_rng(23)
+        frame = np.full((10, 10), 0.5)
+        corrupted, mask = inject_sparse_errors(
+            frame, 0.13, rng, high_fraction=0.5
+        )
+        highs = int((corrupted[mask] == 1.0).sum())
+        assert highs == round(0.5 * 13)
+
+    def test_high_fraction_zero_all_low(self):
+        rng = np.random.default_rng(24)
+        frame = np.full((6, 6), 0.5)
+        corrupted, mask = inject_sparse_errors(
+            frame, 0.5, rng, high_fraction=0.0
+        )
+        assert np.all(corrupted[mask] == 0.0)
+
 
 class TestSparseErrorModel:
     def test_permanent_mask_is_stable(self):

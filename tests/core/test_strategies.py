@@ -6,11 +6,13 @@ import pytest
 from repro.core.errors import inject_sparse_errors
 from repro.core.metrics import rmse
 from repro.core.strategies import (
+    DecodeResult,
     NaiveStrategy,
     OracleExclusionStrategy,
     ResamplingStrategy,
     RpcaExclusionStrategy,
     sample_and_reconstruct,
+    validate_decode_inputs,
 )
 
 
@@ -69,6 +71,55 @@ class TestSampleAndReconstruct:
                 np.random.default_rng(5),
                 exclude_mask=np.zeros((4, 4), dtype=bool),
             )
+
+    def test_nonfinite_frame_rejected(self):
+        frame = _smooth_frame()
+        frame[3, 3] = np.nan
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            sample_and_reconstruct(frame, 0.5, np.random.default_rng(13))
+        frame[3, 3] = np.inf
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            sample_and_reconstruct(frame, 0.5, np.random.default_rng(13))
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError, match="noise_sigma"):
+            sample_and_reconstruct(
+                _smooth_frame(), 0.5, np.random.default_rng(14),
+                noise_sigma=-0.1,
+            )
+
+    def test_full_output_returns_decode_result(self):
+        frame = _smooth_frame()
+        result = sample_and_reconstruct(
+            frame, 0.6, np.random.default_rng(15), full_output=True
+        )
+        assert isinstance(result, DecodeResult)
+        assert result.reconstruction.shape == frame.shape
+        assert result.solver_result.solver == "fista"
+        assert result.measurements.shape == (round(0.6 * frame.size),)
+        assert np.isfinite(result.solver_result.residual)
+
+
+class TestValidateDecodeInputs:
+    def test_accepts_and_coerces(self):
+        out = validate_decode_inputs(np.zeros((4, 4), dtype=int), 0.5)
+        assert out.dtype == float
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            validate_decode_inputs(np.zeros(16), 0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_decode_inputs(np.zeros((0, 4)), 0.5)
+
+    def test_rejects_bad_fraction(self):
+        for fraction in (0.0, -0.2, 1.01):
+            with pytest.raises(ValueError):
+                validate_decode_inputs(np.zeros((4, 4)), fraction)
+
+    def test_fraction_one_allowed(self):
+        validate_decode_inputs(np.zeros((4, 4)), 1.0)
 
 
 class TestOracleStrategy:

@@ -1,0 +1,126 @@
+"""Unit tests for budgets, retry policy and the circuit breaker."""
+
+import pytest
+
+from repro.resilience import (
+    DEFAULT_FALLBACK_CHAIN,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    SolverBudget,
+)
+
+
+class TestSolverBudget:
+    def test_filters_unsupported_kwargs(self):
+        budget = SolverBudget(max_iterations=50, time_limit_s=1.0)
+        assert budget.solver_options("fista") == {
+            "max_iterations": 50,
+            "time_limit_s": 1.0,
+        }
+        assert budget.solver_options("omp") == {"time_limit_s": 1.0}
+        assert budget.solver_options("bp") == {}
+
+    def test_none_leaves_defaults(self):
+        assert SolverBudget().solver_options("fista") == {}
+
+    def test_unknown_solver_gets_both(self):
+        budget = SolverBudget(max_iterations=10, time_limit_s=2.0)
+        assert budget.solver_options("future_solver") == {
+            "max_iterations": 10,
+            "time_limit_s": 2.0,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolverBudget(max_iterations=0)
+        with pytest.raises(ValueError):
+            SolverBudget(time_limit_s=0.0)
+
+
+class TestRetryPolicy:
+    def test_default_bounded(self):
+        assert RetryPolicy().max_rounds == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_rounds=0)
+
+
+class TestCircuitBreaker:
+    def test_closed_by_default(self):
+        breaker = CircuitBreaker()
+        assert breaker.allow("fista")
+        assert not breaker.is_open("fista")
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=5)
+        for _ in range(3):
+            breaker.record_failure("fista")
+        assert breaker.is_open("fista")
+        assert not breaker.allow("fista")
+
+    def test_success_resets_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure("fista")
+        breaker.record_failure("fista")
+        breaker.record_success("fista")
+        breaker.record_failure("fista")
+        breaker.record_failure("fista")
+        assert not breaker.is_open("fista")
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=3)
+        breaker.record_failure("fista")
+        assert breaker.is_open("fista")
+        denials = [breaker.allow("fista") for _ in range(3)]
+        assert denials == [False, False, False]
+        assert breaker.allow("fista")  # the half-open probe
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        breaker.record_failure("fista")
+        assert not breaker.allow("fista")
+        assert breaker.allow("fista")  # probe
+        breaker.record_success("fista")
+        assert not breaker.is_open("fista")
+        assert breaker.allow("fista")
+
+    def test_per_solver_isolation(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("fista")
+        assert breaker.is_open("fista")
+        assert breaker.allow("omp")
+
+    def test_reset(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("fista")
+        breaker.reset()
+        assert not breaker.is_open("fista")
+        assert breaker.allow("fista")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0)
+
+
+class TestResiliencePolicy:
+    def test_default_chain(self):
+        policy = ResiliencePolicy()
+        assert policy.fallback_chain == DEFAULT_FALLBACK_CHAIN
+        assert policy.fallback_chain[0] == "fista"
+
+    def test_budget_override_per_solver(self):
+        tight = SolverBudget(max_iterations=5)
+        policy = ResiliencePolicy(
+            budget=SolverBudget(max_iterations=100),
+            budgets={"bp_dr": tight},
+        )
+        assert policy.budget_for("bp_dr") is tight
+        assert policy.budget_for("fista").max_iterations == 100
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(fallback_chain=())

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.ml",
     "repro.eda",
     "repro.experiments",
+    "repro.resilience",
 ]
 
 
