@@ -18,7 +18,7 @@ Run:  python examples/temperature_imaging.py
 import numpy as np
 
 from repro.array import ActiveMatrix, FlexibleEncoder, ReadoutChain
-from repro.core import Dct2Basis, RowSamplingMatrix, SensingOperator, rmse, solve
+from repro.core import RowSamplingMatrix, get_engine, rmse, solve
 from repro.datasets import ThermalHandGenerator
 from repro.devices import DefectMap, VariationModel
 
@@ -57,8 +57,9 @@ def main() -> None:
     )
     output = encoder.scan_temperature(field, phi, T_LOW, T_HIGH)
 
-    # Silicon-side decoding.
-    operator = SensingOperator(phi, Dct2Basis(shape))
+    # Silicon-side decoding: bind the scan's Phi_M to the shared engine's
+    # cached operator for this array shape.
+    operator = get_engine().operator(phi, shape)
     result = solve("fista", operator, output.measurements)
     normalized = operator.synthesize(result.coefficients).reshape(shape)
     recovered = T_LOW + (1.0 - np.clip(normalized, 0, 1)) * (T_HIGH - T_LOW)

@@ -6,6 +6,15 @@ transient errors cannot hide behind a fixed pattern), scans, decodes,
 and optionally feeds an RPCA outlier detector with the recent
 reconstruction history -- the paper's Sec. 4.3 strategy in its natural
 streaming habitat.
+
+The decode side runs on the shared :mod:`repro.core.engine`: the imager
+owns its measurement acquisition (the hardware scan), so it binds each
+fresh ``Phi_M`` to the engine's cached operator template instead of
+rebuilding basis + operator per frame.  Pass a
+:class:`~repro.resilience.policies.ResiliencePolicy` to supervise the
+per-frame solve with the fallback chain, health validation and
+last-good-frame degradation -- a solver fault then costs one degraded
+frame, not the stream.
 """
 
 from __future__ import annotations
@@ -14,12 +23,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.dct import Dct2Basis
+from ..core.engine import get_engine
 from ..core.errors import SparseErrorModel
-from ..core.operators import SensingOperator
 from ..core.rpca import detect_outliers
 from ..core.sensing import RowSamplingMatrix
 from ..core.solvers import solve
+from ..resilience.health import FrameGuard, validate_reconstruction
+from ..resilience.policies import ResiliencePolicy
 from .flexible_encoder import FlexibleEncoder
 
 __all__ = ["FrameRecord", "StreamingImager"]
@@ -27,7 +37,15 @@ __all__ = ["FrameRecord", "StreamingImager"]
 
 @dataclass
 class FrameRecord:
-    """One acquired frame: truth, raw reading, reconstruction."""
+    """One acquired frame: truth, raw reading, reconstruction.
+
+    ``status`` is ``"ok"`` for a clean first-choice solve, ``"degraded"``
+    when a fallback solver delivered the frame, and ``"fallback"`` when
+    every solver failed and the frame is the last-good-frame hold (only
+    possible with a resilience policy; without one a solver fault
+    propagates).  ``solver`` names the solver that produced the frame
+    (``None`` for held frames).
+    """
 
     index: int
     clean: np.ndarray
@@ -35,6 +53,8 @@ class FrameRecord:
     reconstructed: np.ndarray
     scan_time_s: float
     excluded_pixels: int
+    status: str = "ok"
+    solver: str | None = None
 
 
 @dataclass
@@ -57,7 +77,13 @@ class StreamingImager:
     outlier_threshold:
         RPCA sparse-component magnitude that flags a pixel.
     solver:
-        Decoder name.
+        Decoder name (first choice when a policy is set).
+    policy:
+        Optional :class:`~repro.resilience.policies.ResiliencePolicy`.
+        When set, each frame's solve walks the policy's fallback chain
+        under health validation; if every solver fails the frame is
+        served from the last-good-frame guard and the record is marked
+        ``"fallback"``.  ``None`` keeps the raw single-solver behaviour.
     seed:
         RNG seed for Phi_M draws.
     """
@@ -68,6 +94,7 @@ class StreamingImager:
     rpca_window: int = 0
     outlier_threshold: float = 0.15
     solver: str = "fista"
+    policy: ResiliencePolicy | None = None
     seed: int = 0
     _history: list[np.ndarray] = field(default_factory=list, repr=False)
     _count: int = field(default=0, repr=False)
@@ -78,7 +105,7 @@ class StreamingImager:
         if self.rpca_window < 0:
             raise ValueError("rpca_window must be >= 0")
         self._rng = np.random.default_rng(self.seed)
-        self._basis = Dct2Basis(self.encoder.array.shape)
+        self._guard = FrameGuard()
 
     def _exclusions(self, corrupted: np.ndarray) -> np.ndarray:
         mask = self.encoder.array.defect_mask
@@ -90,6 +117,54 @@ class StreamingImager:
             if detected.mean() <= 0.5:  # sanity guard, as in the strategy
                 mask = mask | detected
         return mask
+
+    def _solver_chain(self) -> list[str]:
+        """Solvers to try for one frame, first choice first."""
+        if self.policy is None:
+            return [self.solver]
+        chain = [self.solver]
+        chain.extend(
+            s for s in self.policy.fallback_chain if s not in chain
+        )
+        return chain
+
+    def _decode(
+        self, measurements: np.ndarray, phi: RowSamplingMatrix, shape: tuple
+    ) -> tuple[np.ndarray, str, str | None]:
+        """Solve the scanned measurements; returns (frame, status, solver).
+
+        Without a policy this is a bare solve with the engine-cached
+        operator.  With one, each solver of the chain is tried in turn
+        and its reconstruction health-validated; the guard serves the
+        fallback frame when the whole chain fails.
+        """
+        operator = get_engine().operator(phi, shape)
+        if self.policy is None:
+            result = solve(self.solver, operator, measurements)
+            frame = operator.synthesize(result.coefficients).reshape(shape)
+            self._guard.update(frame)
+            return frame, "ok", self.solver
+        for rank, solver in enumerate(self._solver_chain()):
+            options = self.policy.budget_for(solver).solver_options(solver)
+            try:
+                result = solve(solver, operator, measurements, **options)
+            except Exception:
+                continue
+            frame = operator.synthesize(result.coefficients).reshape(shape)
+            health = validate_reconstruction(
+                frame,
+                expected_shape=shape,
+                value_range=self.policy.value_range,
+                solver_result=result,
+                measurements=measurements,
+                residual_factor=self.policy.residual_factor,
+            )
+            if not health.ok:
+                continue
+            self._guard.update(frame)
+            status = "ok" if rank == 0 and result.converged else "degraded"
+            return frame, status, solver
+        return self._guard.fallback(shape), "fallback", None
 
     def capture(self, clean_frame: np.ndarray) -> FrameRecord:
         """Acquire one frame; returns the full record."""
@@ -113,9 +188,9 @@ class StreamingImager:
             exclude=excluded if len(excluded) else None,
         )
         output = self.encoder.scan_normalized(corrupted, phi)
-        operator = SensingOperator(phi, self._basis)
-        result = solve(self.solver, operator, output.measurements)
-        reconstructed = operator.synthesize(result.coefficients).reshape(shape)
+        reconstructed, status, used_solver = self._decode(
+            output.measurements, phi, shape
+        )
         if self.rpca_window > 1:
             self._history.append(corrupted)
             if len(self._history) > self.rpca_window:
@@ -127,6 +202,8 @@ class StreamingImager:
             reconstructed=reconstructed,
             scan_time_s=output.scan_time_s,
             excluded_pixels=len(excluded),
+            status=status,
+            solver=used_solver,
         )
         self._count += 1
         return record

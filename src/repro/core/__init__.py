@@ -6,6 +6,10 @@ Public surface:
 * :mod:`repro.core.sensing` -- the row-sampling encoder matrix ``Phi_M``
   and classic dense baselines;
 * :mod:`repro.core.operators` -- the combined ``A = Phi_M @ Psi`` map;
+* :mod:`repro.core.engine` -- the shared decode engine: frozen
+  :class:`~repro.core.engine.DecodeContext` plans, the bounded
+  ``(shape, basis)`` operator cache, and the canonical
+  sample -> solve -> reshape path every layer routes through;
 * :mod:`repro.core.solvers` -- L1 / greedy decoders for Eq. (9);
 * :mod:`repro.core.rpca` -- robust PCA outlier detection;
 * :mod:`repro.core.strategies` -- oracle / resampling / RPCA sampling;
@@ -17,6 +21,15 @@ Public surface:
 
 from .blocks import BlockProcessor
 from .dct import Dct2Basis, dct2, dct_basis_1d, dct_basis_2d, idct2
+from .engine import (
+    DecodeContext,
+    DecodeEngine,
+    OperatorCache,
+    get_engine,
+    register_basis,
+    set_engine,
+    use_engine,
+)
 from .errors import SparseErrorModel, add_measurement_noise, inject_sparse_errors
 from .metrics import (
     classification_accuracy,
@@ -103,6 +116,13 @@ __all__ = [
     "sample_and_reconstruct",
     "DecodeResult",
     "validate_decode_inputs",
+    "DecodeContext",
+    "DecodeEngine",
+    "OperatorCache",
+    "get_engine",
+    "register_basis",
+    "set_engine",
+    "use_engine",
     "Haar2Basis",
     "Dct3Basis",
     "dct3",

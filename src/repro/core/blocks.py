@@ -9,21 +9,24 @@ array into blocks, decode each block independently (embarrassingly
 parallel in silicon), and blend overlapping block borders to hide
 seams.
 
-:class:`BlockProcessor` wraps any per-block reconstruction callable and
-handles the tiling, the per-block measurement bookkeeping and the
-overlap blending.
+:class:`BlockProcessor` handles the tiling, the per-block measurement
+bookkeeping and the overlap blending.  All tiles share one cached
+operator template from :mod:`repro.core.engine` (tiles have one shape,
+so the pre-engine per-tile basis/operator rebuild was N-fold waste),
+and an optional ``strategy`` hook routes each tile through any strategy
+object -- most usefully
+:class:`~repro.resilience.runtime.ResilientStrategy`, which turns a
+solver fault inside one tile into a degraded *tile* instead of a lost
+frame.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from .dct import Dct2Basis
-from .operators import SensingOperator
-from .sensing import RowSamplingMatrix
-from .solvers import solve
+from .engine import DecodeContext, get_engine
 
 __all__ = ["BlockProcessor"]
 
@@ -44,6 +47,24 @@ class BlockProcessor:
         Decoder name for the per-block solve.
     sampling_fraction:
         M/N within each block.
+    strategy:
+        Optional per-tile reconstruction strategy (any object with
+        ``reconstruct(tile, rng, **kwargs)``, e.g. a strategy from
+        :mod:`repro.core.strategies` or a
+        :class:`~repro.resilience.runtime.ResilientStrategy` wrapper
+        for per-block graceful degradation).  When set, the strategy's
+        own sampling/solver configuration governs each tile and
+        ``solver`` / ``sampling_fraction`` / ``solver_options`` here
+        are ignored; per-tile exclusion masks are forwarded as
+        ``error_mask``.
+
+    Attributes
+    ----------
+    last_outcomes:
+        After a ``reconstruct`` call with a strategy that exposes
+        ``last_outcome`` (the resilient wrapper does), the list of
+        ``((row0, col0), DecodeOutcome)`` pairs per tile, in decode
+        order; ``None`` otherwise.
     """
 
     block_shape: tuple[int, int] = (32, 32)
@@ -51,6 +72,8 @@ class BlockProcessor:
     solver: str = "fista"
     sampling_fraction: float = 0.5
     solver_options: dict | None = None
+    strategy: object | None = None
+    last_outcomes: list | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         rows, cols = self.block_shape
@@ -60,6 +83,13 @@ class BlockProcessor:
             raise ValueError("overlap must be in [0, min(block dims))")
         if not 0.0 < self.sampling_fraction <= 1.0:
             raise ValueError("sampling_fraction must be in (0, 1]")
+        if self.strategy is not None and not hasattr(
+            self.strategy, "reconstruct"
+        ):
+            raise TypeError(
+                f"{type(self.strategy).__name__} has no reconstruct(); "
+                "pass a strategy object or None"
+            )
 
     def _tiles(self, frame_shape: tuple[int, int]) -> list[tuple[int, int]]:
         rows, cols = frame_shape
@@ -91,6 +121,29 @@ class BlockProcessor:
         ) / (self.overlap + 1)
         return np.outer(ramp_r, ramp_c)
 
+    def _decode_tile(
+        self,
+        tile: np.ndarray,
+        local_mask: np.ndarray | None,
+        plan: DecodeContext,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One tile through the strategy hook or the engine plan."""
+        if self.strategy is not None:
+            kwargs = {} if local_mask is None else {"error_mask": local_mask}
+            recon = self.strategy.reconstruct(tile, rng, **kwargs)
+            outcome = getattr(self.strategy, "last_outcome", None)
+            if outcome is not None and self.last_outcomes is not None:
+                self.last_outcomes.append(outcome)
+            return np.asarray(recon, dtype=float)
+        if local_mask is not None and bool(local_mask.all()):
+            # Every pixel excluded: nothing measurable, decode to zeros
+            # (matches the empty-measurement solve this tile used to run).
+            return np.zeros(self.block_shape)
+        if local_mask is not None:
+            plan = replace(plan, exclude_mask=local_mask)
+        return get_engine().decode(tile, plan, rng)
+
     def reconstruct(
         self,
         frame: np.ndarray,
@@ -101,7 +154,8 @@ class BlockProcessor:
         """Sample + decode every tile; returns the blended frame.
 
         ``exclude_mask`` marks pixels (e.g. known defects) that no tile
-        may sample.
+        may sample.  ``noise_sigma`` applies to the engine path; when a
+        ``strategy`` is set its own noise configuration governs.
         """
         frame = np.asarray(frame, dtype=float)
         if frame.ndim != 2:
@@ -111,36 +165,38 @@ class BlockProcessor:
             if exclude_mask.shape != frame.shape:
                 raise ValueError("exclude_mask shape must match frame")
         br, bc = self.block_shape
-        n_block = br * bc
-        basis = Dct2Basis(self.block_shape)
+        plan = DecodeContext(
+            shape=self.block_shape,
+            sampling_fraction=self.sampling_fraction,
+            solver=self.solver,
+            solver_options=self.solver_options or {},
+            noise_sigma=noise_sigma,
+        )
         weight = self._block_weight()
         accumulator = np.zeros_like(frame)
         weight_sum = np.zeros_like(frame)
-        for r0, c0 in self._tiles(frame.shape):
+        self.last_outcomes = [] if self.strategy is not None else None
+        origins = self._tiles(frame.shape)
+        outcome_origins: list[tuple[int, int]] = []
+        for r0, c0 in origins:
             tile = frame[r0:r0 + br, c0:c0 + bc]
-            exclude = None
+            local = None
             if exclude_mask is not None:
                 local = exclude_mask[r0:r0 + br, c0:c0 + bc]
-                exclude = np.flatnonzero(local.ravel())
-            m = max(1, int(round(self.sampling_fraction * n_block)))
-            if exclude is not None:
-                m = min(m, n_block - len(exclude))
-            phi = RowSamplingMatrix.random(n_block, m, rng, exclude=exclude)
-            operator = SensingOperator(phi, basis)
-            measurements = phi.apply(tile.ravel())
-            if noise_sigma > 0:
-                measurements = measurements + rng.normal(
-                    0.0, noise_sigma, size=measurements.shape
-                )
-            result = solve(
-                self.solver, operator, measurements,
-                **(self.solver_options or {}),
+            before = (
+                len(self.last_outcomes)
+                if self.last_outcomes is not None
+                else 0
             )
-            recon = operator.synthesize(result.coefficients).reshape(
-                self.block_shape
-            )
+            recon = self._decode_tile(tile, local, plan, rng)
+            if self.last_outcomes is not None and len(
+                self.last_outcomes
+            ) > before:
+                outcome_origins.append((r0, c0))
             accumulator[r0:r0 + br, c0:c0 + bc] += recon * weight
             weight_sum[r0:r0 + br, c0:c0 + bc] += weight
+        if self.last_outcomes is not None:
+            self.last_outcomes = list(zip(outcome_origins, self.last_outcomes))
         if np.any(weight_sum == 0):
             raise RuntimeError("tiling left uncovered pixels")
         return accumulator / weight_sum

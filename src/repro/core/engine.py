@@ -1,0 +1,615 @@
+"""The unified decode engine: one canonical sample -> solve -> reshape path.
+
+Every decode entry point in the repo (the strategy layer, the block
+processor, the streaming imager, the video burst decoder, the
+resilience runtime and the theory experiments) used to rebuild a
+:class:`~repro.core.dct.Dct2Basis` and a
+:class:`~repro.core.operators.SensingOperator` per call -- per *round*
+in the resampling loop, per *tile* in the block processor, per
+*attempt* in the resilience retry chain.  For the streaming workloads
+the ROADMAP targets (thousands of same-shape frames decoded
+back-to-back) that per-call setup is pure waste: the basis depends only
+on ``(shape, kind)``, and for the paper's row-sampling encoder with an
+orthonormal basis the solver step size is a constant.
+
+This module is the seam that amortises all of it:
+
+* :class:`DecodeContext` -- a frozen decode plan (shape, sampling
+  fraction, solver config, exclusion mask, sampling weights) that can
+  be built once per stream and reused per frame;
+* :class:`OperatorCache` -- a bounded, thread-safe LRU cache of basis
+  entries keyed on ``(shape, basis kind)``, with hit/miss/eviction
+  counters exported through :mod:`repro.instrument`;
+* :class:`DecodeEngine` -- ``decode(frame, plan, rng)``, the single
+  canonical sample -> solve -> validate -> reshape path (including the
+  ``full_output`` :class:`DecodeResult` plumbing) that every other
+  layer now routes through.
+
+Beyond caching construction, the engine's cached entries are *faster*
+objects than the per-call recipe they replace:
+
+* for small shapes the 2-D DCT is applied as two tiny BLAS matmuls
+  (:class:`SeparableDct2Basis`) instead of two ``scipy.fft`` dispatches
+  per solver iteration -- the dispatch overhead dominates at e-skin
+  frame sizes;
+* the operator carries a cached spectral-norm hint (``||A||_2 = 1`` for
+  row sampling of an orthonormal basis), so gradient solvers skip the
+  30-round power iteration they otherwise run per solve.
+
+Both are deterministic functions of ``(shape, kind)``, so cached and
+cache-disabled decodes are bit-identical under a fixed seed (covered by
+regression tests).  Construction of ``Dct2Basis`` / ``SensingOperator``
+outside this module is forbidden in library and example code; CI
+enforces the seam with ``tools/check_engine_seam.py``.
+
+Set ``REPRO_ENGINE_CACHE=0`` in the environment to disable the default
+engine's cache (per-call rebuild, same numerics); see ``docs/ENGINE.md``
+for cache keys, invalidation and how to plug a custom basis.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Callable, Mapping, NamedTuple
+
+import numpy as np
+
+from .. import instrument
+from .dct import Dct2Basis, dct_basis_1d
+from .operators import SensingOperator
+from .sensing import RowSamplingMatrix, weighted_sample_indices
+from .solvers import SolverResult, solve
+
+__all__ = [
+    "BasisSpec",
+    "CacheEntry",
+    "DecodeContext",
+    "DecodeEngine",
+    "DecodeResult",
+    "EngineOperator",
+    "OperatorCache",
+    "SeparableDct2Basis",
+    "get_engine",
+    "register_basis",
+    "set_engine",
+    "use_engine",
+    "validate_decode_inputs",
+]
+
+
+class DecodeResult(NamedTuple):
+    """Full output of one decode round (``full_output=True``).
+
+    ``reconstruction`` is what the plain call returns; ``solver_result``
+    and ``measurements`` expose the solver diagnostics (residual,
+    convergence, divergence flags) and the measurement vector the
+    resilience layer needs for health validation.
+    """
+
+    reconstruction: np.ndarray
+    solver_result: SolverResult
+    measurements: np.ndarray
+
+
+def validate_decode_inputs(
+    frame: np.ndarray,
+    sampling_fraction: float,
+    noise_sigma: float = 0.0,
+) -> np.ndarray:
+    """Validate the shared decode inputs; returns the frame as float.
+
+    Rejects non-2-D frames, NaN/Inf-poisoned frames (they would
+    propagate through ``Phi_M`` into the solver and surface as a
+    cryptic linalg failure many layers down), a ``sampling_fraction``
+    outside ``(0, 1]`` and a negative ``noise_sigma``.
+    """
+    frame = np.asarray(frame, dtype=float)
+    if frame.ndim != 2:
+        raise ValueError(f"expected a 2-D frame, got shape {frame.shape}")
+    if frame.size == 0:
+        raise ValueError(f"frame is empty, got shape {frame.shape}")
+    if not np.all(np.isfinite(frame)):
+        bad = int(np.count_nonzero(~np.isfinite(frame)))
+        raise ValueError(
+            f"frame contains {bad} NaN/Inf pixel(s); sanitise or gate the "
+            "frame before decoding"
+        )
+    if not 0.0 < sampling_fraction <= 1.0:
+        raise ValueError(
+            f"sampling_fraction must be in (0, 1], got {sampling_fraction}"
+        )
+    if noise_sigma < 0.0:
+        raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+    return frame
+
+
+class SeparableDct2Basis:
+    """Orthonormal 2-D DCT basis applied as two small dense matmuls.
+
+    Numerically equivalent to :class:`~repro.core.dct.Dct2Basis` (same
+    orthonormal DCT-II, different rounding), but each apply is two
+    ``rows x rows`` / ``cols x cols`` BLAS products instead of a
+    ``scipy.fft.dctn`` dispatch.  At e-skin frame sizes the dispatch
+    overhead dominates the transform cost, so this is the faster
+    representation -- but it scales as ``O(N^1.5)`` versus the FFT's
+    ``O(N log N)``, hence the engine only selects it for small shapes.
+    """
+
+    orthonormal = True
+
+    def __init__(self, shape: tuple[int, int]):
+        rows, cols = shape
+        if rows < 1 or cols < 1:
+            raise ValueError(f"invalid array shape {shape}")
+        self.shape = (int(rows), int(cols))
+        self.n = int(rows) * int(cols)
+        # Synthesis factors: image = C_r @ coeffs_2d @ C_c.T
+        self._c_rows = dct_basis_1d(int(rows))
+        self._c_cols = dct_basis_1d(int(cols))
+        self._c_rows.setflags(write=False)
+        self._c_cols.setflags(write=False)
+
+    def synthesize(self, coeffs: np.ndarray) -> np.ndarray:
+        """``Psi @ x``: map coefficient vector ``x`` to pixel vector ``y``."""
+        coeffs = np.asarray(coeffs, dtype=float).reshape(self.shape)
+        return (self._c_rows @ coeffs @ self._c_cols.T).ravel()
+
+    def analyze(self, pixels: np.ndarray) -> np.ndarray:
+        """``Psi.T @ y``: map pixel vector ``y`` to coefficient vector."""
+        pixels = np.asarray(pixels, dtype=float).reshape(self.shape)
+        return (self._c_rows.T @ pixels @ self._c_cols).ravel()
+
+    def to_matrix(self) -> np.ndarray:
+        """Materialise the explicit ``N x N`` basis (testing / small N)."""
+        return np.kron(self._c_rows, self._c_cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SeparableDct2Basis(shape={self.shape})"
+
+
+class EngineOperator(SensingOperator):
+    """A :class:`SensingOperator` carrying engine-cached acceleration.
+
+    Identical forward/adjoint behaviour; the only difference is an
+    optional spectral-norm hint the engine supplies when the basis is
+    known orthonormal and ``phi`` is a row-sampling matrix (then
+    ``||A||_2 <= 1`` exactly, so gradient solvers may take the unit
+    step without running the power iteration).
+    """
+
+    def __init__(self, phi, basis, spectral_norm_hint: float | None = None):
+        super().__init__(phi, basis)
+        self._spectral_norm_hint = spectral_norm_hint
+
+    def spectral_norm(self, iterations: int = 30, seed: int = 0) -> float:
+        """Cached ``||A||_2`` when hinted, else the power iteration."""
+        if self._spectral_norm_hint is not None:
+            return self._spectral_norm_hint
+        return super().spectral_norm(iterations, seed)
+
+
+@dataclass(frozen=True)
+class BasisSpec:
+    """How the engine builds a sparsifying basis for one ``kind``.
+
+    ``factory`` is the reference constructor; ``fast_factory`` (if any)
+    builds an accelerated but numerically-equivalent representation the
+    engine prefers when ``fast_basis`` is on.  ``orthonormal`` declares
+    ``||Psi||_2 == 1``, which lets the engine hint the operator spectral
+    norm for row-sampling encoders.
+    """
+
+    factory: Callable[[tuple], object]
+    fast_factory: Callable[[tuple], object] | None = None
+    orthonormal: bool = False
+
+
+def _dct3_factory(shape):
+    from .video import Dct3Basis  # function-level: video routes through us
+
+    return Dct3Basis(shape)
+
+
+def _haar2_factory(shape):
+    from .wavelet import Haar2Basis
+
+    return Haar2Basis(shape)
+
+
+# Above this edge length the separable matmul loses to the FFT path.
+_SEPARABLE_MAX_DIM = 64
+
+
+def _fast_dct2_factory(shape):
+    if max(int(shape[0]), int(shape[1])) <= _SEPARABLE_MAX_DIM:
+        return SeparableDct2Basis(shape)
+    return Dct2Basis(shape)
+
+
+_BASIS_KINDS: dict[str, BasisSpec] = {
+    "dct2": BasisSpec(
+        factory=Dct2Basis, fast_factory=_fast_dct2_factory, orthonormal=True
+    ),
+    "dct3": BasisSpec(factory=_dct3_factory, orthonormal=True),
+    "haar2": BasisSpec(factory=_haar2_factory, orthonormal=True),
+}
+
+
+def register_basis(
+    kind: str,
+    factory: Callable[[tuple], object],
+    fast_factory: Callable[[tuple], object] | None = None,
+    orthonormal: bool = False,
+) -> None:
+    """Register a custom sparsifying basis under ``kind``.
+
+    ``factory(shape)`` must return an object with the matrix-free basis
+    API (``synthesize`` / ``analyze`` / ``n``).  Set ``orthonormal``
+    only if ``||Psi||_2 == 1`` holds exactly -- it authorises the
+    unit-step spectral-norm hint for gradient solvers.  Registering an
+    existing ``kind`` replaces it; cached entries for the old spec are
+    *not* invalidated, so call :meth:`OperatorCache.clear` on engines
+    that may hold stale entries.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError(f"basis kind must be a non-empty string, got {kind!r}")
+    _BASIS_KINDS[kind] = BasisSpec(
+        factory=factory, fast_factory=fast_factory, orthonormal=orthonormal
+    )
+
+
+def basis_kinds() -> tuple[str, ...]:
+    """The registered basis kinds (cache-key vocabulary)."""
+    return tuple(sorted(_BASIS_KINDS))
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached operator template: the basis plus solver hints."""
+
+    key: tuple
+    basis: object
+    spectral_norm_hint: float | None = None
+
+
+class OperatorCache:
+    """Bounded, thread-safe LRU cache of :class:`CacheEntry` objects.
+
+    Keys are ``(shape, basis kind)`` tuples: everything else about a
+    decode (the random ``Phi_M`` draw, the solver, the measurements)
+    changes per call, while the basis and its solver hints are pure
+    functions of the key.  Entries are immutable and safe to share
+    across threads; the cache itself serialises access with a lock.
+
+    Hit/miss/eviction counts are kept both as plain attributes (always
+    on, readable via :meth:`stats`) and as ``engine.cache.*`` counters
+    in :mod:`repro.instrument` when collection is enabled.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_create(
+        self, key: tuple, builder: Callable[[], CacheEntry]
+    ) -> CacheEntry:
+        """Return the entry for ``key``, building and inserting on miss.
+
+        The builder runs under the cache lock, so concurrent same-shape
+        decodes build each entry exactly once.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                instrument.incr("engine.cache.hits")
+                return entry
+            entry = builder()
+            self._entries[key] = entry
+            self.misses += 1
+            instrument.incr("engine.cache.misses")
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                instrument.incr("engine.cache.evictions")
+            instrument.set_gauge("engine.cache.size", len(self._entries))
+            return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (invalidation hook; counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            instrument.set_gauge("engine.cache.size", 0)
+
+    def stats(self) -> dict:
+        """Accounting snapshot: hits, misses, evictions, size, capacity."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+
+@dataclass(frozen=True)
+class DecodeContext:
+    """A frozen decode plan: everything about a decode except the frame.
+
+    Build one per stream (or per tile shape) and reuse it for every
+    frame; the engine keys its operator cache on ``(shape, basis)``, so
+    same-plan decodes pay construction cost exactly once.
+
+    Parameters
+    ----------
+    shape:
+        Frame shape the plan applies to; frames are checked against it.
+    sampling_fraction:
+        ``M / N`` before exclusions.
+    solver, solver_options:
+        Decoder name and extra solver kwargs (stored read-only).
+    basis:
+        Registered basis kind (``"dct2"`` default; see
+        :func:`register_basis`).
+    noise_sigma:
+        Std-dev of additive measurement noise.
+    exclude_mask:
+        Boolean mask of pixels that must never be sampled (stored as a
+        read-only copy; excluded from equality/compare).
+    weights:
+        Optional per-pixel sampling weights (energy-weighted sampling);
+        ``None`` means uniform random sampling.
+    """
+
+    shape: tuple
+    sampling_fraction: float
+    solver: str = "fista"
+    solver_options: Mapping = field(default_factory=dict)
+    basis: str = "dct2"
+    noise_sigma: float = 0.0
+    exclude_mask: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
+    weights: np.ndarray | None = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        shape = tuple(int(s) for s in self.shape)
+        if len(shape) < 2 or any(s < 1 for s in shape):
+            raise ValueError(f"invalid plan shape {self.shape}")
+        object.__setattr__(self, "shape", shape)
+        if not 0.0 < self.sampling_fraction <= 1.0:
+            raise ValueError(
+                f"sampling_fraction must be in (0, 1], got "
+                f"{self.sampling_fraction}"
+            )
+        if self.noise_sigma < 0.0:
+            raise ValueError(
+                f"noise_sigma must be >= 0, got {self.noise_sigma}"
+            )
+        object.__setattr__(
+            self,
+            "solver_options",
+            MappingProxyType(dict(self.solver_options or {})),
+        )
+        if self.exclude_mask is not None:
+            mask = np.array(self.exclude_mask, dtype=bool)
+            if mask.shape != shape:
+                raise ValueError(
+                    "exclude_mask shape must match frame shape "
+                    f"(mask {mask.shape}, plan {shape})"
+                )
+            mask.setflags(write=False)
+            object.__setattr__(self, "exclude_mask", mask)
+        if self.weights is not None:
+            weights = np.array(self.weights, dtype=float)
+            if weights.size != int(np.prod(shape)):
+                raise ValueError(
+                    f"weights must have {int(np.prod(shape))} entries, "
+                    f"got {weights.size}"
+                )
+            weights.setflags(write=False)
+            object.__setattr__(self, "weights", weights)
+
+    @classmethod
+    def for_frame(
+        cls, frame: np.ndarray, sampling_fraction: float, **kwargs
+    ) -> "DecodeContext":
+        """Plan matching ``frame.shape`` (convenience constructor)."""
+        return cls(
+            shape=np.asarray(frame).shape,
+            sampling_fraction=sampling_fraction,
+            **kwargs,
+        )
+
+
+@dataclass
+class DecodeEngine:
+    """The shared decode runtime: cached operators + the canonical path.
+
+    Parameters
+    ----------
+    cache:
+        The operator cache; ``None`` rebuilds per call (same numerics,
+        no amortisation -- the cache-bypass mode used by the bit-exact
+        regression tests and the bench baseline's control arm).
+    fast_basis:
+        Prefer accelerated basis representations (separable-matmul DCT,
+        spectral-norm hints).  ``False`` reproduces the pre-engine
+        per-call recipe exactly (FFT basis, per-solve power iteration);
+        it exists for the before/after bench comparison.
+    """
+
+    cache: OperatorCache | None = field(default_factory=OperatorCache)
+    fast_basis: bool = True
+
+    # -- operator construction (the only sanctioned site) -----------------
+    def _build_entry(self, shape: tuple, kind: str) -> CacheEntry:
+        spec = _BASIS_KINDS.get(kind)
+        if spec is None:
+            raise KeyError(
+                f"unknown basis kind {kind!r}; registered: {basis_kinds()}"
+            )
+        if self.fast_basis and spec.fast_factory is not None:
+            basis = spec.fast_factory(shape)
+        else:
+            basis = spec.factory(shape)
+        hint = 1.0 if (self.fast_basis and spec.orthonormal) else None
+        return CacheEntry(
+            key=(tuple(shape), kind), basis=basis, spectral_norm_hint=hint
+        )
+
+    def entry_for(self, shape: tuple, basis: str = "dct2") -> CacheEntry:
+        """The (cached) operator template for ``(shape, basis)``."""
+        shape = tuple(int(s) for s in shape)
+        if self.cache is None:
+            return self._build_entry(shape, basis)
+        return self.cache.get_or_create(
+            (shape, basis), lambda: self._build_entry(shape, basis)
+        )
+
+    def basis_for(self, shape: tuple, basis: str = "dct2"):
+        """The (cached) sparsifying basis for ``(shape, basis)``."""
+        return self.entry_for(shape, basis).basis
+
+    def operator(
+        self,
+        phi: RowSamplingMatrix,
+        shape: tuple,
+        basis: str = "dct2",
+    ) -> EngineOperator:
+        """Bind a sampling matrix to the cached basis for ``shape``.
+
+        This is the repo's only sanctioned ``SensingOperator``
+        construction site (CI enforces the seam); every decode path --
+        including ones that own their measurement acquisition, like the
+        hardware-scan imager or the video burst decoder -- gets its
+        operator here.
+        """
+        entry = self.entry_for(shape, basis)
+        hint = entry.spectral_norm_hint
+        if hint is not None and not isinstance(phi, RowSamplingMatrix):
+            # The unit-norm bound only holds for row sampling.
+            hint = None
+        return EngineOperator(phi, entry.basis, spectral_norm_hint=hint)
+
+    # -- the canonical decode path -----------------------------------------
+    def decode(
+        self,
+        frame: np.ndarray,
+        plan: DecodeContext,
+        rng: np.random.Generator,
+        full_output: bool = False,
+    ) -> np.ndarray | DecodeResult:
+        """One sample + L1-reconstruction round under ``plan``.
+
+        The single canonical decode recipe: validate -> draw ``Phi_M``
+        (uniform or weighted, honouring the exclusion mask) -> measure
+        (+ optional noise) -> solve -> reshape.  Returns the
+        reconstructed frame, or the full :class:`DecodeResult` when
+        ``full_output`` is set.
+        """
+        frame = validate_decode_inputs(
+            frame, plan.sampling_fraction, plan.noise_sigma
+        )
+        if frame.shape != plan.shape:
+            raise ValueError(
+                f"frame shape {frame.shape} does not match plan shape "
+                f"{plan.shape}"
+            )
+        n = frame.size
+        m = max(1, int(round(plan.sampling_fraction * n)))
+        exclude = None
+        if plan.exclude_mask is not None:
+            exclude = np.flatnonzero(plan.exclude_mask.ravel())
+            m = min(m, n - len(exclude))
+            if m < 1:
+                raise ValueError(
+                    f"exclusion mask leaves no pixels to sample "
+                    f"({len(exclude)} of {n} pixels excluded); relax the "
+                    "mask or fall back to unmasked sampling"
+                )
+        span_name = (
+            "decode.weighted_sample_and_reconstruct"
+            if plan.weights is not None
+            else "decode.sample_and_reconstruct"
+        )
+        with instrument.span(span_name, n=n, m=m, solver=plan.solver):
+            instrument.incr("decode.calls")
+            instrument.incr("decode.measurements", m)
+            if plan.weights is not None:
+                indices = weighted_sample_indices(
+                    n, m, plan.weights.ravel(), rng, exclude=exclude
+                )
+                phi = RowSamplingMatrix(n=n, indices=indices)
+            else:
+                phi = RowSamplingMatrix.random(n, m, rng, exclude=exclude)
+            operator = self.operator(phi, plan.shape, plan.basis)
+            measurements = phi.apply(frame.ravel())
+            if plan.noise_sigma > 0.0:
+                measurements = measurements + rng.normal(
+                    0.0, plan.noise_sigma, size=measurements.shape
+                )
+            result = solve(
+                plan.solver, operator, measurements, **dict(plan.solver_options)
+            )
+            reconstruction = operator.synthesize(result.coefficients).reshape(
+                frame.shape
+            )
+            if full_output:
+                return DecodeResult(reconstruction, result, measurements)
+            return reconstruction
+
+
+def _default_engine() -> DecodeEngine:
+    if os.environ.get("REPRO_ENGINE_CACHE", "") in ("0", "off"):
+        return DecodeEngine(cache=None)
+    return DecodeEngine()
+
+
+_engine = _default_engine()
+_engine_lock = threading.Lock()
+
+
+def get_engine() -> DecodeEngine:
+    """The process-wide default engine every decode path routes through."""
+    return _engine
+
+
+def set_engine(engine: DecodeEngine) -> DecodeEngine:
+    """Swap the process-wide engine; returns the previous one."""
+    global _engine
+    with _engine_lock:
+        previous = _engine
+        _engine = engine
+    return previous
+
+
+@contextmanager
+def use_engine(engine: DecodeEngine):
+    """Scope the process-wide engine to a ``with`` block (tests, benches)."""
+    previous = set_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_engine(previous)

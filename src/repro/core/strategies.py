@@ -15,22 +15,27 @@ Sec. 4.2 and 4.3 of the paper discuss three regimes:
 
 Each strategy consumes a *corrupted* frame (or frame stack) and returns
 reconstructed frames; the pipeline handles normalisation, injection and
-metric evaluation.
+metric evaluation.  All sampling + solving goes through the shared
+:mod:`repro.core.engine` (one :class:`~repro.core.engine.DecodeContext`
+plan per configuration, cached operators per shape), so repeated
+decodes of the same shape -- the resampling rounds here, streams
+elsewhere -- pay operator construction exactly once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
 
 import numpy as np
 
 from .. import instrument
-from .dct import Dct2Basis
-from .operators import SensingOperator
+from .engine import (
+    DecodeContext,
+    DecodeResult,
+    get_engine,
+    validate_decode_inputs,
+)
 from .rpca import detect_outliers
-from .sensing import RowSamplingMatrix, weighted_sample_indices
-from .solvers import SolverResult, solve
 
 __all__ = [
     "DecodeResult",
@@ -44,52 +49,6 @@ __all__ = [
 ]
 
 
-class DecodeResult(NamedTuple):
-    """Full output of one decode round (``full_output=True``).
-
-    ``reconstruction`` is what the plain call returns; ``solver_result``
-    and ``measurements`` expose the solver diagnostics (residual,
-    convergence, divergence flags) and the measurement vector the
-    resilience layer needs for health validation.
-    """
-
-    reconstruction: np.ndarray
-    solver_result: SolverResult
-    measurements: np.ndarray
-
-
-def validate_decode_inputs(
-    frame: np.ndarray,
-    sampling_fraction: float,
-    noise_sigma: float = 0.0,
-) -> np.ndarray:
-    """Validate the shared decode inputs; returns the frame as float.
-
-    Rejects non-2-D frames, NaN/Inf-poisoned frames (they would
-    propagate through ``Phi_M`` into the solver and surface as a
-    cryptic linalg failure many layers down), a ``sampling_fraction``
-    outside ``(0, 1]`` and a negative ``noise_sigma``.
-    """
-    frame = np.asarray(frame, dtype=float)
-    if frame.ndim != 2:
-        raise ValueError(f"expected a 2-D frame, got shape {frame.shape}")
-    if frame.size == 0:
-        raise ValueError(f"frame is empty, got shape {frame.shape}")
-    if not np.all(np.isfinite(frame)):
-        bad = int(np.count_nonzero(~np.isfinite(frame)))
-        raise ValueError(
-            f"frame contains {bad} NaN/Inf pixel(s); sanitise or gate the "
-            "frame before decoding"
-        )
-    if not 0.0 < sampling_fraction <= 1.0:
-        raise ValueError(
-            f"sampling_fraction must be in (0, 1], got {sampling_fraction}"
-        )
-    if noise_sigma < 0.0:
-        raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
-    return frame
-
-
 def sample_and_reconstruct(
     frame: np.ndarray,
     sampling_fraction: float,
@@ -101,6 +60,11 @@ def sample_and_reconstruct(
     full_output: bool = False,
 ) -> np.ndarray | DecodeResult:
     """One random-sampling + L1-reconstruction round (the core decode).
+
+    Thin convenience wrapper: builds a one-shot
+    :class:`~repro.core.engine.DecodeContext` and runs it through the
+    shared :class:`~repro.core.engine.DecodeEngine`.  Streaming callers
+    should build the plan once and call the engine directly.
 
     Parameters
     ----------
@@ -130,41 +94,15 @@ def sample_and_reconstruct(
         default), or the full :class:`DecodeResult`.
     """
     frame = validate_decode_inputs(frame, sampling_fraction, noise_sigma)
-    n = frame.size
-    m = max(1, int(round(sampling_fraction * n)))
-    exclude = None
-    if exclude_mask is not None:
-        exclude_mask = np.asarray(exclude_mask, dtype=bool)
-        if exclude_mask.shape != frame.shape:
-            raise ValueError("exclude_mask shape must match frame shape")
-        exclude = np.flatnonzero(exclude_mask.ravel())
-        m = min(m, n - len(exclude))
-        if m < 1:
-            raise ValueError(
-                f"exclusion mask leaves no pixels to sample "
-                f"({len(exclude)} of {n} pixels excluded); relax the mask "
-                "or fall back to unmasked sampling"
-            )
-    with instrument.span(
-        "decode.sample_and_reconstruct", n=n, m=m, solver=solver
-    ):
-        instrument.incr("decode.calls")
-        instrument.incr("decode.measurements", m)
-        phi = RowSamplingMatrix.random(n, m, rng, exclude=exclude)
-        basis = Dct2Basis(frame.shape)
-        operator = SensingOperator(phi, basis)
-        measurements = phi.apply(frame.ravel())
-        if noise_sigma > 0.0:
-            measurements = measurements + rng.normal(
-                0.0, noise_sigma, size=measurements.shape
-            )
-        result = solve(solver, operator, measurements, **(solver_options or {}))
-        reconstruction = operator.synthesize(result.coefficients).reshape(
-            frame.shape
-        )
-        if full_output:
-            return DecodeResult(reconstruction, result, measurements)
-        return reconstruction
+    plan = DecodeContext(
+        shape=frame.shape,
+        sampling_fraction=sampling_fraction,
+        solver=solver,
+        solver_options=solver_options or {},
+        noise_sigma=noise_sigma,
+        exclude_mask=exclude_mask,
+    )
+    return get_engine().decode(frame, plan, rng, full_output=full_output)
 
 
 @dataclass
@@ -231,6 +169,11 @@ class OracleExclusionStrategy:
 class ResamplingStrategy:
     """Multiple sample/reconstruct rounds aggregated per pixel (Sec. 4.3).
 
+    The decode plan is built once and every round runs through the
+    shared engine, so the rounds reuse one cached operator template
+    instead of rebuilding basis + operator per round (the pre-engine
+    hot-loop waste).
+
     Parameters
     ----------
     rounds:
@@ -258,18 +201,19 @@ class ResamplingStrategy:
         self, corrupted: np.ndarray, rng: np.random.Generator, **_
     ) -> np.ndarray:
         """Aggregate ``rounds`` independent reconstructions per pixel."""
+        corrupted = validate_decode_inputs(
+            corrupted, self.sampling_fraction, self.noise_sigma
+        )
+        engine = get_engine()
+        plan = DecodeContext(
+            shape=corrupted.shape,
+            sampling_fraction=self.sampling_fraction,
+            solver=self.solver,
+            solver_options=self.solver_options,
+            noise_sigma=self.noise_sigma,
+        )
         stack = np.stack(
-            [
-                sample_and_reconstruct(
-                    corrupted,
-                    self.sampling_fraction,
-                    rng,
-                    solver=self.solver,
-                    noise_sigma=self.noise_sigma,
-                    solver_options=self.solver_options,
-                )
-                for _ in range(self.rounds)
-            ]
+            [engine.decode(corrupted, plan, rng) for _ in range(self.rounds)]
         )
         if self.aggregate == "median":
             return np.median(stack, axis=0)
@@ -390,6 +334,9 @@ class WeightedSamplingStrategy:
 
         ``prior`` defaults to the corrupted frame itself (self-prior);
         ``error_mask`` pixels are excluded as in the oracle strategy.
+        Runs through the engine with a weighted plan -- the
+        ``weights`` field of the plan switches the sampler to
+        :func:`~repro.core.sensing.weighted_sample_indices`.
         """
         corrupted = validate_decode_inputs(
             corrupted, self.sampling_fraction, self.noise_sigma
@@ -397,39 +344,17 @@ class WeightedSamplingStrategy:
         if prior is None:
             prior = corrupted
         weights = self.weights_from_prior(prior, self.uniform_floor)
-        n = corrupted.size
-        m = max(1, int(round(self.sampling_fraction * n)))
-        exclude = None
         if error_mask is not None:
             error_mask = np.asarray(error_mask, dtype=bool)
             if error_mask.shape != corrupted.shape:
                 raise ValueError("error_mask shape must match frame shape")
-            exclude = np.flatnonzero(error_mask.ravel())
-            m = min(m, n - len(exclude))
-            if m < 1:
-                raise ValueError(
-                    f"error mask leaves no pixels to sample "
-                    f"({len(exclude)} of {n} pixels excluded)"
-                )
-        with instrument.span(
-            "decode.weighted_sample_and_reconstruct",
-            n=n, m=m, solver=self.solver,
-        ):
-            instrument.incr("decode.calls")
-            instrument.incr("decode.measurements", m)
-            indices = weighted_sample_indices(
-                n, m, weights.ravel(), rng, exclude=exclude
-            )
-            phi = RowSamplingMatrix(n=n, indices=indices)
-            operator = SensingOperator(phi, Dct2Basis(corrupted.shape))
-            measurements = phi.apply(corrupted.ravel())
-            if self.noise_sigma > 0.0:
-                measurements = measurements + rng.normal(
-                    0.0, self.noise_sigma, size=measurements.shape
-                )
-            result = solve(
-                self.solver, operator, measurements, **self.solver_options
-            )
-            return operator.synthesize(result.coefficients).reshape(
-                corrupted.shape
-            )
+        plan = DecodeContext(
+            shape=corrupted.shape,
+            sampling_fraction=self.sampling_fraction,
+            solver=self.solver,
+            solver_options=self.solver_options,
+            noise_sigma=self.noise_sigma,
+            exclude_mask=error_mask,
+            weights=weights,
+        )
+        return get_engine().decode(corrupted, plan, rng)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import fft as _fft
 
-from .operators import SensingOperator
+from .engine import get_engine
 from .sensing import RowSamplingMatrix
 from .solvers import solve
 
@@ -129,7 +129,7 @@ def reconstruct_burst(
     phi = RowSamplingMatrix(
         n=frames * pixels, indices=np.concatenate(voxel_indices)
     )
-    operator = SensingOperator(phi, Dct3Basis(burst.shape))
+    operator = get_engine().operator(phi, burst.shape, basis="dct3")
     measurements = phi.apply(burst.ravel())
     if noise_sigma > 0:
         measurements = measurements + rng.normal(

@@ -18,9 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.dct import Dct2Basis, idct2
+from ..core.dct import idct2
+from ..core.engine import get_engine
 from ..core.metrics import rmse
-from ..core.operators import SensingOperator
 from ..core.sensing import RowSamplingMatrix
 from ..core.solvers import solve
 from ..core.theory import error_bound, required_measurements
@@ -68,7 +68,7 @@ def run_eq1_phase_transition(
     rng = np.random.default_rng(seed)
     rows, cols = shape
     n = rows * cols
-    basis = Dct2Basis(shape)
+    engine = get_engine()
     points = []
     for sparsity in sparsities:
         for fraction in m_grid:
@@ -77,7 +77,7 @@ def run_eq1_phase_transition(
             for _ in range(trials):
                 image = _sparse_image(shape, sparsity, rng)
                 phi = RowSamplingMatrix.random(n, m, rng)
-                operator = SensingOperator(phi, basis)
+                operator = engine.operator(phi, shape)
                 result = solve(
                     solver, operator, phi.apply(image.ravel()), sparsity=sparsity
                 )
@@ -122,13 +122,13 @@ def run_eq2_bound(
     rows, cols = shape
     n = rows * cols
     m = max(1, int(round(m_fraction * n)))
-    basis = Dct2Basis(shape)
+    engine = get_engine()
     image = _sparse_image(shape, sparsity, rng)
-    coefficients = basis.analyze(image.ravel())
+    coefficients = engine.basis_for(shape).analyze(image.ravel())
     points = []
     for noise in noise_levels:
         phi = RowSamplingMatrix.random(n, m, rng)
-        operator = SensingOperator(phi, basis)
+        operator = engine.operator(phi, shape)
         measurements = phi.apply(image.ravel())
         if noise > 0:
             measurements = measurements + rng.normal(0.0, noise, size=m)

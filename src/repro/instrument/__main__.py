@@ -88,6 +88,71 @@ def _profile_resilience(args) -> str:
     return format_table(points)
 
 
+def _profile_engine_stream(args) -> str:
+    """Before/after bench of the engine cache on a same-shape stream.
+
+    Decodes a 20-frame 16x16 stream twice: once with the pre-refactor
+    per-call recipe (no cache, FFT basis, per-solve power iteration)
+    and once with the default cached engine.  The wall-clock of each
+    arm and their ratio land in the ``engine.stream.*`` gauges; the CI
+    bench-smoke job fails when the cached path stops being measurably
+    faster (a silent cache bypass).
+    """
+    import numpy as np
+
+    from . import set_gauge
+    from ..core.engine import DecodeContext, DecodeEngine
+
+    shape = (16, 16)
+    frames = max(2, args.frames if args.frames > 2 else 20)
+    rng = np.random.default_rng(args.seed)
+    r, c = np.mgrid[0 : shape[0], 0 : shape[1]]
+    scene = [
+        np.clip(
+            np.exp(
+                -((r - 8 - 3 * np.sin(0.3 * k)) ** 2 + (c - 8) ** 2) / 10.0
+            )
+            + 0.02 * rng.normal(size=shape),
+            0.0,
+            1.0,
+        )
+        for k in range(frames)
+    ]
+    plan = DecodeContext(
+        shape=shape, sampling_fraction=0.5, solver=args.solver
+    )
+
+    def run_stream(engine: DecodeEngine, label: str) -> float:
+        # Warm up imports/FFT plans outside the timed region.
+        engine.decode(scene[0], plan, np.random.default_rng(args.seed))
+        if engine.cache is not None:
+            engine.cache.clear()
+        start = time.perf_counter()
+        with span(f"engine.stream.{label}", frames=frames):
+            for k, frame in enumerate(scene):
+                engine.decode(frame, plan, np.random.default_rng(1000 + k))
+        return time.perf_counter() - start
+
+    baseline_s = run_stream(
+        DecodeEngine(cache=None, fast_basis=False), "baseline"
+    )
+    cached_s = run_stream(DecodeEngine(), "cached")
+    speedup = baseline_s / cached_s if cached_s > 0 else float("inf")
+    set_gauge("engine.stream.frames", frames)
+    set_gauge("engine.stream.baseline_s", baseline_s)
+    set_gauge("engine.stream.cached_s", cached_s)
+    set_gauge("engine.stream.speedup", speedup)
+    return (
+        f"engine stream bench: {frames} frames at {shape[0]}x{shape[1]}, "
+        f"solver={args.solver}\n"
+        f"  per-call rebuild (pre-engine recipe): {baseline_s:.3f} s "
+        f"({baseline_s / frames * 1e3:.1f} ms/frame)\n"
+        f"  cached engine:                        {cached_s:.3f} s "
+        f"({cached_s / frames * 1e3:.1f} ms/frame)\n"
+        f"  speedup:                              {speedup:.2f}x"
+    )
+
+
 PROFILES = {
     "fig2_sparsity": _profile_fig2,
     "fig6a_rmse": _profile_fig6a,
@@ -96,6 +161,7 @@ PROFILES = {
     "comm_cost": _profile_comm_cost,
     "scaling": _profile_scaling,
     "resilience_sweep": _profile_resilience,
+    "engine_stream": _profile_engine_stream,
 }
 """Profilable experiments: name -> runner(args) -> result table text."""
 

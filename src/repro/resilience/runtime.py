@@ -22,12 +22,12 @@ the :mod:`repro.instrument` report under ``resilience.*``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from .. import instrument
-from ..core.strategies import sample_and_reconstruct, validate_decode_inputs
+from ..core.engine import DecodeContext, get_engine, validate_decode_inputs
 from .health import FrameGuard, HealthReport, validate_reconstruction
 from .policies import ResiliencePolicy
 
@@ -188,6 +188,15 @@ class ResilientDecoder:
                     "exclusion mask leaves no pixels to sample "
                     f"({int(exclude_mask.sum())} of {frame.size} excluded)"
                 )
+        # One plan for the whole supervised decode: every retry round and
+        # fallback solver reuses the same cached operator template, so an
+        # attempt costs a solve, not a rebuild.
+        base_plan = DecodeContext(
+            shape=frame.shape,
+            sampling_fraction=sampling_fraction,
+            noise_sigma=noise_sigma,
+            exclude_mask=exclude_mask,
+        )
         policy = self.policy
         breaker = policy.breaker
         attempts: list[AttemptRecord] = []
@@ -211,10 +220,8 @@ class ResilientDecoder:
                         round_index,
                         solver,
                         frame,
-                        sampling_fraction,
+                        base_plan,
                         rng,
-                        exclude_mask,
-                        noise_sigma,
                         solver_options,
                         faults,
                     )
@@ -260,10 +267,8 @@ class ResilientDecoder:
         round_index: int,
         solver: str,
         frame: np.ndarray,
-        sampling_fraction: float,
+        base_plan: DecodeContext,
         rng: np.random.Generator,
-        exclude_mask: np.ndarray | None,
-        noise_sigma: float,
         solver_options: dict | None,
         faults: list[str],
     ):
@@ -277,21 +282,15 @@ class ResilientDecoder:
         breaker = policy.breaker
         options = dict(solver_options or {})
         options.update(policy.budget_for(solver).solver_options(solver))
+        plan = replace(base_plan, solver=solver, solver_options=options)
         start = time.perf_counter()
         instrument.incr("resilience.attempts")
         try:
             with instrument.span(
                 "resilience.attempt", solver=solver, round=round_index
             ):
-                decode = sample_and_reconstruct(
-                    frame,
-                    sampling_fraction,
-                    rng,
-                    solver=solver,
-                    exclude_mask=exclude_mask,
-                    noise_sigma=noise_sigma,
-                    solver_options=options,
-                    full_output=True,
+                decode = get_engine().decode(
+                    frame, plan, rng, full_output=True
                 )
         except Exception as exc:
             duration = time.perf_counter() - start

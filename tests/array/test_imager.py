@@ -96,3 +96,81 @@ class TestShiftRegisterClockSearch:
 
         with pytest.raises(ValueError):
             ShiftRegister(stages=2).max_functional_clock(low_hz=0.0)
+
+
+class TestResilientCapture:
+    def test_records_carry_status_and_solver(self):
+        from repro.resilience import ResiliencePolicy
+
+        imager = StreamingImager(
+            _encoder(), sampling_fraction=0.6,
+            policy=ResiliencePolicy(), seed=0,
+        )
+        records = imager.stream(_frames(3))
+        for record in records:
+            assert record.status == "ok"
+            assert record.solver == "fista"
+            assert rmse(record.clean, record.reconstructed) < 0.03
+
+    def test_without_policy_records_default_status(self):
+        imager = StreamingImager(_encoder(), sampling_fraction=0.6, seed=0)
+        record = imager.capture(_frames(1)[0])
+        assert record.status == "ok"
+        assert record.solver == "fista"
+
+    def test_solver_fault_degrades_frame_not_stream(self):
+        from repro.core.solvers import register_solve_hook, unregister_solve_hook
+        from repro.resilience import ResiliencePolicy
+
+        class KillFista:
+            def before_solve(self, solver, operator, b):
+                if solver == "fista":
+                    raise RuntimeError("primary down")
+                return b
+
+        imager = StreamingImager(
+            _encoder(), sampling_fraction=0.6,
+            policy=ResiliencePolicy(), seed=0,
+        )
+        frames = _frames(4)
+        clean_record = imager.capture(frames[0])
+        # Kill fista for the next frame: the chain must move on.
+        hook = KillFista()
+        register_solve_hook(hook)
+        try:
+            faulted_record = imager.capture(frames[1])
+        finally:
+            unregister_solve_hook(hook)
+        after_record = imager.capture(frames[2])
+        assert clean_record.status == "ok"
+        assert faulted_record.status == "degraded"
+        assert faulted_record.solver == "bp_dr"
+        assert np.all(np.isfinite(faulted_record.reconstructed))
+        assert after_record.status == "ok"  # stream recovers immediately
+        assert after_record.solver == "fista"
+
+    def test_total_failure_serves_held_frame(self):
+        from repro.resilience import ResiliencePolicy
+        from repro.resilience.chaos import SolverExceptionInjector, chaos
+
+        imager = StreamingImager(
+            _encoder(), sampling_fraction=0.6,
+            policy=ResiliencePolicy(), seed=0,
+        )
+        frames = _frames(2)
+        good = imager.capture(frames[0])
+        with chaos(SolverExceptionInjector(rate=1.0, seed=0)):
+            held = imager.capture(frames[1])
+        assert held.status == "fallback"
+        assert held.solver is None
+        # Zero-order hold: the delivered frame is the last good one.
+        np.testing.assert_array_equal(held.reconstructed, good.reconstructed)
+
+    def test_stream_uses_shared_engine_cache(self):
+        from repro.core.engine import DecodeEngine, use_engine
+
+        imager = StreamingImager(_encoder(), sampling_fraction=0.6, seed=0)
+        with use_engine(DecodeEngine()) as engine:
+            imager.stream(_frames(5))
+            assert engine.cache.misses == 1
+            assert engine.cache.hits == 4

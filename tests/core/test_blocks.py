@@ -83,3 +83,114 @@ class TestReconstruction:
                 np.zeros((32, 32)), np.random.default_rng(0),
                 exclude_mask=np.zeros((16, 16), dtype=bool),
             )
+
+
+class TestStrategyHook:
+    def test_strategy_object_validated(self):
+        with pytest.raises(TypeError, match="reconstruct"):
+            BlockProcessor(block_shape=(16, 16), strategy=object())
+
+    def test_tiles_route_through_strategy(self):
+        calls = []
+
+        class Recorder:
+            def reconstruct(self, tile, rng, **kwargs):
+                calls.append((tile.shape, sorted(kwargs)))
+                return np.zeros_like(tile)
+
+        processor = BlockProcessor(block_shape=(16, 16), strategy=Recorder())
+        out = processor.reconstruct(_big_frame(), np.random.default_rng(0))
+        assert out.shape == (32, 32)
+        assert calls == [((16, 16), [])] * 4
+
+    def test_strategy_receives_local_error_mask(self):
+        seen = []
+
+        class Recorder:
+            def reconstruct(self, tile, rng, error_mask=None, **_):
+                seen.append(error_mask.sum())
+                return np.zeros_like(tile)
+
+        frame = _big_frame()
+        mask = np.zeros((32, 32), dtype=bool)
+        mask[:16, :16] = True  # first tile fully masked
+        processor = BlockProcessor(block_shape=(16, 16), strategy=Recorder())
+        processor.reconstruct(frame, np.random.default_rng(0),
+                              exclude_mask=mask)
+        assert seen == [256, 0, 0, 0]
+
+    def test_resilient_strategy_collects_per_tile_outcomes(self):
+        from repro.core.strategies import NaiveStrategy
+        from repro.resilience import ResilientStrategy
+
+        wrapped = ResilientStrategy(
+            inner=NaiveStrategy(sampling_fraction=0.6)
+        )
+        processor = BlockProcessor(block_shape=(16, 16), strategy=wrapped)
+        frame = _big_frame()
+        out = processor.reconstruct(frame, np.random.default_rng(0))
+        assert rmse(frame, out) < 0.05
+        assert processor.last_outcomes is not None
+        assert len(processor.last_outcomes) == 4
+        origins = [origin for origin, _ in processor.last_outcomes]
+        assert origins == [(0, 0), (0, 16), (16, 0), (16, 16)]
+        for _, outcome in processor.last_outcomes:
+            assert outcome.status == "ok"
+            assert outcome.solver == "fista"
+
+    def test_per_tile_degradation_not_per_frame(self):
+        """A strategy that dies on one tile degrades that tile only."""
+        from repro.core.strategies import NaiveStrategy
+        from repro.resilience import ResiliencePolicy, ResilientStrategy
+        from repro.resilience.policies import RetryPolicy
+
+        class FlakyStrategy(NaiveStrategy):
+            tile_count = 0
+
+            def reconstruct(self, tile, rng, **kwargs):
+                FlakyStrategy.tile_count += 1
+                if FlakyStrategy.tile_count in (2, 3, 4):  # 2nd tile, all solvers
+                    raise RuntimeError("injected tile fault")
+                return super().reconstruct(tile, rng, **kwargs)
+
+        wrapped = ResilientStrategy(
+            inner=FlakyStrategy(sampling_fraction=0.6),
+            policy=ResiliencePolicy(retry=RetryPolicy(max_rounds=1)),
+        )
+        processor = BlockProcessor(block_shape=(16, 16), strategy=wrapped)
+        frame = _big_frame()
+        out = processor.reconstruct(frame, np.random.default_rng(0))
+        assert out.shape == frame.shape
+        assert np.all(np.isfinite(out))
+        statuses = [o.status for _, o in processor.last_outcomes]
+        assert statuses.count("fallback") == 1  # only the faulted tile
+        assert statuses.count("ok") == 3
+        # The three healthy tiles still reconstruct well.
+        good = np.ones((32, 32), dtype=bool)
+        good[:16, 16:] = False
+        frame_good = frame.copy()
+        masked_rmse = np.sqrt(np.mean((frame_good[good] - out[good]) ** 2))
+        assert masked_rmse < 0.05
+
+    def test_engine_cache_shared_across_tiles(self):
+        from repro.core.engine import DecodeEngine, use_engine
+
+        processor = BlockProcessor(block_shape=(16, 16),
+                                   sampling_fraction=0.6)
+        with use_engine(DecodeEngine()) as engine:
+            processor.reconstruct(_big_frame(), np.random.default_rng(0))
+            # 4 tiles, one shape: one miss, three hits.
+            assert engine.cache.misses == 1
+            assert engine.cache.hits == 3
+
+    def test_fully_excluded_tile_decodes_to_zeros(self):
+        frame = _big_frame()
+        mask = np.zeros((32, 32), dtype=bool)
+        mask[:16, :16] = True
+        processor = BlockProcessor(block_shape=(16, 16),
+                                   sampling_fraction=0.5)
+        out = processor.reconstruct(
+            frame, np.random.default_rng(0), exclude_mask=mask
+        )
+        np.testing.assert_array_equal(out[:16, :16], 0.0)
+        assert rmse(frame[16:, :], out[16:, :]) < 0.05

@@ -1,0 +1,66 @@
+"""Tier-1 enforcement of the engine seam.
+
+Runs ``tools/check_engine_seam.py`` over the library and example code:
+no ``Dct2Basis`` / ``Dct3Basis`` / ``Haar2Basis`` / ``SensingOperator``
+construction may exist outside ``repro.core.engine`` (one construction
+site is what makes the operator cache authoritative).
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_engine_seam.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_engine_seam", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_construction_outside_engine(capsys):
+    checker = _load_checker()
+    code = checker.main([])
+    out = capsys.readouterr()
+    assert code == 0, f"engine-seam violations:\n{out.out}"
+
+
+def test_checker_flags_guarded_calls(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.core import Dct2Basis, SensingOperator\n"
+        "basis = Dct2Basis((8, 8))\n"
+        "op = SensingOperator(phi, basis)\n"
+    )
+    problems = checker.check_file(bad)
+    assert len(problems) == 2
+    assert "Dct2Basis" in problems[0]
+    assert "SensingOperator" in problems[1]
+
+
+def test_checker_ignores_strings_and_definitions(tmp_path):
+    checker = _load_checker()
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "class Dct2Basis:\n"
+        "    def clone(self):\n"
+        "        return Dct2Basis()\n"  # home module may self-construct
+        "\n"
+        'LABEL = "SensingOperator(phi, basis)"\n'  # repr text, not a call
+    )
+    assert checker.check_file(ok) == []
+
+
+def test_checker_cli_exit_codes(tmp_path, capsys):
+    checker = _load_checker()
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert checker.main([str(good)]) == 0
+    bad = tmp_path / "bad.py"
+    bad.write_text("y = Dct2Basis((4, 4))\n")
+    assert checker.main([str(bad)]) == 1
+    out = capsys.readouterr()
+    assert "outside" in out.out

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Engine-seam checker: no basis/operator construction outside the engine.
+
+The refactor that introduced :mod:`repro.core.engine` made
+``DecodeEngine.operator`` the repo's only sanctioned construction site
+for sensing operators and sparsifying bases -- that is what lets the
+operator cache amortise construction across same-shape decodes, and
+what keeps one canonical sample->solve->reshape recipe instead of the
+five divergent copies the engine replaced.
+
+This checker walks the AST of every library and example module and
+fails on any *call* to a guarded constructor (``Dct2Basis``,
+``Dct3Basis``, ``Haar2Basis``, ``SensingOperator``) outside the allowed
+modules.  An AST walk rather than a grep keeps class definitions,
+docstrings and ``repr`` strings from false-positiving.
+
+Allowed sites:
+
+* ``src/repro/core/engine.py`` -- the seam itself;
+* the modules that *define* a guarded class may construct it inside
+  methods of that class (e.g. ``to_matrix`` round-trips);
+* tests and benchmarks (they exercise the raw pieces on purpose).
+
+Usage::
+
+    python tools/check_engine_seam.py            # check src/ + examples/
+    python tools/check_engine_seam.py PATH ...   # check specific files
+
+Exit code 0 when clean, 1 with one ``path:line: message`` per violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+GUARDED = {"Dct2Basis", "Dct3Basis", "Haar2Basis", "SensingOperator"}
+"""Constructor names that may only be called inside the engine."""
+
+ALLOWED = {
+    "src/repro/core/engine.py",
+}
+"""Modules allowed to call any guarded constructor."""
+
+SCANNED = ["src/repro", "examples"]
+"""Paths (relative to the repo root) held to the seam."""
+
+
+def _defined_classes(tree: ast.Module) -> set[str]:
+    """Guarded classes defined in this module (their home may self-construct)."""
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef) and node.name in GUARDED
+    }
+
+
+def check_file(path: Path) -> list[str]:
+    """Return ``path:line: message`` strings for seam violations in a file."""
+    try:
+        rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:  # outside the repo (explicit CLI argument)
+        rel = path.as_posix()
+    if rel in ALLOWED:
+        return []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    home_classes = _defined_classes(tree)
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in GUARDED and name not in home_classes:
+            problems.append(
+                f"{rel}:{node.lineno}: {name}(...) constructed outside "
+                "repro.core.engine -- route through "
+                "get_engine().operator()/basis_for() instead"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns the exit code."""
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = []
+        for root in SCANNED:
+            files.extend(sorted((REPO_ROOT / root).rglob("*.py")))
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} engine-seam violation(s)")
+        return 1
+    print(f"engine seam intact across {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
