@@ -1,0 +1,111 @@
+"""Adaptive self-tuning resilience under array-layer fault injection.
+
+Streams the same scene through the hardware-modelled imager twice while
+array-layer chaos injectors break it mid-run -- pixel rows stick at the
+dark rail and ADC codes suffer random bit flips:
+
+* the **static** arm runs the default
+  :class:`~repro.resilience.ResiliencePolicy` (fallback chain, health
+  validation, last-good-frame hold), unchanged frame to frame;
+* the **adaptive** arm wraps the same base policy in an
+  :class:`~repro.resilience.AdaptivePolicy` controller: after every
+  scan it runs the full readout codes through
+  :func:`~repro.array.detect_stuck_lines`, accumulates detections into
+  a sticky sampling-exclusion mask (steering the *next* frame's
+  measurements away from the dead rows -- Sec. 4.2's exclusion
+  strategy, with health monitoring standing in for the oracle), and
+  escalates the fallback chain and retry rounds when the fault rate
+  rises.
+
+Both arms deliver every frame; the adaptive arm recovers a visibly
+lower RMSE once it has learned the stuck rows, and the printed
+adaptation log shows exactly when and why each adjustment happened.
+
+Run:  python examples/adaptive_resilience.py
+"""
+
+import numpy as np
+
+from repro.array import ActiveMatrix, FlexibleEncoder, ReadoutChain, StreamingImager
+from repro.core import rmse
+from repro.resilience import (
+    AdaptivePolicy,
+    AdcBitFlipInjector,
+    ResiliencePolicy,
+    StuckPixelRowInjector,
+    chaos,
+)
+
+SHAPE = (16, 16)
+FRAMES = 20
+SEED = 0
+
+
+def make_scene(count: int, shape=SHAPE) -> np.ndarray:
+    """A drifting warm blob on a 0.15 pedestal.
+
+    The pedestal keeps healthy pixels off the ADC zero rail, so the
+    stuck-line detector only fires on genuinely broken rows.
+    """
+    r, c = np.mgrid[0 : shape[0], 0 : shape[1]]
+    frames = []
+    for k in range(count):
+        cy = shape[0] * (0.45 + 0.1 * np.sin(0.25 * k))
+        cx = shape[1] * (0.5 + 0.12 * np.cos(0.2 * k))
+        blob = np.exp(-((r - cy) ** 2 + (c - cx) ** 2) / 12.0)
+        frames.append(np.clip(0.15 + 0.8 * blob, 0.0, 1.0))
+    return np.stack(frames)
+
+
+def run_arm(scene: np.ndarray, adaptive: AdaptivePolicy | None) -> list:
+    """Stream the scene under injected array faults; returns the records."""
+    encoder = FlexibleEncoder(
+        ActiveMatrix(SHAPE), readout=ReadoutChain(noise_sigma_v=0.0)
+    )
+    imager = StreamingImager(
+        encoder,
+        sampling_fraction=0.5,
+        policy=None if adaptive is not None else ResiliencePolicy(),
+        adaptive=adaptive,
+        seed=SEED,
+    )
+    injectors = (
+        StuckPixelRowInjector(rate=0.2, seed=SEED + 100),
+        AdcBitFlipInjector(rate=0.2, seed=SEED + 101),
+    )
+    with chaos(*injectors):
+        return imager.stream(scene)
+
+
+def main() -> None:
+    scene = make_scene(FRAMES)
+    static_records = run_arm(scene, adaptive=None)
+    adaptive = AdaptivePolicy()
+    adaptive_records = run_arm(scene, adaptive=adaptive)
+
+    print("Array-layer chaos: 20% stuck-row + 20% ADC bit-flip injection")
+    print(f"{'frame':>6} {'static RMSE':>12} {'adaptive RMSE':>14} "
+          f"{'adaptive status':>16}")
+    for s_rec, a_rec in zip(static_records, adaptive_records):
+        print(
+            f"{s_rec.index:>6} {rmse(s_rec.clean, s_rec.reconstructed):>12.4f} "
+            f"{rmse(a_rec.clean, a_rec.reconstructed):>14.4f} "
+            f"{a_rec.status:>16}"
+        )
+
+    static_mean = np.mean(
+        [rmse(r.clean, r.reconstructed) for r in static_records]
+    )
+    adaptive_mean = np.mean(
+        [rmse(r.clean, r.reconstructed) for r in adaptive_records]
+    )
+    print(f"\nmean RMSE, static policy:   {static_mean:.4f}")
+    print(f"mean RMSE, adaptive policy: {adaptive_mean:.4f}")
+    mask = adaptive.exclusion_mask(SHAPE)
+    excluded = 0 if mask is None else int(mask.sum())
+    print(f"pixels excluded by the controller: {excluded} "
+          f"(level {adaptive.level} at end of stream)")
+
+
+if __name__ == "__main__":
+    main()

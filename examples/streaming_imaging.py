@@ -11,7 +11,9 @@ Every frame decodes through the shared engine (one cached 16x16
 operator for the whole stream) under a
 :class:`~repro.resilience.ResiliencePolicy`: a solver fault mid-stream
 falls back down the fista -> bp_dr -> omp chain or serves the last good
-frame, and the per-frame ``status`` column shows which path ran.
+frame, and the per-frame ``status`` column shows which path ran.  For
+the self-tuning variant that also excludes detected stuck lines from
+sampling, see ``examples/adaptive_resilience.py``.
 
 Run:  python examples/streaming_imaging.py
 """

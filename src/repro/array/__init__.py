@@ -10,12 +10,16 @@ from .active_matrix import ActiveMatrix
 from .drivers import DriverTiming, ScanDrivers
 from .energy import EnergyModel, ScanEnergy
 from .flexible_encoder import EncoderOutput, FlexibleEncoder
+from .hooks import array_hooks, register_array_hook, unregister_array_hook
 from .imager import FrameRecord, StreamingImager
 from .programming import DriverProgram, program_drivers, verify_row_program
 from .readout import ReadoutChain, detect_stuck_lines
 from .scanner import ScanCycle, ScanSchedule
 
 __all__ = [
+    "register_array_hook",
+    "unregister_array_hook",
+    "array_hooks",
     "ActiveMatrix",
     "ScanDrivers",
     "DriverTiming",

@@ -23,6 +23,7 @@ from ..devices.cnt_tft import CntTft, TftParameters
 from ..devices.defects import DefectMap
 from ..devices.temperature_sensor import PtTemperatureSensor, TemperaturePixel
 from ..devices.variation import VariationModel
+from .hooks import _ARRAY_HOOKS, apply_transduce_hooks
 
 __all__ = ["ActiveMatrix"]
 
@@ -142,6 +143,11 @@ class ActiveMatrix:
         physics differ but the error structure is the same: a per-pixel
         multiplicative gain error (from the access-TFT spread) and
         stuck extremes at defects.  Input and output are in [0, 1].
+
+        Array-layer ``on_transduce`` fault hooks
+        (:mod:`repro.array.hooks`) run last, so injected stuck-pixel
+        rows overlay fabricated defects exactly like in-service
+        failures on a production-tested array.
         """
         frame = np.asarray(frame, dtype=float)
         if frame.shape != self.shape:
@@ -151,6 +157,8 @@ class ActiveMatrix:
         out = np.clip(frame * gain, 0.0, 1.0)
         if self.defect_map is not None:
             out = np.where(self._defect_mask, np.nan_to_num(self._stuck), out)
+        if _ARRAY_HOOKS:
+            out = np.asarray(apply_transduce_hooks(self, out), dtype=float)
         return out
 
     @property

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..circuits.shift_register import ShiftRegister
+from .hooks import _ARRAY_HOOKS, apply_scan_cycle_hooks
 from .scanner import ScanSchedule
 
 __all__ = ["DriverTiming", "ScanDrivers"]
@@ -61,6 +62,12 @@ class ScanDrivers:
         ``column_select`` is the one-hot (boolean) column word;
         ``row_mask`` the boolean row word.  This is the functional view
         the encoder consumes.
+
+        Cycles pass through the array-layer hook seam
+        (:mod:`repro.array.hooks`): a registered fault injector may
+        rewrite a cycle's row mask (a stuck or dead row-select line) or
+        drop the cycle entirely (a missed scan); the encoder tolerates
+        the resulting missing reads.
         """
         rows, cols = self.array_shape
         if schedule.array_shape != self.array_shape:
@@ -68,7 +75,13 @@ class ScanDrivers:
         for cycle in schedule.cycles:
             column_select = np.zeros(cols, dtype=bool)
             column_select[cycle.column] = True
-            yield column_select, cycle.row_mask.astype(bool)
+            row_mask = cycle.row_mask.astype(bool)
+            if _ARRAY_HOOKS:
+                hooked = apply_scan_cycle_hooks(self, column_select, row_mask)
+                if hooked is None:
+                    continue
+                column_select, row_mask = hooked
+            yield column_select, row_mask
 
     def scan_time_s(self, schedule: ScanSchedule) -> float:
         """Wall-clock time of a full scan at the configured clock.

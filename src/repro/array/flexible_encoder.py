@@ -46,12 +46,23 @@ class EncoderOutput:
         The scan plan (for cost accounting).
     scan_time_s:
         Wall-clock scan duration at the driver clock.
+    codes:
+        The full 2-D frame of readout codes the scan sampled from
+        (post-ADC).  Health consumers run
+        :func:`~repro.array.readout.detect_stuck_lines` on it to feed
+        stuck-line masks back into the sampling exclusions.
+    missing_reads:
+        Sampled pixels the drivers never delivered (dropped scan cycle
+        or dead row-select line); their measurements read the dark code
+        ``0.0``.
     """
 
     measurements: np.ndarray
     phi: RowSamplingMatrix
     schedule: ScanSchedule
     scan_time_s: float
+    codes: np.ndarray | None = None
+    missing_reads: int = 0
 
 
 class FlexibleEncoder:
@@ -89,6 +100,12 @@ class FlexibleEncoder:
         Instrumented under the ``encoder.scan`` span (measurement count,
         scan cycles, modelled scan time) with ``encoder.scans`` /
         ``encoder.measurements`` counters.
+
+        Sampled pixels the drivers never delivered -- a scan cycle
+        dropped or a row-select line dead under array-layer fault
+        injection -- read the dark code ``0.0`` (the S/H holds nothing)
+        rather than crashing the scan; they are counted under
+        ``encoder.missing_reads`` and reported on the output.
         """
         with instrument.span("encoder.scan", m=len(phi.indices)) as sp:
             rows, cols = self.array.shape
@@ -98,7 +115,12 @@ class FlexibleEncoder:
                 column = int(np.flatnonzero(column_select)[0])
                 for row in np.flatnonzero(row_mask):
                     acquired[int(row) * cols + column] = readings[int(row), column]
-            measurements = np.array([acquired[i] for i in phi.indices])
+            missing = sum(1 for i in phi.indices if i not in acquired)
+            if missing:
+                instrument.incr("encoder.missing_reads", missing)
+            measurements = np.array(
+                [acquired.get(i, 0.0) for i in phi.indices], dtype=float
+            )
             scan_time_s = self.drivers.scan_time_s(schedule)
             sp.set(cycles=schedule.num_cycles, scan_time_s=scan_time_s)
             instrument.incr("encoder.scans")
@@ -108,6 +130,8 @@ class FlexibleEncoder:
                 phi=phi,
                 schedule=schedule,
                 scan_time_s=scan_time_s,
+                codes=np.asarray(readings, dtype=float),
+                missing_reads=missing,
             )
 
     def scan_normalized(
@@ -131,7 +155,20 @@ class FlexibleEncoder:
         signal.  Stuck pixels calibrate to a degenerate span and are
         clamped to a safe span of one LSB (their readings stay extreme,
         exactly like the fabricated array's defective pixels).
+
+        Non-finite reference temperatures and a zero-width span are
+        rejected up front: both would bake a degenerate calibration
+        into every subsequent scan.
         """
+        if not (np.isfinite(t_low) and np.isfinite(t_high)):
+            raise ValueError(
+                f"calibration temperatures must be finite, got "
+                f"({t_low}, {t_high})"
+            )
+        if t_low == t_high:
+            raise ValueError(
+                f"zero-width calibration span: t_low == t_high == {t_low}"
+            )
         codes = []
         for temperature in (t_low, t_high):
             uniform = np.full(self.array.shape, float(temperature))

@@ -1,0 +1,109 @@
+"""Fault/observation hook seam for the array layer.
+
+The solver dispatch in :mod:`repro.core.solvers` exposes
+``register_solve_hook`` so chaos injectors can attack the decode stack;
+this module is the same seam for the *physical* layer -- the scan
+drivers, the analog readout chain, the ADC and the active matrix.  A
+hook is any object exposing one or more of the optional methods below;
+each attaches to a different point of the acquisition path:
+
+* ``on_scan_cycle(drivers, column_select, row_mask)`` -- called per
+  scan cycle before the drivers yield it.  May return a replacement
+  ``(column_select, row_mask)`` pair (a stuck or dead row-select line)
+  or ``None`` to drop the cycle entirely (a missed scan).
+* ``on_transduce(array, frame)`` -- called on the active matrix's
+  transduced output; may return a replacement frame (stuck pixel rows).
+* ``on_analog(chain, volts)`` -- called on the analog voltage vector
+  before quantisation; may return a replacement (saturation bursts,
+  gain drift, analog noise injection).
+* ``on_codes(chain, codes)`` -- called on the raw *integer* ADC codes
+  after quantisation and before normalisation; may return a
+  replacement (bit flips).  Returned codes are re-clipped to the ADC
+  range, matching real hardware registers.
+
+Hooks run in registration order; with no hooks registered each seam
+costs one empty-list check.  The attach point for
+:mod:`repro.resilience.array_chaos` injectors is the shared
+:func:`repro.resilience.chaos` context manager, which dispatches on
+each injector's ``layer`` attribute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "register_array_hook",
+    "unregister_array_hook",
+    "array_hooks",
+    "apply_scan_cycle_hooks",
+    "apply_transduce_hooks",
+    "apply_analog_hooks",
+    "apply_code_hooks",
+]
+
+_ARRAY_HOOKS: list = []
+
+
+def register_array_hook(hook) -> None:
+    """Install an array-layer hook (see the module docstring for the
+    optional ``on_scan_cycle`` / ``on_transduce`` / ``on_analog`` /
+    ``on_codes`` protocol)."""
+    _ARRAY_HOOKS.append(hook)
+
+
+def unregister_array_hook(hook) -> None:
+    """Remove a previously registered hook (no-op if absent)."""
+    try:
+        _ARRAY_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def array_hooks() -> tuple:
+    """The currently installed array hooks, in execution order."""
+    return tuple(_ARRAY_HOOKS)
+
+
+def apply_scan_cycle_hooks(drivers, column_select, row_mask):
+    """Run ``on_scan_cycle`` hooks over one scan cycle.
+
+    Returns the (possibly replaced) ``(column_select, row_mask)`` pair,
+    or ``None`` when a hook dropped the cycle.
+    """
+    for hook in _ARRAY_HOOKS:
+        method = getattr(hook, "on_scan_cycle", None)
+        if method is None:
+            continue
+        replaced = method(drivers, column_select, row_mask)
+        if replaced is None:
+            return None
+        column_select, row_mask = replaced
+    return column_select, row_mask
+
+
+def apply_transduce_hooks(array, frame: np.ndarray) -> np.ndarray:
+    """Run ``on_transduce`` hooks over a transduced frame."""
+    for hook in _ARRAY_HOOKS:
+        method = getattr(hook, "on_transduce", None)
+        if method is not None:
+            frame = method(array, frame)
+    return frame
+
+
+def apply_analog_hooks(chain, volts: np.ndarray) -> np.ndarray:
+    """Run ``on_analog`` hooks over a pre-quantisation voltage vector."""
+    for hook in _ARRAY_HOOKS:
+        method = getattr(hook, "on_analog", None)
+        if method is not None:
+            volts = method(chain, volts)
+    return volts
+
+
+def apply_code_hooks(chain, codes: np.ndarray) -> np.ndarray:
+    """Run ``on_codes`` hooks over raw integer ADC codes."""
+    for hook in _ARRAY_HOOKS:
+        method = getattr(hook, "on_codes", None)
+        if method is not None:
+            codes = method(chain, codes)
+    return codes

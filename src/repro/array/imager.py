@@ -31,6 +31,7 @@ from ..core.solvers import solve
 from ..resilience.health import FrameGuard, validate_reconstruction
 from ..resilience.policies import ResiliencePolicy
 from .flexible_encoder import FlexibleEncoder
+from .readout import detect_stuck_lines
 
 __all__ = ["FrameRecord", "StreamingImager"]
 
@@ -84,6 +85,15 @@ class StreamingImager:
         under health validation; if every solver fails the frame is
         served from the last-good-frame guard and the record is marked
         ``"fallback"``.  ``None`` keeps the raw single-solver behaviour.
+    adaptive:
+        Optional :class:`~repro.resilience.adaptive.AdaptivePolicy`.
+        When set, it supplies the (self-tuning) policy each frame, the
+        full readout codes are run through
+        :func:`~repro.array.readout.detect_stuck_lines` after every
+        scan (detections feed the controller's sticky exclusion mask,
+        steering the *next* frame's sampling away from dead lines),
+        and each frame's delivery status is fed back so the policy
+        escalates/de-escalates with the stream's health.
     seed:
         RNG seed for Phi_M draws.
     """
@@ -95,6 +105,7 @@ class StreamingImager:
     outlier_threshold: float = 0.15
     solver: str = "fista"
     policy: ResiliencePolicy | None = None
+    adaptive: object | None = None
     seed: int = 0
     _history: list[np.ndarray] = field(default_factory=list, repr=False)
     _count: int = field(default=0, repr=False)
@@ -107,6 +118,12 @@ class StreamingImager:
         self._rng = np.random.default_rng(self.seed)
         self._guard = FrameGuard()
 
+    def _effective_policy(self) -> ResiliencePolicy | None:
+        """The policy governing the next frame (adaptive takes over)."""
+        if self.adaptive is not None:
+            return self.adaptive.policy
+        return self.policy
+
     def _exclusions(self, corrupted: np.ndarray) -> np.ndarray:
         mask = self.encoder.array.defect_mask
         if self.rpca_window > 1 and len(self._history) >= 2:
@@ -116,16 +133,18 @@ class StreamingImager:
             )[-1]
             if detected.mean() <= 0.5:  # sanity guard, as in the strategy
                 mask = mask | detected
+        if self.adaptive is not None:
+            stuck = self.adaptive.exclusion_mask(mask.shape)
+            if stuck is not None:
+                mask = mask | stuck
         return mask
 
-    def _solver_chain(self) -> list[str]:
+    def _solver_chain(self, policy: ResiliencePolicy | None) -> list[str]:
         """Solvers to try for one frame, first choice first."""
-        if self.policy is None:
+        if policy is None:
             return [self.solver]
         chain = [self.solver]
-        chain.extend(
-            s for s in self.policy.fallback_chain if s not in chain
-        )
+        chain.extend(s for s in policy.fallback_chain if s not in chain)
         return chain
 
     def _decode(
@@ -134,18 +153,20 @@ class StreamingImager:
         """Solve the scanned measurements; returns (frame, status, solver).
 
         Without a policy this is a bare solve with the engine-cached
-        operator.  With one, each solver of the chain is tried in turn
-        and its reconstruction health-validated; the guard serves the
+        operator.  With one (static or the adaptive controller's
+        current tuning), each solver of the chain is tried in turn and
+        its reconstruction health-validated; the guard serves the
         fallback frame when the whole chain fails.
         """
         operator = get_engine().operator(phi, shape)
-        if self.policy is None:
+        policy = self._effective_policy()
+        if policy is None:
             result = solve(self.solver, operator, measurements)
             frame = operator.synthesize(result.coefficients).reshape(shape)
             self._guard.update(frame)
             return frame, "ok", self.solver
-        for rank, solver in enumerate(self._solver_chain()):
-            options = self.policy.budget_for(solver).solver_options(solver)
+        for rank, solver in enumerate(self._solver_chain(policy)):
+            options = policy.budget_for(solver).solver_options(solver)
             try:
                 result = solve(solver, operator, measurements, **options)
             except Exception:
@@ -154,10 +175,10 @@ class StreamingImager:
             health = validate_reconstruction(
                 frame,
                 expected_shape=shape,
-                value_range=self.policy.value_range,
+                value_range=policy.value_range,
                 solver_result=result,
                 measurements=measurements,
-                residual_factor=self.policy.residual_factor,
+                residual_factor=policy.residual_factor,
             )
             if not health.ok:
                 continue
@@ -188,9 +209,15 @@ class StreamingImager:
             exclude=excluded if len(excluded) else None,
         )
         output = self.encoder.scan_normalized(corrupted, phi)
+        if self.adaptive is not None and output.codes is not None:
+            stuck = detect_stuck_lines(output.codes)
+            if stuck.any():
+                self.adaptive.observe_readout(stuck)
         reconstructed, status, used_solver = self._decode(
             output.measurements, phi, shape
         )
+        if self.adaptive is not None:
+            self.adaptive.observe_status(status)
         if self.rpca_window > 1:
             self._history.append(corrupted)
             if len(self._history) > self.rpca_window:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import instrument
+from .hooks import _ARRAY_HOOKS, apply_analog_hooks, apply_code_hooks
 
 __all__ = ["ReadoutChain", "detect_stuck_lines"]
 
@@ -44,12 +45,14 @@ def detect_stuck_lines(
         Boolean mask, same shape as ``codes``, ``True`` on every pixel
         belonging to a fully stuck row or column.  All-``False`` when
         nothing is stuck (single-row/column frames are judged like any
-        other line).
+        other line).  Non-finite readings count as at-rail: a line that
+        reads NaN/Inf is broken by definition, even though the value is
+        not literally a rail code.
     """
     codes = np.asarray(codes, dtype=float)
     if codes.ndim != 2:
         raise ValueError(f"expected a 2-D frame, got shape {codes.shape}")
-    at_rail = (codes == low) | (codes == high)
+    at_rail = (codes == low) | (codes == high) | ~np.isfinite(codes)
     stuck_rows = at_rail.all(axis=1)
     stuck_cols = at_rail.all(axis=0)
     mask = np.zeros(codes.shape, dtype=bool)
@@ -94,6 +97,18 @@ class ReadoutChain:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        for field_name in (
+            "transimpedance_ohm",
+            "amplifier_gain",
+            "sh_droop",
+            "noise_sigma_v",
+            "full_scale_v",
+        ):
+            value = getattr(self, field_name)
+            if not np.isfinite(value):
+                raise ValueError(
+                    f"{field_name} must be finite, got {value}"
+                )
         if self.transimpedance_ohm <= 0 or self.amplifier_gain <= 0:
             raise ValueError("gains must be positive")
         if not 0.0 <= self.sh_droop < 1.0:
@@ -104,6 +119,12 @@ class ReadoutChain:
             raise ValueError("adc_bits must be >= 1")
         if self.full_scale_v <= 0:
             raise ValueError("full_scale_v must be positive")
+        if self.lsb_v <= 0:
+            raise ValueError(
+                f"degenerate quantisation step: full_scale_v="
+                f"{self.full_scale_v} over {self.adc_bits} bits gives "
+                f"lsb_v={self.lsb_v}; lower adc_bits or raise full_scale_v"
+            )
         self._rng = np.random.default_rng(self.seed)
 
     @classmethod
@@ -115,15 +136,31 @@ class ReadoutChain:
         Picks ``transimpedance_ohm`` so that ``max_current_a`` lands at
         ``full_scale / headroom`` after the amplifier -- the auto-range
         step a real acquisition system performs at calibration time.
+        Rejects non-finite calibration inputs and a current range whose
+        auto-ranged transimpedance degenerates to zero (the "zero-width
+        current range" configuration that would otherwise surface as a
+        cryptic gain error deep in ``__post_init__``).
         """
+        if not np.isfinite(max_current_a):
+            raise ValueError(
+                f"max_current_a must be finite, got {max_current_a}"
+            )
         if max_current_a <= 0:
             raise ValueError("max_current_a must be positive")
+        if not np.isfinite(headroom):
+            raise ValueError(f"headroom must be finite, got {headroom}")
         if headroom < 1.0:
             raise ValueError("headroom must be >= 1")
         probe = cls(**kwargs)
         transimpedance = probe.full_scale_v / (
             headroom * max_current_a * probe.amplifier_gain
         )
+        if not np.isfinite(transimpedance) or transimpedance <= 0:
+            raise ValueError(
+                f"current range [0, {max_current_a}] A auto-ranges to a "
+                f"degenerate transimpedance ({transimpedance}); the range "
+                "is too wide for this amplifier/full-scale configuration"
+            )
         kwargs["transimpedance_ohm"] = transimpedance
         return cls(**kwargs)
 
@@ -171,7 +208,18 @@ class ReadoutChain:
         report.  NaN inputs (a poisoned analog chain) are clamped to
         zero rather than silently quantised into garbage codes, and
         counted under ``readout.nonfinite``.
+
+        Array-layer fault hooks (:mod:`repro.array.hooks`) attach here:
+        ``on_analog`` injectors rewrite the voltage vector before the
+        saturation/nonfinite accounting (so injected saturation bursts
+        and gain drift are *counted* exactly like organic ones), and
+        ``on_codes`` injectors rewrite the raw integer codes (ADC bit
+        flips) before normalisation.
         """
+        if _ARRAY_HOOKS:
+            volts = np.asarray(
+                apply_analog_hooks(self, volts), dtype=float
+            )
         nonfinite = ~np.isfinite(volts)
         if nonfinite.any():
             instrument.incr("readout.nonfinite", int(nonfinite.sum()))
@@ -183,4 +231,10 @@ class ReadoutChain:
         volts = np.clip(volts, 0.0, self.full_scale_v)
         codes = np.round(volts / self.lsb_v)
         codes = np.minimum(codes, 2**self.adc_bits - 1)
+        if _ARRAY_HOOKS:
+            codes = np.clip(
+                np.asarray(apply_code_hooks(self, codes), dtype=float),
+                0,
+                2**self.adc_bits - 1,
+            )
         return codes / (2**self.adc_bits - 1)

@@ -53,7 +53,7 @@ import os
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from types import MappingProxyType
 from typing import Callable, Mapping, NamedTuple
 
@@ -441,6 +441,30 @@ class DecodeContext:
             sampling_fraction=sampling_fraction,
             **kwargs,
         )
+
+    def with_exclusions(
+        self, mask: np.ndarray | None
+    ) -> "DecodeContext":
+        """A copy of this plan with ``mask`` OR-merged into its exclusions.
+
+        ``None`` (or an all-``False`` mask) returns ``self`` unchanged,
+        so streaming callers can apply a health-derived stuck-line mask
+        per frame without paying a plan rebuild on healthy frames.
+        """
+        if mask is None:
+            return self
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.shape:
+            raise ValueError(
+                f"exclusion mask shape {mask.shape} does not match plan "
+                f"shape {self.shape}"
+            )
+        if not mask.any():
+            return self
+        merged = (
+            mask if self.exclude_mask is None else (self.exclude_mask | mask)
+        )
+        return replace(self, exclude_mask=merged)
 
 
 @dataclass

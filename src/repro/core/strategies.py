@@ -198,9 +198,19 @@ class ResamplingStrategy:
             )
 
     def reconstruct(
-        self, corrupted: np.ndarray, rng: np.random.Generator, **_
+        self,
+        corrupted: np.ndarray,
+        rng: np.random.Generator,
+        error_mask: np.ndarray | None = None,
+        **_,
     ) -> np.ndarray:
-        """Aggregate ``rounds`` independent reconstructions per pixel."""
+        """Aggregate ``rounds`` independent reconstructions per pixel.
+
+        ``error_mask`` pixels (known defects, detected stuck lines) are
+        excluded from sampling in every round -- resampling and
+        exclusion compose, which is how the adaptive runtime feeds
+        health-derived masks into this strategy.
+        """
         corrupted = validate_decode_inputs(
             corrupted, self.sampling_fraction, self.noise_sigma
         )
@@ -211,7 +221,7 @@ class ResamplingStrategy:
             solver=self.solver,
             solver_options=self.solver_options,
             noise_sigma=self.noise_sigma,
-        )
+        ).with_exclusions(error_mask)
         stack = np.stack(
             [engine.decode(corrupted, plan, rng) for _ in range(self.rounds)]
         )

@@ -5,11 +5,17 @@ frame be reconstructed?"; this package answers "what happens when the
 decode itself misbehaves?" -- a crashing or diverging solver, poisoned
 or dropped measurements, a blown latency budget.  Three pieces:
 
-* :mod:`~repro.resilience.chaos` -- composable fault injectors that
-  attach to the solver dispatch seam, so any experiment or test can run
-  under a reproducible fault mix;
+* :mod:`~repro.resilience.chaos` + :mod:`~repro.resilience.array_chaos`
+  -- composable fault injectors that attach to the solver dispatch seam
+  and the array-layer hook seam (stuck gate lines, dropped scan cycles,
+  ADC bit flips, saturation bursts, gain drift, stuck pixel rows), so
+  any experiment or test can run under a reproducible fault mix;
 * :mod:`~repro.resilience.policies` -- declarative knobs: solver
   fallback chain, retry bounds, per-solver budgets, circuit breaker;
+* :mod:`~repro.resilience.adaptive` -- a feedback controller that
+  re-tunes the live policy between frames from health telemetry
+  (escalation levels, breaker-aware probe budgets, sticky stuck-line
+  sampling exclusions);
 * :mod:`~repro.resilience.runtime` + :mod:`~repro.resilience.health` --
   the supervised decode loop that health-validates every frame and
   degrades gracefully (last-good-frame hold) instead of failing.
@@ -31,6 +37,16 @@ Quickstart::
 See ``docs/RESILIENCE.md`` for the full tour.
 """
 
+from .adaptive import AdaptationEvent, AdaptivePolicy
+from .array_chaos import (
+    AdcBitFlipInjector,
+    DroppedCycleInjector,
+    GainDriftInjector,
+    SaturationBurstInjector,
+    StuckLineInjector,
+    StuckPixelRowInjector,
+    default_array_taxonomy,
+)
 from .chaos import (
     BudgetExhaustionInjector,
     FaultInjector,
@@ -76,6 +92,17 @@ __all__ = [
     "BudgetExhaustionInjector",
     "chaos",
     "default_taxonomy",
+    # array-layer chaos
+    "StuckLineInjector",
+    "DroppedCycleInjector",
+    "AdcBitFlipInjector",
+    "SaturationBurstInjector",
+    "GainDriftInjector",
+    "StuckPixelRowInjector",
+    "default_array_taxonomy",
+    # adaptive
+    "AdaptationEvent",
+    "AdaptivePolicy",
     # health
     "HealthReport",
     "validate_reconstruction",

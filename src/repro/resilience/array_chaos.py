@@ -1,0 +1,339 @@
+"""Array-layer fault injectors: chaos for the physical acquisition path.
+
+The solver-layer taxonomy in :mod:`repro.resilience.chaos` attacks the
+decode stack; this module attacks the hardware model *upstream* of it --
+the scan drivers, the active matrix, the analog front end and the ADC.
+These are the faults a deployed large-area array actually develops in
+service (Sec. 2 of the paper motivates exactly this failure physics):
+
+==============================  ======================================
+injector                        simulates
+==============================  ======================================
+:class:`StuckLineInjector`        stuck/dead row-select gate lines
+:class:`DroppedCycleInjector`     missed scan cycles (timing glitches)
+:class:`AdcBitFlipInjector`       single-event upsets in ADC codes
+:class:`SaturationBurstInjector`  analog front-end saturation bursts
+:class:`GainDriftInjector`        slow multiplicative gain drift
+:class:`StuckPixelRowInjector`    whole pixel rows stuck at a rail
+==============================  ======================================
+
+Every class carries ``layer = "array"`` so the shared
+:func:`repro.resilience.chaos.chaos` context manager attaches it to the
+:mod:`repro.array.hooks` seam instead of the solver seam; the two
+families compose freely in one ``with chaos(...)`` block.  The module
+deliberately imports nothing from :mod:`repro.array` -- injectors
+duck-type against the objects the hook sites pass them (``drivers``,
+``array``, ``chain``), which keeps the resilience package importable
+during partial package initialisation.
+
+The determinism guarantee of :mod:`repro.resilience.chaos` applies
+unchanged: private seeded RNGs only, and stateful injectors (sticky
+stuck lines/rows, drifted gain) override :meth:`FaultInjector.reset`
+to restore their exact initial state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .chaos import FaultInjector
+
+__all__ = [
+    "StuckLineInjector",
+    "DroppedCycleInjector",
+    "AdcBitFlipInjector",
+    "SaturationBurstInjector",
+    "GainDriftInjector",
+    "StuckPixelRowInjector",
+    "default_array_taxonomy",
+]
+
+
+@dataclass
+class StuckLineInjector(FaultInjector):
+    """Break row-select gate lines, permanently, mid-campaign.
+
+    Each trip breaks one additional (randomly chosen) row-select line,
+    up to ``max_lines``; broken lines stay broken for the life of the
+    injector (a cracked gate trace does not heal), which is what makes
+    this a *structured* fault the sampling layer must learn to exclude.
+
+    Parameters
+    ----------
+    mode:
+        ``"dead"`` -- the line never asserts, so its pixels are never
+        read (the encoder records missing reads).  ``"stuck_on"`` -- the
+        line asserts on *every* cycle, corrupting other rows' reads
+        with its charge.
+    max_lines:
+        Cap on how many distinct lines can break (so a long campaign
+        cannot silently kill the whole array).
+    """
+
+    mode: str = "dead"
+    max_lines: int = 2
+    name = "stuck_line"
+    layer = "array"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in ("dead", "stuck_on"):
+            raise ValueError(
+                f"mode must be 'dead' or 'stuck_on', got {self.mode!r}"
+            )
+        if self.max_lines < 1:
+            raise ValueError(f"max_lines must be >= 1, got {self.max_lines}")
+        self._stuck_rows: set[int] = set()
+
+    def reset(self) -> None:
+        """Restore the initial state: RNG, trips and broken lines."""
+        super().reset()
+        self._stuck_rows = set()
+
+    @property
+    def stuck_rows(self) -> tuple[int, ...]:
+        """The row indices broken so far, sorted."""
+        return tuple(sorted(self._stuck_rows))
+
+    def on_scan_cycle(self, drivers, column_select, row_mask):
+        """Break new lines at the configured rate; apply all broken ones."""
+        rows = int(drivers.array_shape[0])
+        if len(self._stuck_rows) < min(self.max_lines, rows) and self._fire():
+            self._stuck_rows.add(int(self._rng.integers(rows)))
+        if not self._stuck_rows:
+            return column_select, row_mask
+        row_mask = np.array(row_mask, dtype=bool, copy=True)
+        stuck = np.fromiter(self._stuck_rows, dtype=int)
+        row_mask[stuck] = self.mode == "stuck_on"
+        return column_select, row_mask
+
+
+@dataclass
+class DroppedCycleInjector(FaultInjector):
+    """Drop whole scan cycles (a glitched scan clock or driver brownout).
+
+    A dropped cycle means every pixel it would have read is simply never
+    acquired; the encoder tolerates this by reading the dark code and
+    counting ``encoder.missing_reads``.
+    """
+
+    name = "dropped_cycle"
+    layer = "array"
+
+    def on_scan_cycle(self, drivers, column_select, row_mask):
+        """Return ``None`` (drop the cycle) at the configured rate."""
+        if self._fire():
+            return None
+        return column_select, row_mask
+
+
+@dataclass
+class AdcBitFlipInjector(FaultInjector):
+    """Flip random bits in raw ADC codes (single-event upsets).
+
+    When the injector fires on a conversion batch, ``flip_fraction`` of
+    the codes each get one uniformly chosen bit XOR-ed -- the classic
+    radiation/EMI upset model.  Flips happen on the *integer* codes
+    before normalisation, so a high-bit flip produces the large code
+    jump real upsets do.
+
+    Parameters
+    ----------
+    flip_fraction:
+        Fraction of codes corrupted per firing batch.
+    """
+
+    flip_fraction: float = 0.05
+    name = "adc_bit_flip"
+    layer = "array"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.flip_fraction <= 1.0:
+            raise ValueError(
+                f"flip_fraction must be in (0, 1], got {self.flip_fraction}"
+            )
+
+    def on_codes(self, chain, codes):
+        """XOR one random bit into a fraction of the codes when firing."""
+        if not self._fire():
+            return codes
+        flat = np.array(codes, dtype=float, copy=True).ravel()
+        count = max(1, int(round(self.flip_fraction * flat.size)))
+        hits = self._rng.choice(flat.size, size=min(count, flat.size),
+                                replace=False)
+        bits = self._rng.integers(0, chain.adc_bits, size=hits.size)
+        flat[hits] = np.bitwise_xor(
+            flat[hits].astype(np.int64), np.left_shift(1, bits)
+        ).astype(float)
+        return flat.reshape(np.shape(codes))
+
+
+@dataclass
+class SaturationBurstInjector(FaultInjector):
+    """Pin a burst of analog samples to a rail before quantisation.
+
+    Models a transient overload of the near-sensor amplifier (e.g. a
+    supply spike): when it fires, ``burst_fraction`` of the voltage
+    samples are driven to the high rail (or ground with ``low_rail``),
+    which downstream shows up as saturated codes and feeds the
+    ``readout.saturated_*`` health counters.
+
+    Parameters
+    ----------
+    burst_fraction:
+        Fraction of samples railed per firing batch.
+    low_rail:
+        Rail to ground (0 V) instead of full scale.
+    """
+
+    burst_fraction: float = 0.1
+    low_rail: bool = False
+    name = "saturation_burst"
+    layer = "array"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.burst_fraction <= 1.0:
+            raise ValueError(
+                f"burst_fraction must be in (0, 1], got {self.burst_fraction}"
+            )
+
+    def on_analog(self, chain, volts):
+        """Rail a fraction of the samples when firing."""
+        if not self._fire():
+            return volts
+        flat = np.array(volts, dtype=float, copy=True).ravel()
+        count = max(1, int(round(self.burst_fraction * flat.size)))
+        hits = self._rng.choice(flat.size, size=min(count, flat.size),
+                                replace=False)
+        flat[hits] = 0.0 if self.low_rail else float(chain.full_scale_v)
+        return flat.reshape(np.shape(volts))
+
+
+@dataclass
+class GainDriftInjector(FaultInjector):
+    """Slow multiplicative gain drift of the analog front end.
+
+    Each trip takes one random-walk step on a persistent gain factor
+    (``gain *= 1 + N(0, drift_sigma)``); the current factor multiplies
+    *every* subsequent conversion, fired or not -- drift accumulates,
+    exactly like a temperature-sensitive amplifier bias.
+
+    Parameters
+    ----------
+    drift_sigma:
+        Standard deviation of each relative random-walk step.
+    """
+
+    drift_sigma: float = 0.02
+    name = "gain_drift"
+    layer = "array"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.drift_sigma <= 0:
+            raise ValueError(
+                f"drift_sigma must be positive, got {self.drift_sigma}"
+            )
+        self._gain = 1.0
+
+    def reset(self) -> None:
+        """Restore the initial state: RNG, trips and unit gain."""
+        super().reset()
+        self._gain = 1.0
+
+    @property
+    def gain(self) -> float:
+        """The currently accumulated gain factor (1.0 = no drift yet)."""
+        return self._gain
+
+    def on_analog(self, chain, volts):
+        """Step the drift at the configured rate; always apply the gain."""
+        if self._fire():
+            self._gain *= 1.0 + float(self._rng.normal(0.0, self.drift_sigma))
+        if self._gain == 1.0:
+            return volts
+        return np.asarray(volts, dtype=float) * self._gain
+
+
+@dataclass
+class StuckPixelRowInjector(FaultInjector):
+    """Stick whole pixel rows at a rail value, permanently.
+
+    Each trip sticks one additional (randomly chosen) row of the
+    transduced frame at ``stuck_value``, up to ``max_rows``; stuck rows
+    persist (an in-service delamination does not heal).  Because the
+    whole row reads one rail code, :func:`repro.array.readout.detect_stuck_lines`
+    flags it, which is the signal the adaptive policy uses to steer
+    sampling away from the dead region.
+
+    Parameters
+    ----------
+    stuck_value:
+        The rail the rows stick at (0.0 = dark, 1.0 = full scale).
+    max_rows:
+        Cap on how many distinct rows can stick.
+    """
+
+    stuck_value: float = 0.0
+    max_rows: int = 2
+    name = "stuck_pixel_row"
+    layer = "array"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.stuck_value <= 1.0:
+            raise ValueError(
+                f"stuck_value must be in [0, 1], got {self.stuck_value}"
+            )
+        if self.max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {self.max_rows}")
+        self._stuck_rows: set[int] = set()
+
+    def reset(self) -> None:
+        """Restore the initial state: RNG, trips and stuck rows."""
+        super().reset()
+        self._stuck_rows = set()
+
+    @property
+    def stuck_rows(self) -> tuple[int, ...]:
+        """The row indices stuck so far, sorted."""
+        return tuple(sorted(self._stuck_rows))
+
+    def on_transduce(self, array, frame):
+        """Stick new rows at the configured rate; apply all stuck ones."""
+        rows = int(array.shape[0])
+        if len(self._stuck_rows) < min(self.max_rows, rows) and self._fire():
+            self._stuck_rows.add(int(self._rng.integers(rows)))
+        if not self._stuck_rows:
+            return frame
+        frame = np.array(frame, dtype=float, copy=True)
+        stuck = np.fromiter(self._stuck_rows, dtype=int)
+        frame[stuck, :] = self.stuck_value
+        return frame
+
+
+def default_array_taxonomy(
+    fault_rate: float, seed: int = 0
+) -> tuple[FaultInjector, ...]:
+    """The full array-layer taxonomy at a combined ``fault_rate``.
+
+    Splits the rate evenly across the six physical-layer families with
+    distinct derived seeds, mirroring
+    :func:`repro.resilience.chaos.default_taxonomy` (which dispatches
+    here for ``layer="array"``).
+    """
+    if not 0.0 <= fault_rate <= 1.0:
+        raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+    per_family = fault_rate / 6.0
+    return (
+        StuckLineInjector(rate=per_family, seed=seed),
+        DroppedCycleInjector(rate=per_family, seed=seed + 1),
+        AdcBitFlipInjector(rate=per_family, seed=seed + 2),
+        SaturationBurstInjector(rate=per_family, seed=seed + 3),
+        GainDriftInjector(rate=per_family, seed=seed + 4),
+        StuckPixelRowInjector(rate=per_family, seed=seed + 5),
+    )

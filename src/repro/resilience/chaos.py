@@ -15,10 +15,18 @@ injector                        simulates
 :class:`BudgetExhaustionInjector` iteration/latency budget exhaustion
 ==============================  ======================================
 
-Injectors attach to the solver dispatch seam
-(:func:`repro.core.solvers.register_solve_hook`) via the :func:`chaos`
-context manager, so *any* experiment, benchmark or test can run under
-injected faults without modifying the code under test::
+A second injector family lives in
+:mod:`repro.resilience.array_chaos` and attacks the *physical* array
+layer instead (stuck row-select lines, dropped scan cycles, ADC bit
+flips, saturation bursts, gain drift, stuck pixel rows); each injector
+declares its seam through a ``layer`` attribute (``"solver"`` here,
+``"array"`` there) and the :func:`chaos` context manager dispatches it
+to the right hook registry
+(:func:`repro.core.solvers.register_solve_hook` or
+:func:`repro.array.hooks.register_array_hook`), so mixed-layer fault
+campaigns compose in one ``with`` block and *any* experiment, benchmark
+or test can run under injected faults without modifying the code under
+test::
 
     from repro.resilience import chaos, SolverExceptionInjector
 
@@ -26,9 +34,19 @@ injected faults without modifying the code under test::
         outcome = decoder.decode(frame, 0.5, rng)
     print(injectors[0].trips, "faults injected")
 
-Every injector draws from its own seeded RNG, so a chaos run is exactly
-reproducible, and every trip is counted both on the injector
-(``.trips``) and in the instrument registry (``chaos.<name>.trips``).
+**Determinism guarantee.**  Every injector draws *exclusively* from its
+own private ``numpy`` generator seeded with ``seed``; no injector reads
+global randomness, wall-clock time or cross-injector state.  Two runs
+with the same seeds, the same inputs and the same call sequence
+therefore trip identically and produce bit-identical corruption, and
+:meth:`FaultInjector.reset` restores the exact initial state (RNG
+*and* any per-injector accumulation, e.g. pending budget trips or
+accumulated stuck rows), so one injector instance can replay a
+campaign.  Subclasses that add mutable state beyond the base RNG must
+override ``reset`` to clear it -- this guarantee is enforced by
+``tests/resilience/test_chaos.py``.  Every trip is counted both on the
+injector (``.trips``) and in the instrument registry
+(``chaos.<name>.trips``).
 """
 
 from __future__ import annotations
@@ -91,6 +109,11 @@ class FaultInjector:
 
     #: Dotted short name used in ``chaos.<name>.trips`` counters.
     name = "fault"
+
+    #: Which hook seam :func:`chaos` attaches this injector to:
+    #: ``"solver"`` (the solve dispatch) or ``"array"`` (the physical
+    #: acquisition path; see :mod:`repro.resilience.array_chaos`).
+    layer = "solver"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
@@ -255,6 +278,11 @@ class BudgetExhaustionInjector(FaultInjector):
             raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
         self._pending = False
 
+    def reset(self) -> None:
+        """Restore the initial state, including any undelivered trip."""
+        super().reset()
+        self._pending = False
+
     def before_solve(
         self, solver: str, operator, b: np.ndarray
     ) -> np.ndarray:
@@ -284,35 +312,76 @@ class BudgetExhaustionInjector(FaultInjector):
 
 @contextmanager
 def chaos(*injectors: FaultInjector):
-    """Attach fault injectors to the solver seam for a ``with`` block.
+    """Attach fault injectors to their hook seams for a ``with`` block.
 
-    Yields the injector tuple (handy for asserting on ``.trips``);
-    hooks are removed on exit even when the block raises, so a chaos
-    run can never leak faults into subsequent code.
+    Each injector is dispatched by its ``layer`` attribute: solver
+    injectors attach to the solve dispatch seam, array injectors
+    (:mod:`repro.resilience.array_chaos`) to the array hook seam -- a
+    single ``with chaos(...)`` block can therefore run a mixed-layer
+    fault campaign.  Yields the injector tuple (handy for asserting on
+    ``.trips``); hooks are removed on exit even when the block raises,
+    so a chaos run can never leak faults into subsequent code.
     """
+    # Function-level import: the array package imports the resilience
+    # policies for its imager, so the hook registry is resolved at
+    # attach time rather than at module import.
+    from ..array.hooks import register_array_hook, unregister_array_hook
+
     for injector in injectors:
-        register_solve_hook(injector)
+        if getattr(injector, "layer", "solver") == "array":
+            register_array_hook(injector)
+        else:
+            register_solve_hook(injector)
     try:
         yield injectors
     finally:
         for injector in injectors:
-            unregister_solve_hook(injector)
+            if getattr(injector, "layer", "solver") == "array":
+                unregister_array_hook(injector)
+            else:
+                unregister_solve_hook(injector)
 
 
 def default_taxonomy(
-    fault_rate: float, seed: int = 0, latency_s: float = 0.0
+    fault_rate: float,
+    seed: int = 0,
+    latency_s: float = 0.0,
+    layer: str = "solver",
 ) -> tuple[FaultInjector, ...]:
     """The full fault taxonomy at a combined ``fault_rate``.
 
-    Splits the requested rate evenly across the five injector families
-    (each solve can still suffer several fault kinds at once), seeding
-    each injector from ``seed`` so the mix is reproducible.  This is
-    what the resilience sweep experiment and the chaos CI job run.
+    Splits the requested rate evenly across the layer's injector
+    families (each call can still suffer several fault kinds at once),
+    seeding each injector from ``seed`` so the mix is reproducible.
+    This is what the resilience sweep experiment and the chaos CI job
+    run.
+
+    Parameters
+    ----------
+    fault_rate:
+        Combined injection rate in ``[0, 1]``.
+    seed:
+        Base seed; each family gets a distinct derived seed.
+    latency_s:
+        Synthetic latency per budget-exhaustion trip (solver layer).
+    layer:
+        ``"solver"`` (the five decode-stack families), ``"array"`` (the
+        six physical-layer families from
+        :mod:`repro.resilience.array_chaos`) or ``"all"`` (both, each
+        layer at ``fault_rate`` split across its own families).
     """
     if not 0.0 <= fault_rate <= 1.0:
         raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+    if layer not in ("solver", "array", "all"):
+        raise ValueError(
+            f"layer must be 'solver', 'array' or 'all', got {layer!r}"
+        )
+    if layer == "array":
+        from .array_chaos import default_array_taxonomy
+
+        return default_array_taxonomy(fault_rate, seed=seed)
     per_family = fault_rate / 5.0
-    return (
+    solver_families = (
         SolverExceptionInjector(rate=per_family, seed=seed),
         SolverDivergenceInjector(rate=per_family, seed=seed + 1),
         MeasurementDropoutInjector(rate=per_family, seed=seed + 2),
@@ -321,3 +390,8 @@ def default_taxonomy(
             rate=per_family, seed=seed + 4, latency_s=latency_s
         ),
     )
+    if layer == "solver":
+        return solver_families
+    from .array_chaos import default_array_taxonomy
+
+    return solver_families + default_array_taxonomy(fault_rate, seed=seed + 5)

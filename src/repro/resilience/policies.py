@@ -174,6 +174,14 @@ class CircuitBreaker:
             self._open_skips[solver] = 0
             instrument.incr(f"resilience.breaker.{solver}.opened")
 
+    def open_solvers(self) -> tuple[str, ...]:
+        """The solvers currently sidelined (open breakers), sorted.
+
+        Health telemetry for adaptive controllers: a non-empty tuple
+        means part of the fallback chain is out of service right now.
+        """
+        return tuple(sorted(self._open_skips))
+
     def reset(self) -> None:
         """Forget all failure history (all breakers closed)."""
         self._consecutive.clear()
@@ -220,3 +228,32 @@ class ResiliencePolicy:
     def budget_for(self, solver: str) -> SolverBudget:
         """The effective budget for one solver (override or default)."""
         return self.budgets.get(solver, self.budget)
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of the tunable policy knobs.
+
+        What an adaptive controller changes between frames -- chain,
+        retry bound, budgets, breaker state -- captured so a
+        :class:`~repro.resilience.runtime.DecodeOutcome` can record the
+        exact policy that produced it.
+        """
+
+        def _budget(budget: SolverBudget) -> dict:
+            return {
+                "max_iterations": budget.max_iterations,
+                "time_limit_s": budget.time_limit_s,
+            }
+
+        return {
+            "fallback_chain": list(self.fallback_chain),
+            "max_rounds": self.retry.max_rounds,
+            "budget": _budget(self.budget),
+            "budgets": {
+                name: _budget(budget)
+                for name, budget in sorted(self.budgets.items())
+            },
+            "breaker_open": []
+            if self.breaker is None
+            else list(self.breaker.open_solvers()),
+            "accept_nonconverged": self.accept_nonconverged,
+        }

@@ -93,6 +93,15 @@ class DecodeOutcome:
     health:
         Health report of the delivered reconstruction (``None`` for
         fallback frames, which bypass reconstruction entirely).
+    policy_snapshot:
+        JSON-safe snapshot of the policy that supervised this decode
+        (see :meth:`~repro.resilience.policies.ResiliencePolicy.snapshot`);
+        with an adaptive controller attached this records the *tuned*
+        policy, making adaptation auditable per frame.
+    adaptation_events:
+        :class:`~repro.resilience.adaptive.AdaptationEvent` records the
+        adaptive controller produced around this decode (empty without
+        a controller).
     """
 
     frame: np.ndarray
@@ -101,6 +110,8 @@ class DecodeOutcome:
     attempts: list[AttemptRecord] = field(default_factory=list)
     faults_seen: tuple[str, ...] = ()
     health: HealthReport | None = None
+    policy_snapshot: dict | None = None
+    adaptation_events: tuple = ()
 
     @property
     def delivered(self) -> bool:
@@ -127,6 +138,10 @@ class DecodeOutcome:
             "health": None
             if self.health is None
             else {"ok": self.health.ok, "failed": list(self.health.failed)},
+            "policy_snapshot": self.policy_snapshot,
+            "adaptation_events": [
+                event.to_dict() for event in self.adaptation_events
+            ],
         }
 
 
@@ -155,10 +170,18 @@ class ResilientDecoder:
     guard:
         Last-good-frame store for graceful degradation; defaults to a
         fresh dark-frame guard.
+    adaptive:
+        Optional :class:`~repro.resilience.adaptive.AdaptivePolicy`
+        feedback controller.  When set, each decode reads the
+        controller's tuned live policy (``self.policy`` tracks it),
+        merges the controller's stuck-line exclusion mask into the
+        sampling exclusions, and feeds the outcome back so the next
+        frame's policy reflects this frame's health.
     """
 
     policy: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     guard: FrameGuard = field(default_factory=FrameGuard)
+    adaptive: object | None = None
 
     def decode(
         self,
@@ -177,7 +200,44 @@ class ResilientDecoder:
         validation: caller bugs (NaN frame, bad fraction, starving
         exclusion mask) still surface as ``ValueError`` immediately,
         while solver-side faults are contained, retried and degraded.
+        With an :attr:`adaptive` controller the outcome additionally
+        carries the adaptation events and the tuned policy snapshot.
         """
+        if self.adaptive is not None:
+            self.policy = self.adaptive.policy
+            adaptive_mask = self.adaptive.exclusion_mask(
+                np.shape(np.asarray(frame))
+            )
+            if adaptive_mask is not None:
+                exclude_mask = (
+                    adaptive_mask
+                    if exclude_mask is None
+                    else np.asarray(exclude_mask, dtype=bool) | adaptive_mask
+                )
+        outcome = self._decode_supervised(
+            frame,
+            sampling_fraction,
+            rng,
+            exclude_mask,
+            noise_sigma,
+            solver_options,
+        )
+        if self.adaptive is not None:
+            self.adaptive.observe_outcome(outcome)
+            outcome.adaptation_events = tuple(self.adaptive.pop_events())
+        outcome.policy_snapshot = self.policy.snapshot()
+        return outcome
+
+    def _decode_supervised(
+        self,
+        frame: np.ndarray,
+        sampling_fraction: float,
+        rng: np.random.Generator,
+        exclude_mask: np.ndarray | None,
+        noise_sigma: float,
+        solver_options: dict | None,
+    ) -> DecodeOutcome:
+        """The supervision loop proper (policy already pinned)."""
         frame = validate_decode_inputs(frame, sampling_fraction, noise_sigma)
         if exclude_mask is not None:
             exclude_mask = np.asarray(exclude_mask, dtype=bool)
@@ -407,12 +467,20 @@ class ResilientStrategy:
     The full audit trail of the most recent call is kept on
     :attr:`last_outcome`, which the pipeline attaches to its
     :class:`~repro.core.pipeline.FrameOutcome`.
+
+    :attr:`exclude_mask` (settable at any time, e.g. from an adaptive
+    controller's stuck-line detections) is OR-merged into the
+    ``error_mask`` keyword of every inner ``reconstruct`` call, so
+    health-driven sampling exclusions reach strategies that accept a
+    mask (the oracle/weighted strategies and, via its ``error_mask``
+    parameter, the resampling strategy).
     """
 
     inner: object
     policy: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     guard: FrameGuard = field(default_factory=FrameGuard)
     last_outcome: DecodeOutcome | None = field(default=None, repr=False)
+    exclude_mask: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not hasattr(self.inner, "reconstruct"):
@@ -426,6 +494,15 @@ class ResilientStrategy:
     ) -> np.ndarray:
         """Supervised version of the inner strategy's ``reconstruct``."""
         corrupted = np.asarray(corrupted, dtype=float)
+        if self.exclude_mask is not None:
+            mask = np.asarray(self.exclude_mask, dtype=bool)
+            existing = kwargs.get("error_mask")
+            kwargs = dict(kwargs)
+            kwargs["error_mask"] = (
+                mask
+                if existing is None
+                else np.asarray(existing, dtype=bool) | mask
+            )
         policy = self.policy
         breaker = policy.breaker
         attempts: list[AttemptRecord] = []

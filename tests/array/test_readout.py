@@ -169,3 +169,45 @@ class TestDetectStuckLines:
     def test_non_2d_rejected(self):
         with pytest.raises(ValueError):
             detect_stuck_lines(np.zeros(16))
+
+    def test_all_lines_stuck(self):
+        mask = detect_stuck_lines(np.zeros((5, 5)))
+        assert mask.all()
+        mask = detect_stuck_lines(np.ones((5, 5)))
+        assert mask.all()
+
+    def test_single_row_frame(self):
+        healthy = np.full((1, 6), 0.5)
+        assert not detect_stuck_lines(healthy).any()
+        # A single healthy row still exposes stuck *columns*.
+        healthy[0, 2] = 1.0
+        assert detect_stuck_lines(healthy)[0, 2]
+        # And a fully railed single row is a stuck row.
+        assert detect_stuck_lines(np.ones((1, 6))).all()
+
+    def test_single_column_frame(self):
+        healthy = np.full((6, 1), 0.5)
+        assert not detect_stuck_lines(healthy).any()
+        assert detect_stuck_lines(np.zeros((6, 1))).all()
+
+    def test_nan_line_counts_as_stuck(self):
+        codes = np.full((6, 6), 0.5)
+        codes[3, :] = np.nan
+        mask = detect_stuck_lines(codes)
+        assert mask[3, :].all()
+        assert mask.sum() == 6
+
+    def test_all_nan_frame_fully_stuck(self):
+        assert detect_stuck_lines(np.full((4, 4), np.nan)).all()
+
+    def test_mixed_nan_and_rail_line(self):
+        codes = np.full((4, 4), 0.5)
+        codes[:, 1] = [np.nan, 0.0, 1.0, np.inf]
+        assert detect_stuck_lines(codes)[:, 1].all()
+
+    def test_custom_rail_values(self):
+        codes = np.full((4, 4), 100.0)
+        codes[2, :] = 255.0
+        mask = detect_stuck_lines(codes, low=0.0, high=255.0)
+        assert mask[2, :].all()
+        assert mask.sum() == 4

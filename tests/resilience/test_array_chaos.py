@@ -1,0 +1,351 @@
+"""Unit tests for the array-layer fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.array import ActiveMatrix, FlexibleEncoder, ReadoutChain
+from repro.array.drivers import ScanDrivers
+from repro.array.hooks import array_hooks
+from repro.array.readout import detect_stuck_lines
+from repro.array.scanner import ScanSchedule
+from repro.core.sensing import RowSamplingMatrix
+from repro.core.solvers import solve_hooks
+from repro.resilience import (
+    AdcBitFlipInjector,
+    DroppedCycleInjector,
+    GainDriftInjector,
+    SaturationBurstInjector,
+    SolverExceptionInjector,
+    StuckLineInjector,
+    StuckPixelRowInjector,
+    chaos,
+    default_array_taxonomy,
+    default_taxonomy,
+)
+
+SHAPE = (8, 8)
+
+
+def _phi(fraction=0.6, seed=0):
+    n = SHAPE[0] * SHAPE[1]
+    return RowSamplingMatrix.random(
+        n, int(fraction * n), np.random.default_rng(seed)
+    )
+
+
+def _drive_all(drivers, schedule):
+    return list(drivers.drive(schedule))
+
+
+def _smooth_frame():
+    r, c = np.mgrid[0 : SHAPE[0], 0 : SHAPE[1]]
+    return 0.2 + 0.6 * np.exp(-((r - 4) ** 2 + (c - 4) ** 2) / 8.0)
+
+
+class TestLayerDispatch:
+    def test_array_injector_attaches_to_array_seam(self):
+        solver_baseline = len(solve_hooks())
+        array_baseline = len(array_hooks())
+        with chaos(DroppedCycleInjector(rate=0.0)):
+            assert len(array_hooks()) == array_baseline + 1
+            assert len(solve_hooks()) == solver_baseline
+        assert len(array_hooks()) == array_baseline
+
+    def test_mixed_layer_campaign(self):
+        solver_baseline = len(solve_hooks())
+        array_baseline = len(array_hooks())
+        with chaos(
+            SolverExceptionInjector(rate=0.0),
+            DroppedCycleInjector(rate=0.0),
+        ):
+            assert len(solve_hooks()) == solver_baseline + 1
+            assert len(array_hooks()) == array_baseline + 1
+        assert len(solve_hooks()) == solver_baseline
+        assert len(array_hooks()) == array_baseline
+
+    def test_hooks_removed_on_error(self):
+        baseline = len(array_hooks())
+        with pytest.raises(RuntimeError):
+            with chaos(DroppedCycleInjector(rate=0.0)):
+                raise RuntimeError("boom")
+        assert len(array_hooks()) == baseline
+
+
+class TestStuckLineInjector:
+    def test_dead_line_never_read(self):
+        drivers = ScanDrivers(SHAPE)
+        schedule = ScanSchedule.from_phi(_phi(1.0), SHAPE)
+        injector = StuckLineInjector(rate=1.0, seed=0, mode="dead", max_lines=1)
+        with chaos(injector):
+            cycles = _drive_all(drivers, schedule)
+        assert injector.trips >= 1
+        (dead_row,) = injector.stuck_rows
+        for _, row_mask in cycles:
+            assert not row_mask[dead_row]
+
+    def test_stuck_on_line_always_asserted(self):
+        drivers = ScanDrivers(SHAPE)
+        schedule = ScanSchedule.from_phi(_phi(1.0), SHAPE)
+        injector = StuckLineInjector(
+            rate=1.0, seed=0, mode="stuck_on", max_lines=1
+        )
+        with chaos(injector):
+            cycles = _drive_all(drivers, schedule)
+        (stuck_row,) = injector.stuck_rows
+        # Once stuck, the row asserts on every later cycle.
+        assert all(row_mask[stuck_row] for _, row_mask in cycles[1:])
+
+    def test_max_lines_cap(self):
+        drivers = ScanDrivers(SHAPE)
+        schedule = ScanSchedule.from_phi(_phi(1.0), SHAPE)
+        injector = StuckLineInjector(rate=1.0, seed=0, max_lines=2)
+        with chaos(injector):
+            _drive_all(drivers, schedule)
+            _drive_all(drivers, schedule)
+        assert len(injector.stuck_rows) <= 2
+
+    def test_reset_clears_stuck_rows(self):
+        drivers = ScanDrivers(SHAPE)
+        schedule = ScanSchedule.from_phi(_phi(1.0), SHAPE)
+        injector = StuckLineInjector(rate=1.0, seed=5, max_lines=2)
+        with chaos(injector):
+            _drive_all(drivers, schedule)
+        first_rows = injector.stuck_rows
+        assert first_rows
+        injector.reset()
+        assert injector.stuck_rows == ()
+        assert injector.trips == 0
+        with chaos(injector):
+            _drive_all(drivers, schedule)
+        assert injector.stuck_rows == first_rows  # bit-identical replay
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            StuckLineInjector(mode="flaky")
+        with pytest.raises(ValueError):
+            StuckLineInjector(max_lines=0)
+
+
+class TestDroppedCycleInjector:
+    def test_all_cycles_dropped_at_rate_one(self):
+        drivers = ScanDrivers(SHAPE)
+        schedule = ScanSchedule.from_phi(_phi(0.5), SHAPE)
+        injector = DroppedCycleInjector(rate=1.0, seed=0)
+        with chaos(injector):
+            cycles = _drive_all(drivers, schedule)
+        assert cycles == []
+        assert injector.trips == schedule.num_cycles
+
+    def test_encoder_survives_dropped_cycles(self):
+        encoder = FlexibleEncoder(
+            ActiveMatrix(SHAPE), readout=ReadoutChain(noise_sigma_v=0.0)
+        )
+        phi = _phi(0.5)
+        with chaos(DroppedCycleInjector(rate=1.0, seed=0)):
+            output = encoder.scan_normalized(_smooth_frame(), phi)
+        assert output.missing_reads == len(phi.indices)
+        assert np.all(output.measurements == 0.0)
+
+
+class TestAdcBitFlipInjector:
+    def test_flips_codes(self):
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0)
+        values = np.full(100, 0.5)
+        clean = chain.convert_normalized(values)
+        injector = AdcBitFlipInjector(rate=1.0, seed=0, flip_fraction=0.2)
+        with chaos(injector):
+            flipped = chain.convert_normalized(values)
+        assert injector.trips == 1
+        changed = int((clean != flipped).sum())
+        assert changed >= 1
+        assert np.all((flipped >= 0.0) & (flipped <= 1.0))
+
+    def test_codes_stay_on_grid(self):
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0, adc_bits=6)
+        with chaos(AdcBitFlipInjector(rate=1.0, seed=1, flip_fraction=0.5)):
+            codes = chain.convert_normalized(np.linspace(0, 1, 64))
+        steps = codes * (2**6 - 1)
+        assert np.allclose(steps, np.round(steps))
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            AdcBitFlipInjector(flip_fraction=0.0)
+
+
+class TestSaturationBurstInjector:
+    def test_rails_samples_high(self):
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0)
+        injector = SaturationBurstInjector(
+            rate=1.0, seed=0, burst_fraction=0.3
+        )
+        with chaos(injector):
+            codes = chain.convert_normalized(np.full(50, 0.4))
+        assert (codes == 1.0).sum() >= 1
+
+    def test_low_rail_variant(self):
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0)
+        injector = SaturationBurstInjector(
+            rate=1.0, seed=0, burst_fraction=0.3, low_rail=True
+        )
+        with chaos(injector):
+            codes = chain.convert_normalized(np.full(50, 0.4))
+        assert (codes == 0.0).sum() >= 1
+
+    def test_bursts_feed_saturation_counters(self):
+        from repro import instrument
+
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0)
+        with instrument.profiled() as session:
+            with chaos(
+                SaturationBurstInjector(rate=1.0, seed=0, burst_fraction=0.5)
+            ):
+                chain.convert_normalized(np.full(20, 0.4))
+        counters = session.report()["metrics"]["counters"]
+        assert counters.get("readout.saturated_high", 0) >= 1
+
+
+class TestGainDriftInjector:
+    def test_gain_accumulates(self):
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0, adc_bits=14)
+        injector = GainDriftInjector(rate=1.0, seed=0, drift_sigma=0.1)
+        with chaos(injector):
+            for _ in range(5):
+                chain.convert_normalized(np.full(4, 0.5))
+        assert injector.trips == 5
+        assert injector.gain != 1.0
+
+    def test_drift_changes_codes(self):
+        chain = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0, adc_bits=14)
+        clean = chain.convert_normalized(np.full(8, 0.5))
+        injector = GainDriftInjector(rate=1.0, seed=3, drift_sigma=0.2)
+        with chaos(injector):
+            chain.convert_normalized(np.full(8, 0.5))  # take a drift step
+            drifted = chain.convert_normalized(np.full(8, 0.5))
+        assert not np.array_equal(clean, drifted)
+
+    def test_reset_restores_unit_gain(self):
+        injector = GainDriftInjector(rate=1.0, seed=0, drift_sigma=0.1)
+        chain = ReadoutChain(noise_sigma_v=0.0)
+        with chaos(injector):
+            chain.convert_normalized(np.full(4, 0.5))
+        assert injector.gain != 1.0
+        injector.reset()
+        assert injector.gain == 1.0
+
+    def test_sigma_validated(self):
+        with pytest.raises(ValueError):
+            GainDriftInjector(drift_sigma=0.0)
+
+
+class TestStuckPixelRowInjector:
+    def test_row_stuck_at_value(self):
+        array = ActiveMatrix(SHAPE)
+        injector = StuckPixelRowInjector(
+            rate=1.0, seed=0, stuck_value=0.0, max_rows=1
+        )
+        with chaos(injector):
+            out = array.transduce(_smooth_frame())
+        (row,) = injector.stuck_rows
+        assert np.all(out[row, :] == 0.0)
+
+    def test_stuck_rows_detected_as_stuck_lines(self):
+        encoder = FlexibleEncoder(
+            ActiveMatrix(SHAPE), readout=ReadoutChain(noise_sigma_v=0.0)
+        )
+        injector = StuckPixelRowInjector(rate=1.0, seed=0, max_rows=1)
+        with chaos(injector):
+            output = encoder.scan_normalized(_smooth_frame(), _phi(0.5))
+        mask = detect_stuck_lines(output.codes)
+        (row,) = injector.stuck_rows
+        assert mask[row, :].all()
+
+    def test_reset_clears_rows(self):
+        array = ActiveMatrix(SHAPE)
+        injector = StuckPixelRowInjector(rate=1.0, seed=0, max_rows=2)
+        with chaos(injector):
+            array.transduce(_smooth_frame())
+        assert injector.stuck_rows
+        injector.reset()
+        assert injector.stuck_rows == ()
+
+    def test_value_validated(self):
+        with pytest.raises(ValueError):
+            StuckPixelRowInjector(stuck_value=2.0)
+        with pytest.raises(ValueError):
+            StuckPixelRowInjector(max_rows=0)
+
+
+class TestDeterminism:
+    """The module-level determinism guarantee, audited per injector."""
+
+    def _campaign(self, injector):
+        """One fixed acquisition campaign; returns observable corruption."""
+        encoder = FlexibleEncoder(
+            ActiveMatrix(SHAPE), readout=ReadoutChain(noise_sigma_v=0.0)
+        )
+        results = []
+        with chaos(injector):
+            for k in range(4):
+                output = encoder.scan_normalized(_smooth_frame(), _phi(seed=k))
+                results.append(output.measurements.copy())
+        return np.concatenate(results), injector.trips
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: StuckLineInjector(rate=0.5, seed=11),
+            lambda: DroppedCycleInjector(rate=0.3, seed=11),
+            lambda: AdcBitFlipInjector(rate=0.5, seed=11),
+            lambda: SaturationBurstInjector(rate=0.5, seed=11),
+            lambda: GainDriftInjector(rate=0.5, seed=11),
+            lambda: StuckPixelRowInjector(rate=0.5, seed=11),
+        ],
+    )
+    def test_same_seed_bit_identical(self, factory):
+        a, trips_a = self._campaign(factory())
+        b, trips_b = self._campaign(factory())
+        assert trips_a == trips_b
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: StuckLineInjector(rate=0.5, seed=11),
+            lambda: DroppedCycleInjector(rate=0.3, seed=11),
+            lambda: AdcBitFlipInjector(rate=0.5, seed=11),
+            lambda: SaturationBurstInjector(rate=0.5, seed=11),
+            lambda: GainDriftInjector(rate=0.5, seed=11),
+            lambda: StuckPixelRowInjector(rate=0.5, seed=11),
+        ],
+    )
+    def test_reset_replays_campaign(self, factory):
+        injector = factory()
+        a, _ = self._campaign(injector)
+        injector.reset()
+        b, _ = self._campaign(injector)
+        assert np.array_equal(a, b)
+
+
+class TestArrayTaxonomy:
+    def test_six_families(self):
+        injectors = default_array_taxonomy(0.3, seed=2)
+        assert len(injectors) == 6
+        assert len({type(i) for i in injectors}) == 6
+        for injector in injectors:
+            assert injector.layer == "array"
+            assert injector.rate == pytest.approx(0.05)
+
+    def test_layer_dispatch_in_default_taxonomy(self):
+        assert len(default_taxonomy(0.3, layer="array")) == 6
+        assert len(default_taxonomy(0.3, layer="solver")) == 5
+        both = default_taxonomy(0.3, layer="all")
+        assert len(both) == 11
+        assert {i.layer for i in both} == {"solver", "array"}
+
+    def test_layer_validated(self):
+        with pytest.raises(ValueError):
+            default_taxonomy(0.3, layer="hardware")
+
+    def test_distinct_seeds(self):
+        injectors = default_array_taxonomy(0.3, seed=2)
+        assert len({i.seed for i in injectors}) == 6

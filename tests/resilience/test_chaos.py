@@ -133,6 +133,19 @@ class TestBudgetExhaustionInjector:
         with pytest.raises(ValueError):
             BudgetExhaustionInjector(latency_s=-1.0)
 
+    def test_reset_clears_pending_trip(self):
+        op = _operator()
+        b = np.full(op.shape[0], 0.1)
+        injector = BudgetExhaustionInjector(rate=1.0, seed=0)
+        injector.before_solve("fista", op, b)  # arms a trip
+        injector.reset()
+        assert injector.trips == 0
+        # The armed trip must not leak into the next campaign.
+        result = injector.after_solve(
+            "fista", solve("fista", op, b)
+        )
+        assert result.converged
+
 
 class TestChaosContext:
     def test_hooks_removed_on_exit(self):
