@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.engine import get_engine
 from ..core.errors import SparseErrorModel
+from ..core.executor import collect_values, resolve_executor
 from ..core.rpca import detect_outliers
 from ..core.sensing import RowSamplingMatrix
 from ..core.solvers import solve
@@ -34,6 +35,26 @@ from .flexible_encoder import FlexibleEncoder
 from .readout import detect_stuck_lines
 
 __all__ = ["FrameRecord", "StreamingImager"]
+
+
+def _bare_solve_task(args):
+    """Solve one scanned frame without a policy (picklable task body)."""
+    solver, phi, measurements, shape = args
+    operator = get_engine().operator(phi, shape)
+    result = solve(solver, operator, measurements)
+    return operator.synthesize(result.coefficients).reshape(shape)
+
+
+@dataclass
+class _Acquisition:
+    """One acquired-but-not-yet-decoded frame (internal to the imager)."""
+
+    index: int
+    clean: np.ndarray
+    corrupted: np.ndarray
+    phi: RowSamplingMatrix
+    output: object
+    excluded_pixels: int
 
 
 @dataclass
@@ -187,8 +208,15 @@ class StreamingImager:
             return frame, status, solver
         return self._guard.fallback(shape), "fallback", None
 
-    def capture(self, clean_frame: np.ndarray) -> FrameRecord:
-        """Acquire one frame; returns the full record."""
+    def _acquire(self, clean_frame: np.ndarray) -> _Acquisition:
+        """The RNG/hardware half of one capture: corrupt, draw, scan.
+
+        Consumes randomness (error model, ``Phi_M`` draw) and advances
+        stream state (RPCA history, stuck-line detections, frame
+        counter) in exactly the per-frame order of :meth:`capture`, so
+        batched windows acquire bitwise the same measurements as
+        frame-at-a-time capture.
+        """
         clean_frame = np.asarray(clean_frame, dtype=float)
         shape = self.encoder.array.shape
         if clean_frame.shape != shape:
@@ -213,31 +241,119 @@ class StreamingImager:
             stuck = detect_stuck_lines(output.codes)
             if stuck.any():
                 self.adaptive.observe_readout(stuck)
-        reconstructed, status, used_solver = self._decode(
-            output.measurements, phi, shape
-        )
-        if self.adaptive is not None:
-            self.adaptive.observe_status(status)
         if self.rpca_window > 1:
             self._history.append(corrupted)
             if len(self._history) > self.rpca_window:
                 self._history.pop(0)
-        record = FrameRecord(
-            index=self._count,
+        index = self._count
+        self._count += 1
+        return _Acquisition(
+            index=index,
             clean=clean_frame,
             corrupted=corrupted,
-            reconstructed=reconstructed,
-            scan_time_s=output.scan_time_s,
+            phi=phi,
+            output=output,
             excluded_pixels=len(excluded),
+        )
+
+    def _finish(
+        self,
+        acquisition: _Acquisition,
+        reconstructed: np.ndarray,
+        status: str,
+        used_solver: str | None,
+    ) -> FrameRecord:
+        """Assemble the record and feed the adaptive controller."""
+        if self.adaptive is not None:
+            self.adaptive.observe_status(status)
+        return FrameRecord(
+            index=acquisition.index,
+            clean=acquisition.clean,
+            corrupted=acquisition.corrupted,
+            reconstructed=reconstructed,
+            scan_time_s=acquisition.output.scan_time_s,
+            excluded_pixels=acquisition.excluded_pixels,
             status=status,
             solver=used_solver,
         )
-        self._count += 1
-        return record
 
-    def stream(self, frames: np.ndarray) -> list[FrameRecord]:
-        """Capture a whole ``(count, rows, cols)`` sequence."""
+    def capture(self, clean_frame: np.ndarray) -> FrameRecord:
+        """Acquire one frame; returns the full record."""
+        acquisition = self._acquire(clean_frame)
+        reconstructed, status, used_solver = self._decode(
+            acquisition.output.measurements,
+            acquisition.phi,
+            self.encoder.array.shape,
+        )
+        return self._finish(acquisition, reconstructed, status, used_solver)
+
+    def _capture_batch(
+        self, window: np.ndarray, executor
+    ) -> list[FrameRecord]:
+        """One batched window: sequential acquisition, fanned-out solves."""
+        acquisitions = [self._acquire(frame) for frame in window]
+        shape = self.encoder.array.shape
+        if self.policy is None and executor is not None:
+            tasks = [
+                (self.solver, a.phi, a.output.measurements, shape)
+                for a in acquisitions
+            ]
+            frames = collect_values(
+                executor.map_tasks(_bare_solve_task, tasks, label="imager")
+            )
+            records = []
+            for acquisition, frame in zip(acquisitions, frames):
+                self._guard.update(frame)
+                records.append(
+                    self._finish(acquisition, frame, "ok", self.solver)
+                )
+            return records
+        return [
+            self._finish(
+                a,
+                *self._decode(a.output.measurements, a.phi, shape),
+            )
+            for a in acquisitions
+        ]
+
+    def stream(
+        self,
+        frames: np.ndarray,
+        batch_size: int | None = None,
+        executor=None,
+    ) -> list[FrameRecord]:
+        """Capture a whole ``(count, rows, cols)`` sequence.
+
+        With ``batch_size`` the stream advances in windows: every frame
+        in a window is acquired first (corruption, ``Phi_M`` draws,
+        scans -- sequential, in frame order, so the RNG stream matches
+        frame-at-a-time capture bit for bit), then the pure solves run
+        -- in parallel across the window when an ``executor`` (any
+        :func:`~repro.core.executor.resolve_executor` spec) is given
+        and no resilience policy is set; policy-supervised solves stay
+        sequential so breaker/guard state advances in frame order.
+        Records are identical to the unbatched stream either way.
+
+        Batching is rejected with an ``adaptive`` controller: its
+        feedback loop re-tunes the policy *between* frames, which a
+        deferred decode would observe stale.
+        """
         frames = np.asarray(frames, dtype=float)
         if frames.ndim != 3:
             raise ValueError(f"expected (count, rows, cols), got {frames.shape}")
-        return [self.capture(frame) for frame in frames]
+        if batch_size is None or batch_size <= 1:
+            return [self.capture(frame) for frame in frames]
+        if self.adaptive is not None:
+            raise ValueError(
+                "batched streaming is incompatible with an adaptive "
+                "policy (per-frame feedback); stream without batch_size"
+            )
+        resolved = resolve_executor(executor)
+        records: list[FrameRecord] = []
+        for start in range(0, len(frames), batch_size):
+            records.extend(
+                self._capture_batch(
+                    frames[start:start + batch_size], resolved
+                )
+            )
+        return records

@@ -10,6 +10,9 @@ Public surface:
   :class:`~repro.core.engine.DecodeContext` plans, the bounded
   ``(shape, basis)`` operator cache, and the canonical
   sample -> solve -> reshape path every layer routes through;
+* :mod:`repro.core.executor` -- the execution seam: serial / thread /
+  process backends behind one ``map_tasks`` protocol, used by every
+  fan-out (tiles, batched decodes, sweeps);
 * :mod:`repro.core.solvers` -- L1 / greedy decoders for Eq. (9);
 * :mod:`repro.core.rpca` -- robust PCA outlier detection;
 * :mod:`repro.core.strategies` -- oracle / resampling / RPCA sampling;
@@ -31,6 +34,17 @@ from .engine import (
     use_engine,
 )
 from .errors import SparseErrorModel, add_measurement_noise, inject_sparse_errors
+from .executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskError,
+    TaskResult,
+    ThreadExecutor,
+    collect_values,
+    default_workers,
+    resolve_executor,
+)
 from .metrics import (
     classification_accuracy,
     confusion_matrix,
@@ -56,7 +70,15 @@ from .sensing import (
     sample_indices,
     weighted_sample_indices,
 )
-from .solvers import SolverResult, debias_on_support, solve, solve_bp_dr, solver_names
+from .solvers import (
+    SolverResult,
+    batch_solver_names,
+    debias_on_support,
+    solve,
+    solve_batch,
+    solve_bp_dr,
+    solver_names,
+)
 from .strategies import (
     DecodeResult,
     NaiveStrategy,
@@ -100,9 +122,20 @@ __all__ = [
     "bernoulli_matrix",
     "sample_indices",
     "column_control_words",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "TaskResult",
+    "TaskError",
+    "collect_values",
+    "default_workers",
+    "resolve_executor",
     "SolverResult",
     "solve",
+    "solve_batch",
     "solver_names",
+    "batch_solver_names",
     "debias_on_support",
     "solve_bp_dr",
     "RpcaResult",

@@ -18,17 +18,50 @@ object -- most usefully
 :class:`~repro.resilience.runtime.ResilientStrategy`, which turns a
 solver fault inside one tile into a degraded *tile* instead of a lost
 frame.
+
+Tiles are *actually* decoded in parallel when an ``executor=`` is set
+(see :mod:`repro.core.executor`): each tile gets its own spawned child
+generator, so the per-tile decode stream is independent of scheduling
+and the reconstruction is bit-identical across the serial, thread and
+process backends.  A process pool ships the frozen (picklable)
+:class:`~repro.core.engine.DecodeContext` to each worker, whose own
+engine cache amortises the shared operator template exactly like the
+parent's.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from .engine import DecodeContext, get_engine
+from .executor import collect_values, resolve_executor
 
 __all__ = ["BlockProcessor"]
+
+
+def _engine_tile_task(args):
+    """Decode one tile through the engine plan (picklable task body)."""
+    plan, tile, local_mask, rng = args
+    if local_mask is not None and bool(local_mask.all()):
+        # Every pixel excluded: nothing measurable, decode to zeros
+        # (matches the empty-measurement solve this tile used to run).
+        return np.zeros(plan.shape), None
+    if local_mask is not None:
+        plan = replace(plan, exclude_mask=local_mask)
+    return get_engine().decode(tile, plan, rng), None
+
+
+def _strategy_tile_task(args):
+    """Decode one tile through a private strategy copy (picklable)."""
+    strategy, tile, local_mask, rng = args
+    kwargs = {} if local_mask is None else {"error_mask": local_mask}
+    recon = strategy.reconstruct(tile, rng, **kwargs)
+    return np.asarray(recon, dtype=float), getattr(
+        strategy, "last_outcome", None
+    )
 
 
 @dataclass
@@ -38,8 +71,12 @@ class BlockProcessor:
     Parameters
     ----------
     block_shape:
-        Tile size; frame dimensions must be divisible by it after
-        accounting for ``overlap`` striding.
+        Tile size.  Frames at least as large as one block in each
+        dimension are tileable: the grid strides by
+        ``block - overlap`` and a short final row/column of tiles is
+        shifted inward so every pixel is covered (ragged edges decode
+        as full-size tiles with extra overlap, blended like any other
+        overlap).
     overlap:
         Pixels of overlap between adjacent tiles (blended linearly);
         0 = disjoint tiles.
@@ -57,14 +94,22 @@ class BlockProcessor:
         ``solver`` / ``sampling_fraction`` / ``solver_options`` here
         are ignored; per-tile exclusion masks are forwarded as
         ``error_mask``.
+    executor:
+        Optional parallel tile decode: anything
+        :func:`~repro.core.executor.resolve_executor` accepts (``None``
+        keeps the legacy sequential loop).  Each tile decodes from its
+        own ``rng.spawn`` child and strategies are copied per tile, so
+        every backend -- serial, thread, process -- reconstructs the
+        frame bit-identically for a given seed.
 
     Attributes
     ----------
     last_outcomes:
         After a ``reconstruct`` call with a strategy that exposes
         ``last_outcome`` (the resilient wrapper does), the list of
-        ``((row0, col0), DecodeOutcome)`` pairs per tile, in decode
-        order; ``None`` otherwise.
+        ``((row0, col0), DecodeOutcome)`` pairs per tile, in tile-grid
+        (row-major origin) order; ``None`` otherwise.  The ordering is
+        stable across executor backends.
     """
 
     block_shape: tuple[int, int] = (32, 32)
@@ -73,6 +118,7 @@ class BlockProcessor:
     sampling_fraction: float = 0.5
     solver_options: dict | None = None
     strategy: object | None = None
+    executor: object | None = None
     last_outcomes: list | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -91,20 +137,28 @@ class BlockProcessor:
                 "pass a strategy object or None"
             )
 
+    @staticmethod
+    def _axis_origins(size: int, block: int, step: int) -> list[int]:
+        """Tile origins along one axis, shifting a ragged tail inward."""
+        origins = list(range(0, size - block + 1, step))
+        if origins[-1] + block < size:
+            origins.append(size - block)
+        return origins
+
     def _tiles(self, frame_shape: tuple[int, int]) -> list[tuple[int, int]]:
         rows, cols = frame_shape
         br, bc = self.block_shape
-        step_r, step_c = br - self.overlap, bc - self.overlap
-        if (rows - self.overlap) % step_r or (cols - self.overlap) % step_c:
+        if rows < br or cols < bc:
             raise ValueError(
-                f"frame {frame_shape} not tileable by blocks {self.block_shape} "
-                f"with overlap {self.overlap}"
+                f"frame {frame_shape} smaller than one block "
+                f"{self.block_shape}; shrink the blocks"
             )
-        origins = []
-        for r0 in range(0, rows - br + 1, step_r):
-            for c0 in range(0, cols - bc + 1, step_c):
-                origins.append((r0, c0))
-        return origins
+        step_r, step_c = br - self.overlap, bc - self.overlap
+        return [
+            (r0, c0)
+            for r0 in self._axis_origins(rows, br, step_r)
+            for c0 in self._axis_origins(cols, bc, step_c)
+        ]
 
     def _block_weight(self) -> np.ndarray:
         """Blending weight: linear ramps over the overlap margins."""
@@ -144,6 +198,45 @@ class BlockProcessor:
             plan = replace(plan, exclude_mask=local_mask)
         return get_engine().decode(tile, plan, rng)
 
+    def _decode_tiles_executor(
+        self,
+        frame: np.ndarray,
+        exclude_mask: np.ndarray | None,
+        plan: DecodeContext,
+        rng: np.random.Generator,
+        origins: list[tuple[int, int]],
+        executor,
+    ) -> list[tuple[np.ndarray, object]]:
+        """All tiles through the executor; per-tile spawned RNG children.
+
+        Each tile gets an independent ``rng.spawn`` child, so the
+        decode stream inside a tile never depends on which worker ran
+        it or in what order -- the determinism contract behind the
+        serial/thread/process bit-identity tests.  Strategies are
+        deep-copied per tile: parallel tiles must not share the mutable
+        per-attempt state of e.g. ``ResilientStrategy``.
+        """
+        br, bc = self.block_shape
+        children = rng.spawn(len(origins))
+        tasks = []
+        for (r0, c0), child in zip(origins, children):
+            tile = np.ascontiguousarray(frame[r0:r0 + br, c0:c0 + bc])
+            local = None
+            if exclude_mask is not None:
+                local = np.ascontiguousarray(
+                    exclude_mask[r0:r0 + br, c0:c0 + bc]
+                )
+            if self.strategy is not None:
+                tasks.append((copy.deepcopy(self.strategy), tile, local, child))
+            else:
+                tasks.append((plan, tile, local, child))
+        fn = (
+            _strategy_tile_task
+            if self.strategy is not None
+            else _engine_tile_task
+        )
+        return collect_values(executor.map_tasks(fn, tasks, label="blocks"))
+
     def reconstruct(
         self,
         frame: np.ndarray,
@@ -155,7 +248,10 @@ class BlockProcessor:
 
         ``exclude_mask`` marks pixels (e.g. known defects) that no tile
         may sample.  ``noise_sigma`` applies to the engine path; when a
-        ``strategy`` is set its own noise configuration governs.
+        ``strategy`` is set its own noise configuration governs.  With
+        an ``executor`` the tiles decode in parallel (each from a
+        spawned child generator); without one the legacy sequential
+        loop consumes ``rng`` directly.
         """
         frame = np.asarray(frame, dtype=float)
         if frame.ndim != 2:
@@ -178,23 +274,35 @@ class BlockProcessor:
         self.last_outcomes = [] if self.strategy is not None else None
         origins = self._tiles(frame.shape)
         outcome_origins: list[tuple[int, int]] = []
-        for r0, c0 in origins:
-            tile = frame[r0:r0 + br, c0:c0 + bc]
-            local = None
-            if exclude_mask is not None:
-                local = exclude_mask[r0:r0 + br, c0:c0 + bc]
-            before = (
-                len(self.last_outcomes)
-                if self.last_outcomes is not None
-                else 0
+        executor = resolve_executor(self.executor)
+        if executor is not None:
+            decoded = self._decode_tiles_executor(
+                frame, exclude_mask, plan, rng, origins, executor
             )
-            recon = self._decode_tile(tile, local, plan, rng)
-            if self.last_outcomes is not None and len(
-                self.last_outcomes
-            ) > before:
-                outcome_origins.append((r0, c0))
-            accumulator[r0:r0 + br, c0:c0 + bc] += recon * weight
-            weight_sum[r0:r0 + br, c0:c0 + bc] += weight
+            for (r0, c0), (recon, outcome) in zip(origins, decoded):
+                if outcome is not None and self.last_outcomes is not None:
+                    outcome_origins.append((r0, c0))
+                    self.last_outcomes.append(outcome)
+                accumulator[r0:r0 + br, c0:c0 + bc] += recon * weight
+                weight_sum[r0:r0 + br, c0:c0 + bc] += weight
+        else:
+            for r0, c0 in origins:
+                tile = frame[r0:r0 + br, c0:c0 + bc]
+                local = None
+                if exclude_mask is not None:
+                    local = exclude_mask[r0:r0 + br, c0:c0 + bc]
+                before = (
+                    len(self.last_outcomes)
+                    if self.last_outcomes is not None
+                    else 0
+                )
+                recon = self._decode_tile(tile, local, plan, rng)
+                if self.last_outcomes is not None and len(
+                    self.last_outcomes
+                ) > before:
+                    outcome_origins.append((r0, c0))
+                accumulator[r0:r0 + br, c0:c0 + bc] += recon * weight
+                weight_sum[r0:r0 + br, c0:c0 + bc] += weight
         if self.last_outcomes is not None:
             self.last_outcomes = list(zip(outcome_origins, self.last_outcomes))
         if np.any(weight_sum == 0):

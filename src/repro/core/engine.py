@@ -164,6 +164,24 @@ class SeparableDct2Basis:
         pixels = np.asarray(pixels, dtype=float).reshape(self.shape)
         return (self._c_rows.T @ pixels @ self._c_cols).ravel()
 
+    def synthesize_batch(self, coeffs: np.ndarray) -> np.ndarray:
+        """``Psi @ x`` over a ``(k, n)`` stack of coefficient vectors.
+
+        ``np.matmul`` broadcasting runs the same two per-slice GEMMs as
+        :meth:`synthesize` (same operand shapes, same evaluation order),
+        so each row of the result is bitwise the serial apply -- the
+        property the lockstep multi-RHS solvers rely on.
+        """
+        coeffs = np.asarray(coeffs, dtype=float).reshape(-1, *self.shape)
+        pixels = np.matmul(np.matmul(self._c_rows, coeffs), self._c_cols.T)
+        return pixels.reshape(len(coeffs), self.n)
+
+    def analyze_batch(self, pixels: np.ndarray) -> np.ndarray:
+        """``Psi.T @ y`` over a ``(k, n)`` stack of pixel vectors."""
+        pixels = np.asarray(pixels, dtype=float).reshape(-1, *self.shape)
+        coeffs = np.matmul(np.matmul(self._c_rows.T, pixels), self._c_cols)
+        return coeffs.reshape(len(pixels), self.n)
+
     def to_matrix(self) -> np.ndarray:
         """Materialise the explicit ``N x N`` basis (testing / small N)."""
         return np.kron(self._c_rows, self._c_cols)
@@ -431,6 +449,34 @@ class DecodeContext:
             weights.setflags(write=False)
             object.__setattr__(self, "weights", weights)
 
+    def __getstate__(self) -> dict:
+        """Picklable state (``solver_options`` as a plain dict).
+
+        The live plan stores ``solver_options`` behind a
+        ``MappingProxyType``, which cannot cross a process boundary;
+        pickling is what lets one frozen plan fan out to a
+        :class:`~repro.core.executor.ProcessExecutor` worker pool.
+        """
+        state = dict(self.__dict__)
+        state["solver_options"] = dict(self.solver_options)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore a pickled plan, re-freezing the mutable views."""
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(
+            self,
+            "solver_options",
+            MappingProxyType(dict(state.get("solver_options") or {})),
+        )
+        for name in ("exclude_mask", "weights"):
+            value = getattr(self, name)
+            if value is not None:
+                value = np.asarray(value)
+                value.setflags(write=False)
+                object.__setattr__(self, name, value)
+
     @classmethod
     def for_frame(
         cls, frame: np.ndarray, sampling_fraction: float, **kwargs
@@ -538,6 +584,92 @@ class DecodeEngine:
         return EngineOperator(phi, entry.basis, spectral_norm_hint=hint)
 
     # -- the canonical decode path -----------------------------------------
+    @staticmethod
+    def _validate_frame(frame: np.ndarray, plan: DecodeContext) -> np.ndarray:
+        frame = validate_decode_inputs(
+            frame, plan.sampling_fraction, plan.noise_sigma
+        )
+        if frame.shape != plan.shape:
+            raise ValueError(
+                f"frame shape {frame.shape} does not match plan shape "
+                f"{plan.shape}"
+            )
+        return frame
+
+    @staticmethod
+    def _measurement_budget(
+        plan: DecodeContext, n: int
+    ) -> tuple[int, np.ndarray | None]:
+        """The measurement count ``m`` and flat excluded indices."""
+        m = max(1, int(round(plan.sampling_fraction * n)))
+        exclude = None
+        if plan.exclude_mask is not None:
+            exclude = np.flatnonzero(plan.exclude_mask.ravel())
+            m = min(m, n - len(exclude))
+            if m < 1:
+                raise ValueError(
+                    f"exclusion mask leaves no pixels to sample "
+                    f"({len(exclude)} of {n} pixels excluded); relax the "
+                    "mask or fall back to unmasked sampling"
+                )
+        return m, exclude
+
+    @staticmethod
+    def _draw_phi(
+        plan: DecodeContext,
+        n: int,
+        m: int,
+        exclude: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> RowSamplingMatrix:
+        """Draw one ``Phi_M`` under the plan (the only sampling RNG use)."""
+        if plan.weights is not None:
+            indices = weighted_sample_indices(
+                n, m, plan.weights.ravel(), rng, exclude=exclude
+            )
+            return RowSamplingMatrix(n=n, indices=indices)
+        return RowSamplingMatrix.random(n, m, rng, exclude=exclude)
+
+    @staticmethod
+    def _measure(
+        frame: np.ndarray,
+        plan: DecodeContext,
+        phi: RowSamplingMatrix,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Apply ``Phi_M`` to the frame, adding plan noise if configured."""
+        measurements = phi.apply(frame.ravel())
+        if plan.noise_sigma > 0.0:
+            measurements = measurements + rng.normal(
+                0.0, plan.noise_sigma, size=measurements.shape
+            )
+        return measurements
+
+    def _solve_acquired(
+        self,
+        plan: DecodeContext,
+        phi: RowSamplingMatrix,
+        measurements: np.ndarray,
+        full_output: bool = False,
+    ) -> np.ndarray | DecodeResult:
+        """Solve one already-acquired measurement vector under ``plan``.
+
+        The RNG-free half of :meth:`decode`: operator lookup, solver
+        dispatch, reshape.  Because it consumes no randomness it can run
+        on any worker in any order without perturbing determinism --
+        this is what :meth:`decode_batch` fans out.
+        """
+        operator = self.operator(phi, plan.shape, plan.basis)
+        result = solve(
+            plan.solver, operator, measurements, **dict(plan.solver_options)
+        )
+        reconstruction = operator.synthesize(result.coefficients).reshape(
+            plan.shape
+        )
+        if full_output:
+            return DecodeResult(reconstruction, result, measurements)
+        return reconstruction
+
     def decode(
         self,
         frame: np.ndarray,
@@ -553,26 +685,9 @@ class DecodeEngine:
         reconstructed frame, or the full :class:`DecodeResult` when
         ``full_output`` is set.
         """
-        frame = validate_decode_inputs(
-            frame, plan.sampling_fraction, plan.noise_sigma
-        )
-        if frame.shape != plan.shape:
-            raise ValueError(
-                f"frame shape {frame.shape} does not match plan shape "
-                f"{plan.shape}"
-            )
+        frame = self._validate_frame(frame, plan)
         n = frame.size
-        m = max(1, int(round(plan.sampling_fraction * n)))
-        exclude = None
-        if plan.exclude_mask is not None:
-            exclude = np.flatnonzero(plan.exclude_mask.ravel())
-            m = min(m, n - len(exclude))
-            if m < 1:
-                raise ValueError(
-                    f"exclusion mask leaves no pixels to sample "
-                    f"({len(exclude)} of {n} pixels excluded); relax the "
-                    "mask or fall back to unmasked sampling"
-                )
+        m, exclude = self._measurement_budget(plan, n)
         span_name = (
             "decode.weighted_sample_and_reconstruct"
             if plan.weights is not None
@@ -581,28 +696,151 @@ class DecodeEngine:
         with instrument.span(span_name, n=n, m=m, solver=plan.solver):
             instrument.incr("decode.calls")
             instrument.incr("decode.measurements", m)
-            if plan.weights is not None:
-                indices = weighted_sample_indices(
-                    n, m, plan.weights.ravel(), rng, exclude=exclude
-                )
-                phi = RowSamplingMatrix(n=n, indices=indices)
+            phi = self._draw_phi(plan, n, m, exclude, rng)
+            measurements = self._measure(frame, plan, phi, rng)
+            return self._solve_acquired(plan, phi, measurements, full_output)
+
+    def decode_batch(
+        self,
+        frames,
+        plan: DecodeContext,
+        rng: np.random.Generator,
+        executor=None,
+        shared_phi: bool = False,
+        vectorize: bool | None = None,
+        full_output: bool = False,
+    ) -> list:
+        """Decode N frames against one frozen plan, bit-identical to serial.
+
+        The batch path splits the canonical recipe into two phases:
+
+        1. **Acquisition** (always sequential, in frame order): per frame,
+           draw ``Phi_M`` then the measurement noise -- the exact RNG
+           consumption order of N back-to-back :meth:`decode` calls, so
+           the measurements are bitwise those of the serial loop.  With
+           ``shared_phi`` a single ``Phi_M`` is drawn up front and reused
+           for every frame (one sampling pattern, N readouts -- the
+           streaming-hardware regime).
+        2. **Solve** (pure, freely parallel): each acquired system is
+           solved through :meth:`_solve_acquired`.  With an ``executor``
+           the solves fan out across workers; with ``shared_phi`` and a
+           multi-RHS-capable configuration the solves collapse into one
+           vectorised lockstep call (see
+           :func:`repro.core.solvers.solve_batch`).  All three routes
+           return bit-identical results in input order.
+
+        Parameters
+        ----------
+        frames:
+            Sequence of frames, all matching ``plan.shape``.
+        plan, rng:
+            As for :meth:`decode`; the RNG advances exactly as if each
+            frame had been decoded serially (or once, for the shared
+            draw).
+        executor:
+            Anything :func:`~repro.core.executor.resolve_executor`
+            accepts; ``None`` solves in-process.
+        shared_phi:
+            Reuse one sampling pattern for the whole batch.
+        vectorize:
+            Force (``True``) or forbid (``False``) the multi-RHS solve;
+            ``None`` uses it when available.  Only meaningful with
+            ``shared_phi``.
+        full_output:
+            Return :class:`DecodeResult` per frame instead of bare
+            reconstructions.
+        """
+        from .executor import collect_values, resolve_executor
+
+        frames = [self._validate_frame(f, plan) for f in frames]
+        if not frames:
+            return []
+        n = frames[0].size
+        m, exclude = self._measurement_budget(plan, n)
+        with instrument.span(
+            "decode.batch",
+            frames=len(frames),
+            n=n,
+            m=m,
+            solver=plan.solver,
+            shared_phi=shared_phi,
+        ):
+            instrument.incr("decode.batches")
+            instrument.incr("decode.calls", len(frames))
+            instrument.incr("decode.measurements", m * len(frames))
+            # Phase 1: sequential acquisition in frame order.
+            if shared_phi:
+                phi = self._draw_phi(plan, n, m, exclude, rng)
+                acquired = [
+                    (phi, self._measure(frame, plan, phi, rng))
+                    for frame in frames
+                ]
             else:
-                phi = RowSamplingMatrix.random(n, m, rng, exclude=exclude)
-            operator = self.operator(phi, plan.shape, plan.basis)
-            measurements = phi.apply(frame.ravel())
-            if plan.noise_sigma > 0.0:
-                measurements = measurements + rng.normal(
-                    0.0, plan.noise_sigma, size=measurements.shape
+                acquired = []
+                for frame in frames:
+                    phi = self._draw_phi(plan, n, m, exclude, rng)
+                    acquired.append(
+                        (phi, self._measure(frame, plan, phi, rng))
+                    )
+            # Phase 2: pure solves -- vectorised, fanned out, or serial.
+            if shared_phi and vectorize is not False and len(frames) > 1:
+                batched = self._solve_batch_vectorized(
+                    plan, acquired[0][0], [b for _, b in acquired], full_output
                 )
-            result = solve(
-                plan.solver, operator, measurements, **dict(plan.solver_options)
+                if batched is not None:
+                    return batched
+                if vectorize:
+                    raise ValueError(
+                        f"solver {plan.solver!r} has no vectorised "
+                        "multi-RHS path for this configuration"
+                    )
+            ex = resolve_executor(executor)
+            if ex is None:
+                return [
+                    self._solve_acquired(plan, phi, b, full_output)
+                    for phi, b in acquired
+                ]
+            tasks = [(plan, phi, b, full_output) for phi, b in acquired]
+            return collect_values(
+                ex.map_tasks(_solve_acquired_task, tasks, label="decode_batch")
             )
-            reconstruction = operator.synthesize(result.coefficients).reshape(
-                frame.shape
+
+    def _solve_batch_vectorized(
+        self,
+        plan: DecodeContext,
+        phi: RowSamplingMatrix,
+        measurements: list,
+        full_output: bool,
+    ) -> list | None:
+        """Multi-RHS lockstep solve; ``None`` when unsupported here."""
+        from .solvers import solve_batch
+
+        operator = self.operator(phi, plan.shape, plan.basis)
+        results = solve_batch(
+            plan.solver,
+            operator,
+            np.stack(measurements),
+            **dict(plan.solver_options),
+        )
+        if results is None:
+            return None
+        out = []
+        for result, b in zip(results, measurements):
+            reconstruction = operator.synthesize(
+                result.coefficients
+            ).reshape(plan.shape)
+            out.append(
+                DecodeResult(reconstruction, result, b)
+                if full_output
+                else reconstruction
             )
-            if full_output:
-                return DecodeResult(reconstruction, result, measurements)
-            return reconstruction
+        return out
+
+
+def _solve_acquired_task(args):
+    """Executor task body for one acquired system (picklable)."""
+    plan, phi, measurements, full_output = args
+    return get_engine()._solve_acquired(plan, phi, measurements, full_output)
 
 
 def _default_engine() -> DecodeEngine:

@@ -1,0 +1,312 @@
+"""Pluggable execution backends for every fan-out in the repo.
+
+The repo has one recurring shape of work: *many independent decode
+tasks* -- tiles in :class:`~repro.core.blocks.BlockProcessor`, frames in
+a :class:`~repro.array.imager.StreamingImager` window, redundant draws
+in :class:`~repro.core.strategies.ResamplingStrategy`, grid points in
+:class:`~repro.core.pipeline.RobustnessSweep` and the tolerance / RES
+experiments.  Each used to hand-roll its own loop; none could use a
+pool without duplicating pool bookkeeping, ordering and error handling.
+
+This module is the one sanctioned seam for parallelism
+(``tools/check_engine_seam.py`` forbids raw ``concurrent.futures`` /
+``multiprocessing`` pool construction anywhere else):
+
+* :class:`Executor` -- the protocol: ``map_tasks(fn, items)`` returns a
+  :class:`TaskResult` per item **in submission order**, with per-task
+  error capture (a failing task yields an error string instead of
+  poisoning its siblings) and ``executor.*`` metrics via
+  :mod:`repro.instrument`;
+* :class:`SerialExecutor` -- in-process loop, the reference backend
+  every parallel backend must match bit-for-bit;
+* :class:`ThreadExecutor` -- ``ThreadPoolExecutor`` backend, right for
+  workloads that release the GIL (BLAS-heavy solves) or mix I/O;
+* :class:`ProcessExecutor` -- ``ProcessPoolExecutor`` backend for
+  CPU-bound fan-out; tasks and results must be picklable (the frozen
+  :class:`~repro.core.engine.DecodeContext` is, by design);
+* :func:`resolve_executor` -- the shared ``executor=`` argument
+  convention (``None`` | ``"serial"`` | ``"thread"`` | ``"process"`` |
+  worker count | instance) every call site accepts.
+
+Determinism contract: ``map_tasks`` never reorders results, and the
+call sites built on it draw all RNG-consuming work (``Phi_M`` draws,
+measurement noise) *before* fanning out or from per-task spawned
+generators -- so serial, thread and process backends produce
+bit-identical output under a fixed seed.  Regression tests assert this.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from .. import instrument
+
+__all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TaskError",
+    "TaskResult",
+    "ThreadExecutor",
+    "collect_values",
+    "default_workers",
+    "resolve_executor",
+]
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one task submitted through :meth:`Executor.map_tasks`.
+
+    Attributes
+    ----------
+    index:
+        Position of the task's item in the submitted sequence; results
+        come back sorted by it, so ``results[i]`` always corresponds to
+        ``items[i]``.
+    value:
+        The task function's return value (``None`` when it failed).
+    error:
+        ``None`` on success; otherwise ``"ExcType: message"`` captured
+        from the task (the exception object itself may not survive a
+        process boundary, the string always does).
+    duration_s:
+        Wall-clock seconds the task body ran.
+    """
+
+    index: int
+    value: Any = None
+    error: str | None = None
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task completed without raising."""
+        return self.error is None
+
+
+class TaskError(RuntimeError):
+    """Raised by :func:`collect_values` when any task in a map failed."""
+
+
+def collect_values(results: Sequence[TaskResult]) -> list:
+    """Unwrap ``map_tasks`` results into plain values, or raise.
+
+    Raises :class:`TaskError` naming every failed task when any task
+    errored; call sites that want partial results inspect the
+    :class:`TaskResult` list directly instead.
+    """
+    failed = [r for r in results if not r.ok]
+    if failed:
+        details = "; ".join(f"task {r.index}: {r.error}" for r in failed)
+        raise TaskError(
+            f"{len(failed)} of {len(results)} task(s) failed: {details}"
+        )
+    return [r.value for r in results]
+
+
+def default_workers() -> int:
+    """Default worker count: the machine's CPU count (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _run_task(fn: Callable, index: int, item) -> TaskResult:
+    """Run one task body, capturing errors and timing (picklable)."""
+    start = time.perf_counter()
+    try:
+        value = fn(item)
+    except Exception as exc:  # noqa: BLE001 - per-task containment
+        return TaskResult(
+            index=index,
+            error=f"{type(exc).__name__}: {exc}",
+            duration_s=time.perf_counter() - start,
+        )
+    return TaskResult(
+        index=index, value=value, duration_s=time.perf_counter() - start
+    )
+
+
+class Executor:
+    """Base class / protocol for the pluggable execution backends.
+
+    Subclasses implement :meth:`_run`; :meth:`map_tasks` wraps it with
+    the shared contract -- deterministic submission-order results,
+    per-task error capture, and ``executor.*`` instrumentation
+    (``map_calls`` / ``tasks`` / ``task_errors`` counters plus an
+    ``executor.<label>`` span per map).
+    """
+
+    name = "executor"
+
+    @property
+    def workers(self) -> int:
+        """Worker slots this backend runs tasks on (1 for serial)."""
+        return 1
+
+    def map_tasks(
+        self, fn: Callable, items: Iterable, label: str = "map"
+    ) -> list[TaskResult]:
+        """Apply ``fn`` to every item; results in submission order.
+
+        ``fn`` must accept one positional argument (the item).  A task
+        that raises is captured as a failed :class:`TaskResult` -- the
+        map always returns ``len(items)`` results.
+        """
+        items = list(items)
+        with instrument.span(
+            f"executor.{label}",
+            backend=self.name,
+            tasks=len(items),
+            workers=self.workers,
+        ):
+            instrument.incr("executor.map_calls")
+            instrument.incr("executor.tasks", len(items))
+            instrument.set_gauge("executor.workers", self.workers)
+            results = self._run(fn, items)
+            errors = sum(1 for r in results if not r.ok)
+            if errors:
+                instrument.incr("executor.task_errors", errors)
+        return results
+
+    def _run(self, fn: Callable, items: list) -> list[TaskResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for pool-less backends)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution -- the reference backend.
+
+    Parallel backends are validated against it bit-for-bit; it is also
+    the fallback :func:`resolve_executor` picks for a worker count of 1.
+    """
+
+    name = "serial"
+
+    def _run(self, fn: Callable, items: list) -> list[TaskResult]:
+        return [_run_task(fn, index, item) for index, item in enumerate(items)]
+
+
+class _PooledExecutor(Executor):
+    """Shared pool lifecycle for the thread/process backends."""
+
+    _pool_factory: Callable[..., futures.Executor]
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._workers = int(workers) if workers is not None else None
+        self._pool: futures.Executor | None = None
+
+    @property
+    def workers(self) -> int:
+        """Configured worker count (defaults to :func:`default_workers`)."""
+        return self._workers or default_workers()
+
+    def _ensure_pool(self) -> futures.Executor:
+        if self._pool is None:
+            self._pool = type(self)._pool_factory(max_workers=self.workers)
+        return self._pool
+
+    def _run(self, fn: Callable, items: list) -> list[TaskResult]:
+        pool = self._ensure_pool()
+        pending = [
+            pool.submit(_run_task, fn, index, item)
+            for index, item in enumerate(items)
+        ]
+        results = []
+        for index, future in enumerate(pending):
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - submission failures
+                # e.g. an unpicklable task on the process backend: the
+                # worker never saw it, so capture the error here.
+                results.append(
+                    TaskResult(
+                        index=index, error=f"{type(exc).__name__}: {exc}"
+                    )
+                )
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down (it is lazily rebuilt on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Thread-pool backend (lazy ``ThreadPoolExecutor``).
+
+    Tasks share the process, so they may close over unpicklable state --
+    but they must be thread-safe.  Best for workloads dominated by
+    GIL-releasing native code (BLAS matmuls in the solvers).
+    """
+
+    name = "thread"
+    _pool_factory = futures.ThreadPoolExecutor
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Process-pool backend (lazy ``ProcessPoolExecutor``).
+
+    Task functions, items and return values must be picklable.  Each
+    worker owns its own default :class:`~repro.core.engine.DecodeEngine`
+    (and operator cache), so same-shape tasks amortise template
+    construction inside every worker just like the parent does.
+    """
+
+    name = "process"
+    _pool_factory = futures.ProcessPoolExecutor
+
+
+def resolve_executor(spec, workers: int | None = None) -> Executor | None:
+    """Normalise the shared ``executor=`` argument convention.
+
+    ===============================  =====================================
+    ``spec``                         resolves to
+    ===============================  =====================================
+    ``None``                         ``None`` (call site keeps its
+                                     legacy sequential path)
+    an :class:`Executor` instance    itself (any object with
+                                     ``map_tasks`` qualifies)
+    ``"serial"``                     :class:`SerialExecutor`
+    ``"thread"`` / ``"threads"``     :class:`ThreadExecutor`
+    ``"process"`` / ``"processes"``  :class:`ProcessExecutor`
+    ``int n``                        ``n <= 1`` -> serial, else a
+                                     process pool with ``n`` workers
+    ===============================  =====================================
+
+    ``workers`` overrides the pool size for the string forms.
+    """
+    if spec is None:
+        return None
+    if hasattr(spec, "map_tasks"):
+        return spec
+    if isinstance(spec, bool):
+        raise ValueError(f"cannot resolve executor spec {spec!r}")
+    if isinstance(spec, int):
+        return SerialExecutor() if spec <= 1 else ProcessExecutor(spec)
+    if isinstance(spec, str):
+        kind = spec.strip().lower()
+        if kind == "serial":
+            return SerialExecutor()
+        if kind in ("thread", "threads"):
+            return ThreadExecutor(workers)
+        if kind in ("process", "processes"):
+            return ProcessExecutor(workers)
+    raise ValueError(
+        f"cannot resolve executor spec {spec!r}; expected None, an "
+        "Executor, 'serial' | 'thread' | 'process', or a worker count"
+    )

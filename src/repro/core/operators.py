@@ -109,6 +109,49 @@ class SensingOperator:
             scattered = self._phi.T @ np.asarray(r, dtype=float)
         return self.analyze(scattered)
 
+    # -- batched applies (multi-RHS solves) --------------------------------
+    def _has_batch_basis(self) -> bool:
+        return (
+            isinstance(self._phi, RowSamplingMatrix)
+            and self._basis is not None
+            and hasattr(self._basis, "synthesize_batch")
+            and hasattr(self._basis, "analyze_batch")
+        )
+
+    def matvec_batch(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x_i`` for every row of a ``(k, n)`` stack.
+
+        Row ``i`` of the result is bitwise ``matvec(x[i])``: the fast
+        path uses the basis's batched apply (same per-slice arithmetic)
+        plus row-sampling fancy indexing, and configurations without a
+        batched basis fall back to a per-row loop.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.n:
+            raise ValueError(
+                f"expected a (k, {self.n}) coefficient stack, got {x.shape}"
+            )
+        if self._has_batch_basis():
+            return self._basis.synthesize_batch(x)[:, self._phi.indices]
+        return np.stack([self.matvec(row) for row in x])
+
+    def rmatvec_batch(self, r: np.ndarray) -> np.ndarray:
+        """``A.T @ r_i`` for every row of a ``(k, m)`` stack."""
+        r = np.asarray(r, dtype=float)
+        if r.ndim != 2 or r.shape[1] != self.m:
+            raise ValueError(
+                f"expected a (k, {self.m}) measurement stack, got {r.shape}"
+            )
+        if self._has_batch_basis():
+            scattered = np.zeros((r.shape[0], self.n))
+            scattered[:, self._phi.indices] = r
+            return self._basis.analyze_batch(scattered)
+        return np.stack([self.rmatvec(row) for row in r])
+
+    def supports_batch(self) -> bool:
+        """Whether the batched applies take the vectorised fast path."""
+        return self._has_batch_basis()
+
     def to_matrix(self) -> np.ndarray:
         """Materialise the dense ``(m, n)`` matrix ``A`` (small problems)."""
         if isinstance(self._phi, RowSamplingMatrix):

@@ -34,7 +34,7 @@ from .base import (
 )
 from .basis_pursuit import solve_basis_pursuit
 from .debias import debias_on_support
-from .fista import default_lambda, solve_fista, solve_ista
+from .fista import default_lambda, solve_fista, solve_fista_batch, solve_ista
 from .greedy import solve_cosamp, solve_iht, solve_omp
 
 __all__ = [
@@ -42,11 +42,14 @@ __all__ = [
     "DivergenceGuard",
     "SolveDeadline",
     "solve",
+    "solve_batch",
     "solver_names",
+    "batch_solver_names",
     "solve_basis_pursuit",
     "solve_bp_dr",
     "solve_ista",
     "solve_fista",
+    "solve_fista_batch",
     "solve_omp",
     "solve_cosamp",
     "solve_iht",
@@ -185,3 +188,81 @@ def solve(
         if after is not None:
             result = after(name, result)
     return result
+
+
+_BATCH_SOLVERS: dict[str, Callable[..., list]] = {
+    "fista": solve_fista_batch,
+}
+
+
+def batch_solver_names() -> tuple[str, ...]:
+    """Solvers with a vectorised multi-RHS implementation."""
+    return tuple(sorted(_BATCH_SOLVERS))
+
+
+def solve_batch(
+    name: str,
+    operator: SensingOperator,
+    b_stack: np.ndarray,
+    sparsity: int | None = None,
+    **options,
+) -> list[SolverResult] | None:
+    """Vectorised multi-RHS dispatch: N solves against one operator.
+
+    Decodes every row of ``b_stack`` (shape ``(k, m)``) in one lockstep
+    call when the named solver has a batch implementation (see
+    :func:`batch_solver_names`) and the operator's batched applies take
+    the fast path.  Per-row results are **bitwise identical** to ``k``
+    serial :func:`solve` calls -- the batch only amortises dispatch and
+    python overhead, never changes arithmetic -- so callers may treat
+    the two paths as interchangeable.
+
+    Returns ``None`` when no batch path applies (unknown/unbatched
+    solver, or an operator without vectorised applies), letting callers
+    fall back to per-row :func:`solve` without special-casing.  Raises
+    ``ValueError`` for malformed stacks, mirroring :func:`solve`'s
+    input validation.
+
+    Solve hooks (chaos injection) run per row in row order, exactly as
+    ``k`` serial dispatches would, so fault-injection semantics are
+    preserved; ``sparsity`` is accepted for signature parity with
+    :func:`solve` but no greedy solver is batched today.
+    """
+    del sparsity  # no greedy batch solvers yet
+    if name not in _BATCH_SOLVERS:
+        return None
+    supports = getattr(operator, "supports_batch", None)
+    if supports is None or not supports():
+        return None
+    b_stack = np.asarray(b_stack, dtype=float)
+    if b_stack.ndim != 2:
+        raise ValueError(
+            f"measurement stack must be 2-D, got shape {b_stack.shape}"
+        )
+    if not np.all(np.isfinite(b_stack)):
+        raise ValueError(
+            "measurement stack contains NaN/Inf; reject or repair "
+            "measurements before solving"
+        )
+    instrument.incr("decoder.requests", b_stack.shape[0])
+    instrument.incr("decoder.batch_requests")
+    if _SOLVE_HOOKS:
+        rows = []
+        for b in b_stack:
+            for hook in _SOLVE_HOOKS:
+                before = getattr(hook, "before_solve", None)
+                if before is not None:
+                    b = before(name, operator, b)
+            rows.append(np.asarray(b, dtype=float))
+        b_stack = np.stack(rows)
+    results = _BATCH_SOLVERS[name](operator, b_stack, **options)
+    if _SOLVE_HOOKS:
+        finished = []
+        for result in results:
+            for hook in _SOLVE_HOOKS:
+                after = getattr(hook, "after_solve", None)
+                if after is not None:
+                    result = after(name, result)
+            finished.append(result)
+        results = finished
+    return results

@@ -180,6 +180,12 @@ class ResamplingStrategy:
         Number of independent resampling rounds (the paper uses 10).
     aggregate:
         ``"median"`` (robust, the paper's recommendation) or ``"mean"``.
+    executor:
+        Optional parallel execution of the rounds: anything
+        :func:`~repro.core.executor.resolve_executor` accepts.  The
+        rounds' ``Phi_M``/noise draws stay sequential (so the result is
+        bit-identical to the serial loop for a given ``rng``); only the
+        pure solves fan out.
     """
 
     sampling_fraction: float = 0.5
@@ -188,6 +194,7 @@ class ResamplingStrategy:
     solver: str = "fista"
     noise_sigma: float = 0.0
     solver_options: dict = field(default_factory=dict)
+    executor: object | None = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -223,7 +230,9 @@ class ResamplingStrategy:
             noise_sigma=self.noise_sigma,
         ).with_exclusions(error_mask)
         stack = np.stack(
-            [engine.decode(corrupted, plan, rng) for _ in range(self.rounds)]
+            engine.decode_batch(
+                [corrupted] * self.rounds, plan, rng, executor=self.executor
+            )
         )
         if self.aggregate == "median":
             return np.median(stack, axis=0)

@@ -53,7 +53,9 @@ def _run_fig5(args) -> None:
 
 
 def _run_fig6a(args) -> None:
-    points = fig6a_rmse.run_fig6a(num_frames=args.frames, seed=args.seed)
+    points = fig6a_rmse.run_fig6a(
+        num_frames=args.frames, seed=args.seed, workers=args.workers
+    )
     print(fig6a_rmse.format_table(points))
 
 
@@ -109,13 +111,15 @@ def _run_scaling(args) -> None:
 
 def _run_resilience(args) -> None:
     points = resilience_sweep.run_resilience_sweep(
-        num_frames=args.frames, seed=args.seed
+        num_frames=args.frames, seed=args.seed, workers=args.workers
     )
     print(resilience_sweep.format_table(points))
 
 
 def _run_tolerance(args) -> None:
-    points = run_tolerance(num_frames=args.frames, seed=args.seed)
+    points = run_tolerance(
+        num_frames=args.frames, seed=args.seed, workers=args.workers
+    )
     print(_tol_table(points))
     print(f"tolerance limit: {tolerance_limit(points):.0%} sparse errors")
 
@@ -159,6 +163,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--epochs", type=int, default=12, help="training epochs (FIG6b)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for sweep points (FIG6a/TOL/RES); "
+        "results are identical to --workers 1",
     )
     args = parser.parse_args(argv)
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

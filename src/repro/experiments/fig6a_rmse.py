@@ -13,12 +13,36 @@ sampling percentage with diminishing returns.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from .. import instrument
 from ..core.pipeline import RobustnessSweep, SweepPoint
 from ..core.strategies import OracleExclusionStrategy
 from ..datasets import ThermalHandGenerator
 
-__all__ = ["run_fig6a", "default_sweep"]
+__all__ = ["run_fig6a", "default_sweep", "OracleSweepFactory"]
+
+
+@dataclass(frozen=True)
+class OracleSweepFactory:
+    """Picklable ``fraction -> OracleExclusionStrategy`` factory.
+
+    A plain closure would bind the solver/noise parameters just as
+    well, but closures cannot cross a process-pool boundary; a frozen
+    dataclass with ``__call__`` pickles cleanly, so the Fig. 6a sweep
+    can distribute its grid points over workers.
+    """
+
+    solver: str = "fista"
+    noise_sigma: float = 0.02
+
+    def __call__(self, fraction: float) -> OracleExclusionStrategy:
+        """Build the strategy for one sampling fraction."""
+        return OracleExclusionStrategy(
+            sampling_fraction=fraction,
+            solver=self.solver,
+            noise_sigma=self.noise_sigma,
+        )
 
 
 def default_sweep(
@@ -29,16 +53,12 @@ def default_sweep(
     seed: int = 0,
 ) -> RobustnessSweep:
     """The Fig. 6a sweep object (oracle-exclusion strategy)."""
-
-    def factory(fraction: float) -> OracleExclusionStrategy:
-        return OracleExclusionStrategy(
-            sampling_fraction=fraction, solver=solver, noise_sigma=noise_sigma
-        )
-
     return RobustnessSweep(
         sampling_fractions=sampling_fractions,
         error_rates=error_rates,
-        strategy_factory=factory,
+        strategy_factory=OracleSweepFactory(
+            solver=solver, noise_sigma=noise_sigma
+        ),
         seed=seed,
     )
 
@@ -50,8 +70,14 @@ def run_fig6a(
     solver: str = "fista",
     noise_sigma: float = 0.02,
     seed: int = 0,
+    workers: int = 1,
 ) -> list[SweepPoint]:
-    """Regenerate the Fig. 6a grid on synthetic thermal frames."""
+    """Regenerate the Fig. 6a grid on synthetic thermal frames.
+
+    ``workers > 1`` distributes grid points over a process pool with
+    results identical to the sequential sweep (every point derives its
+    own RNG stream from the seed).
+    """
     with instrument.span(
         "experiment.fig6a_rmse",
         num_frames=num_frames,
@@ -66,7 +92,7 @@ def run_fig6a(
             noise_sigma=noise_sigma,
             seed=seed,
         )
-        return sweep.run(frames)
+        return sweep.run(frames, executor=workers if workers > 1 else None)
 
 
 def format_table(points: list[SweepPoint]) -> str:

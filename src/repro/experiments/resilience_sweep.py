@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import instrument
+from ..core.executor import collect_values, resolve_executor
 from ..core.metrics import rmse
 from ..datasets import ThermalHandGenerator
 from ..resilience import (
@@ -57,63 +58,83 @@ class ResiliencePoint:
         )
 
 
+def _resilience_point_task(args):
+    """Chaos-test one fault-rate point (picklable task body).
+
+    Installs its own injector set for the duration of the point, so it
+    must not run concurrently in one process (the solve-hook registry
+    is process-global): distribute points with a *process* pool, never
+    a thread pool.  RNGs derive from ``(seed, fault_rate, frame)``, so
+    a point's result is independent of where it runs.
+    """
+    fault_rate, frames, sampling_fraction, seed = args
+    decoder = ResilientDecoder(policy=ResiliencePolicy())
+    injectors = default_taxonomy(fault_rate, seed=seed)
+    counts = {"ok": 0, "degraded": 0, "fallback": 0}
+    errors: list[float] = []
+    attempts = 0
+    delivered = 0
+    with instrument.span(
+        "experiment.resilience_point", fault_rate=fault_rate
+    ):
+        with chaos(*injectors):
+            for index, frame in enumerate(frames):
+                rng = np.random.default_rng(
+                    [seed, int(fault_rate * 1000), index]
+                )
+                outcome = decoder.decode(frame, sampling_fraction, rng)
+                counts[outcome.status] += 1
+                attempts += len(outcome.attempts)
+                if outcome.frame is not None:
+                    delivered += 1
+                    errors.append(rmse(frame, outcome.frame))
+    return ResiliencePoint(
+        fault_rate=fault_rate,
+        frames=len(frames),
+        delivered=delivered,
+        ok=counts["ok"],
+        degraded=counts["degraded"],
+        fallback=counts["fallback"],
+        median_rmse=float(np.median(errors)) if errors else float("nan"),
+        total_attempts=attempts,
+        faults_injected=sum(inj.trips for inj in injectors),
+    )
+
+
 def run_resilience_sweep(
     num_frames: int = 6,
     fault_rates: tuple[float, ...] = (0.0, 0.1, 0.2, 0.4),
     sampling_fraction: float = 0.5,
     seed: int = 0,
+    workers: int = 1,
 ) -> list[ResiliencePoint]:
     """Chaos-test the resilient decode runtime over a fault-rate sweep.
 
     Every grid point decodes the same ``num_frames`` thermal frames
     under ``default_taxonomy(fault_rate)``; RNGs are derived from
     ``seed`` throughout, so the whole sweep is reproducible.
+
+    ``workers > 1`` distributes the points over a *process* pool (each
+    worker installs its own chaos injectors; thread pools would race on
+    the process-global solve-hook registry) with identical results.
     """
     frames = ThermalHandGenerator(seed=seed).frames(num_frames)
-    points: list[ResiliencePoint] = []
     with instrument.span(
         "experiment.resilience_sweep",
         num_frames=num_frames,
         sampling_fraction=sampling_fraction,
         seed=seed,
     ):
-        for fault_rate in fault_rates:
-            decoder = ResilientDecoder(policy=ResiliencePolicy())
-            injectors = default_taxonomy(fault_rate, seed=seed)
-            counts = {"ok": 0, "degraded": 0, "fallback": 0}
-            errors: list[float] = []
-            attempts = 0
-            delivered = 0
-            with instrument.span(
-                "experiment.resilience_point", fault_rate=fault_rate
-            ):
-                with chaos(*injectors):
-                    for index, frame in enumerate(frames):
-                        rng = np.random.default_rng(
-                            [seed, int(fault_rate * 1000), index]
-                        )
-                        outcome = decoder.decode(
-                            frame, sampling_fraction, rng
-                        )
-                        counts[outcome.status] += 1
-                        attempts += len(outcome.attempts)
-                        if outcome.frame is not None:
-                            delivered += 1
-                            errors.append(rmse(frame, outcome.frame))
-            points.append(
-                ResiliencePoint(
-                    fault_rate=fault_rate,
-                    frames=len(frames),
-                    delivered=delivered,
-                    ok=counts["ok"],
-                    degraded=counts["degraded"],
-                    fallback=counts["fallback"],
-                    median_rmse=float(np.median(errors)) if errors else float("nan"),
-                    total_attempts=attempts,
-                    faults_injected=sum(inj.trips for inj in injectors),
-                )
+        executor = resolve_executor(workers)
+        tasks = [
+            (fault_rate, frames, sampling_fraction, seed)
+            for fault_rate in fault_rates
+        ]
+        return collect_values(
+            executor.map_tasks(
+                _resilience_point_task, tasks, label="resilience_sweep"
             )
-    return points
+        )
 
 
 def format_table(points: list[ResiliencePoint]) -> str:

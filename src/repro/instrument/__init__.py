@@ -43,6 +43,7 @@ from .report import (
     SCHEMA,
     build_report,
     iter_span_dicts,
+    json_safe,
     render_table,
     validate_report,
     write_report,
@@ -66,6 +67,7 @@ __all__ = [
     "get_tracer",
     "incr",
     "iter_span_dicts",
+    "json_safe",
     "observe",
     "profiled",
     "render_table",

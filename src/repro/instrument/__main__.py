@@ -244,6 +244,76 @@ def _profile_array_chaos(args) -> str:
     )
 
 
+def _profile_parallel_blocks(args) -> str:
+    """Serial vs multi-worker tile decode on a large e-skin frame.
+
+    Reconstructs the same 64x64 synthetic touch frame through a 16x16
+    :class:`BlockProcessor` twice: once on a
+    :class:`~repro.core.executor.SerialExecutor` and once on a process
+    pool with ``--workers`` workers.  Both arms decode from the same
+    seed, so the outputs must match bit-for-bit (per-tile spawned RNG
+    children make the tile streams scheduling-independent); wall-clock
+    of each arm, their ratio and the identity check land in the
+    ``parallel_blocks.*`` gauges.  The CI exec-smoke job fails when the
+    pool stops being measurably faster or the outputs diverge.
+    """
+    import numpy as np
+
+    from . import set_gauge
+    from ..core.blocks import BlockProcessor
+    from ..core.executor import ProcessExecutor, SerialExecutor
+
+    shape = (64, 64)
+    workers = max(2, args.workers)
+    r, c = np.mgrid[0 : shape[0], 0 : shape[1]]
+    # Two gaussian "touches" on an e-skin sheet, plus a faint texture.
+    frame = np.clip(
+        np.exp(-((r - 20.0) ** 2 + (c - 24.0) ** 2) / 60.0)
+        + 0.8 * np.exp(-((r - 44.0) ** 2 + (c - 40.0) ** 2) / 90.0)
+        + 0.02 * np.random.default_rng(args.seed).normal(size=shape),
+        0.0,
+        1.0,
+    )
+
+    def run_arm(executor, label: str) -> tuple[float, np.ndarray]:
+        processor = BlockProcessor(
+            block_shape=(16, 16),
+            overlap=2,
+            solver=args.solver,
+            sampling_fraction=0.5,
+            executor=executor,
+        )
+        # Warm-up decode: fills the engine operator cache and, for the
+        # pool arm, pays the worker fork + import cost outside timing.
+        processor.reconstruct(frame, np.random.default_rng(args.seed))
+        start = time.perf_counter()
+        with span(f"parallel_blocks.{label}", workers=workers):
+            recon = processor.reconstruct(
+                frame, np.random.default_rng(args.seed + 1)
+            )
+        return time.perf_counter() - start, recon
+
+    with SerialExecutor() as serial_executor:
+        serial_s, serial_recon = run_arm(serial_executor, "serial")
+    with ProcessExecutor(workers) as pool:
+        parallel_s, parallel_recon = run_arm(pool, "parallel")
+    identical = bool(np.array_equal(serial_recon, parallel_recon))
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    set_gauge("parallel_blocks.workers", workers)
+    set_gauge("parallel_blocks.serial_s", serial_s)
+    set_gauge("parallel_blocks.parallel_s", parallel_s)
+    set_gauge("parallel_blocks.speedup", speedup)
+    set_gauge("parallel_blocks.identical", int(identical))
+    return (
+        f"parallel blocks bench: {shape[0]}x{shape[1]} frame, 16x16 tiles, "
+        f"solver={args.solver}\n"
+        f"  serial executor:        {serial_s:.3f} s\n"
+        f"  process pool (x{workers}):    {parallel_s:.3f} s\n"
+        f"  speedup:                {speedup:.2f}x\n"
+        f"  bit-identical outputs:  {identical}"
+    )
+
+
 PROFILES = {
     "fig2_sparsity": _profile_fig2,
     "array_chaos": _profile_array_chaos,
@@ -254,6 +324,7 @@ PROFILES = {
     "scaling": _profile_scaling,
     "resilience_sweep": _profile_resilience,
     "engine_stream": _profile_engine_stream,
+    "parallel_blocks": _profile_parallel_blocks,
 }
 """Profilable experiments: name -> runner(args) -> result table text."""
 
@@ -319,6 +390,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--solver", default="fista", help="decoder name for the sweeps"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="process-pool size for the parallel arm (parallel_blocks)",
     )
     parser.add_argument(
         "--output", metavar="PATH",

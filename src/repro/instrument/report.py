@@ -32,12 +32,22 @@ from __future__ import annotations
 
 import json
 
+# Guarded import: repro.instrument stays importable without numpy (the
+# layering rule in docs/ARCHITECTURE.md keeps this package stdlib-only).
+# When numpy is absent there is nothing to coerce, so json_safe's numpy
+# branches simply never fire.
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    np = None
+
 from .metrics import MetricsRegistry
 from .tracer import Tracer
 
 __all__ = [
     "SCHEMA",
     "build_report",
+    "json_safe",
     "validate_report",
     "render_table",
     "iter_span_dicts",
@@ -46,6 +56,29 @@ __all__ = [
 
 SCHEMA = "repro.instrument/v1"
 """Schema identifier stamped into (and required of) every report."""
+
+
+def json_safe(value):
+    """Recursively coerce a value into plain JSON-serialisable types.
+
+    NumPy scalars become Python scalars (``np.float64(0.2)`` -> ``0.2``)
+    and arrays become nested lists; dicts, lists, tuples and sets are
+    rebuilt with coerced contents (tuples and sets as lists, since JSON
+    has no such types).  Everything the structured-outcome paths emit
+    (``DecodeOutcome.to_dict``, policy snapshots, adaptation events)
+    funnels through this so ``json.dumps`` never trips over a stray
+    numpy type that leaked out of a solver or a tuned budget.
+    """
+    if np is not None:
+        if isinstance(value, np.generic):
+            return value.item()
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [json_safe(item) for item in value]
+    return value
 
 
 def build_report(

@@ -71,12 +71,14 @@ class AdaptationEvent:
 
     def to_dict(self) -> dict:
         """JSON-safe form for ``DecodeOutcome.to_dict``."""
-        return {
-            "frame_index": self.frame_index,
-            "action": self.action,
-            "detail": self.detail,
-            "level": self.level,
-        }
+        return instrument.json_safe(
+            {
+                "frame_index": self.frame_index,
+                "action": self.action,
+                "detail": self.detail,
+                "level": self.level,
+            }
+        )
 
 
 @dataclass

@@ -244,16 +244,18 @@ class ResiliencePolicy:
                 "time_limit_s": budget.time_limit_s,
             }
 
-        return {
-            "fallback_chain": list(self.fallback_chain),
-            "max_rounds": self.retry.max_rounds,
-            "budget": _budget(self.budget),
-            "budgets": {
-                name: _budget(budget)
-                for name, budget in sorted(self.budgets.items())
-            },
-            "breaker_open": []
-            if self.breaker is None
-            else list(self.breaker.open_solvers()),
-            "accept_nonconverged": self.accept_nonconverged,
-        }
+        return instrument.json_safe(
+            {
+                "fallback_chain": list(self.fallback_chain),
+                "max_rounds": self.retry.max_rounds,
+                "budget": _budget(self.budget),
+                "budgets": {
+                    name: _budget(budget)
+                    for name, budget in sorted(self.budgets.items())
+                },
+                "breaker_open": []
+                if self.breaker is None
+                else list(self.breaker.open_solvers()),
+                "accept_nonconverged": self.accept_nonconverged,
+            }
+        )

@@ -119,30 +119,41 @@ class DecodeOutcome:
         return self.frame is not None
 
     def to_dict(self) -> dict:
-        """JSON-safe form (the documented ``DecodeOutcome`` schema)."""
-        return {
-            "status": self.status,
-            "solver": self.solver,
-            "faults_seen": list(self.faults_seen),
-            "attempts": [
-                {
-                    "round": a.round,
-                    "solver": a.solver,
-                    "status": a.status,
-                    "error": a.error,
-                    "iterations": a.iterations,
-                    "duration_s": a.duration_s,
-                }
-                for a in self.attempts
-            ],
-            "health": None
-            if self.health is None
-            else {"ok": self.health.ok, "failed": list(self.health.failed)},
-            "policy_snapshot": self.policy_snapshot,
-            "adaptation_events": [
-                event.to_dict() for event in self.adaptation_events
-            ],
-        }
+        """JSON-safe form (the documented ``DecodeOutcome`` schema).
+
+        Every leaf is coerced through
+        :func:`repro.instrument.json_safe`, so ``json.dumps`` works
+        even when solver info leaked numpy scalars into e.g.
+        ``iterations`` or the policy snapshot.
+        """
+        return instrument.json_safe(
+            {
+                "status": self.status,
+                "solver": self.solver,
+                "faults_seen": list(self.faults_seen),
+                "attempts": [
+                    {
+                        "round": a.round,
+                        "solver": a.solver,
+                        "status": a.status,
+                        "error": a.error,
+                        "iterations": a.iterations,
+                        "duration_s": a.duration_s,
+                    }
+                    for a in self.attempts
+                ],
+                "health": None
+                if self.health is None
+                else {
+                    "ok": self.health.ok,
+                    "failed": list(self.health.failed),
+                },
+                "policy_snapshot": self.policy_snapshot,
+                "adaptation_events": [
+                    event.to_dict() for event in self.adaptation_events
+                ],
+            }
+        )
 
 
 def _solver_fault_labels(info: dict) -> list[str]:

@@ -26,10 +26,21 @@ class TestTiling:
         overlapped = BlockProcessor(block_shape=(16, 16), overlap=8)
         assert overlapped.num_blocks((40, 40)) > plain.num_blocks((32, 32))
 
-    def test_untileable_frame_rejected(self):
+    def test_frame_smaller_than_block_rejected(self):
         processor = BlockProcessor(block_shape=(16, 16))
-        with pytest.raises(ValueError):
-            processor.num_blocks((30, 32))
+        with pytest.raises(ValueError, match="smaller than one block"):
+            processor.num_blocks((12, 32))
+        with pytest.raises(ValueError, match="smaller than one block"):
+            processor.num_blocks((32, 15))
+
+    def test_ragged_edges_covered_by_shifted_tiles(self):
+        processor = BlockProcessor(block_shape=(16, 16))
+        # 30 rows: tile row at 0 plus a tail tile shifted inward to 14.
+        assert processor.num_blocks((30, 32)) == 4
+        origins = processor._tiles((30, 32))
+        assert origins == [(0, 0), (0, 16), (14, 0), (14, 16)]
+        # Exact fits gain no extra tiles.
+        assert processor.num_blocks((32, 32)) == 4
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -194,3 +205,90 @@ class TestStrategyHook:
         )
         np.testing.assert_array_equal(out[:16, :16], 0.0)
         assert rmse(frame[16:, :], out[16:, :]) < 0.05
+
+
+class TestRaggedReconstruction:
+    def test_ragged_frame_fully_covered(self):
+        frame = _big_frame((30, 28))
+        processor = BlockProcessor(block_shape=(16, 16),
+                                   sampling_fraction=0.6)
+        out = processor.reconstruct(frame, np.random.default_rng(0))
+        assert out.shape == frame.shape
+        assert np.all(np.isfinite(out))
+        assert rmse(frame, out) < 0.06
+
+    def test_ragged_strategy_path_matches_grid_order(self):
+        from repro.core.strategies import NaiveStrategy
+        from repro.resilience import ResilientStrategy
+
+        frame = _big_frame((30, 32))
+        wrapped = ResilientStrategy(inner=NaiveStrategy(sampling_fraction=0.6))
+        processor = BlockProcessor(block_shape=(16, 16), strategy=wrapped)
+        processor.reconstruct(frame, np.random.default_rng(0))
+        origins = [origin for origin, _ in processor.last_outcomes]
+        assert origins == [(0, 0), (0, 16), (14, 0), (14, 16)]
+
+    @pytest.mark.parametrize("executor", [None, "serial", 2])
+    def test_ragged_executor_outcome_order_stable(self, executor):
+        """last_outcomes keeps tile-grid order under every backend."""
+        from repro.core.strategies import NaiveStrategy
+        from repro.resilience import ResilientStrategy
+
+        frame = _big_frame((30, 32))
+        wrapped = ResilientStrategy(inner=NaiveStrategy(sampling_fraction=0.6))
+        processor = BlockProcessor(
+            block_shape=(16, 16), strategy=wrapped, executor=executor
+        )
+        processor.reconstruct(frame, np.random.default_rng(0))
+        origins = [origin for origin, _ in processor.last_outcomes]
+        assert origins == [(0, 0), (0, 16), (14, 0), (14, 16)]
+        assert all(o.status == "ok" for _, o in processor.last_outcomes)
+
+
+class TestExecutorBackends:
+    def _reconstruct(self, executor, seed=7, strategy=None):
+        processor = BlockProcessor(
+            block_shape=(16, 16),
+            sampling_fraction=0.6,
+            strategy=strategy,
+            executor=executor,
+        )
+        out = processor.reconstruct(_big_frame(), np.random.default_rng(seed))
+        return out, processor
+
+    def test_serial_executor_matches_thread_and_process(self):
+        """One spawned child per tile makes every backend bit-identical."""
+        reference, _ = self._reconstruct("serial")
+        for spec in ("thread", 2):
+            out, _ = self._reconstruct(spec)
+            np.testing.assert_array_equal(out, reference)
+
+    def test_executor_engine_path_reconstructs(self):
+        out, _ = self._reconstruct(2)
+        assert rmse(_big_frame(), out) < 0.05
+
+    def test_strategy_copies_keep_backends_identical(self):
+        from repro.core.strategies import NaiveStrategy
+        from repro.resilience import ResilientStrategy
+
+        def fresh():
+            return ResilientStrategy(inner=NaiveStrategy(sampling_fraction=0.6))
+
+        reference, ref_proc = self._reconstruct("serial", strategy=fresh())
+        out, proc = self._reconstruct("thread", strategy=fresh())
+        np.testing.assert_array_equal(out, reference)
+        assert [o for o, _ in proc.last_outcomes] == [
+            o for o, _ in ref_proc.last_outcomes
+        ]
+
+    def test_executor_respects_exclusion_mask(self):
+        frame = _big_frame()
+        mask = np.zeros((32, 32), dtype=bool)
+        mask[:16, :16] = True
+        processor = BlockProcessor(
+            block_shape=(16, 16), sampling_fraction=0.5, executor="serial"
+        )
+        out = processor.reconstruct(
+            frame, np.random.default_rng(0), exclude_mask=mask
+        )
+        np.testing.assert_array_equal(out[:16, :16], 0.0)

@@ -1,0 +1,189 @@
+"""Tests for DecodeEngine.decode_batch and the multi-RHS solver path."""
+
+import numpy as np
+import pytest
+
+from repro import instrument
+from repro.core.engine import DecodeContext, get_engine
+from repro.core.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.core.solvers import batch_solver_names, solve_batch
+
+
+def _frames(count=4, shape=(12, 12), seed=0):
+    rng = np.random.default_rng(seed)
+    r, c = np.mgrid[0:shape[0], 0:shape[1]]
+    return [
+        np.clip(
+            np.exp(
+                -((r - shape[0] / 2 - np.sin(k)) ** 2 + (c - shape[1] / 2) ** 2)
+                / 8.0
+            )
+            + 0.02 * rng.normal(size=shape),
+            0.0,
+            1.0,
+        )
+        for k in range(count)
+    ]
+
+
+def _plan(shape=(12, 12), **overrides):
+    options = dict(
+        shape=shape, sampling_fraction=0.5, solver="fista", noise_sigma=0.01
+    )
+    options.update(overrides)
+    return DecodeContext(**options)
+
+
+def _serial_reference(frames, plan, seed=0):
+    engine = get_engine()
+    rng = np.random.default_rng(seed)
+    return [engine.decode(f, plan, rng) for f in frames], rng
+
+
+class TestBatchSerialEquivalence:
+    def test_batch_matches_serial_loop_bitwise(self):
+        frames = _frames()
+        plan = _plan()
+        reference, ref_rng = _serial_reference(frames, plan)
+        rng = np.random.default_rng(0)
+        batch = get_engine().decode_batch(frames, plan, rng)
+        for ref, out in zip(reference, batch):
+            np.testing.assert_array_equal(out, ref)
+        # The batch consumed the RNG stream exactly like the loop did.
+        assert rng.bit_generator.state == ref_rng.bit_generator.state
+
+    def test_empty_batch(self):
+        assert get_engine().decode_batch([], _plan(), np.random.default_rng(0)) == []
+
+    def test_mismatched_frame_rejected(self):
+        with pytest.raises(ValueError, match="does not match plan shape"):
+            get_engine().decode_batch(
+                [np.zeros((8, 8))], _plan((12, 12)), np.random.default_rng(0)
+            )
+
+    def test_full_output_returns_decode_results(self):
+        frames = _frames(2)
+        plan = _plan()
+        results = get_engine().decode_batch(
+            frames, plan, np.random.default_rng(0), full_output=True
+        )
+        for item in results:
+            assert item.reconstruction.shape == plan.shape
+            assert (
+                item.solver_result.coefficients.size
+                == plan.shape[0] * plan.shape[1]
+            )
+
+    def test_instrumentation_counts_batch(self):
+        frames = _frames(3)
+        plan = _plan()
+        with instrument.profiled() as session:
+            get_engine().decode_batch(frames, plan, np.random.default_rng(0))
+        counters = session.report()["metrics"]["counters"]
+        assert counters["decode.batches"] == 1
+        assert counters["decode.calls"] == 3
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2), "serial", 2],
+    )
+    def test_backends_bitwise_identical(self, executor):
+        frames = _frames(3)
+        plan = _plan()
+        reference, _ = _serial_reference(frames, plan)
+        out = get_engine().decode_batch(
+            frames, plan, np.random.default_rng(0), executor=executor
+        )
+        for ref, got in zip(reference, out):
+            np.testing.assert_array_equal(got, ref)
+        if hasattr(executor, "close"):
+            executor.close()
+
+
+class TestSharedPhi:
+    def test_shared_phi_reuses_one_pattern(self):
+        frames = _frames(3)
+        plan = _plan(noise_sigma=0.0)
+        results = get_engine().decode_batch(
+            frames,
+            plan,
+            np.random.default_rng(0),
+            shared_phi=True,
+            vectorize=False,
+            full_output=True,
+        )
+        # Identical frames + one pattern + no noise => identical measurements.
+        same = get_engine().decode_batch(
+            [frames[0], frames[0]],
+            plan,
+            np.random.default_rng(0),
+            shared_phi=True,
+            vectorize=False,
+            full_output=True,
+        )
+        np.testing.assert_array_equal(same[0].measurements, same[1].measurements)
+        assert len(results) == 3
+
+    def test_vectorized_matches_per_frame_bitwise(self):
+        frames = _frames(4)
+        plan = _plan()
+        loop = get_engine().decode_batch(
+            frames,
+            plan,
+            np.random.default_rng(0),
+            shared_phi=True,
+            vectorize=False,
+        )
+        fast = get_engine().decode_batch(
+            frames,
+            plan,
+            np.random.default_rng(0),
+            shared_phi=True,
+            vectorize=True,
+        )
+        for ref, got in zip(loop, fast):
+            np.testing.assert_array_equal(got, ref)
+
+    def test_vectorize_forced_on_unbatched_solver_raises(self):
+        frames = _frames(2)
+        plan = _plan(solver="omp")
+        with pytest.raises(ValueError, match="no vectorised"):
+            get_engine().decode_batch(
+                frames,
+                plan,
+                np.random.default_rng(0),
+                shared_phi=True,
+                vectorize=True,
+            )
+
+    def test_unbatched_solver_falls_back_to_per_frame(self):
+        frames = _frames(2)
+        plan = _plan(solver="omp")
+        out = get_engine().decode_batch(
+            frames, plan, np.random.default_rng(0), shared_phi=True
+        )
+        assert len(out) == 2
+        assert all(o.shape == plan.shape for o in out)
+
+
+class TestSolveBatch:
+    def test_fista_registered(self):
+        assert "fista" in batch_solver_names()
+
+    def test_solve_batch_none_for_unbatched_solver(self):
+        assert solve_batch("omp", _operator(_plan()), np.zeros((2, 72))) is None
+
+    def test_solve_batch_rejects_bad_stack(self):
+        with pytest.raises(ValueError):
+            solve_batch("fista", _operator(_plan()), np.zeros(72))
+
+
+def _operator(plan):
+    from repro.core.sensing import RowSamplingMatrix
+
+    engine = get_engine()
+    n = plan.shape[0] * plan.shape[1]
+    phi = RowSamplingMatrix.random(n, 72, np.random.default_rng(0))
+    return engine.operator(phi, plan.shape)

@@ -1,0 +1,143 @@
+"""Tests for the pluggable execution backends (repro.core.executor)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import instrument
+from repro.core.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    TaskError,
+    TaskResult,
+    ThreadExecutor,
+    collect_values,
+    default_workers,
+    resolve_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _flaky(x):
+    if x == 2:
+        raise ValueError("boom on two")
+    return x + 10
+
+
+BACKENDS = [SerialExecutor, ThreadExecutor, lambda: ProcessExecutor(2)]
+
+
+class TestMapTasks:
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_results_in_submission_order(self, make):
+        with make() as executor:
+            results = executor.map_tasks(_square, range(8))
+        assert [r.index for r in results] == list(range(8))
+        assert [r.value for r in results] == [i * i for i in range(8)]
+        assert all(r.ok for r in results)
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_error_capture_isolates_failures(self, make):
+        with make() as executor:
+            results = executor.map_tasks(_flaky, range(4))
+        assert [r.ok for r in results] == [True, True, False, True]
+        assert "ValueError: boom on two" in results[2].error
+        assert results[2].value is None
+        # Healthy siblings are unaffected.
+        assert results[3].value == 13
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_empty_map(self, make):
+        with make() as executor:
+            assert executor.map_tasks(_square, []) == []
+
+    def test_durations_recorded(self):
+        results = SerialExecutor().map_tasks(_square, range(3))
+        assert all(r.duration_s >= 0.0 for r in results)
+
+    def test_unpicklable_task_fails_cleanly_on_process_pool(self):
+        with ProcessExecutor(2) as executor:
+            results = executor.map_tasks(lambda x: x, [1])
+        assert not results[0].ok
+
+    def test_metrics_emitted(self):
+        with instrument.profiled() as session:
+            SerialExecutor().map_tasks(_flaky, range(4), label="unit")
+        report = session.report()
+        counters = report["metrics"]["counters"]
+        assert counters["executor.map_calls"] == 1
+        assert counters["executor.tasks"] == 4
+        assert counters["executor.task_errors"] == 1
+        assert "executor.unit" in report["span_summary"]
+
+
+class TestCollectValues:
+    def test_unwraps_values(self):
+        results = [TaskResult(index=0, value="a"), TaskResult(index=1, value="b")]
+        assert collect_values(results) == ["a", "b"]
+
+    def test_raises_naming_failed_tasks(self):
+        results = [
+            TaskResult(index=0, value="a"),
+            TaskResult(index=1, error="ValueError: nope"),
+        ]
+        with pytest.raises(TaskError, match="task 1: ValueError: nope"):
+            collect_values(results)
+
+
+class TestResolveExecutor:
+    def test_none_keeps_legacy_path(self):
+        assert resolve_executor(None) is None
+
+    def test_instance_passthrough(self):
+        executor = SerialExecutor()
+        assert resolve_executor(executor) is executor
+
+    def test_strings(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("thread"), ThreadExecutor)
+        assert isinstance(resolve_executor("processes"), ProcessExecutor)
+
+    def test_worker_counts(self):
+        assert isinstance(resolve_executor(1), SerialExecutor)
+        pool = resolve_executor(3)
+        assert isinstance(pool, ProcessExecutor)
+        assert pool.workers == 3
+
+    def test_workers_override_for_strings(self):
+        assert resolve_executor("thread", workers=5).workers == 5
+
+    @pytest.mark.parametrize("bad", [True, False, "warp-drive", 2.5])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            resolve_executor(bad)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestPoolLifecycle:
+    def test_close_then_reuse_rebuilds_pool(self):
+        executor = ThreadExecutor(2)
+        assert collect_values(executor.map_tasks(_square, [3])) == [9]
+        executor.close()
+        assert collect_values(executor.map_tasks(_square, [4])) == [16]
+        executor.close()
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)
+
+    def test_numpy_payloads_cross_process_boundary(self):
+        frames = [np.full((4, 4), float(i)) for i in range(3)]
+        with ProcessExecutor(2) as executor:
+            results = collect_values(executor.map_tasks(np.sum, frames))
+        assert results == [0.0, 16.0, 32.0]
+
+    def test_task_results_picklable(self):
+        result = TaskResult(index=1, value=2.0, duration_s=0.1)
+        assert pickle.loads(pickle.dumps(result)) == result

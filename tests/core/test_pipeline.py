@@ -96,6 +96,27 @@ class TestRobustnessSweep:
         with pytest.raises(ValueError):
             sweep.run(_frame())
 
+    @pytest.mark.parametrize("executor", ["serial", 2])
+    def test_executor_grid_matches_sequential(self, executor):
+        frames = np.stack([_frame(), _frame() + 0.5])
+        sequential = RobustnessSweep(
+            sampling_fractions=(0.5, 0.6), error_rates=(0.0, 0.1)
+        ).run(frames)
+        distributed = RobustnessSweep(
+            sampling_fractions=(0.5, 0.6), error_rates=(0.0, 0.1)
+        ).run(frames, executor=executor)
+        assert len(distributed) == len(sequential)
+        for ref, got in zip(sequential, distributed):
+            assert got.sampling_fraction == ref.sampling_fraction
+            assert got.error_rate == ref.error_rate
+            assert got.rmse_with_cs == ref.rmse_with_cs
+            assert got.rmse_without_cs == ref.rmse_without_cs
+
+    def test_executor_run_populates_table(self):
+        sweep = RobustnessSweep(sampling_fractions=(0.5,), error_rates=(0.0,))
+        sweep.run(np.stack([_frame()]), executor="serial")
+        assert "RMSE w/ CS" in sweep.table()
+
 
 class TestProcessFrames:
     def test_shapes_preserved(self):

@@ -169,6 +169,21 @@ class TestResamplingStrategy:
         with pytest.raises(ValueError):
             ResamplingStrategy(aggregate="mode")
 
+    @pytest.mark.parametrize("executor", ["serial", "thread", 2])
+    def test_executor_rounds_bitwise_identical(self, executor):
+        """Draws stay sequential, so every backend matches the default."""
+        frame = _smooth_frame()
+        corrupted, _ = inject_sparse_errors(
+            frame, 0.08, np.random.default_rng(8)
+        )
+        reference = ResamplingStrategy(
+            sampling_fraction=0.5, rounds=4
+        ).reconstruct(corrupted, np.random.default_rng(0))
+        parallel = ResamplingStrategy(
+            sampling_fraction=0.5, rounds=4, executor=executor
+        ).reconstruct(corrupted, np.random.default_rng(0))
+        np.testing.assert_array_equal(parallel, reference)
+
 
 class TestRpcaStrategy:
     def test_uses_stack_context(self):

@@ -23,6 +23,11 @@ class TestCli:
         out = capsys.readouterr().out
         assert "RMSE w/ CS" in out
 
+    def test_tolerance_accepts_workers(self, capsys):
+        assert main(["TOL", "--frames", "1", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tolerance limit" in out
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["FIG99"])

@@ -1,0 +1,45 @@
+"""Tests for the RES experiment (decode availability under faults)."""
+
+import pytest
+
+from repro.experiments.resilience_sweep import (
+    format_table,
+    run_resilience_sweep,
+)
+
+
+class TestResilienceSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_resilience_sweep(
+            num_frames=1, fault_rates=(0.0, 0.3), seed=0
+        )
+
+    def test_delivery_is_total(self, points):
+        for point in points:
+            assert point.delivered == point.frames
+
+    def test_fault_free_point_is_clean(self, points):
+        baseline = points[0]
+        assert baseline.fault_rate == 0.0
+        assert baseline.ok == baseline.frames
+        assert baseline.faults_injected == 0
+
+    def test_workers_match_sequential(self, points):
+        distributed = run_resilience_sweep(
+            num_frames=1, fault_rates=(0.0, 0.3), seed=0, workers=2
+        )
+        for ref, got in zip(points, distributed):
+            assert got.fault_rate == ref.fault_rate
+            assert got.ok == ref.ok
+            assert got.degraded == ref.degraded
+            assert got.fallback == ref.fallback
+            assert got.total_attempts == ref.total_attempts
+            assert got.faults_injected == ref.faults_injected
+            if ref.median_rmse == ref.median_rmse:  # not NaN
+                assert got.median_rmse == ref.median_rmse
+
+    def test_table_renders(self, points):
+        table = format_table(points)
+        assert "fault rate" in table
+        assert len(table.splitlines()) == 2 + len(points)

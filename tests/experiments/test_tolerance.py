@@ -31,6 +31,15 @@ class TestRunTolerance:
         with pytest.raises(ValueError):
             run_tolerance(error_rates=(0.6,), sampling_fraction=0.5)
 
+    def test_workers_match_sequential(self, points):
+        distributed = run_tolerance(
+            error_rates=(0.0, 0.20, 0.40), num_frames=2, seed=0, workers=2
+        )
+        for ref, got in zip(points, distributed):
+            assert got.error_rate == ref.error_rate
+            assert got.rmse_with_cs == ref.rmse_with_cs
+            assert got.rmse_without_cs == ref.rmse_without_cs
+
 
 class TestToleranceLimit:
     def test_limit_picks_largest_passing(self):

@@ -1,0 +1,43 @@
+"""Tests for the json_safe coercion helper."""
+
+import json
+
+import numpy as np
+
+from repro.instrument import json_safe
+
+
+class TestJsonSafe:
+    def test_numpy_scalars_become_python_scalars(self):
+        assert json_safe(np.float64(0.25)) == 0.25
+        assert isinstance(json_safe(np.float64(0.25)), float)
+        assert json_safe(np.int64(7)) == 7
+        assert isinstance(json_safe(np.int64(7)), int)
+        assert json_safe(np.bool_(True)) is True
+
+    def test_arrays_become_nested_lists(self):
+        assert json_safe(np.arange(4).reshape(2, 2)) == [[0, 1], [2, 3]]
+
+    def test_containers_rebuilt_recursively(self):
+        value = {
+            "a": np.int32(1),
+            "b": [np.float32(2.0), (np.int8(3), {np.uint16(4)})],
+        }
+        coerced = json_safe(value)
+        assert coerced == {"a": 1, "b": [2.0, [3, [4]]]}
+        json.dumps(coerced)
+
+    def test_plain_values_pass_through(self):
+        for value in (None, "x", 1, 2.5, True, {"k": [1, 2]}):
+            assert json_safe(value) == value
+
+    def test_deeply_numpy_typed_payload_dumps(self):
+        payload = {
+            "iterations": np.int64(120),
+            "residuals": np.array([0.1, 0.2]),
+            "flags": (np.bool_(False), np.bool_(True)),
+        }
+        parsed = json.loads(json.dumps(json_safe(payload)))
+        assert parsed["iterations"] == 120
+        assert parsed["residuals"] == [0.1, 0.2]
+        assert parsed["flags"] == [False, True]

@@ -1,0 +1,88 @@
+"""Pickle round-trip regression tests for the process-pool payloads.
+
+The process executor ships frozen :class:`DecodeContext` plans and
+:class:`ResiliencePolicy` objects across worker boundaries; these tests
+pin down that they survive pickling (``DecodeContext`` wraps its
+``solver_options`` in a ``MappingProxyType``, which needs custom
+``__getstate__``/``__setstate__``) and that a round-tripped plan decodes
+bit-identically to the original.
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.core.engine import DecodeContext, get_engine
+from repro.resilience import ResiliencePolicy
+from repro.resilience.policies import RetryPolicy, SolverBudget
+
+
+def _rich_plan():
+    mask = np.zeros((10, 10), dtype=bool)
+    mask[0, :3] = True
+    weights = np.ones((10, 10))
+    weights[5:, :] = 2.0
+    return DecodeContext(
+        shape=(10, 10),
+        sampling_fraction=0.5,
+        solver="fista",
+        solver_options={"max_iterations": 150, "tolerance": 1e-6},
+        noise_sigma=0.01,
+        exclude_mask=mask,
+        weights=weights,
+    )
+
+
+class TestDecodeContextPickle:
+    def test_round_trip_preserves_fields(self):
+        plan = _rich_plan()
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.shape == plan.shape
+        assert clone.sampling_fraction == plan.sampling_fraction
+        assert clone.solver == plan.solver
+        assert dict(clone.solver_options) == dict(plan.solver_options)
+        np.testing.assert_array_equal(clone.exclude_mask, plan.exclude_mask)
+        np.testing.assert_array_equal(clone.weights, plan.weights)
+
+    def test_round_trip_keeps_arrays_frozen(self):
+        clone = pickle.loads(pickle.dumps(_rich_plan()))
+        assert not clone.exclude_mask.flags.writeable
+        assert not clone.weights.flags.writeable
+
+    def test_round_trip_solver_options_read_only(self):
+        clone = pickle.loads(pickle.dumps(_rich_plan()))
+        try:
+            clone.solver_options["max_iterations"] = 1
+        except TypeError:
+            pass
+        else:  # pragma: no cover - regression guard
+            raise AssertionError("solver_options became mutable after pickle")
+
+    def test_pickled_plan_decodes_bit_identically(self):
+        plan = _rich_plan()
+        clone = pickle.loads(pickle.dumps(plan))
+        rng = np.random.default_rng(3)
+        frame = np.clip(rng.normal(0.5, 0.2, size=(10, 10)), 0.0, 1.0)
+        original = get_engine().decode(frame, plan, np.random.default_rng(7))
+        replayed = get_engine().decode(frame, clone, np.random.default_rng(7))
+        np.testing.assert_array_equal(replayed, original)
+
+
+class TestResiliencePolicyPickle:
+    def test_default_policy_round_trips(self):
+        policy = ResiliencePolicy()
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone.fallback_chain == policy.fallback_chain
+        assert clone.snapshot() == policy.snapshot()
+
+    def test_tuned_policy_round_trips(self):
+        policy = ResiliencePolicy(
+            fallback_chain=("fista", "omp"),
+            retry=RetryPolicy(max_rounds=3),
+            budget=SolverBudget(max_iterations=123, time_limit_s=0.5),
+            budgets={"omp": SolverBudget(max_iterations=40)},
+            accept_nonconverged=False,
+        )
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone.snapshot() == policy.snapshot()
+        assert clone.budget_for("omp").max_iterations == 40

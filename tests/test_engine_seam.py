@@ -1,9 +1,12 @@
-"""Tier-1 enforcement of the engine seam.
+"""Tier-1 enforcement of the engine and executor seams.
 
 Runs ``tools/check_engine_seam.py`` over the library and example code:
 no ``Dct2Basis`` / ``Dct3Basis`` / ``Haar2Basis`` / ``SensingOperator``
 construction may exist outside ``repro.core.engine`` (one construction
-site is what makes the operator cache authoritative).
+site is what makes the operator cache authoritative), and no
+``ThreadPoolExecutor`` / ``ProcessPoolExecutor`` / ``Pool``
+construction outside ``repro.core.executor`` (one pool seam is what
+keeps every fan-out deterministic and instrumented).
 """
 
 import importlib.util
@@ -52,6 +55,27 @@ def test_checker_ignores_strings_and_definitions(tmp_path):
         'LABEL = "SensingOperator(phi, basis)"\n'  # repr text, not a call
     )
     assert checker.check_file(ok) == []
+
+
+def test_checker_flags_raw_pool_construction(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "bad_pool.py"
+    bad.write_text(
+        "from concurrent import futures\n"
+        "import multiprocessing\n"
+        "pool = futures.ThreadPoolExecutor(max_workers=4)\n"
+        "procs = futures.ProcessPoolExecutor()\n"
+        "legacy = multiprocessing.Pool(2)\n"
+    )
+    problems = checker.check_file(bad)
+    assert len(problems) == 3
+    assert all("repro.core.executor" in p for p in problems)
+
+
+def test_pool_construction_allowed_in_executor_seam():
+    checker = _load_checker()
+    seam = REPO_ROOT / "src" / "repro" / "core" / "executor.py"
+    assert checker.check_file(seam) == []
 
 
 def test_checker_cli_exit_codes(tmp_path, capsys):

@@ -8,15 +8,24 @@ operator cache amortise construction across same-shape decodes, and
 what keeps one canonical sample->solve->reshape recipe instead of the
 five divergent copies the engine replaced.
 
+The same argument applies to worker pools: :mod:`repro.core.executor`
+is the only sanctioned construction site for thread/process pools --
+that is what keeps every fan-out (tiles, batched decodes, sweeps)
+behind one ``Executor`` protocol with deterministic result ordering,
+per-task error capture and ``executor.*`` metrics, instead of ad-hoc
+``concurrent.futures`` scattered through call sites.
+
 This checker walks the AST of every library and example module and
 fails on any *call* to a guarded constructor (``Dct2Basis``,
-``Dct3Basis``, ``Haar2Basis``, ``SensingOperator``) outside the allowed
-modules.  An AST walk rather than a grep keeps class definitions,
-docstrings and ``repr`` strings from false-positiving.
+``Dct3Basis``, ``Haar2Basis``, ``SensingOperator``; pool constructors
+``ThreadPoolExecutor``, ``ProcessPoolExecutor``, ``Pool``) outside the
+allowed modules.  An AST walk rather than a grep keeps class
+definitions, docstrings and ``repr`` strings from false-positiving.
 
 Allowed sites:
 
-* ``src/repro/core/engine.py`` -- the seam itself;
+* ``src/repro/core/engine.py`` -- the engine seam itself;
+* ``src/repro/core/executor.py`` -- the pool seam itself;
 * the modules that *define* a guarded class may construct it inside
   methods of that class (e.g. ``to_matrix`` round-trips);
 * tests and benchmarks (they exercise the raw pieces on purpose).
@@ -45,16 +54,24 @@ ALLOWED = {
 }
 """Modules allowed to call any guarded constructor."""
 
+POOL_GUARDED = {"ThreadPoolExecutor", "ProcessPoolExecutor", "Pool"}
+"""Pool constructors that may only be called inside the executor seam."""
+
+POOL_ALLOWED = {
+    "src/repro/core/executor.py",
+}
+"""Modules allowed to construct worker pools directly."""
+
 SCANNED = ["src/repro", "examples"]
 """Paths (relative to the repo root) held to the seam."""
 
 
-def _defined_classes(tree: ast.Module) -> set[str]:
+def _defined_classes(tree: ast.Module, guarded: set[str]) -> set[str]:
     """Guarded classes defined in this module (their home may self-construct)."""
     return {
         node.name
         for node in ast.walk(tree)
-        if isinstance(node, ast.ClassDef) and node.name in GUARDED
+        if isinstance(node, ast.ClassDef) and node.name in guarded
     }
 
 
@@ -64,10 +81,10 @@ def check_file(path: Path) -> list[str]:
         rel = path.resolve().relative_to(REPO_ROOT).as_posix()
     except ValueError:  # outside the repo (explicit CLI argument)
         rel = path.as_posix()
-    if rel in ALLOWED:
-        return []
     tree = ast.parse(path.read_text(), filename=str(path))
-    home_classes = _defined_classes(tree)
+    engine_guarded = set() if rel in ALLOWED else GUARDED
+    pool_guarded = set() if rel in POOL_ALLOWED else POOL_GUARDED
+    home_classes = _defined_classes(tree, engine_guarded | pool_guarded)
     problems = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
@@ -78,11 +95,19 @@ def check_file(path: Path) -> list[str]:
             name = func.id
         elif isinstance(func, ast.Attribute):
             name = func.attr
-        if name in GUARDED and name not in home_classes:
+        if name in home_classes:
+            continue
+        if name in engine_guarded:
             problems.append(
                 f"{rel}:{node.lineno}: {name}(...) constructed outside "
                 "repro.core.engine -- route through "
                 "get_engine().operator()/basis_for() instead"
+            )
+        elif name in pool_guarded:
+            problems.append(
+                f"{rel}:{node.lineno}: {name}(...) constructed outside "
+                "repro.core.executor -- route through "
+                "resolve_executor()/ThreadExecutor/ProcessExecutor instead"
             )
     return problems
 
