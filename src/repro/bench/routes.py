@@ -1,0 +1,280 @@
+"""Decode routes: the "how" axis of the evaluation matrix.
+
+A route takes the workload's frame stack and decodes it through one of
+the repo's decode paths, returning the reconstructions plus
+route-specific extras.  The registered routes cover every layer the
+recent PRs added:
+
+========================  ==============================================
+route                     decode path
+========================  ==============================================
+``serial``                per-frame :meth:`DecodeEngine.decode` loop
+                          (the reference arm every speedup is against)
+``thread``                :meth:`DecodeEngine.decode_batch` with a
+                          4-worker :class:`ThreadExecutor`
+``process``               :meth:`DecodeEngine.decode_batch` with a
+                          4-worker :class:`ProcessExecutor`
+``batch_shared``          :meth:`DecodeEngine.decode_batch` with
+                          ``shared_phi=True`` (one sampling pattern, N
+                          readouts -- collapses into the vectorised
+                          multi-RHS FISTA when available)
+``resilient``             :class:`ResilientDecoder` under the static
+                          default :class:`ResiliencePolicy`, with
+                          solver-layer chaos at the workload's
+                          ``fault_rate``
+``adaptive``              :class:`ResilientDecoder` with an
+                          :class:`AdaptivePolicy` feedback controller,
+                          same chaos mix
+========================  ==============================================
+
+Engine routes refuse workloads with ``fault_rate > 0`` (an unsupervised
+solve would simply raise on an injected fault -- that is the point of
+the supervised routes); :meth:`Route.supports` encodes the rule so
+suite definitions fail fast instead of mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .workloads import Workload
+
+__all__ = [
+    "Route",
+    "RouteResult",
+    "close_pools",
+    "get_route",
+    "register_route",
+    "route_names",
+]
+
+_EXECUTOR_WORKERS = 4
+"""Pool size of the ``thread`` / ``process`` routes (matches CI gates)."""
+
+_POOLS: dict = {}
+"""Executors shared across a suite run, keyed by spec string.
+
+Pool construction (a process fork + per-worker import storm) would
+otherwise land inside the first timed cell that uses the route; keeping
+one pool per kind for the whole suite moves that cost into the warm-up
+decode, exactly as the ``parallel_blocks`` instrument profile does.
+The runner calls :func:`close_pools` when the suite finishes.
+"""
+
+
+def _pool(kind: str):
+    from ..core import resolve_executor
+
+    if kind not in _POOLS:
+        _POOLS[kind] = resolve_executor(kind, workers=_EXECUTOR_WORKERS)
+    return _POOLS[kind]
+
+
+def close_pools() -> None:
+    """Shut down the suite-lifetime executor pools (idempotent)."""
+    while _POOLS:
+        _, executor = _POOLS.popitem()
+        executor.close()
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """What a route hands back to the runner.
+
+    ``reconstructions`` aligns with the input frame stack;
+    ``delivered`` / ``ok`` count frames that arrived at all vs arrived
+    healthy on the first try (identical to ``len(frames)`` for the
+    unsupervised engine routes, which either succeed or raise);
+    ``extras`` carries route-specific JSON-safe diagnostics.
+    """
+
+    reconstructions: list
+    delivered: int
+    ok: int
+    extras: dict
+
+
+@dataclass(frozen=True)
+class Route:
+    """A named decode route plus its workload-applicability rule."""
+
+    name: str
+    description: str
+    runner: Callable[[np.ndarray, Workload, int], RouteResult]
+    supervised: bool = False
+
+    def supports(self, workload: Workload) -> bool:
+        """Whether this route can run ``workload`` at all."""
+        return self.supervised or workload.fault_rate == 0.0
+
+    def run(
+        self, frames: np.ndarray, workload: Workload, seed: int
+    ) -> RouteResult:
+        """Decode ``frames`` under ``workload``; see :class:`RouteResult`."""
+        if not self.supports(workload):
+            raise ValueError(
+                f"route {self.name!r} cannot run workload "
+                f"{workload.name!r} (fault_rate={workload.fault_rate}); "
+                "only supervised routes accept injected faults"
+            )
+        return self.runner(frames, workload, seed)
+
+
+def _plan(workload: Workload):
+    from ..core import DecodeContext
+
+    return DecodeContext(
+        shape=workload.shape,
+        sampling_fraction=workload.sampling_fraction,
+        solver=workload.solver,
+    )
+
+
+def _run_serial(frames, workload: Workload, seed: int) -> RouteResult:
+    from ..core import get_engine
+
+    engine = get_engine()
+    plan = _plan(workload)
+    rng = np.random.default_rng(seed)
+    recons = [engine.decode(frame, plan, rng) for frame in frames]
+    return RouteResult(recons, len(recons), len(recons), {})
+
+
+def _run_executor(kind: str):
+    def runner(frames, workload: Workload, seed: int) -> RouteResult:
+        from ..core import get_engine
+
+        plan = _plan(workload)
+        rng = np.random.default_rng(seed)
+        recons = get_engine().decode_batch(
+            list(frames), plan, rng, executor=_pool(kind)
+        )
+        return RouteResult(
+            recons,
+            len(recons),
+            len(recons),
+            {"executor": kind, "workers": _EXECUTOR_WORKERS},
+        )
+
+    return runner
+
+
+def _run_batch_shared(frames, workload: Workload, seed: int) -> RouteResult:
+    from ..core import get_engine
+
+    plan = _plan(workload)
+    rng = np.random.default_rng(seed)
+    recons = get_engine().decode_batch(
+        list(frames), plan, rng, shared_phi=True
+    )
+    return RouteResult(recons, len(recons), len(recons), {"shared_phi": True})
+
+
+def _run_supervised(adaptive: bool):
+    def runner(frames, workload: Workload, seed: int) -> RouteResult:
+        from ..resilience import (
+            AdaptivePolicy,
+            ResilientDecoder,
+            chaos,
+            default_taxonomy,
+        )
+
+        decoder = ResilientDecoder(
+            adaptive=AdaptivePolicy() if adaptive else None
+        )
+        rng = np.random.default_rng(seed)
+        statuses: list[str] = []
+        faults: set[str] = set()
+        recons = []
+
+        def decode_all() -> None:
+            for frame in frames:
+                outcome = decoder.decode(
+                    frame, workload.sampling_fraction, rng
+                )
+                recons.append(outcome.frame)
+                statuses.append(outcome.status)
+                faults.update(outcome.faults_seen)
+
+        if workload.fault_rate > 0.0:
+            injectors = default_taxonomy(workload.fault_rate, seed=seed)
+            with chaos(*injectors):
+                decode_all()
+        else:
+            decode_all()
+        delivered = sum(1 for s in statuses if s in ("ok", "degraded"))
+        ok = sum(1 for s in statuses if s == "ok")
+        return RouteResult(
+            recons,
+            delivered,
+            ok,
+            {
+                "adaptive": adaptive,
+                "statuses": statuses,
+                "faults_seen": sorted(faults),
+            },
+        )
+
+    return runner
+
+
+_ROUTES: dict[str, Route] = {
+    route.name: route
+    for route in (
+        Route(
+            "serial",
+            "per-frame engine decode loop (speedup reference)",
+            _run_serial,
+        ),
+        Route(
+            "thread",
+            f"decode_batch over a {_EXECUTOR_WORKERS}-worker thread pool",
+            _run_executor("thread"),
+        ),
+        Route(
+            "process",
+            f"decode_batch over a {_EXECUTOR_WORKERS}-worker process pool",
+            _run_executor("process"),
+        ),
+        Route(
+            "batch_shared",
+            "decode_batch(shared_phi=True): vectorised multi-RHS solve",
+            _run_batch_shared,
+        ),
+        Route(
+            "resilient",
+            "ResilientDecoder under the static default policy",
+            _run_supervised(adaptive=False),
+            supervised=True,
+        ),
+        Route(
+            "adaptive",
+            "ResilientDecoder with the AdaptivePolicy controller",
+            _run_supervised(adaptive=True),
+            supervised=True,
+        ),
+    )
+}
+
+
+def register_route(route: Route) -> None:
+    """Add (or replace) a decode route in the registry."""
+    _ROUTES[route.name] = route
+
+
+def get_route(name: str) -> Route:
+    """Look up a registered route by name."""
+    try:
+        return _ROUTES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown route {name!r}; registered: {route_names()}"
+        ) from None
+
+
+def route_names() -> tuple[str, ...]:
+    """All registered route names, sorted."""
+    return tuple(sorted(_ROUTES))

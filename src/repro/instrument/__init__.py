@@ -42,9 +42,12 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import (
     SCHEMA,
     build_report,
+    counter_value,
+    gauge_value,
     iter_span_dicts,
     json_safe,
     render_table,
+    select_counters,
     validate_report,
     write_report,
 )
@@ -60,9 +63,11 @@ __all__ = [
     "Span",
     "Tracer",
     "build_report",
+    "counter_value",
     "disable",
     "enable",
     "enabled",
+    "gauge_value",
     "get_registry",
     "get_tracer",
     "incr",
@@ -73,6 +78,7 @@ __all__ = [
     "render_table",
     "report",
     "reset",
+    "select_counters",
     "set_gauge",
     "span",
     "validate_report",

@@ -47,7 +47,10 @@ from .tracer import Tracer
 __all__ = [
     "SCHEMA",
     "build_report",
+    "counter_value",
+    "gauge_value",
     "json_safe",
+    "select_counters",
     "validate_report",
     "render_table",
     "iter_span_dicts",
@@ -103,6 +106,36 @@ def write_report(report: dict, path: str, indent: int | None = 2) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=indent)
         handle.write("\n")
+
+
+def counter_value(report: dict, name: str, default: float = 0.0) -> float:
+    """Read one counter out of an emitted report (``default`` if absent).
+
+    Report consumers (the benchmark runner in :mod:`repro.bench`, the
+    CI smoke gates) should use this instead of chained ``dict.get``
+    calls so a schema reshuffle breaks one accessor, not every caller.
+    """
+    return report.get("metrics", {}).get("counters", {}).get(name, default)
+
+
+def gauge_value(report: dict, name: str, default: float | None = None):
+    """Read one gauge out of an emitted report (``default`` if absent)."""
+    return report.get("metrics", {}).get("gauges", {}).get(name, default)
+
+
+def select_counters(report: dict, prefixes: tuple) -> dict:
+    """Counters whose names start with any of ``prefixes``, as a dict.
+
+    The benchmark runner attaches these filtered slices (``decode.*``,
+    ``engine.cache.*``, ``chaos.*``, ...) to each ``BENCH_*.json`` cell
+    when instrumented mode is on.
+    """
+    counters = report.get("metrics", {}).get("counters", {})
+    return {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith(tuple(prefixes))
+    }
 
 
 def iter_span_dicts(report: dict):

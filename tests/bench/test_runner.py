@@ -1,0 +1,103 @@
+"""Cell runner: metrics, determinism, suite assembly, the driver CLI."""
+
+import pytest
+
+from repro.bench import (
+    get_workload,
+    run_cell,
+    run_suite,
+    validate_bench,
+)
+from repro.bench.__main__ import main
+from repro.bench.runner import calibrate
+
+TINY = "thermal-16x16-s50-f00"
+TINY_FAULTED = "thermal-16x16-s50-f20"
+
+
+class TestCalibrate:
+    def test_positive_and_repeatable_scale(self):
+        first = calibrate(repeats=1, loops=2)
+        second = calibrate(repeats=1, loops=2)
+        assert first > 0 and second > 0
+        # Same host, same workload: within an order of magnitude.
+        assert 0.1 < first / second < 10.0
+
+
+class TestRunCell:
+    def test_engine_cell_metrics(self):
+        cell = run_cell(get_workload(TINY), "serial", base_seed=0)
+        metrics = cell["metrics"]
+        assert cell["workload"] == TINY and cell["route"] == "serial"
+        assert metrics["wall_s"] > 0
+        assert metrics["calibration_s"] > 0  # contemporaneous pairing
+        assert metrics["ms_per_frame"] == pytest.approx(
+            metrics["wall_s"] / cell["frames"] * 1e3
+        )
+        assert 0.0 < metrics["rmse"] < 0.2  # reconstruction is sane
+        assert metrics["delivered"] == 1.0
+        assert metrics["ok_fraction"] == 1.0
+        # Warm-up miss, then hits: streaming cells sit near 1.0.
+        assert metrics["cache_hit_rate"] > 0.5
+        assert metrics["speedup_vs_serial"] is None
+
+    def test_supervised_cell_under_faults(self):
+        cell = run_cell(get_workload(TINY_FAULTED), "resilient", base_seed=0)
+        assert cell["metrics"]["delivered"] == 1.0  # never drops a frame
+        assert cell["extras"]["statuses"]  # audit trail present
+        assert cell["fault_rate"] == 0.20
+
+    def test_rmse_is_deterministic_across_runs(self):
+        first = run_cell(get_workload(TINY), "serial", base_seed=3)
+        second = run_cell(get_workload(TINY), "serial", base_seed=3)
+        assert first["metrics"]["rmse"] == second["metrics"]["rmse"]
+        third = run_cell(get_workload(TINY), "serial", base_seed=4)
+        assert first["metrics"]["rmse"] != third["metrics"]["rmse"]
+
+    def test_engine_routes_agree_bit_for_bit(self):
+        serial = run_cell(get_workload(TINY), "serial", base_seed=0)
+        batch = run_cell(get_workload(TINY), "thread", base_seed=0)
+        assert serial["metrics"]["rmse"] == batch["metrics"]["rmse"]
+
+    def test_instrumented_mode_attaches_counters(self):
+        cell = run_cell(
+            get_workload(TINY), "serial", base_seed=0, instrumented=True
+        )
+        assert cell["counters"].get("decode.calls") == cell["frames"]
+        assert any(k.startswith("engine.cache.") for k in cell["counters"])
+
+
+class TestRunSuite:
+    def test_tiny_suite_document(self):
+        doc = run_suite("tiny", bench_id=42, seed=0)
+        assert validate_bench(doc) == []
+        assert doc["bench_id"] == 42
+        assert doc["suite"] == "tiny"
+        assert len(doc["cells"]) == 3
+        by_route = {
+            (c["workload"], c["route"]): c["metrics"] for c in doc["cells"]
+        }
+        shared = by_route[(TINY, "batch_shared")]
+        assert shared["speedup_vs_serial"] is not None
+        assert by_route[(TINY, "serial")]["speedup_vs_serial"] is None
+
+    def test_progress_callback(self):
+        lines = []
+        run_suite("tiny", bench_id=1, seed=0, progress=lines.append)
+        assert len(lines) == 3 and "[1/3]" in lines[0]
+
+
+class TestDriverCli:
+    def test_suite_run_emits_valid_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_6.json"
+        code = main(
+            ["--suite", "tiny", "--bench-id", "6",
+             "--output", str(out), "--root", str(tmp_path), "--quiet"]
+        )
+        assert code == 0
+        assert main(["--validate", str(out)]) == 0
+
+    def test_default_output_uses_next_free_id(self, tmp_path, capsys):
+        code = main(["--suite", "tiny", "--root", str(tmp_path), "--quiet"])
+        assert code == 0
+        assert (tmp_path / "BENCH_1.json").exists()

@@ -1,0 +1,182 @@
+"""Trend module: deltas across a synthetic history, gate exit codes."""
+
+import pytest
+
+from repro.bench import (
+    bench_filename,
+    build_bench,
+    check_regressions,
+    compute_deltas,
+    load_history,
+    render_markdown,
+    trajectory_markdown,
+    write_bench,
+)
+from repro.bench.__main__ import main
+from repro.bench.trend import normalized_wall
+
+from .test_schema import make_cell, make_doc
+
+
+def doc_with(bench_id, wall_s, rmse=0.02, calibration_s=0.01, route="serial"):
+    cell = make_cell(route=route, wall_s=wall_s, rmse=rmse)
+    return make_doc(
+        bench_id=bench_id, cells=[cell], calibration_s=calibration_s
+    )
+
+
+class TestDeltas:
+    def test_flat_history(self):
+        deltas = compute_deltas(doc_with(1, 0.1), doc_with(2, 0.1))
+        (delta,) = deltas
+        assert delta["status"] == "common"
+        assert delta["wall_rel"] == pytest.approx(0.0)
+        assert delta["rmse_rel"] == pytest.approx(0.0)
+
+    def test_normalised_wall_ignores_machine_speed(self):
+        # Same machine-independent cost: 2x the wall on a 2x-slower host.
+        prev = doc_with(1, 0.1, calibration_s=0.01)
+        curr = doc_with(2, 0.2, calibration_s=0.02)
+        (delta,) = compute_deltas(prev, curr)
+        assert delta["wall_rel"] == pytest.approx(0.0)
+        assert normalized_wall(prev["cells"][0], prev) == pytest.approx(10.0)
+
+    def test_per_cell_calibration_preferred(self):
+        # 3x the wall on a host whose contemporaneous calibration also
+        # reads 3x: same normalised cost, once the cell-level value is
+        # honoured over the (unchanged) document-level constant.
+        prev = doc_with(1, 0.1, calibration_s=0.01)
+        curr = doc_with(2, 0.3, calibration_s=0.01)
+        curr["cells"][0]["metrics"]["calibration_s"] = 0.03
+        (delta,) = compute_deltas(prev, curr)
+        assert delta["wall_rel"] == pytest.approx(0.0)
+
+    def test_new_and_dropped_cells(self):
+        prev = make_doc(bench_id=1, cells=[make_cell(route="serial")])
+        curr = make_doc(bench_id=2, cells=[make_cell(route="thread")])
+        statuses = {
+            (d["route"], d["status"]) for d in compute_deltas(prev, curr)
+        }
+        assert statuses == {("serial", "dropped"), ("thread", "new")}
+
+    def test_three_file_trajectory(self, tmp_path):
+        for bench_id, wall in ((1, 0.10), (2, 0.09), (3, 0.11)):
+            write_bench(
+                doc_with(bench_id, wall), tmp_path / bench_filename(bench_id)
+            )
+        history = load_history(tmp_path)
+        assert [doc["bench_id"] for doc in history] == [1, 2, 3]
+        improve = compute_deltas(history[0], history[1])[0]
+        regress = compute_deltas(history[1], history[2])[0]
+        assert improve["wall_rel"] < 0 < regress["wall_rel"]
+        table = trajectory_markdown(history, "ms_per_frame")
+        assert "PR 1" in table and "PR 3" in table
+
+
+class TestGate:
+    def test_flat_passes(self):
+        assert check_regressions(doc_with(1, 0.1), doc_with(2, 0.1)) == []
+
+    def test_improvement_passes(self):
+        assert check_regressions(doc_with(1, 0.1), doc_with(2, 0.05)) == []
+
+    def test_wall_regression_fails(self):
+        problems = check_regressions(doc_with(1, 0.1), doc_with(2, 0.115))
+        assert problems and "wall-clock" in problems[0]
+
+    def test_slip_inside_threshold_passes(self):
+        assert check_regressions(doc_with(1, 0.1), doc_with(2, 0.105)) == []
+
+    def test_rmse_regression_fails(self):
+        problems = check_regressions(
+            doc_with(1, 0.1, rmse=0.02), doc_with(2, 0.1, rmse=0.03)
+        )
+        assert problems and "RMSE" in problems[0]
+
+    def test_dropped_tier1_cell_fails(self):
+        prev = make_doc(bench_id=1, cells=[make_cell(route="serial")])
+        curr = make_doc(bench_id=2, cells=[make_cell(route="thread")])
+        problems = check_regressions(prev, curr)
+        assert any("dropped" in p for p in problems)
+
+    def test_tier2_cells_are_not_gated(self):
+        prev = make_doc(bench_id=1, cells=[make_cell()])
+        curr = make_doc(bench_id=2, cells=[make_cell(wall_s=1.0)])
+        prev["cells"][0]["tier"] = curr["cells"][0]["tier"] = 2
+        assert check_regressions(prev, curr) == []
+
+    def test_threshold_is_configurable(self):
+        prev, curr = doc_with(1, 0.1), doc_with(2, 0.13)
+        assert check_regressions(prev, curr, max_wall_slip=0.5) == []
+        assert check_regressions(prev, curr, max_wall_slip=0.1) != []
+
+
+class TestReport:
+    def test_report_renders_deltas_and_trajectory(self, tmp_path):
+        for bench_id, wall in ((1, 0.10), (2, 0.09)):
+            write_bench(
+                doc_with(bench_id, wall), tmp_path / bench_filename(bench_id)
+            )
+        text = render_markdown(load_history(tmp_path))
+        assert "## Runs" in text
+        assert "Latest deltas (PR 1 -> PR 2)" in text
+        assert "No tier-1 regressions" in text
+        assert "ms per frame" in text
+
+    def test_report_flags_regressions(self):
+        text = render_markdown([doc_with(1, 0.1), doc_with(2, 0.2)])
+        assert "REGRESSIONS" in text
+
+    def test_empty_history(self):
+        assert "No `BENCH_*.json`" in render_markdown([])
+        assert "no trajectory entries" in trajectory_markdown([])
+
+
+class TestCliExitCodes:
+    def _write(self, tmp_path, bench_id, wall):
+        write_bench(
+            doc_with(bench_id, wall), tmp_path / bench_filename(bench_id)
+        )
+
+    def test_gate_flat_exits_zero(self, tmp_path, capsys):
+        self._write(tmp_path, 1, 0.1)
+        self._write(tmp_path, 2, 0.1)
+        assert main(["--trend", "--gate", "--root", str(tmp_path)]) == 0
+
+    def test_gate_improvement_exits_zero(self, tmp_path, capsys):
+        self._write(tmp_path, 1, 0.1)
+        self._write(tmp_path, 2, 0.08)
+        assert main(["--trend", "--gate", "--root", str(tmp_path)]) == 0
+
+    def test_gate_regression_exits_nonzero(self, tmp_path, capsys):
+        self._write(tmp_path, 1, 0.1)
+        self._write(tmp_path, 2, 0.15)  # >10% wall-clock slip injected
+        assert main(["--trend", "--gate", "--root", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_gate_single_entry_exits_zero(self, tmp_path, capsys):
+        self._write(tmp_path, 1, 0.1)
+        assert main(["--trend", "--gate", "--root", str(tmp_path)]) == 0
+
+    def test_trend_without_gate_never_fails(self, tmp_path, capsys):
+        self._write(tmp_path, 1, 0.1)
+        self._write(tmp_path, 2, 0.5)
+        assert main(["--trend", "--root", str(tmp_path)]) == 0
+
+    def test_validate_good_and_bad(self, tmp_path, capsys):
+        self._write(tmp_path, 1, 0.1)
+        good = tmp_path / bench_filename(1)
+        assert main(["--validate", str(good)]) == 0
+        bad = tmp_path / "broken.json"
+        bad.write_text('{"schema": "nope"}')
+        assert main(["--validate", str(bad)]) == 1
+        assert main(["--validate", str(tmp_path / "missing.json")]) == 1
+
+    def test_corrupt_history_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "BENCH_1.json").write_text('{"schema": "nope"}')
+        assert main(["--trend", "--root", str(tmp_path)]) == 1
+
+    def test_list_exits_zero(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "batch_shared" in out

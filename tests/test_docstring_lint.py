@@ -2,8 +2,8 @@
 
 Runs the dependency-free checker in ``tools/check_docstrings.py`` over
 the enforced modules (core/solvers, array/flexible_encoder.py,
-repro.instrument); CI additionally runs pydocstyle with the same scope
-where available.
+repro.instrument, repro.bench); CI additionally runs pydocstyle with
+the same scope where available.
 """
 
 import importlib.util

@@ -11,8 +11,9 @@ AST-based checker instead.  It requires a docstring on:
   required; dunders and ``_``-prefixed names are skipped),
 
 within the enforced paths listed in :data:`ENFORCED` (the public solver
-API, the flexible encoder, and the instrument subsystem itself —
-matching the ``[tool.pydocstyle]`` scope in ``pyproject.toml``).
+API, the flexible encoder, the instrument subsystem and the benchmark
+framework — matching the ``[tool.pydocstyle]`` scope in
+``pyproject.toml``).
 
 Usage::
 
@@ -35,6 +36,7 @@ ENFORCED = [
     "src/repro/core/solvers",
     "src/repro/array/flexible_encoder.py",
     "src/repro/instrument",
+    "src/repro/bench",
 ]
 """Paths (relative to the repo root) whose public API must be documented."""
 
