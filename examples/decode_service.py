@@ -1,0 +1,171 @@
+"""Multi-tenant decode service under overload and injected faults.
+
+Drives the :mod:`repro.serve` service through the scenario its
+acceptance tests pin down -- and that CI's ``serve-smoke`` job replays
+on every push:
+
+* two tenants share one service: **icu** (priority 2, supervised by a
+  :class:`~repro.resilience.ResiliencePolicy`) and **lab** (priority
+  0, plain batched decoding);
+* traffic arrives at **2x the service's cycle capacity**, every frame
+  carrying a deadline;
+* the full seeded chaos taxonomy injects **20% solver faults** for the
+  entire run.
+
+The run demonstrates the service contract: every submitted frame ends
+as a rejected ticket or exactly one terminal verdict (zero silent
+drops), the high-priority tenant keeps its decode success rate while
+the low-priority tenant absorbs the shedding, and no successful
+verdict postdates its deadline.  The machine-readable service report
+-- per-tenant accounting, per-stream health snapshots, every alert the
+stream supervisors raised -- is written as JSON for archival (CI
+uploads it as the build artifact).
+
+Run:  PYTHONPATH=src python examples/decode_service.py --report out.json
+"""
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core.engine import DecodeContext
+from repro.resilience import ResiliencePolicy, chaos, default_taxonomy
+from repro.resilience.policies import SolverBudget
+from repro.serve import (
+    DecodeService,
+    StreamConfig,
+    TenantConfig,
+    VirtualClock,
+)
+from repro.serve.service import SUCCESS_STATUSES
+
+SHAPE = (8, 8)
+CYCLE_BUDGET = 6
+TICKS = 8
+FRAMES_PER_TENANT_PER_TICK = 6  # 12 submissions/cycle = 2x capacity
+FAULT_RATE = 0.2
+DEADLINE_S = 4.0
+SEED = 7
+
+
+def build_service() -> tuple[DecodeService, VirtualClock]:
+    """The two-tenant service the overload scenario runs against."""
+    clock = VirtualClock()
+    service = DecodeService(
+        clock=clock,
+        cycle_budget=CYCLE_BUDGET,
+        backlog_limit=CYCLE_BUDGET,
+        max_batch=4,
+    )
+    plan = DecodeContext(
+        shape=SHAPE,
+        sampling_fraction=0.6,
+        solver_options={"max_iterations": 60},
+    )
+    service.register_tenant(TenantConfig("icu", priority=2))
+    service.register_tenant(TenantConfig("lab", priority=0))
+    service.register_stream(StreamConfig(
+        name="icu/skin", tenant="icu", plan=plan,
+        policy=ResiliencePolicy(budget=SolverBudget(max_iterations=60)),
+        queue_limit=12, seed=11,
+    ))
+    service.register_stream(StreamConfig(
+        name="lab/skin", tenant="lab", plan=plan,
+        queue_limit=12, seed=22,
+    ))
+    return service, clock
+
+
+def run_overload(service: DecodeService, clock: VirtualClock) -> list:
+    """Submit 2x-capacity traffic under 20% chaos; returns the tickets."""
+    frame_rng = np.random.default_rng(SEED)
+    tickets = []
+    with chaos(*default_taxonomy(fault_rate=FAULT_RATE, seed=SEED)):
+        for _ in range(TICKS):
+            for _ in range(FRAMES_PER_TENANT_PER_TICK):
+                for stream in ("icu/skin", "lab/skin"):
+                    tickets.append(service.submit(
+                        stream, frame_rng.random(SHAPE),
+                        deadline_s=DEADLINE_S,
+                    ))
+            service.run_cycle()
+            clock.advance(1.0)
+        service.drain()
+    return tickets
+
+
+def check_contract(service: DecodeService, tickets: list) -> list[str]:
+    """Assert the service contract; returns human-readable check lines."""
+    verdicts = service.verdicts()
+    admitted = sorted(t.seq for t in tickets if t.admitted)
+    answered = sorted(v.seq for v in verdicts)
+    checks = []
+
+    assert answered == admitted, "every admitted frame must be answered"
+    checks.append(
+        f"zero silent drops: {len(tickets)} submitted = "
+        f"{len(tickets) - len(admitted)} rejected + {len(answered)} verdicts"
+    )
+
+    icu = [v for v in verdicts if v.tenant == "icu"]
+    icu_ok = sum(1 for v in icu if v.status in SUCCESS_STATUSES)
+    rate = icu_ok / max(1, len(icu))
+    assert rate >= 0.9, f"icu success rate {rate:.0%} under 90%"
+    checks.append(
+        f"high-priority success: icu decoded {icu_ok}/{len(icu)} "
+        f"({rate:.0%}) despite {FAULT_RATE:.0%} faults at 2x load"
+    )
+
+    shed_tenants = {v.tenant for v in verdicts if v.status == "shed"}
+    assert shed_tenants <= {"lab"}, "only the low-priority tenant sheds"
+    checks.append("priority shedding: every shed frame belonged to lab")
+
+    late = [
+        v for v in verdicts
+        if v.status in SUCCESS_STATUSES and v.deadline_missed
+    ]
+    assert not late, "a successful verdict postdated its deadline"
+    checks.append("deadline honesty: zero deadline misses on decoded frames")
+    return checks
+
+
+def main(argv=None) -> int:
+    """Run the overload demo; write the report; exit non-zero on breach."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the JSON service report (accounting + alerts) here",
+    )
+    args = parser.parse_args(argv)
+
+    service, clock = build_service()
+    tickets = run_overload(service, clock)
+    checks = check_contract(service, tickets)
+
+    report = service.report()
+    report["contract_checks"] = checks
+    report["rejected_tickets"] = [
+        t.to_dict() for t in tickets if not t.admitted
+    ]
+
+    print("== decode service under 2x overload + 20% chaos ==")
+    for line in checks:
+        print("  ok:", line)
+    for tenant, account in report["tenants"].items():
+        print(f"  {tenant}: {account}")
+    alerts = report["alerts"]
+    print(f"  alerts raised: {len(alerts)}")
+    for alert in alerts[:5]:
+        print(f"    [{alert['severity']}] {alert['kind']}: {alert['detail']}")
+
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"  report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,10 +19,12 @@ frame, not the stream.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import instrument
 from ..core.engine import get_engine
 from ..core.errors import SparseErrorModel
 from ..core.executor import collect_values, resolve_executor
@@ -334,9 +336,13 @@ class StreamingImager:
         sequential so breaker/guard state advances in frame order.
         Records are identical to the unbatched stream either way.
 
-        Batching is rejected with an ``adaptive`` controller: its
-        feedback loop re-tunes the policy *between* frames, which a
-        deferred decode would observe stale.
+        With an ``adaptive`` controller batching degrades gracefully to
+        per-frame capture (with a warning and an
+        ``imager.batch_adaptive_fallback`` counter) instead of raising:
+        the controller's feedback loop re-tunes the policy *between*
+        frames, which a deferred decode would observe stale, so the
+        resilience feature wins over the throughput one -- but the two
+        compose instead of conflicting.
         """
         frames = np.asarray(frames, dtype=float)
         if frames.ndim != 3:
@@ -344,10 +350,15 @@ class StreamingImager:
         if batch_size is None or batch_size <= 1:
             return [self.capture(frame) for frame in frames]
         if self.adaptive is not None:
-            raise ValueError(
+            warnings.warn(
                 "batched streaming is incompatible with an adaptive "
-                "policy (per-frame feedback); stream without batch_size"
+                "policy (per-frame feedback); falling back to per-frame "
+                "decoding",
+                RuntimeWarning,
+                stacklevel=2,
             )
+            instrument.incr("imager.batch_adaptive_fallback")
+            return [self.capture(frame) for frame in frames]
         resolved = resolve_executor(executor)
         records: list[FrameRecord] = []
         for start in range(0, len(frames), batch_size):

@@ -289,15 +289,35 @@ def resolve_executor(spec, workers: int | None = None) -> Executor | None:
     ===============================  =====================================
 
     ``workers`` overrides the pool size for the string forms.
+
+    Invalid specs fail *here*, with a message naming the accepted
+    forms, rather than surfacing later as a cryptic pool-construction
+    error deep inside ``concurrent.futures``: a zero/negative worker
+    count (as ``spec`` or as ``workers``) and an unknown spec string
+    are both rejected with :class:`ValueError` up front.
     """
+    if workers is not None and workers < 1:
+        raise ValueError(
+            f"workers must be >= 1, got {workers} (pass None to use the "
+            "backend default)"
+        )
     if spec is None:
         return None
     if hasattr(spec, "map_tasks"):
         return spec
     if isinstance(spec, bool):
-        raise ValueError(f"cannot resolve executor spec {spec!r}")
+        raise ValueError(
+            f"cannot resolve executor spec {spec!r}; expected None, an "
+            "Executor instance, 'serial' | 'thread' | 'threads' | "
+            "'process' | 'processes', or a worker count >= 1"
+        )
     if isinstance(spec, int):
-        return SerialExecutor() if spec <= 1 else ProcessExecutor(spec)
+        if spec < 1:
+            raise ValueError(
+                f"worker count must be >= 1, got {spec}; pass 1 for the "
+                "serial backend or n >= 2 for an n-worker process pool"
+            )
+        return SerialExecutor() if spec == 1 else ProcessExecutor(spec)
     if isinstance(spec, str):
         kind = spec.strip().lower()
         if kind == "serial":
@@ -306,7 +326,12 @@ def resolve_executor(spec, workers: int | None = None) -> Executor | None:
             return ThreadExecutor(workers)
         if kind in ("process", "processes"):
             return ProcessExecutor(workers)
+        raise ValueError(
+            f"unknown executor spec {spec!r}; accepted strings are "
+            "'serial', 'thread'/'threads' and 'process'/'processes'"
+        )
     raise ValueError(
         f"cannot resolve executor spec {spec!r}; expected None, an "
-        "Executor, 'serial' | 'thread' | 'process', or a worker count"
+        "Executor instance, 'serial' | 'thread' | 'threads' | 'process' "
+        "| 'processes', or a worker count >= 1"
     )

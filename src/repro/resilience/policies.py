@@ -20,6 +20,7 @@ test-friendly objects:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from .. import instrument
@@ -123,6 +124,13 @@ class CircuitBreaker:
 
     The breaker is deliberately count-based (not wall-clock-based) so
     chaos tests and retries are exactly reproducible.
+
+    State transitions are serialised by an internal lock: concurrent
+    callers (the thread-backed decode service supervising many streams
+    over one shared policy) see a consistent closed/open/half-open
+    machine -- at most one half-open probe is admitted per cooldown,
+    and a success/failure race cannot corrupt the counters.  The lock
+    is excluded from pickling (a pickled policy rebuilds a fresh one).
     """
 
     failure_threshold: int = 3
@@ -137,42 +145,64 @@ class CircuitBreaker:
             )
         if self.cooldown < 1:
             raise ValueError(f"cooldown must be >= 1, got {self.cooldown}")
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        """Picklable state: everything but the (unpicklable) lock."""
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore pickled state with a fresh lock."""
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def is_open(self, solver: str) -> bool:
         """Whether the solver is currently sidelined."""
-        return solver in self._open_skips
+        with self._lock:
+            return solver in self._open_skips
 
     def allow(self, solver: str) -> bool:
         """Gate one prospective attempt.
 
         Returns ``True`` when the attempt may proceed (closed breaker,
         or a half-open probe).  While open, each call counts toward the
-        cooldown and returns ``False`` until the probe is due.
+        cooldown and returns ``False`` until the probe is due; exactly
+        one caller wins the half-open probe even under contention.
         """
-        if solver not in self._open_skips:
-            return True
-        self._open_skips[solver] += 1
-        if self._open_skips[solver] > self.cooldown:
-            # Half-open: let exactly one probe through.
-            instrument.incr(f"resilience.breaker.{solver}.half_open")
-            return True
-        instrument.incr(f"resilience.breaker.{solver}.short_circuits")
-        return False
+        with self._lock:
+            if solver not in self._open_skips:
+                return True
+            self._open_skips[solver] += 1
+            if self._open_skips[solver] > self.cooldown:
+                # Half-open: let exactly one probe through, then make
+                # the next prospective caller wait out a fresh cooldown
+                # unless the probe's result re-closes the breaker first.
+                self._open_skips[solver] = 0
+                instrument.incr(f"resilience.breaker.{solver}.half_open")
+                return True
+            instrument.incr(f"resilience.breaker.{solver}.short_circuits")
+            return False
 
     def record_success(self, solver: str) -> None:
         """A healthy solve: reset the failure streak and close the breaker."""
-        self._consecutive[solver] = 0
-        self._open_skips.pop(solver, None)
+        with self._lock:
+            self._consecutive[solver] = 0
+            self._open_skips.pop(solver, None)
 
     def record_failure(self, solver: str) -> None:
         """A failed solve: bump the streak; open the breaker at threshold."""
-        self._consecutive[solver] = self._consecutive.get(solver, 0) + 1
-        if (
-            self._consecutive[solver] >= self.failure_threshold
-            and solver not in self._open_skips
-        ):
-            self._open_skips[solver] = 0
-            instrument.incr(f"resilience.breaker.{solver}.opened")
+        with self._lock:
+            self._consecutive[solver] = (
+                self._consecutive.get(solver, 0) + 1
+            )
+            if (
+                self._consecutive[solver] >= self.failure_threshold
+                and solver not in self._open_skips
+            ):
+                self._open_skips[solver] = 0
+                instrument.incr(f"resilience.breaker.{solver}.opened")
 
     def open_solvers(self) -> tuple[str, ...]:
         """The solvers currently sidelined (open breakers), sorted.
@@ -180,12 +210,14 @@ class CircuitBreaker:
         Health telemetry for adaptive controllers: a non-empty tuple
         means part of the fallback chain is out of service right now.
         """
-        return tuple(sorted(self._open_skips))
+        with self._lock:
+            return tuple(sorted(self._open_skips))
 
     def reset(self) -> None:
         """Forget all failure history (all breakers closed)."""
-        self._consecutive.clear()
-        self._open_skips.clear()
+        with self._lock:
+            self._consecutive.clear()
+            self._open_skips.clear()
 
 
 @dataclass

@@ -34,10 +34,15 @@ from .policies import ResiliencePolicy
 __all__ = [
     "AttemptRecord",
     "DecodeOutcome",
+    "OUTCOME_SCHEMA",
     "ResilientDecoder",
     "ResilientStrategy",
     "resilient_sample_and_reconstruct",
 ]
+
+#: Schema tag stamped on every ``DecodeOutcome.to_dict()`` payload
+#: (versioned like ``repro.bench/v1``; bump on incompatible changes).
+OUTCOME_SCHEMA = "repro.outcome/v1"
 
 
 @dataclass(frozen=True)
@@ -124,10 +129,15 @@ class DecodeOutcome:
         Every leaf is coerced through
         :func:`repro.instrument.json_safe`, so ``json.dumps`` works
         even when solver info leaked numpy scalars into e.g.
-        ``iterations`` or the policy snapshot.
+        ``iterations`` or the policy snapshot.  The payload is tagged
+        with ``"schema": "repro.outcome/v1"`` (mirroring
+        ``repro.bench/v1``) so downstream consumers -- the serve-layer
+        response stream, archived logs -- can detect schema drift; the
+        JSON round-trip regression test pins the exact key set.
         """
         return instrument.json_safe(
             {
+                "schema": OUTCOME_SCHEMA,
                 "status": self.status,
                 "solver": self.solver,
                 "faults_seen": list(self.faults_seen),

@@ -1,0 +1,169 @@
+"""Asyncio front end: awaitable submissions over the deterministic core.
+
+:class:`AsyncDecodeService` wraps a :class:`~repro.serve.service.DecodeService`
+for event-loop callers: ``await submit(...)`` performs admission
+control inline (it is cheap and synchronous) and returns the ticket
+*plus* an awaitable for the terminal verdict; a background pump task
+runs dispatch cycles -- off the event loop via
+:func:`asyncio.to_thread`, so BLAS-heavy solves never block admission
+-- whenever there is backlog.
+
+The split keeps the robustness logic testable: everything that decides
+*what happens to a frame* lives in the synchronous core and is covered
+by the deterministic overload tests; this module only adds scheduling
+(futures, the pump task, graceful shutdown) and inherits the core's
+zero-unanswered-frames contract -- ``aclose`` drains the backlog, so
+every pending future resolves before the loop is released.
+
+Typical use::
+
+    service = DecodeService(executor="thread", cycle_budget=16)
+    ...register tenants and streams...
+    async with AsyncDecodeService(service) as srv:
+        ticket, verdict = await srv.decode("skin-7", frame, deadline_s=0.1)
+        if ticket.admitted:
+            print((await verdict).status)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from .service import DecodeService, FrameVerdict, SubmitTicket
+
+__all__ = ["AsyncDecodeService"]
+
+
+class AsyncDecodeService:
+    """Awaitable facade over a :class:`~repro.serve.service.DecodeService`.
+
+    Use as an async context manager (starts the pump on enter, drains
+    and stops it on exit), or call :meth:`start` / :meth:`aclose`
+    explicitly.  One pump task per instance; submissions from any
+    number of coroutines are serialised through an ``asyncio.Lock``
+    because the core is deliberately single-threaded.
+    """
+
+    def __init__(self, service: DecodeService):
+        self._service = service
+        if service.on_verdict is not None:
+            raise ValueError(
+                "the wrapped DecodeService already has an on_verdict "
+                "callback; AsyncDecodeService needs to own it"
+            )
+        service.on_verdict = self._on_verdict
+        self._lock = asyncio.Lock()
+        self._wakeup: asyncio.Event | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._futures: dict[int, asyncio.Future] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closing = False
+
+    @property
+    def service(self) -> DecodeService:
+        """The wrapped deterministic core (reports, alerts, accounting)."""
+        return self._service
+
+    # -- lifecycle ----------------------------------------------------------
+    async def __aenter__(self) -> "AsyncDecodeService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def start(self) -> None:
+        """Start the background pump task (idempotent)."""
+        if self._pump_task is not None:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._wakeup = asyncio.Event()
+        self._closing = False
+        self._pump_task = asyncio.create_task(self._pump())
+
+    async def aclose(self) -> None:
+        """Drain the backlog, resolve every pending future, stop the pump."""
+        if self._pump_task is None:
+            return
+        self._closing = True
+        assert self._wakeup is not None
+        self._wakeup.set()
+        await self._pump_task
+        self._pump_task = None
+        # The core's stop() rejects future submissions and drains, so
+        # no admitted frame is left without a verdict.
+        async with self._lock:
+            await asyncio.to_thread(self._service.stop)
+
+    # -- submission ---------------------------------------------------------
+    async def submit(
+        self,
+        stream: str,
+        frame: np.ndarray,
+        deadline_s: float | None = None,
+    ) -> tuple[SubmitTicket, "asyncio.Future[FrameVerdict] | None"]:
+        """Admit one frame; returns ``(ticket, verdict_future)``.
+
+        The future is ``None`` when the ticket was rejected (rejection
+        *is* the terminal answer).  Otherwise it resolves with the
+        frame's :class:`~repro.serve.service.FrameVerdict` once a
+        dispatch cycle produces it.
+        """
+        if self._pump_task is None:
+            raise RuntimeError("service not started; use 'async with'")
+        async with self._lock:
+            ticket = self._service.submit(stream, frame, deadline_s)
+            future: asyncio.Future | None = None
+            if ticket.admitted:
+                assert self._loop is not None
+                future = self._loop.create_future()
+                self._futures[ticket.seq] = future
+        assert self._wakeup is not None
+        self._wakeup.set()
+        return ticket, future
+
+    async def decode(
+        self,
+        stream: str,
+        frame: np.ndarray,
+        deadline_s: float | None = None,
+    ) -> tuple[SubmitTicket, FrameVerdict | None]:
+        """Submit and await the terminal verdict in one call.
+
+        Returns ``(ticket, verdict)``; ``verdict`` is ``None`` when the
+        submission was rejected at admission.
+        """
+        ticket, future = await self.submit(stream, frame, deadline_s)
+        if future is None:
+            return ticket, None
+        return ticket, await future
+
+    # -- internals ----------------------------------------------------------
+    def _on_verdict(self, verdict: FrameVerdict) -> None:
+        """Core callback: resolve the matching future (thread-safe)."""
+        future = self._futures.pop(verdict.seq, None)
+        if future is None or future.done():
+            return
+        loop = self._loop
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(
+            lambda: None if future.done() else future.set_result(verdict)
+        )
+
+    async def _pump(self) -> None:
+        """Run dispatch cycles while there is backlog; sleep otherwise."""
+        assert self._wakeup is not None
+        while True:
+            if self._service.backlog == 0:
+                if self._closing:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            async with self._lock:
+                await asyncio.to_thread(self._service.run_cycle)
+            # Yield so submitters interleave between cycles.
+            await asyncio.sleep(0)

@@ -1,0 +1,65 @@
+"""Injectable time sources for the decode service.
+
+Everything time-dependent in :mod:`repro.serve` -- token-bucket
+refill, per-frame deadlines, queue-latency accounting, staleness-based
+shedding -- reads time through a :class:`Clock` instead of calling
+``time.monotonic()`` directly.  That indirection is what makes the
+service's robustness behaviour *testable*: the overload acceptance
+test drives a :class:`VirtualClock` tick by tick, so deadline expiry
+and bucket refill are exact, reproducible functions of the submitted
+traffic rather than of CI scheduling jitter.
+
+Production deployments use the default :class:`MonotonicClock`;
+anything with a ``now() -> float`` method qualifies.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "MonotonicClock", "VirtualClock"]
+
+
+class Clock:
+    """Minimal time-source protocol: ``now()`` in (fractional) seconds.
+
+    The unit is whatever the deployment treats as a second; the service
+    only ever compares and subtracts ``now()`` values, so a virtual
+    clock may count scan ticks instead of wall seconds.
+    """
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic, never decreasing)."""
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Wall-clock time source backed by :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        """Current :func:`time.monotonic` reading."""
+        return time.monotonic()
+
+
+class VirtualClock(Clock):
+    """Manually advanced clock for deterministic tests and replays.
+
+    Starts at ``start`` and only moves when :meth:`advance` is called,
+    so a test can submit a burst, advance exactly one deadline's worth
+    of time, and assert which frames expired -- bit-for-bit the same on
+    every run and every machine.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` (must be >= 0); returns the new now."""
+        if dt < 0:
+            raise ValueError(f"cannot advance time backwards (dt={dt})")
+        self._now += float(dt)
+        return self._now

@@ -1,0 +1,203 @@
+"""Bounded frame queues: deadlines, staleness and priority-aware shedding.
+
+The second robustness layer of the decode service.  Frames that pass
+admission wait here as :class:`PendingFrame` records in per-stream
+bounded FIFO queues (:class:`StreamQueue`); the service's dispatch loop
+then uses the pure helpers in this module to decide, deterministically,
+what to decode and what to shed:
+
+* :meth:`StreamQueue.push` refuses frames beyond ``limit`` -- the hard
+  backpressure bound that keeps one stream's backlog from consuming
+  unbounded memory;
+* :meth:`StreamQueue.expire` removes frames whose deadline has already
+  passed (they would miss it even if decoded immediately -- decoding
+  them would *rot* a decode slot, per the service's deadline contract);
+* :func:`select_for_dispatch` picks the next decode cycle's frames
+  strictly by (priority desc, submission order) across all streams;
+* :func:`shed_overload` drops the lowest-priority, stalest queued
+  frames first when the total backlog exceeds the sustained-overload
+  watermark -- never silently: every shed frame is returned so the
+  service can issue its terminal verdict.
+
+None of these helpers reads a clock or an RNG; they are pure functions
+of the queue state and the ``now`` passed in, which is what makes the
+overload acceptance test's shed/decode split exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "PendingFrame",
+    "StreamQueue",
+    "select_for_dispatch",
+    "shed_overload",
+]
+
+
+@dataclass
+class PendingFrame:
+    """One admitted-but-not-yet-decoded frame.
+
+    Attributes
+    ----------
+    seq:
+        Service-wide submission sequence number (total order; doubles
+        as the FIFO/staleness key -- smaller is staler).
+    stream:
+        Stream name the frame belongs to.
+    tenant:
+        Tenant that submitted it (accounting/shedding key).
+    priority:
+        Effective priority (stream override or tenant default); higher
+        decodes first and sheds last.
+    frame:
+        The frame to decode (already validated at admission).
+    submitted_at:
+        Clock reading at admission (queue-latency accounting).
+    deadline:
+        Absolute clock time after which the decode is worthless;
+        ``None`` means no deadline.
+    """
+
+    seq: int
+    stream: str
+    tenant: str
+    priority: int
+    frame: np.ndarray
+    submitted_at: float
+    deadline: float | None = None
+
+    def expired(self, now: float) -> bool:
+        """Whether the deadline has passed as of ``now``."""
+        return self.deadline is not None and now >= self.deadline
+
+
+@dataclass
+class StreamQueue:
+    """Bounded FIFO of :class:`PendingFrame` for one stream.
+
+    ``limit`` is the hard backpressure bound; ``high_water`` (defaults
+    to half the limit) is where the service starts signalling
+    ``"queued"`` instead of ``"accepted"`` on tickets, telling polite
+    clients to slow down *before* they hit rejections.
+    """
+
+    limit: int
+    high_water: int | None = None
+    _frames: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {self.limit}")
+        if self.high_water is None:
+            self.high_water = max(1, self.limit // 2)
+        if not 1 <= self.high_water <= self.limit:
+            raise ValueError(
+                f"high_water must be in [1, limit], got {self.high_water} "
+                f"(limit {self.limit})"
+            )
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def depth(self) -> int:
+        """Frames currently queued."""
+        return len(self._frames)
+
+    @property
+    def congested(self) -> bool:
+        """Whether the backlog is at or past the high-water mark."""
+        return len(self._frames) >= self.high_water
+
+    def push(self, pending: PendingFrame) -> bool:
+        """Enqueue; ``False`` (frame not queued) when at the limit."""
+        if len(self._frames) >= self.limit:
+            return False
+        self._frames.append(pending)
+        return True
+
+    def expire(self, now: float) -> list[PendingFrame]:
+        """Remove and return every queued frame whose deadline passed."""
+        if not self._frames:
+            return []
+        expired = [p for p in self._frames if p.expired(now)]
+        if expired:
+            self._frames = deque(
+                p for p in self._frames if not p.expired(now)
+            )
+        return expired
+
+    def peek_all(self) -> tuple[PendingFrame, ...]:
+        """The queued frames in FIFO order (non-destructive)."""
+        return tuple(self._frames)
+
+    def remove(self, frames: Iterable[PendingFrame]) -> None:
+        """Drop specific frames (identity match) from the queue."""
+        doomed = {id(p) for p in frames}
+        if doomed:
+            self._frames = deque(
+                p for p in self._frames if id(p) not in doomed
+            )
+
+
+def select_for_dispatch(
+    queues: dict[str, StreamQueue], budget: int
+) -> list[PendingFrame]:
+    """Pick up to ``budget`` frames to decode this cycle.
+
+    Global order is (priority descending, ``seq`` ascending): the
+    highest-priority work decodes first, ties broken by submission
+    order, and each stream's frames stay in FIFO order (``seq`` is
+    monotone within a stream).  The selected frames are removed from
+    their queues.
+    """
+    if budget < 1:
+        return []
+    candidates: list[PendingFrame] = []
+    for queue in queues.values():
+        candidates.extend(queue.peek_all())
+    candidates.sort(key=lambda p: (-p.priority, p.seq))
+    selected = candidates[:budget]
+    by_stream: dict[str, list[PendingFrame]] = {}
+    for pending in selected:
+        by_stream.setdefault(pending.stream, []).append(pending)
+    for stream, frames in by_stream.items():
+        queues[stream].remove(frames)
+    return selected
+
+
+def shed_overload(
+    queues: dict[str, StreamQueue], backlog_limit: int
+) -> list[PendingFrame]:
+    """Shed queued frames down to ``backlog_limit`` total backlog.
+
+    The sustained-overload valve: when the post-dispatch backlog still
+    exceeds ``backlog_limit``, the *lowest-priority, stalest* frames
+    (priority ascending, ``seq`` ascending) are removed and returned so
+    the service can answer each with an ``"overload_shed"`` verdict --
+    high-priority tenants keep their queue slots, low-priority backlog
+    absorbs the loss, and nothing is dropped silently.
+    """
+    if backlog_limit < 0:
+        raise ValueError(f"backlog_limit must be >= 0, got {backlog_limit}")
+    backlog: list[PendingFrame] = []
+    for queue in queues.values():
+        backlog.extend(queue.peek_all())
+    excess = len(backlog) - backlog_limit
+    if excess <= 0:
+        return []
+    backlog.sort(key=lambda p: (p.priority, p.seq))
+    doomed = backlog[:excess]
+    by_stream: dict[str, list[PendingFrame]] = {}
+    for pending in doomed:
+        by_stream.setdefault(pending.stream, []).append(pending)
+    for stream, frames in by_stream.items():
+        queues[stream].remove(frames)
+    return doomed

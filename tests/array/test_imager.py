@@ -215,15 +215,30 @@ class TestBatchedStream:
             np.testing.assert_array_equal(got.reconstructed, ref.reconstructed)
             assert got.status == ref.status
 
-    def test_adaptive_batching_rejected(self):
+    def test_adaptive_batching_falls_back_to_per_frame(self):
+        from repro import instrument
         from repro.resilience import AdaptivePolicy
 
         imager = StreamingImager(
             _encoder(), sampling_fraction=0.6,
             adaptive=AdaptivePolicy(), seed=0,
         )
-        with pytest.raises(ValueError, match="adaptive"):
-            imager.stream(_frames(3), batch_size=2)
+        with instrument.profiled() as session:
+            with pytest.warns(RuntimeWarning, match="adaptive"):
+                records = imager.stream(_frames(3), batch_size=2)
+        counters = session.report()["metrics"]["counters"]
+        assert counters.get("imager.batch_adaptive_fallback") == 1
+
+        # The graceful fallback decodes per frame: same results as an
+        # identically seeded imager streamed without a batch size.
+        reference = StreamingImager(
+            _encoder(), sampling_fraction=0.6,
+            adaptive=AdaptivePolicy(), seed=0,
+        ).stream(_frames(3))
+        assert [r.index for r in records] == [r.index for r in reference]
+        for ref, got in zip(reference, records):
+            np.testing.assert_array_equal(got.reconstructed, ref.reconstructed)
+            assert got.status == ref.status
 
     def test_guard_holds_last_batched_frame(self):
         imager = StreamingImager(_encoder(), sampling_fraction=0.6, seed=0)

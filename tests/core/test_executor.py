@@ -116,6 +116,20 @@ class TestResolveExecutor:
         with pytest.raises(ValueError):
             resolve_executor(bad)
 
+    @pytest.mark.parametrize("count", [0, -1, -8])
+    def test_rejects_nonpositive_worker_counts(self, count):
+        with pytest.raises(ValueError, match="worker count must be >= 1"):
+            resolve_executor(count)
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_rejects_nonpositive_workers_override(self, workers):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            resolve_executor("thread", workers=workers)
+
+    def test_unknown_string_names_accepted_forms(self):
+        with pytest.raises(ValueError, match="'serial'"):
+            resolve_executor("warp-drive")
+
     def test_default_workers_positive(self):
         assert default_workers() >= 1
 

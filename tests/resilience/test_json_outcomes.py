@@ -13,7 +13,65 @@ import numpy as np
 from repro.resilience import ResiliencePolicy
 from repro.resilience.adaptive import AdaptationEvent
 from repro.resilience.policies import SolverBudget
-from repro.resilience.runtime import AttemptRecord, DecodeOutcome
+from repro.resilience.runtime import (
+    OUTCOME_SCHEMA,
+    AttemptRecord,
+    DecodeOutcome,
+)
+
+
+class TestOutcomeSchemaStability:
+    """The ``repro.outcome/v1`` wire schema is pinned here.
+
+    Downstream consumers (the serve-layer response stream, archived
+    chaos reports) key on these exact fields; changing them requires a
+    schema-tag bump, and this test is the tripwire.
+    """
+
+    def test_schema_tag(self):
+        assert OUTCOME_SCHEMA == "repro.outcome/v1"
+
+    def test_round_trip_preserves_the_exact_key_set(self):
+        outcome = DecodeOutcome(
+            frame=np.zeros((4, 4)),
+            status="ok",
+            solver="fista",
+            attempts=[
+                AttemptRecord(round=0, solver="fista", status="success")
+            ],
+        )
+        payload = json.loads(json.dumps(outcome.to_dict()))
+        assert sorted(payload) == [
+            "adaptation_events",
+            "attempts",
+            "faults_seen",
+            "health",
+            "policy_snapshot",
+            "schema",
+            "solver",
+            "status",
+        ]
+        assert payload["schema"] == OUTCOME_SCHEMA
+        assert sorted(payload["attempts"][0]) == [
+            "duration_s",
+            "error",
+            "iterations",
+            "round",
+            "solver",
+            "status",
+        ]
+
+    def test_real_outcome_is_schema_tagged(self):
+        from repro.resilience import ResilientDecoder
+
+        decoder = ResilientDecoder(policy=ResiliencePolicy())
+        frame = np.clip(
+            np.random.default_rng(0).normal(0.5, 0.2, size=(8, 8)), 0.0, 1.0
+        )
+        outcome = decoder.decode(frame, 0.5, np.random.default_rng(1))
+        round_tripped = json.loads(json.dumps(outcome.to_dict()))
+        assert round_tripped["schema"] == OUTCOME_SCHEMA
+        assert round_tripped["status"] == outcome.status
 
 
 class TestDecodeOutcomeJson:

@@ -105,6 +105,90 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown=0)
 
+    def test_failed_probe_restarts_a_full_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2)
+        breaker.record_failure("fista")
+        assert [breaker.allow("fista") for _ in range(3)] == [
+            False, False, True,  # cooldown, then the probe
+        ]
+        breaker.record_failure("fista")  # probe failed: re-open
+        assert [breaker.allow("fista") for _ in range(3)] == [
+            False, False, True,  # a fresh, full cooldown
+        ]
+
+
+class TestCircuitBreakerConcurrency:
+    """The breaker is shared by concurrent decode-service callers.
+
+    These regressions pin the thread-safety contract: state transitions
+    are serialised, exactly one caller wins each half-open probe, and
+    racing success/failure records never corrupt the counters.
+    """
+
+    def _hammer(self, fn, threads=8, rounds=50):
+        import threading
+
+        barrier = threading.Barrier(threads)
+        results = [None] * threads
+
+        def body(slot):
+            barrier.wait()
+            results[slot] = [fn() for _ in range(rounds)]
+
+        workers = [
+            threading.Thread(target=body, args=(slot,))
+            for slot in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        return results
+
+    def test_exactly_one_probe_per_cooldown_under_contention(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5)
+        breaker.record_failure("fista")
+        results = self._hammer(
+            lambda: breaker.allow("fista"), threads=8, rounds=50
+        )
+        admitted = sum(r.count(True) for r in results)
+        # 400 calls while open: one probe per elapsed cooldown window,
+        # never more (the failed-probe counter resets atomically).
+        assert admitted == 400 // (breaker.cooldown + 1)
+
+    def test_racing_transitions_leave_a_consistent_machine(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=4)
+
+        def churn():
+            breaker.record_failure("fista")
+            breaker.allow("fista")
+            breaker.record_success("fista")
+            return breaker.is_open("fista")
+
+        self._hammer(churn, threads=8, rounds=25)
+        # Whatever interleaving happened, the machine must still work:
+        # a clean failure streak opens it, a success closes it.
+        breaker.reset()
+        for _ in range(3):
+            breaker.record_failure("fista")
+        assert breaker.is_open("fista")
+        breaker.record_success("fista")
+        assert not breaker.is_open("fista")
+        assert breaker.allow("fista")
+
+    def test_probe_grant_then_concurrent_success_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        breaker.record_failure("fista")
+        assert not breaker.allow("fista")
+        assert breaker.allow("fista")  # the probe slot
+        # Concurrent successes (probe result + healthy sibling solves)
+        # must close the breaker exactly once, without deadlock.
+        self._hammer(
+            lambda: breaker.record_success("fista"), threads=4, rounds=10
+        )
+        assert not breaker.is_open("fista")
+        assert breaker.allow("fista")
+
 
 class TestResiliencePolicy:
     def test_default_chain(self):

@@ -1,0 +1,111 @@
+"""Tests for the asyncio front end (repro.serve.async_service)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DecodeContext
+from repro.serve import (
+    AsyncDecodeService,
+    DecodeService,
+    StreamConfig,
+    TenantConfig,
+)
+
+
+def _service(**kwargs):
+    service = DecodeService(cycle_budget=4, **kwargs)
+    service.register_tenant(TenantConfig("lab"))
+    service.register_stream(
+        StreamConfig(
+            name="lab/s0",
+            tenant="lab",
+            plan=DecodeContext(
+                shape=(6, 6),
+                sampling_fraction=0.6,
+                solver_options={"max_iterations": 40},
+            ),
+            queue_limit=16,
+        )
+    )
+    return service
+
+
+def _frame(seed=0):
+    return np.random.default_rng(seed).random((6, 6))
+
+
+class TestAsyncDecodeService:
+    def test_decode_roundtrip(self):
+        async def main():
+            async with AsyncDecodeService(_service()) as srv:
+                return await srv.decode("lab/s0", _frame())
+
+        ticket, verdict = asyncio.run(main())
+        assert ticket.admitted
+        assert verdict.status == "decoded"
+        assert verdict.seq == ticket.seq
+
+    def test_concurrent_submitters_each_get_their_verdict(self):
+        async def main():
+            async with AsyncDecodeService(_service()) as srv:
+                return await asyncio.gather(
+                    *(srv.decode("lab/s0", _frame(i)) for i in range(6))
+                )
+
+        results = asyncio.run(main())
+        assert len(results) == 6
+        for ticket, verdict in results:
+            assert ticket.admitted
+            assert verdict is not None
+            assert verdict.seq == ticket.seq
+            assert verdict.status == "decoded"
+
+    def test_rejection_is_the_terminal_answer(self):
+        async def main():
+            async with AsyncDecodeService(_service()) as srv:
+                return await srv.decode(
+                    "lab/s0", np.zeros((3, 3))  # invalid shape
+                )
+
+        ticket, verdict = asyncio.run(main())
+        assert ticket.status == "rejected"
+        assert ticket.reason == "invalid_frame"
+        assert verdict is None
+
+    def test_aclose_resolves_every_pending_future(self):
+        async def main():
+            srv = AsyncDecodeService(_service())
+            await srv.start()
+            # Submit without awaiting the verdicts, then close: the
+            # drain-on-close contract must still answer every frame.
+            futures = []
+            for i in range(4):
+                ticket, future = await srv.submit("lab/s0", _frame(i))
+                assert ticket.admitted
+                futures.append(future)
+            await srv.aclose()
+            return [f.result() for f in futures]
+
+        verdicts = asyncio.run(main())
+        assert [v.status for v in verdicts] == ["decoded"] * 4
+
+    def test_submit_before_start_is_an_error(self):
+        async def main():
+            srv = AsyncDecodeService(_service())
+            with pytest.raises(RuntimeError, match="not started"):
+                await srv.submit("lab/s0", _frame())
+
+        asyncio.run(main())
+
+    def test_wrapped_service_must_not_have_a_verdict_callback(self):
+        service = _service()
+        service.on_verdict = lambda verdict: None
+        with pytest.raises(ValueError, match="on_verdict"):
+            AsyncDecodeService(service)
+
+    def test_service_accessor_exposes_the_core(self):
+        service = _service()
+        srv = AsyncDecodeService(service)
+        assert srv.service is service

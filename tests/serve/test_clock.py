@@ -1,0 +1,36 @@
+"""Tests for the injectable time sources (repro.serve.clock)."""
+
+import pytest
+
+from repro.serve import MonotonicClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_where_told(self):
+        assert VirtualClock().now() == 0.0
+        assert VirtualClock(start=5.5).now() == 5.5
+
+    def test_advance_moves_time(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now() == 2.0
+
+    def test_zero_advance_is_allowed(self):
+        clock = VirtualClock(start=3.0)
+        assert clock.advance(0.0) == 3.0
+
+    def test_time_never_goes_backwards(self):
+        with pytest.raises(ValueError, match="backwards"):
+            VirtualClock().advance(-0.1)
+
+    def test_does_not_move_on_its_own(self):
+        clock = VirtualClock()
+        assert clock.now() == clock.now() == 0.0
+
+
+class TestMonotonicClock:
+    def test_monotone_nondecreasing(self):
+        clock = MonotonicClock()
+        a, b = clock.now(), clock.now()
+        assert b >= a

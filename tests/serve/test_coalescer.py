@@ -1,0 +1,116 @@
+"""Tests for batch coalescing and decode routing (repro.serve.coalescer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DecodeContext
+from repro.serve import CoalescedBatch, Coalescer, PendingFrame, decode_pending
+
+
+def _pending(seq, stream="s", frame=None):
+    return PendingFrame(
+        seq=seq,
+        stream=stream,
+        tenant="t",
+        priority=0,
+        frame=np.zeros((6, 6)) if frame is None else frame,
+        submitted_at=0.0,
+    )
+
+
+def _plan():
+    return DecodeContext(
+        shape=(6, 6),
+        sampling_fraction=0.6,
+        solver_options={"max_iterations": 40},
+    )
+
+
+class TestCoalescer:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            Coalescer(max_batch=0)
+
+    def test_groups_by_stream_preserving_order(self):
+        dispatched = [
+            _pending(1, "a"), _pending(2, "b"),
+            _pending(3, "a"), _pending(4, "b"),
+        ]
+        batches = Coalescer(max_batch=8).coalesce(dispatched)
+        assert [(b.stream, [p.seq for p in b.pendings]) for b in batches] == [
+            ("a", [1, 3]),
+            ("b", [2, 4]),
+        ]
+
+    def test_chunks_at_max_batch(self):
+        dispatched = [_pending(s, "a") for s in range(1, 6)]
+        batches = Coalescer(max_batch=2).coalesce(dispatched)
+        assert [len(b.pendings) for b in batches] == [2, 2, 1]
+
+    def test_empty_dispatch(self):
+        assert Coalescer().coalesce([]) == []
+
+
+class TestDecodePending:
+    def test_plain_batch_yields_ok_outcomes(self):
+        rng = np.random.default_rng(0)
+        frames = np.random.default_rng(1).random((3, 6, 6))
+        batch = CoalescedBatch(
+            stream="s", pendings=tuple(
+                _pending(i + 1, frame=frames[i]) for i in range(3)
+            ),
+        )
+        outcomes = decode_pending(batch, _plan(), rng)
+        assert [o.status for o in outcomes] == ["ok", "ok", "ok"]
+        assert all(o.frame.shape == (6, 6) for o in outcomes)
+
+    def test_plain_batch_matches_engine_decode_batch_bitwise(self):
+        from repro.core.engine import get_engine
+
+        frames = list(np.random.default_rng(1).random((3, 6, 6)))
+        batch = CoalescedBatch(
+            stream="s",
+            pendings=tuple(
+                _pending(i + 1, frame=f) for i, f in enumerate(frames)
+            ),
+        )
+        outcomes = decode_pending(batch, _plan(), np.random.default_rng(0))
+        reference = get_engine().decode_batch(
+            frames, _plan(), np.random.default_rng(0)
+        )
+        for outcome, ref in zip(outcomes, reference):
+            np.testing.assert_array_equal(outcome.frame, ref)
+
+    def test_supervised_streams_decode_through_the_decoder(self):
+        from repro.resilience import ResiliencePolicy
+        from repro.resilience.health import FrameGuard
+        from repro.resilience.runtime import ResilientDecoder
+
+        decoder = ResilientDecoder(
+            policy=ResiliencePolicy(), guard=FrameGuard()
+        )
+        batch = CoalescedBatch(
+            stream="s",
+            pendings=(
+                _pending(1, frame=np.random.default_rng(1).random((6, 6))),
+            ),
+        )
+        outcomes = decode_pending(
+            batch, _plan(), np.random.default_rng(0), decoder=decoder
+        )
+        assert outcomes[0].status in ("ok", "degraded")
+        assert outcomes[0].attempts  # a genuine supervised outcome
+
+    def test_total_failure_is_contained_as_failed_outcomes(self):
+        from repro.resilience.chaos import SolverExceptionInjector, chaos
+
+        batch = CoalescedBatch(
+            stream="s", pendings=(_pending(1), _pending(2)),
+        )
+        with chaos(SolverExceptionInjector(rate=1.0, seed=0)):
+            outcomes = decode_pending(
+                batch, _plan(), np.random.default_rng(0)
+            )
+        assert [o.status for o in outcomes] == ["failed", "failed"]
+        assert all(o.faults_seen == ("InjectedFault",) for o in outcomes)
+        assert all(np.all(o.frame == 0.0) for o in outcomes)

@@ -1,0 +1,184 @@
+"""The overload acceptance test: 2x sustained load + 20% injected faults.
+
+The service contract under the worst conditions the ISSUE specifies:
+
+* traffic at twice the service's cycle capacity, for many cycles;
+* 20% injected solver faults (the full seeded chaos taxonomy);
+* a high-priority supervised tenant sharing the service with a
+  low-priority plain tenant.
+
+Asserted invariants:
+
+1. **zero silent drops** -- every submitted frame ends as either a
+   rejected ticket or exactly one terminal verdict;
+2. **priority protection** -- the high-priority tenant keeps >= 90%
+   decode success (``decoded``/``degraded``) on admitted frames while
+   the low-priority tenant absorbs all overload shedding;
+3. **deadline honesty** -- no successful verdict is marked past its
+   deadline (expired frames are cancelled, not decoded);
+4. **determinism** -- the whole run, chaos included, replays
+   bit-identically (VirtualClock + seeded injectors, no wall-clock).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DecodeContext
+from repro.resilience import ResiliencePolicy
+from repro.resilience.chaos import chaos, default_taxonomy
+from repro.resilience.policies import SolverBudget
+from repro.serve import (
+    DecodeService,
+    StreamConfig,
+    TenantConfig,
+    VirtualClock,
+)
+from repro.serve.admission import REJECTION_REASONS
+from repro.serve.service import SUCCESS_STATUSES
+
+CYCLE_BUDGET = 6
+TICKS = 6
+FRAMES_PER_TENANT_PER_TICK = 6  # 12 submissions/cycle = 2x capacity
+FAULT_RATE = 0.2
+SHAPE = (6, 6)
+
+
+def _plan():
+    return DecodeContext(
+        shape=SHAPE,
+        sampling_fraction=0.6,
+        solver_options={"max_iterations": 40},
+    )
+
+
+def _run():
+    """One full overload run; returns (service, tickets, verdicts)."""
+    clock = VirtualClock()
+    service = DecodeService(
+        clock=clock,
+        cycle_budget=CYCLE_BUDGET,
+        backlog_limit=CYCLE_BUDGET,
+        max_batch=4,
+    )
+    service.register_tenant(TenantConfig("icu", priority=2))
+    service.register_tenant(TenantConfig("lab", priority=0))
+    service.register_stream(
+        StreamConfig(
+            name="icu/skin",
+            tenant="icu",
+            plan=_plan(),
+            policy=ResiliencePolicy(
+                budget=SolverBudget(max_iterations=40)
+            ),
+            queue_limit=12,
+            seed=11,
+        )
+    )
+    service.register_stream(
+        StreamConfig(
+            name="lab/skin",
+            tenant="lab",
+            plan=_plan(),
+            queue_limit=12,
+            seed=22,
+        )
+    )
+    frame_rng = np.random.default_rng(5)
+    tickets = []
+    with chaos(*default_taxonomy(fault_rate=FAULT_RATE, seed=7)):
+        for _ in range(TICKS):
+            for _ in range(FRAMES_PER_TENANT_PER_TICK):
+                tickets.append(
+                    service.submit(
+                        "icu/skin", frame_rng.random(SHAPE), deadline_s=4.0
+                    )
+                )
+                tickets.append(
+                    service.submit(
+                        "lab/skin", frame_rng.random(SHAPE), deadline_s=4.0
+                    )
+                )
+            service.run_cycle()
+            clock.advance(1.0)
+        service.drain()
+    return service, tickets, service.verdicts()
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One shared overload run (the assertions are all read-only)."""
+    return _run()
+
+
+class TestOverloadAcceptance:
+    @pytest.fixture(autouse=True)
+    def _unpack(self, run):
+        self.service, self.tickets, self.verdicts = run
+
+    def test_traffic_really_was_overload(self):
+        submitted = len(self.tickets)
+        assert submitted == 2 * TICKS * FRAMES_PER_TENANT_PER_TICK
+        decoded_capacity = TICKS * CYCLE_BUDGET
+        assert submitted >= 2 * decoded_capacity
+
+    def test_zero_silent_drops(self):
+        admitted = {t.seq for t in self.tickets if t.admitted}
+        rejected = {t.seq for t in self.tickets if not t.admitted}
+        answered = [v.seq for v in self.verdicts]
+        # Exactly one terminal verdict per admitted frame, none for
+        # rejected frames, nothing unaccounted for.
+        assert sorted(answered) == sorted(admitted)
+        assert len(answered) == len(set(answered))
+        assert admitted | rejected == {t.seq for t in self.tickets}
+
+    def test_rejections_and_sheds_are_machine_readable(self):
+        for ticket in self.tickets:
+            if not ticket.admitted:
+                assert ticket.reason in REJECTION_REASONS
+        for verdict in self.verdicts:
+            if verdict.status == "shed":
+                assert verdict.reason in REJECTION_REASONS
+            else:
+                assert verdict.reason is None
+
+    def test_high_priority_tenant_keeps_its_success_rate(self):
+        icu = [v for v in self.verdicts if v.tenant == "icu"]
+        assert icu, "high-priority tenant must have admitted frames"
+        successes = [v for v in icu if v.status in SUCCESS_STATUSES]
+        assert len(successes) / len(icu) >= 0.9
+
+    def test_low_priority_tenant_absorbs_the_shedding(self):
+        sheds = [v for v in self.verdicts if v.status == "shed"]
+        assert sheds, "2x overload must shed something"
+        assert {v.tenant for v in sheds} == {"lab"}
+
+    def test_no_successful_verdict_missed_its_deadline(self):
+        for verdict in self.verdicts:
+            if verdict.status in SUCCESS_STATUSES:
+                assert not verdict.deadline_missed
+
+    def test_report_accounting_matches_the_traffic(self):
+        report = self.service.report()
+        for tenant in ("icu", "lab"):
+            account = report["tenants"][tenant]
+            assert account["submitted"] == sum(
+                1 for t in self.tickets if t.tenant == tenant
+            )
+            assert account["admitted"] == sum(
+                1 for t in self.tickets if t.tenant == tenant and t.admitted
+            )
+            assert sum(account["verdicts"].values()) == account["admitted"]
+        assert report["backlog"] == 0
+
+    def test_the_whole_run_replays_bit_identically(self):
+        def fingerprint(tickets, verdicts):
+            return (
+                [(t.seq, t.status, t.reason) for t in tickets],
+                [(v.seq, v.status, v.reason, v.deadline_missed)
+                 for v in verdicts],
+            )
+
+        _, tickets2, verdicts2 = _run()
+        assert fingerprint(self.tickets, self.verdicts) == fingerprint(
+            tickets2, verdicts2
+        )

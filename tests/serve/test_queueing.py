@@ -1,0 +1,121 @@
+"""Tests for bounded queues and priority shedding (repro.serve.queueing)."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    PendingFrame,
+    StreamQueue,
+    select_for_dispatch,
+    shed_overload,
+)
+
+
+def _pending(seq, stream="s", priority=0, deadline=None):
+    return PendingFrame(
+        seq=seq,
+        stream=stream,
+        tenant="t",
+        priority=priority,
+        frame=np.zeros((2, 2)),
+        submitted_at=0.0,
+        deadline=deadline,
+    )
+
+
+class TestStreamQueue:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="limit"):
+            StreamQueue(limit=0)
+        with pytest.raises(ValueError, match="high_water"):
+            StreamQueue(limit=4, high_water=5)
+
+    def test_high_water_defaults_to_half_limit(self):
+        assert StreamQueue(limit=8).high_water == 4
+        assert StreamQueue(limit=1).high_water == 1
+
+    def test_push_refuses_beyond_limit(self):
+        queue = StreamQueue(limit=2)
+        assert queue.push(_pending(1))
+        assert queue.push(_pending(2))
+        assert not queue.push(_pending(3))
+        assert queue.depth == 2
+
+    def test_congested_at_high_water(self):
+        queue = StreamQueue(limit=4, high_water=2)
+        queue.push(_pending(1))
+        assert not queue.congested
+        queue.push(_pending(2))
+        assert queue.congested
+
+    def test_expire_removes_only_past_deadlines(self):
+        queue = StreamQueue(limit=8)
+        keep = _pending(1, deadline=10.0)
+        gone = _pending(2, deadline=1.0)
+        undated = _pending(3)
+        for p in (keep, gone, undated):
+            queue.push(p)
+        expired = queue.expire(now=5.0)
+        assert expired == [gone]
+        assert queue.peek_all() == (keep, undated)
+
+    def test_expired_boundary_is_inclusive(self):
+        assert _pending(1, deadline=2.0).expired(2.0)
+        assert not _pending(1, deadline=2.0).expired(1.999)
+
+    def test_remove_matches_identity_not_equality(self):
+        queue = StreamQueue(limit=8)
+        a, b = _pending(1), _pending(1)
+        queue.push(a)
+        queue.push(b)
+        queue.remove([a])
+        assert queue.peek_all() == (b,)
+
+
+class TestSelectForDispatch:
+    def test_priority_desc_then_submission_order(self):
+        queues = {
+            "low": StreamQueue(limit=8),
+            "high": StreamQueue(limit=8),
+        }
+        low = [_pending(s, stream="low", priority=0) for s in (1, 3)]
+        high = [_pending(s, stream="high", priority=2) for s in (2, 4)]
+        for p in low + high:
+            queues[p.stream].push(p)
+        selected = select_for_dispatch(queues, budget=3)
+        assert [p.seq for p in selected] == [2, 4, 1]
+        # Selected frames left their queues; the rest stayed.
+        assert queues["high"].depth == 0
+        assert [p.seq for p in queues["low"].peek_all()] == [3]
+
+    def test_zero_budget_selects_nothing(self):
+        queues = {"s": StreamQueue(limit=4)}
+        queues["s"].push(_pending(1))
+        assert select_for_dispatch(queues, budget=0) == []
+        assert queues["s"].depth == 1
+
+
+class TestShedOverload:
+    def test_sheds_lowest_priority_stalest_first(self):
+        queues = {"a": StreamQueue(limit=8), "b": StreamQueue(limit=8)}
+        frames = [
+            _pending(1, stream="a", priority=0),
+            _pending(2, stream="b", priority=2),
+            _pending(3, stream="a", priority=0),
+            _pending(4, stream="b", priority=2),
+        ]
+        for p in frames:
+            queues[p.stream].push(p)
+        shed = shed_overload(queues, backlog_limit=2)
+        assert [p.seq for p in shed] == [1, 3]
+        # High-priority frames kept their queue slots.
+        assert [p.seq for p in queues["b"].peek_all()] == [2, 4]
+
+    def test_no_shedding_under_the_limit(self):
+        queues = {"s": StreamQueue(limit=8)}
+        queues["s"].push(_pending(1))
+        assert shed_overload(queues, backlog_limit=4) == []
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError, match="backlog_limit"):
+            shed_overload({}, backlog_limit=-1)

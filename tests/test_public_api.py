@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.eda",
     "repro.experiments",
     "repro.resilience",
+    "repro.serve",
 ]
 
 

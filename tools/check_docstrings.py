@@ -11,9 +11,9 @@ AST-based checker instead.  It requires a docstring on:
   required; dunders and ``_``-prefixed names are skipped),
 
 within the enforced paths listed in :data:`ENFORCED` (the public solver
-API, the flexible encoder, the instrument subsystem and the benchmark
-framework — matching the ``[tool.pydocstyle]`` scope in
-``pyproject.toml``).
+API, the flexible encoder, the instrument subsystem, the benchmark
+framework and the decode service — matching the ``[tool.pydocstyle]``
+scope in ``pyproject.toml``).
 
 Usage::
 
@@ -37,6 +37,7 @@ ENFORCED = [
     "src/repro/array/flexible_encoder.py",
     "src/repro/instrument",
     "src/repro/bench",
+    "src/repro/serve",
 ]
 """Paths (relative to the repo root) whose public API must be documented."""
 
