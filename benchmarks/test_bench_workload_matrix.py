@@ -48,3 +48,35 @@ def test_bench_matrix_smoke_suite_is_runnable():
     assert cells
     for workload, route_name in cells:
         assert get_route(route_name).supports(workload)
+
+
+def test_bench_matrix_serial_dense_route(benchmark):
+    workload = get_workload("thermal-16x16-s50-f00")
+    result = benchmark.pedantic(
+        _run, args=(workload, "serial_dense"), rounds=1, iterations=1
+    )
+    assert result.delivered == workload.frames
+    assert result.extras["operator_mode"] == "dense"
+
+
+def test_bench_matrix_dense_route_guard_matches_engine():
+    # The route-level size guard must track the engine's dense-mode
+    # guard, or suites would admit cells the engine then rejects.
+    from repro.bench.routes import _DENSE_MAX_CELLS
+    from repro.core.engine import _DENSE_MODE_MAX_N
+
+    assert _DENSE_MAX_CELLS == _DENSE_MODE_MAX_N
+    dense = get_route("serial_dense")
+    assert not dense.supports(get_workload("thermal-128x128-s50-f00"))
+    assert dense.supports(get_workload("thermal-64x64-s50-f00"))
+
+
+def test_bench_matrix_resilient_batch_faulted(benchmark):
+    workload = get_workload("thermal-16x16-s50-f20")
+    result = benchmark.pedantic(
+        _run, args=(workload, "resilient_batch"), rounds=1, iterations=1
+    )
+    # Optimistic batch supervision still delivers every frame under
+    # injected faults (the failed pass replays per-frame).
+    assert result.delivered == workload.frames
+    assert result.extras["shared_phi"] is True

@@ -10,6 +10,11 @@ route                     decode path
 ========================  ==============================================
 ``serial``                per-frame :meth:`DecodeEngine.decode` loop
                           (the reference arm every speedup is against)
+``serial_dense``          the same loop in ``"dense"`` operator mode
+                          (materialised ``A = Phi_M @ Psi``, the
+                          pre-refactor representation; only supports
+                          workloads under the engine's dense-mode size
+                          guard)
 ``thread``                :meth:`DecodeEngine.decode_batch` with a
                           4-worker :class:`ThreadExecutor`
 ``process``               :meth:`DecodeEngine.decode_batch` with a
@@ -22,6 +27,10 @@ route                     decode path
                           default :class:`ResiliencePolicy`, with
                           solver-layer chaos at the workload's
                           ``fault_rate``
+``resilient_batch``       :meth:`ResilientDecoder.decode_batch` with
+                          ``shared_phi=True``: one optimistic
+                          multi-RHS pass under the fallback chain,
+                          per-frame supervised replay on any failure
 ``adaptive``              :class:`ResilientDecoder` with an
                           :class:`AdaptivePolicy` feedback controller,
                           same chaos mix
@@ -97,17 +106,36 @@ class RouteResult:
     extras: dict
 
 
+_DENSE_MAX_CELLS = 8192
+"""Largest ``N`` the dense route accepts.
+
+Mirrors ``repro.core.engine._DENSE_MODE_MAX_N`` (pinned equal by a
+bench test) so :meth:`Route.supports` refuses a dense cell at suite
+definition time instead of the engine raising mid-run.
+"""
+
+
 @dataclass(frozen=True)
 class Route:
-    """A named decode route plus its workload-applicability rule."""
+    """A named decode route plus its workload-applicability rule.
+
+    ``max_cells`` (when set) bounds the frame size ``N = rows * cols``
+    the route accepts -- the dense-operator route uses it to mirror the
+    engine's dense-mode memory guard.
+    """
 
     name: str
     description: str
     runner: Callable[[np.ndarray, Workload, int], RouteResult]
     supervised: bool = False
+    max_cells: int | None = None
 
     def supports(self, workload: Workload) -> bool:
         """Whether this route can run ``workload`` at all."""
+        if self.max_cells is not None:
+            rows, cols = workload.shape
+            if rows * cols > self.max_cells:
+                return False
         return self.supervised or workload.fault_rate == 0.0
 
     def run(
@@ -123,13 +151,14 @@ class Route:
         return self.runner(frames, workload, seed)
 
 
-def _plan(workload: Workload):
+def _plan(workload: Workload, operator_mode: str | None = None):
     from ..core import DecodeContext
 
     return DecodeContext(
         shape=workload.shape,
         sampling_fraction=workload.sampling_fraction,
         solver=workload.solver,
+        operator_mode=operator_mode,
     )
 
 
@@ -141,6 +170,18 @@ def _run_serial(frames, workload: Workload, seed: int) -> RouteResult:
     rng = np.random.default_rng(seed)
     recons = [engine.decode(frame, plan, rng) for frame in frames]
     return RouteResult(recons, len(recons), len(recons), {})
+
+
+def _run_serial_dense(frames, workload: Workload, seed: int) -> RouteResult:
+    from ..core import get_engine
+
+    engine = get_engine()
+    plan = _plan(workload, operator_mode="dense")
+    rng = np.random.default_rng(seed)
+    recons = [engine.decode(frame, plan, rng) for frame in frames]
+    return RouteResult(
+        recons, len(recons), len(recons), {"operator_mode": "dense"}
+    )
 
 
 def _run_executor(kind: str):
@@ -221,6 +262,41 @@ def _run_supervised(adaptive: bool):
     return runner
 
 
+def _run_resilient_batch(frames, workload: Workload, seed: int) -> RouteResult:
+    from ..resilience import ResilientDecoder, chaos, default_taxonomy
+
+    decoder = ResilientDecoder()
+    rng = np.random.default_rng(seed)
+
+    def decode_all():
+        return decoder.decode_batch(
+            list(frames), workload.sampling_fraction, rng, shared_phi=True
+        )
+
+    if workload.fault_rate > 0.0:
+        injectors = default_taxonomy(workload.fault_rate, seed=seed)
+        with chaos(*injectors):
+            outcomes = decode_all()
+    else:
+        outcomes = decode_all()
+    statuses = [outcome.status for outcome in outcomes]
+    faults: set[str] = set()
+    for outcome in outcomes:
+        faults.update(outcome.faults_seen)
+    delivered = sum(1 for s in statuses if s in ("ok", "degraded"))
+    ok = sum(1 for s in statuses if s == "ok")
+    return RouteResult(
+        [outcome.frame for outcome in outcomes],
+        delivered,
+        ok,
+        {
+            "shared_phi": True,
+            "statuses": statuses,
+            "faults_seen": sorted(faults),
+        },
+    )
+
+
 _ROUTES: dict[str, Route] = {
     route.name: route
     for route in (
@@ -228,6 +304,13 @@ _ROUTES: dict[str, Route] = {
             "serial",
             "per-frame engine decode loop (speedup reference)",
             _run_serial,
+        ),
+        Route(
+            "serial_dense",
+            "per-frame decode with a materialised dense operator "
+            "(pre-refactor representation; size-guarded)",
+            _run_serial_dense,
+            max_cells=_DENSE_MAX_CELLS,
         ),
         Route(
             "thread",
@@ -248,6 +331,13 @@ _ROUTES: dict[str, Route] = {
             "resilient",
             "ResilientDecoder under the static default policy",
             _run_supervised(adaptive=False),
+            supervised=True,
+        ),
+        Route(
+            "resilient_batch",
+            "ResilientDecoder.decode_batch(shared_phi=True): optimistic "
+            "multi-RHS supervision with per-frame fallback replay",
+            _run_resilient_batch,
             supervised=True,
         ),
         Route(

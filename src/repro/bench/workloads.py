@@ -207,6 +207,9 @@ def _standard_matrix() -> dict[str, Workload]:
         add(dataset, (64, 64), 0.5, 0.0, frames=3)
     add("thermal", (128, 128), 0.5, 0.0, frames=2)
     add("tactile", (128, 128), 0.5, 0.0, frames=2)
+    # The implicit-operator route keeps 256 x 256 under the smoke
+    # budget (a dense A here would be 34 GB; the FFT route holds ~0).
+    add("thermal", (256, 256), 0.5, 0.0, frames=2)
     # Tiny cells for fast unit tests and local iteration.
     matrix["thermal-16x16-s50-f00"] = Workload(
         name="thermal-16x16-s50-f00",
@@ -278,12 +281,18 @@ _SUITES: dict[str, tuple[tuple[str, tuple], ...]] = {
     ),
     # The tier-1 gated set: every modality at the paper's operating
     # point through every cheap route, plus the faulted thermal cell
-    # through both supervised routes.  ~1 minute on a laptop.
+    # through the supervised routes.  The dense-operator arm and the
+    # large implicit cells (128^2 serial + vectorised, 256^2
+    # vectorised) ride along at tier 2 to keep the implicit-vs-dense
+    # speedup and memory trajectory in every BENCH_<n>.json.
+    # ~1-2 minutes on a laptop.
     "smoke": (
-        ("thermal-32x32-s50-f00", _ENGINE_ROUTES),
+        ("thermal-32x32-s50-f00", _ENGINE_ROUTES + ("serial_dense",)),
         ("tactile-32x32-s50-f00", _ENGINE_ROUTES),
         ("ultrasound-32x32-s50-f00", _ENGINE_ROUTES),
-        ("thermal-32x32-s50-f10", _SUPERVISED_ROUTES),
+        ("thermal-32x32-s50-f10", _SUPERVISED_ROUTES + ("resilient_batch",)),
+        ("thermal-128x128-s50-f00", ("serial", "batch_shared")),
+        ("thermal-256x256-s50-f00", ("batch_shared",)),
     ),
     # The whole matrix: every engine route (incl. the process pool) on
     # every clean cell, supervised routes on every faulted cell, plus

@@ -25,6 +25,7 @@ Public surface:
 from .blocks import BlockProcessor
 from .dct import Dct2Basis, dct2, dct_basis_1d, dct_basis_2d, idct2
 from .engine import (
+    OPERATOR_MODES,
     DecodeContext,
     DecodeEngine,
     OperatorCache,
@@ -52,7 +53,13 @@ from .metrics import (
     psnr,
     rmse,
 )
-from .operators import SensingOperator
+from .operators import (
+    CompositeOperator,
+    DenseOperator,
+    LinearOperator,
+    SensingOperator,
+    SeparableDCTOperator,
+)
 from .pipeline import (
     FrameOutcome,
     RobustnessSweep,
@@ -116,7 +123,12 @@ __all__ = [
     "normalized_error",
     "classification_accuracy",
     "confusion_matrix",
+    "LinearOperator",
+    "DenseOperator",
+    "CompositeOperator",
+    "SeparableDCTOperator",
     "SensingOperator",
+    "OPERATOR_MODES",
     "RowSamplingMatrix",
     "gaussian_matrix",
     "bernoulli_matrix",

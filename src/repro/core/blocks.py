@@ -36,7 +36,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from .engine import DecodeContext, get_engine
+from .engine import DecodeContext, _validate_operator_mode, get_engine
 from .executor import collect_values, resolve_executor
 
 __all__ = ["BlockProcessor"]
@@ -101,6 +101,12 @@ class BlockProcessor:
         own ``rng.spawn`` child and strategies are copied per tile, so
         every backend -- serial, thread, process -- reconstructs the
         frame bit-identically for a given seed.
+    operator_mode:
+        Per-tile operator mode forwarded to the engine plans:
+        ``"implicit"`` (matrix-free, default), ``"dense"``
+        (materialised ``A``), or ``None`` for the engine default.
+        Tiles are small, so ``"dense"`` is actually viable here and
+        lets benches compare the two routes at block granularity.
 
     Attributes
     ----------
@@ -119,6 +125,7 @@ class BlockProcessor:
     solver_options: dict | None = None
     strategy: object | None = None
     executor: object | None = None
+    operator_mode: str | None = None
     last_outcomes: list | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -129,6 +136,7 @@ class BlockProcessor:
             raise ValueError("overlap must be in [0, min(block dims))")
         if not 0.0 < self.sampling_fraction <= 1.0:
             raise ValueError("sampling_fraction must be in (0, 1]")
+        _validate_operator_mode(self.operator_mode)
         if self.strategy is not None and not hasattr(
             self.strategy, "reconstruct"
         ):
@@ -267,6 +275,7 @@ class BlockProcessor:
             solver=self.solver,
             solver_options=self.solver_options or {},
             noise_sigma=noise_sigma,
+            operator_mode=self.operator_mode,
         )
         weight = self._block_weight()
         accumulator = np.zeros_like(frame)

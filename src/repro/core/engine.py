@@ -15,32 +15,42 @@ orthonormal basis the solver step size is a constant.
 This module is the seam that amortises all of it:
 
 * :class:`DecodeContext` -- a frozen decode plan (shape, sampling
-  fraction, solver config, exclusion mask, sampling weights) that can
-  be built once per stream and reused per frame;
+  fraction, solver config, exclusion mask, sampling weights, operator
+  mode) that can be built once per stream and reused per frame;
 * :class:`OperatorCache` -- a bounded, thread-safe LRU cache of basis
-  entries keyed on ``(shape, basis kind)``, with hit/miss/eviction
-  counters exported through :mod:`repro.instrument`;
+  entries keyed on ``(shape, basis kind, operator mode)``, with
+  hit/miss/eviction/byte counters exported through
+  :mod:`repro.instrument`;
 * :class:`DecodeEngine` -- ``decode(frame, plan, rng)``, the single
   canonical sample -> solve -> validate -> reshape path (including the
   ``full_output`` :class:`DecodeResult` plumbing) that every other
   layer now routes through.
 
-Beyond caching construction, the engine's cached entries are *faster*
-objects than the per-call recipe they replace:
+The engine hands out :class:`~repro.core.operators.LinearOperator`
+implementations, never matrices.  Two operator modes exist:
 
-* for small shapes the 2-D DCT is applied as two tiny BLAS matmuls
-  (:class:`SeparableDct2Basis`) instead of two ``scipy.fft`` dispatches
-  per solver iteration -- the dispatch overhead dominates at e-skin
-  frame sizes;
-* the operator carries a cached spectral-norm hint (``||A||_2 = 1`` for
-  row sampling of an orthonormal basis), so gradient solvers skip the
-  30-round power iteration they otherwise run per solve.
+* ``"implicit"`` (default): row-sampled separable-DCT applies through
+  :class:`~repro.core.operators.SeparableDCTOperator` -- ``O(N log N)``
+  time, ``O(1)`` memory beyond the sampling mask.  For small shapes the
+  2-D DCT is applied as two tiny BLAS matmuls
+  (:class:`~repro.core.dct.SeparableDct2Basis`) instead of two
+  ``scipy.fft`` dispatches per solver iteration; the operator carries a
+  cached spectral-norm hint (``||A||_2 = 1`` for row sampling of an
+  orthonormal basis), so gradient solvers skip the 30-round power
+  iteration they otherwise run per solve.
+* ``"dense"``: the cache materialises ``Psi`` once per key and hands
+  out :class:`~repro.core.operators.DenseOperator` views -- ``O(N^2)``
+  memory and applies.  The control arm for the implicit-vs-dense
+  benchmarks and the escape hatch for exotic bases; guarded to small
+  frames (see ``docs/ENGINE.md``).
 
-Both are deterministic functions of ``(shape, kind)``, so cached and
-cache-disabled decodes are bit-identical under a fixed seed (covered by
-regression tests).  Construction of ``Dct2Basis`` / ``SensingOperator``
-outside this module is forbidden in library and example code; CI
-enforces the seam with ``tools/check_engine_seam.py``.
+All cached objects are deterministic functions of
+``(shape, kind, mode)``, so cached and cache-disabled decodes are
+bit-identical under a fixed seed (covered by regression tests).
+Construction of ``Dct2Basis`` / ``SensingOperator`` outside the
+operator layer is forbidden in library and example code, as is dense
+materialisation (``to_dense`` / ``to_matrix``); CI enforces both seams
+with ``tools/check_engine_seam.py``.
 
 Set ``REPRO_ENGINE_CACHE=0`` in the environment to disable the default
 engine's cache (per-call rebuild, same numerics); see ``docs/ENGINE.md``
@@ -60,8 +70,8 @@ from typing import Callable, Mapping, NamedTuple
 import numpy as np
 
 from .. import instrument
-from .dct import Dct2Basis, dct_basis_1d
-from .operators import SensingOperator
+from .dct import Dct2Basis, SeparableDct2Basis
+from .operators import DenseOperator, SensingOperator, SeparableDCTOperator
 from .sensing import RowSamplingMatrix, weighted_sample_indices
 from .solvers import SolverResult, solve
 
@@ -72,6 +82,7 @@ __all__ = [
     "DecodeEngine",
     "DecodeResult",
     "EngineOperator",
+    "OPERATOR_MODES",
     "OperatorCache",
     "SeparableDct2Basis",
     "get_engine",
@@ -80,6 +91,23 @@ __all__ = [
     "use_engine",
     "validate_decode_inputs",
 ]
+
+#: The operator representations the engine can hand out.
+OPERATOR_MODES = ("implicit", "dense")
+
+# Dense mode materialises an N x N basis; above this N the matrix would
+# dwarf the implicit representation by orders of magnitude (128^2 frames
+# already need a 2 GiB Psi), so the engine refuses instead of thrashing.
+_DENSE_MODE_MAX_N = 8192
+
+
+def _validate_operator_mode(mode: str | None) -> str | None:
+    if mode is not None and mode not in OPERATOR_MODES:
+        raise ValueError(
+            f"operator_mode must be one of {OPERATOR_MODES} (or None), "
+            f"got {mode!r}"
+        )
+    return mode
 
 
 class DecodeResult(NamedTuple):
@@ -128,87 +156,16 @@ def validate_decode_inputs(
     return frame
 
 
-class SeparableDct2Basis:
-    """Orthonormal 2-D DCT basis applied as two small dense matmuls.
-
-    Numerically equivalent to :class:`~repro.core.dct.Dct2Basis` (same
-    orthonormal DCT-II, different rounding), but each apply is two
-    ``rows x rows`` / ``cols x cols`` BLAS products instead of a
-    ``scipy.fft.dctn`` dispatch.  At e-skin frame sizes the dispatch
-    overhead dominates the transform cost, so this is the faster
-    representation -- but it scales as ``O(N^1.5)`` versus the FFT's
-    ``O(N log N)``, hence the engine only selects it for small shapes.
-    """
-
-    orthonormal = True
-
-    def __init__(self, shape: tuple[int, int]):
-        rows, cols = shape
-        if rows < 1 or cols < 1:
-            raise ValueError(f"invalid array shape {shape}")
-        self.shape = (int(rows), int(cols))
-        self.n = int(rows) * int(cols)
-        # Synthesis factors: image = C_r @ coeffs_2d @ C_c.T
-        self._c_rows = dct_basis_1d(int(rows))
-        self._c_cols = dct_basis_1d(int(cols))
-        self._c_rows.setflags(write=False)
-        self._c_cols.setflags(write=False)
-
-    def synthesize(self, coeffs: np.ndarray) -> np.ndarray:
-        """``Psi @ x``: map coefficient vector ``x`` to pixel vector ``y``."""
-        coeffs = np.asarray(coeffs, dtype=float).reshape(self.shape)
-        return (self._c_rows @ coeffs @ self._c_cols.T).ravel()
-
-    def analyze(self, pixels: np.ndarray) -> np.ndarray:
-        """``Psi.T @ y``: map pixel vector ``y`` to coefficient vector."""
-        pixels = np.asarray(pixels, dtype=float).reshape(self.shape)
-        return (self._c_rows.T @ pixels @ self._c_cols).ravel()
-
-    def synthesize_batch(self, coeffs: np.ndarray) -> np.ndarray:
-        """``Psi @ x`` over a ``(k, n)`` stack of coefficient vectors.
-
-        ``np.matmul`` broadcasting runs the same two per-slice GEMMs as
-        :meth:`synthesize` (same operand shapes, same evaluation order),
-        so each row of the result is bitwise the serial apply -- the
-        property the lockstep multi-RHS solvers rely on.
-        """
-        coeffs = np.asarray(coeffs, dtype=float).reshape(-1, *self.shape)
-        pixels = np.matmul(np.matmul(self._c_rows, coeffs), self._c_cols.T)
-        return pixels.reshape(len(coeffs), self.n)
-
-    def analyze_batch(self, pixels: np.ndarray) -> np.ndarray:
-        """``Psi.T @ y`` over a ``(k, n)`` stack of pixel vectors."""
-        pixels = np.asarray(pixels, dtype=float).reshape(-1, *self.shape)
-        coeffs = np.matmul(np.matmul(self._c_rows.T, pixels), self._c_cols)
-        return coeffs.reshape(len(pixels), self.n)
-
-    def to_matrix(self) -> np.ndarray:
-        """Materialise the explicit ``N x N`` basis (testing / small N)."""
-        return np.kron(self._c_rows, self._c_cols)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SeparableDct2Basis(shape={self.shape})"
-
-
 class EngineOperator(SensingOperator):
     """A :class:`SensingOperator` carrying engine-cached acceleration.
 
-    Identical forward/adjoint behaviour; the only difference is an
-    optional spectral-norm hint the engine supplies when the basis is
-    known orthonormal and ``phi`` is a row-sampling matrix (then
+    Identical forward/adjoint behaviour; the only difference is that
+    the engine supplies the optional spectral-norm hint when the basis
+    is known orthonormal and ``phi`` is a row-sampling matrix (then
     ``||A||_2 <= 1`` exactly, so gradient solvers may take the unit
-    step without running the power iteration).
+    step without running the power iteration).  Hint handling itself
+    lives on :class:`~repro.core.operators.LinearOperator`.
     """
-
-    def __init__(self, phi, basis, spectral_norm_hint: float | None = None):
-        super().__init__(phi, basis)
-        self._spectral_norm_hint = spectral_norm_hint
-
-    def spectral_norm(self, iterations: int = 30, seed: int = 0) -> float:
-        """Cached ``||A||_2`` when hinted, else the power iteration."""
-        if self._spectral_norm_hint is not None:
-            return self._spectral_norm_hint
-        return super().spectral_norm(iterations, seed)
 
 
 @dataclass(frozen=True)
@@ -288,25 +245,38 @@ def basis_kinds() -> tuple[str, ...]:
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One cached operator template: the basis plus solver hints."""
+    """One cached operator template: the basis plus solver hints.
+
+    ``mode`` records the operator representation the entry backs
+    (``"implicit"`` holds a matrix-free basis object, ``"dense"`` the
+    materialised ``N x N`` ``Psi``); ``nbytes`` is the true memory the
+    entry pins, which the cache aggregates into its byte gauge.
+    """
 
     key: tuple
     basis: object
     spectral_norm_hint: float | None = None
+    mode: str = "implicit"
+    nbytes: int = 0
 
 
 class OperatorCache:
     """Bounded, thread-safe LRU cache of :class:`CacheEntry` objects.
 
-    Keys are ``(shape, basis kind)`` tuples: everything else about a
-    decode (the random ``Phi_M`` draw, the solver, the measurements)
-    changes per call, while the basis and its solver hints are pure
-    functions of the key.  Entries are immutable and safe to share
-    across threads; the cache itself serialises access with a lock.
+    Keys are ``(shape, basis kind, operator mode)`` tuples: everything
+    else about a decode (the random ``Phi_M`` draw, the solver, the
+    measurements) changes per call, while the basis and its solver
+    hints are pure functions of the key.  Entries are immutable and
+    safe to share across threads; the cache itself serialises access
+    with a lock.
 
-    Hit/miss/eviction counts are kept both as plain attributes (always
-    on, readable via :meth:`stats`) and as ``engine.cache.*`` counters
-    in :mod:`repro.instrument` when collection is enabled.
+    Hit/miss/eviction counts and the resident byte total are kept both
+    as plain attributes (always on, readable via :meth:`stats`) and as
+    ``engine.cache.*`` counters plus the ``operator_cache.bytes`` gauge
+    in :mod:`repro.instrument` when collection is enabled.  The byte
+    total is *true* memory: implicit DCT entries pin only their factor
+    matrices (or nothing at all on the FFT path), dense entries pin the
+    full ``N x N`` basis.
     """
 
     def __init__(self, capacity: int = 32):
@@ -318,6 +288,11 @@ class OperatorCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.bytes = 0
+
+    def _publish_bytes(self) -> None:
+        instrument.set_gauge("engine.cache.bytes", self.bytes)
+        instrument.set_gauge("operator_cache.bytes", self.bytes)
 
     def get_or_create(
         self, key: tuple, builder: Callable[[], CacheEntry]
@@ -336,13 +311,16 @@ class OperatorCache:
                 return entry
             entry = builder()
             self._entries[key] = entry
+            self.bytes += int(getattr(entry, "nbytes", 0) or 0)
             self.misses += 1
             instrument.incr("engine.cache.misses")
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                _, evicted = self._entries.popitem(last=False)
+                self.bytes -= int(getattr(evicted, "nbytes", 0) or 0)
                 self.evictions += 1
                 instrument.incr("engine.cache.evictions")
             instrument.set_gauge("engine.cache.size", len(self._entries))
+            self._publish_bytes()
             return entry
 
     def __len__(self) -> int:
@@ -357,10 +335,12 @@ class OperatorCache:
         """Drop every entry (invalidation hook; counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self.bytes = 0
             instrument.set_gauge("engine.cache.size", 0)
+            self._publish_bytes()
 
     def stats(self) -> dict:
-        """Accounting snapshot: hits, misses, evictions, size, capacity."""
+        """Accounting snapshot: hits/misses/evictions/size/capacity/bytes."""
         with self._lock:
             return {
                 "hits": self.hits,
@@ -368,6 +348,7 @@ class OperatorCache:
                 "evictions": self.evictions,
                 "size": len(self._entries),
                 "capacity": self.capacity,
+                "bytes": self.bytes,
             }
 
 
@@ -398,6 +379,10 @@ class DecodeContext:
     weights:
         Optional per-pixel sampling weights (energy-weighted sampling);
         ``None`` means uniform random sampling.
+    operator_mode:
+        Operator representation for this plan: ``"implicit"``
+        (matrix-free applies), ``"dense"`` (materialised matrix), or
+        ``None`` to defer to the engine's default.
     """
 
     shape: tuple
@@ -410,12 +395,14 @@ class DecodeContext:
         default=None, compare=False, repr=False
     )
     weights: np.ndarray | None = field(default=None, compare=False, repr=False)
+    operator_mode: str | None = None
 
     def __post_init__(self) -> None:
         shape = tuple(int(s) for s in self.shape)
         if len(shape) < 2 or any(s < 1 for s in shape):
             raise ValueError(f"invalid plan shape {self.shape}")
         object.__setattr__(self, "shape", shape)
+        _validate_operator_mode(self.operator_mode)
         if not 0.0 < self.sampling_fraction <= 1.0:
             raise ValueError(
                 f"sampling_fraction must be in (0, 1], got "
@@ -528,59 +515,124 @@ class DecodeEngine:
         spectral-norm hints).  ``False`` reproduces the pre-engine
         per-call recipe exactly (FFT basis, per-solve power iteration);
         it exists for the before/after bench comparison.
+    operator_mode:
+        Default operator representation when a plan leaves
+        ``operator_mode=None``: ``"implicit"`` (matrix-free, the
+        default) or ``"dense"`` (materialised matrices, benchmark
+        control arm).
     """
 
     cache: OperatorCache | None = field(default_factory=OperatorCache)
     fast_basis: bool = True
+    operator_mode: str = "implicit"
+
+    def __post_init__(self) -> None:
+        _validate_operator_mode(self.operator_mode)
+
+    def _resolve_mode(self, mode: str | None) -> str:
+        return _validate_operator_mode(mode) or self.operator_mode
 
     # -- operator construction (the only sanctioned site) -----------------
-    def _build_entry(self, shape: tuple, kind: str) -> CacheEntry:
+    def _build_entry(self, shape: tuple, kind: str, mode: str) -> CacheEntry:
         spec = _BASIS_KINDS.get(kind)
         if spec is None:
             raise KeyError(
                 f"unknown basis kind {kind!r}; registered: {basis_kinds()}"
             )
+        hint = 1.0 if (self.fast_basis and spec.orthonormal) else None
+        key = (tuple(shape), kind, mode)
+        if mode == "dense":
+            n = int(np.prod([int(s) for s in shape]))
+            if n > _DENSE_MODE_MAX_N:
+                raise ValueError(
+                    f"dense operator mode materialises an {n} x {n} basis "
+                    f"({n * n * 8 / 2**20:.0f} MiB); the engine caps dense "
+                    f"mode at N={_DENSE_MODE_MAX_N} -- use the implicit "
+                    "mode for large frames"
+                )
+            psi = np.ascontiguousarray(spec.factory(shape).to_matrix())
+            psi.setflags(write=False)
+            return CacheEntry(
+                key=key,
+                basis=psi,
+                spectral_norm_hint=hint,
+                mode="dense",
+                nbytes=int(psi.nbytes),
+            )
         if self.fast_basis and spec.fast_factory is not None:
             basis = spec.fast_factory(shape)
         else:
             basis = spec.factory(shape)
-        hint = 1.0 if (self.fast_basis and spec.orthonormal) else None
         return CacheEntry(
-            key=(tuple(shape), kind), basis=basis, spectral_norm_hint=hint
+            key=key,
+            basis=basis,
+            spectral_norm_hint=hint,
+            mode="implicit",
+            nbytes=int(getattr(basis, "nbytes", 0) or 0),
         )
 
-    def entry_for(self, shape: tuple, basis: str = "dct2") -> CacheEntry:
-        """The (cached) operator template for ``(shape, basis)``."""
+    def entry_for(
+        self, shape: tuple, basis: str = "dct2", mode: str | None = None
+    ) -> CacheEntry:
+        """The (cached) operator template for ``(shape, basis, mode)``."""
         shape = tuple(int(s) for s in shape)
+        mode = self._resolve_mode(mode)
         if self.cache is None:
-            return self._build_entry(shape, basis)
+            return self._build_entry(shape, basis, mode)
         return self.cache.get_or_create(
-            (shape, basis), lambda: self._build_entry(shape, basis)
+            (shape, basis, mode),
+            lambda: self._build_entry(shape, basis, mode),
         )
 
     def basis_for(self, shape: tuple, basis: str = "dct2"):
-        """The (cached) sparsifying basis for ``(shape, basis)``."""
-        return self.entry_for(shape, basis).basis
+        """The (cached) matrix-free sparsifying basis for ``(shape, basis)``.
+
+        Always resolves the implicit entry: callers want the basis
+        *object* (``synthesize`` / ``analyze``), which the dense mode
+        does not keep.
+        """
+        return self.entry_for(shape, basis, mode="implicit").basis
 
     def operator(
         self,
         phi: RowSamplingMatrix,
         shape: tuple,
         basis: str = "dct2",
-    ) -> EngineOperator:
-        """Bind a sampling matrix to the cached basis for ``shape``.
+        mode: str | None = None,
+    ):
+        """Bind a sampling matrix to the cached template for ``shape``.
 
-        This is the repo's only sanctioned ``SensingOperator``
-        construction site (CI enforces the seam); every decode path --
-        including ones that own their measurement acquisition, like the
-        hardware-scan imager or the video burst decoder -- gets its
-        operator here.
+        This is the repo's only sanctioned operator construction site
+        (CI enforces the seam); every decode path -- including ones
+        that own their measurement acquisition, like the hardware-scan
+        imager or the video burst decoder -- gets its operator here.
+
+        Returns a :class:`~repro.core.operators.LinearOperator`:
+
+        * implicit mode + row sampling + separable DCT basis ->
+          :class:`~repro.core.operators.SeparableDCTOperator`;
+        * implicit mode otherwise -> :class:`EngineOperator`;
+        * dense mode -> :class:`~repro.core.operators.DenseOperator`
+          over the row-gathered ``Phi @ Psi`` product.
         """
-        entry = self.entry_for(shape, basis)
+        entry = self.entry_for(shape, basis, mode)
         hint = entry.spectral_norm_hint
         if hint is not None and not isinstance(phi, RowSamplingMatrix):
             # The unit-norm bound only holds for row sampling.
             hint = None
+        if entry.mode == "dense":
+            psi = entry.basis
+            if isinstance(phi, RowSamplingMatrix):
+                a = psi[phi.indices, :]
+            else:
+                a = np.asarray(phi, dtype=float) @ psi
+            return DenseOperator(a, basis=psi, spectral_norm_hint=hint)
+        if isinstance(phi, RowSamplingMatrix) and isinstance(
+            entry.basis, (Dct2Basis, SeparableDct2Basis)
+        ):
+            return SeparableDCTOperator(
+                phi, entry.basis, spectral_norm_hint=hint
+            )
         return EngineOperator(phi, entry.basis, spectral_norm_hint=hint)
 
     # -- the canonical decode path -----------------------------------------
@@ -659,7 +711,9 @@ class DecodeEngine:
         on any worker in any order without perturbing determinism --
         this is what :meth:`decode_batch` fans out.
         """
-        operator = self.operator(phi, plan.shape, plan.basis)
+        operator = self.operator(
+            phi, plan.shape, plan.basis, mode=plan.operator_mode
+        )
         result = solve(
             plan.solver, operator, measurements, **dict(plan.solver_options)
         )
@@ -815,7 +869,9 @@ class DecodeEngine:
         """Multi-RHS lockstep solve; ``None`` when unsupported here."""
         from .solvers import solve_batch
 
-        operator = self.operator(phi, plan.shape, plan.basis)
+        operator = self.operator(
+            phi, plan.shape, plan.basis, mode=plan.operator_mode
+        )
         results = solve_batch(
             plan.solver,
             operator,

@@ -1,4 +1,4 @@
-"""The combined encode/synthesis operator ``A = Phi_M @ Psi``.
+"""Implicit linear operators: the decoder-side view of ``A = Phi_M @ Psi``.
 
 Eq. (8) of the paper splits the CS system into the FE-side encoder
 (``Phi_M @ y``) and the silicon-side decoder model (``Phi_M @ Psi @ x``).
@@ -6,9 +6,29 @@ Every solver in :mod:`repro.core.solvers` works against the linear map
 
     ``A x = Phi_M (Psi x)``,   ``A^T r = Psi^T (Phi_M^T r)``
 
-This module wraps that map in a small operator class that supports both a
-matrix-free fast path (row sampling + fast DCT, ``O(N log N)`` per apply)
-and a dense path for arbitrary matrices (Gaussian / Bernoulli ablations).
+and only ever needs applies, never entries.  This module is the operator
+layer: a small :class:`LinearOperator` abstraction (``matvec`` /
+``rmatvec`` / ``matmat``, shape, dtype, a spectral-norm hint with a
+cached power-iteration fallback, and a ``to_dense()`` escape hatch) plus
+the three concrete implementations the engine hands out:
+
+* :class:`DenseOperator` -- an explicit ``(m, n)`` matrix; ``O(N^2)``
+  memory and applies.  The bit-exact dense fallback and the control arm
+  of the implicit-vs-dense benchmarks.
+* :class:`SeparableDCTOperator` -- row-subsampled separable 2-D DCT:
+  applies run through the fast separable transform (``scipy.fft`` or
+  two small GEMMs), ``O(N log N)`` time and ``O(1)`` extra memory
+  beyond the sampling index vector.
+* :class:`CompositeOperator` -- the general ``Phi o Psi`` chain for any
+  measurement matrix / sparsifying basis pairing (Gaussian and
+  Bernoulli ablations, Haar wavelets, 3-D video DCT...).
+
+:class:`SensingOperator` remains as the backward-compatible name for
+the composite; new code should construct operators only through
+:meth:`repro.core.engine.DecodeEngine.operator` (CI enforces the seam),
+and dense materialisation (``to_dense`` / ``to_matrix``) is forbidden
+outside this module and its allow-listed callers
+(``tools/check_engine_seam.py``).
 """
 
 from __future__ import annotations
@@ -17,10 +37,265 @@ import numpy as np
 
 from .sensing import RowSamplingMatrix
 
-__all__ = ["SensingOperator"]
+__all__ = [
+    "LinearOperator",
+    "DenseOperator",
+    "CompositeOperator",
+    "SeparableDCTOperator",
+    "SensingOperator",
+]
 
 
-class SensingOperator:
+def _is_matrix_free(basis) -> bool:
+    return (
+        hasattr(basis, "synthesize")
+        and hasattr(basis, "analyze")
+        and hasattr(basis, "n")
+    )
+
+
+class LinearOperator:
+    """Abstract ``(m, n)`` linear map defined by its applies.
+
+    Subclasses implement :meth:`matvec` / :meth:`rmatvec`; everything
+    else (batched applies, ``matmat``, dense materialisation, the
+    spectral norm) has a generic default built on them.  The batched
+    applies use the row-stack convention (``(k, n) -> (k, m)``) because
+    that is what the lockstep multi-RHS solvers consume; ``matmat`` /
+    ``rmatmat`` expose the conventional column layout on top of them.
+
+    Parameters
+    ----------
+    shape:
+        ``(m, n)`` of the map.
+    dtype:
+        Element dtype (all repo operators are float64).
+    spectral_norm_hint:
+        Exact (or safe upper-bound) value for ``||A||_2``; when set,
+        :meth:`spectral_norm` returns it without running the power
+        iteration.  Gradient solvers divide by its square for the step
+        size, so an upper bound keeps them convergent.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        dtype=float,
+        spectral_norm_hint: float | None = None,
+    ):
+        m, n = shape
+        if m < 1 or n < 1:
+            raise ValueError(f"invalid operator shape {shape}")
+        self.m = int(m)
+        self.n = int(n)
+        self.shape = (self.m, self.n)
+        self.dtype = np.dtype(dtype)
+        self._spectral_norm_hint = (
+            None if spectral_norm_hint is None else float(spectral_norm_hint)
+        )
+        self._sigma_cache: dict[tuple[int, int], float] = {}
+
+    # -- core applies (subclass responsibility) ----------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` for a coefficient vector ``x`` of length ``n``."""
+        raise NotImplementedError
+
+    def rmatvec(self, r: np.ndarray) -> np.ndarray:
+        """``A.T @ r`` for a measurement vector ``r`` of length ``m``."""
+        raise NotImplementedError
+
+    # -- batched applies (multi-RHS solves) --------------------------------
+    def matvec_batch(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x_i`` for every row of a ``(k, n)`` stack.
+
+        Row ``i`` of the result is ``matvec(x[i])``; the generic default
+        loops, subclasses with a vectorised path override it (and report
+        so through :meth:`supports_batch`).
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.n:
+            raise ValueError(
+                f"expected a (k, {self.n}) coefficient stack, got {x.shape}"
+            )
+        return np.stack([self.matvec(row) for row in x])
+
+    def rmatvec_batch(self, r: np.ndarray) -> np.ndarray:
+        """``A.T @ r_i`` for every row of a ``(k, m)`` stack."""
+        r = np.asarray(r, dtype=float)
+        if r.ndim != 2 or r.shape[1] != self.m:
+            raise ValueError(
+                f"expected a (k, {self.m}) measurement stack, got {r.shape}"
+            )
+        return np.stack([self.rmatvec(row) for row in r])
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        """``A @ X`` for a dense ``(n, k)`` block; returns ``(m, k)``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(
+                f"expected an ({self.n}, k) block, got {x.shape}"
+            )
+        return self.matvec_batch(x.T).T
+
+    def rmatmat(self, r: np.ndarray) -> np.ndarray:
+        """``A.T @ R`` for a dense ``(m, k)`` block; returns ``(n, k)``."""
+        r = np.asarray(r, dtype=float)
+        if r.ndim != 2 or r.shape[0] != self.m:
+            raise ValueError(
+                f"expected an ({self.m}, k) block, got {r.shape}"
+            )
+        return self.rmatvec_batch(r.T).T
+
+    def supports_batch(self) -> bool:
+        """Whether the batched applies take a vectorised fast path."""
+        return False
+
+    # -- basis bridging (decode reshape path) ------------------------------
+    def synthesize(self, coeffs: np.ndarray) -> np.ndarray:
+        """``Psi @ x``: coefficients to pixel vector (identity default)."""
+        return np.asarray(coeffs, dtype=float)
+
+    def analyze(self, pixels: np.ndarray) -> np.ndarray:
+        """``Psi.T @ y``: pixel vector to coefficients (identity default)."""
+        return np.asarray(pixels, dtype=float)
+
+    # -- accounting / escape hatches ---------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the operator representation (0 when implicit)."""
+        return 0
+
+    @property
+    def spectral_norm_hint(self) -> float | None:
+        """The cached exact/upper-bound ``||A||_2``, when one is known."""
+        return self._spectral_norm_hint
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense ``(m, n)`` matrix ``A`` (small problems).
+
+        This is the escape hatch for algorithms that genuinely need
+        entries (the basis-pursuit LP); ``O(m n)`` memory, so CI forbids
+        calls outside the allow-listed modules.
+        """
+        return self.matmat(np.eye(self.n))
+
+    def to_matrix(self) -> np.ndarray:
+        """Alias of :meth:`to_dense` (backward-compatible name)."""
+        return self.to_dense()
+
+    def spectral_norm(self, iterations: int = 30, seed: int = 0) -> float:
+        """``||A||_2``: the hint when set, else cached power iteration.
+
+        The power iteration runs on ``A.T A`` from a seeded start and
+        the estimate is cached per ``(iterations, seed)`` on the
+        operator instance, so repeated solves against one operator
+        (retry chains, batch fan-outs) pay for it once.
+        """
+        if self._spectral_norm_hint is not None:
+            return self._spectral_norm_hint
+        key = (int(iterations), int(seed))
+        cached = self._sigma_cache.get(key)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(seed)
+        v = rng.normal(size=self.n)
+        v /= np.linalg.norm(v)
+        sigma = 1.0
+        for _ in range(iterations):
+            w = self.rmatvec(self.matvec(v))
+            norm = np.linalg.norm(w)
+            if norm == 0.0:
+                sigma = 0.0
+                break
+            v = w / norm
+            sigma = np.sqrt(norm)
+        sigma = float(sigma)
+        self._sigma_cache[key] = sigma
+        return sigma
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(m={self.m}, n={self.n})"
+
+
+class DenseOperator(LinearOperator):
+    """An explicit dense ``(m, n)`` matrix behind the operator protocol.
+
+    The bit-exact fallback and benchmark control arm: every apply is a
+    BLAS product against the stored matrix, so memory and per-apply cost
+    are both ``O(m n)``.  An optional ``basis`` (matrix-free object,
+    dense ``(n, n)`` array or ``None``) supplies the ``synthesize`` /
+    ``analyze`` bridging the decode reshape path needs.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        basis=None,
+        spectral_norm_hint: float | None = None,
+    ):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"dense operator needs a 2-D matrix, got shape {matrix.shape}"
+            )
+        super().__init__(matrix.shape, spectral_norm_hint=spectral_norm_hint)
+        self._matrix = matrix
+        self._basis = basis
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._matrix @ np.asarray(x, dtype=float)
+
+    def rmatvec(self, r: np.ndarray) -> np.ndarray:
+        return self._matrix.T @ np.asarray(r, dtype=float)
+
+    def matvec_batch(self, x: np.ndarray) -> np.ndarray:
+        """Batched forward applies via per-slice broadcast matmul.
+
+        ``np.matmul`` broadcasting applies the same ``(m, n) @ (n, 1)``
+        product to each slice as :meth:`matvec`, keeping each row
+        bitwise the serial apply.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.n:
+            raise ValueError(
+                f"expected a (k, {self.n}) coefficient stack, got {x.shape}"
+            )
+        return np.matmul(self._matrix, x[:, :, None])[..., 0]
+
+    def rmatvec_batch(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=float)
+        if r.ndim != 2 or r.shape[1] != self.m:
+            raise ValueError(
+                f"expected a (k, {self.m}) measurement stack, got {r.shape}"
+            )
+        return np.matmul(self._matrix.T, r[:, :, None])[..., 0]
+
+    def supports_batch(self) -> bool:
+        return True
+
+    def synthesize(self, coeffs: np.ndarray) -> np.ndarray:
+        if self._basis is None:
+            return np.asarray(coeffs, dtype=float)
+        if _is_matrix_free(self._basis):
+            return self._basis.synthesize(coeffs)
+        return np.asarray(self._basis, dtype=float) @ coeffs
+
+    def analyze(self, pixels: np.ndarray) -> np.ndarray:
+        if self._basis is None:
+            return np.asarray(pixels, dtype=float)
+        if _is_matrix_free(self._basis):
+            return self._basis.analyze(pixels)
+        return np.asarray(self._basis, dtype=float).T @ pixels
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._matrix.nbytes)
+
+    def to_dense(self) -> np.ndarray:
+        return self._matrix
+
+
+class CompositeOperator(LinearOperator):
     """Linear operator ``A = Phi @ Psi`` with forward and adjoint applies.
 
     Parameters
@@ -31,45 +306,46 @@ class SensingOperator:
     basis:
         Sparsifying synthesis basis: any matrix-free basis object
         exposing ``synthesize`` / ``analyze`` / ``n`` (e.g.
-        :class:`Dct2Basis` or :class:`~repro.core.wavelet.Haar2Basis`),
-        a dense ``(n, n)`` array, or ``None`` for the identity basis
-        (the "no transform" ablation).
+        :class:`~repro.core.dct.Dct2Basis` or
+        :class:`~repro.core.wavelet.Haar2Basis`), a dense ``(n, n)``
+        array, or ``None`` for the identity basis (the "no transform"
+        ablation).
+    spectral_norm_hint:
+        As for :class:`LinearOperator`; the engine sets ``1.0`` when
+        ``phi`` is row-sampling and the basis is orthonormal.
     """
 
     def __init__(
         self,
         phi: RowSamplingMatrix | np.ndarray,
         basis,
+        spectral_norm_hint: float | None = None,
     ):
         self._phi = phi
         self._basis = basis
         if isinstance(phi, RowSamplingMatrix):
-            self.m, self.n = phi.m, phi.n
+            m, n = phi.m, phi.n
         else:
             phi = np.asarray(phi, dtype=float)
             if phi.ndim != 2:
                 raise ValueError("dense phi must be a 2-D array")
             self._phi = phi
-            self.m, self.n = phi.shape
+            m, n = phi.shape
         basis_n = self._basis_size()
-        if basis_n is not None and basis_n != self.n:
+        if basis_n is not None and basis_n != n:
             raise ValueError(
-                f"basis size {basis_n} does not match phi columns {self.n}"
+                f"basis size {basis_n} does not match phi columns {n}"
             )
-        self.shape = (self.m, self.n)
+        super().__init__((m, n), spectral_norm_hint=spectral_norm_hint)
 
     @staticmethod
     def _is_matrix_free(basis) -> bool:
-        return (
-            hasattr(basis, "synthesize")
-            and hasattr(basis, "analyze")
-            and hasattr(basis, "n")
-        )
+        return _is_matrix_free(basis)
 
     def _basis_size(self) -> int | None:
         if self._basis is None:
             return None
-        if self._is_matrix_free(self._basis):
+        if _is_matrix_free(self._basis):
             return int(self._basis.n)
         self._basis = np.asarray(self._basis, dtype=float)
         if self._basis.ndim != 2 or self._basis.shape[0] != self._basis.shape[1]:
@@ -81,7 +357,7 @@ class SensingOperator:
         """``Psi @ x``: coefficients to pixel vector."""
         if self._basis is None:
             return np.asarray(coeffs, dtype=float)
-        if self._is_matrix_free(self._basis):
+        if _is_matrix_free(self._basis):
             return self._basis.synthesize(coeffs)
         return self._basis @ coeffs
 
@@ -89,7 +365,7 @@ class SensingOperator:
         """``Psi.T @ y``: pixel vector to coefficients."""
         if self._basis is None:
             return np.asarray(pixels, dtype=float)
-        if self._is_matrix_free(self._basis):
+        if _is_matrix_free(self._basis):
             return self._basis.analyze(pixels)
         return self._basis.T @ pixels
 
@@ -152,7 +428,22 @@ class SensingOperator:
         """Whether the batched applies take the vectorised fast path."""
         return self._has_batch_basis()
 
-    def to_matrix(self) -> np.ndarray:
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the operator: sampling indices + basis factors."""
+        total = 0
+        if isinstance(self._phi, RowSamplingMatrix):
+            total += int(np.asarray(self._phi.indices).nbytes)
+        else:
+            total += int(self._phi.nbytes)
+        if self._basis is not None:
+            if _is_matrix_free(self._basis):
+                total += int(getattr(self._basis, "nbytes", 0))
+            else:
+                total += int(self._basis.nbytes)
+        return total
+
+    def to_dense(self) -> np.ndarray:
         """Materialise the dense ``(m, n)`` matrix ``A`` (small problems)."""
         if isinstance(self._phi, RowSamplingMatrix):
             phi = self._phi.to_matrix()
@@ -160,29 +451,9 @@ class SensingOperator:
             phi = self._phi
         if self._basis is None:
             return phi.copy()
-        if self._is_matrix_free(self._basis):
+        if _is_matrix_free(self._basis):
             return phi @ self._basis.to_matrix()
         return phi @ self._basis
-
-    def spectral_norm(self, iterations: int = 30, seed: int = 0) -> float:
-        """Estimate ``||A||_2`` by power iteration on ``A.T A``.
-
-        Used by gradient solvers (ISTA/FISTA/IHT) to pick a safe step
-        size.  For an orthonormal basis and row sampling the exact value
-        is 1, but the estimate keeps solvers correct for dense ablations.
-        """
-        rng = np.random.default_rng(seed)
-        v = rng.normal(size=self.n)
-        v /= np.linalg.norm(v)
-        sigma = 1.0
-        for _ in range(iterations):
-            w = self.rmatvec(self.matvec(v))
-            norm = np.linalg.norm(w)
-            if norm == 0.0:
-                return 0.0
-            v = w / norm
-            sigma = np.sqrt(norm)
-        return float(sigma)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = (
@@ -195,8 +466,57 @@ class SensingOperator:
             if self._basis is None
             else (
                 type(self._basis).__name__
-                if self._is_matrix_free(self._basis)
+                if _is_matrix_free(self._basis)
                 else "dense"
             )
         )
-        return f"SensingOperator(m={self.m}, n={self.n}, phi={kind}, basis={basis})"
+        return (
+            f"{type(self).__name__}(m={self.m}, n={self.n}, "
+            f"phi={kind}, basis={basis})"
+        )
+
+
+class SensingOperator(CompositeOperator):
+    """Backward-compatible name for the ``Phi o Psi`` composite operator."""
+
+
+class SeparableDCTOperator(CompositeOperator):
+    """Row-subsampled separable 2-D DCT: the implicit fast path.
+
+    ``A = Phi_M o Psi`` where ``Phi_M`` is a
+    :class:`~repro.core.sensing.RowSamplingMatrix` and ``Psi`` a
+    separable DCT basis (:class:`~repro.core.dct.Dct2Basis` on the FFT
+    path, :class:`~repro.core.dct.SeparableDct2Basis` on the
+    two-small-GEMM path).  Applies cost ``O(N log N)`` (or two
+    ``sqrt(N)``-sized GEMMs) and the representation holds only the
+    sampling index vector plus the basis factors -- no ``O(N^2)``
+    matrix ever exists.
+
+    Row subsampling of an orthonormal basis keeps every singular value
+    at most 1, so the spectral-norm hint defaults to ``1.0`` (the exact
+    value whenever at least one full row survives); gradient solvers
+    take the unit step without a power iteration.  Batched applies are
+    always vectorised: both DCT bases expose bitwise per-slice
+    ``synthesize_batch`` / ``analyze_batch``.
+    """
+
+    def __init__(
+        self,
+        phi: RowSamplingMatrix,
+        basis,
+        spectral_norm_hint: float | None = 1.0,
+    ):
+        if not isinstance(phi, RowSamplingMatrix):
+            raise TypeError(
+                "SeparableDCTOperator requires a RowSamplingMatrix encoder, "
+                f"got {type(phi).__name__}"
+            )
+        if not (
+            hasattr(basis, "synthesize_batch")
+            and hasattr(basis, "analyze_batch")
+        ):
+            raise TypeError(
+                "SeparableDCTOperator requires a separable basis with "
+                f"batched applies, got {type(basis).__name__}"
+            )
+        super().__init__(phi, basis, spectral_norm_hint=spectral_norm_hint)

@@ -34,8 +34,14 @@ from .base import (
 )
 from .basis_pursuit import solve_basis_pursuit
 from .debias import debias_on_support
-from .fista import default_lambda, solve_fista, solve_fista_batch, solve_ista
-from .greedy import solve_cosamp, solve_iht, solve_omp
+from .fista import (
+    default_lambda,
+    solve_fista,
+    solve_fista_batch,
+    solve_ista,
+    solve_ista_batch,
+)
+from .greedy import solve_cosamp, solve_iht, solve_iht_batch, solve_omp
 
 __all__ = [
     "SolverResult",
@@ -49,10 +55,12 @@ __all__ = [
     "solve_bp_dr",
     "solve_ista",
     "solve_fista",
+    "solve_ista_batch",
     "solve_fista_batch",
     "solve_omp",
     "solve_cosamp",
     "solve_iht",
+    "solve_iht_batch",
     "debias_on_support",
     "soft_threshold",
     "hard_threshold",
@@ -192,7 +200,11 @@ def solve(
 
 _BATCH_SOLVERS: dict[str, Callable[..., list]] = {
     "fista": solve_fista_batch,
+    "ista": solve_ista_batch,
+    "iht": solve_iht_batch,
 }
+# Batched solvers that take a sparsity argument (greedy family).
+_SPARSE_BATCH_SOLVERS = frozenset({"iht"})
 
 
 def batch_solver_names() -> tuple[str, ...]:
@@ -225,10 +237,9 @@ def solve_batch(
 
     Solve hooks (chaos injection) run per row in row order, exactly as
     ``k`` serial dispatches would, so fault-injection semantics are
-    preserved; ``sparsity`` is accepted for signature parity with
-    :func:`solve` but no greedy solver is batched today.
+    preserved; ``sparsity`` reaches the greedy batch solvers (``iht``)
+    with the same ``max(1, m // 2)`` default as :func:`solve`.
     """
-    del sparsity  # no greedy batch solvers yet
     if name not in _BATCH_SOLVERS:
         return None
     supports = getattr(operator, "supports_batch", None)
@@ -255,6 +266,11 @@ def solve_batch(
                     b = before(name, operator, b)
             rows.append(np.asarray(b, dtype=float))
         b_stack = np.stack(rows)
+    if name in _SPARSE_BATCH_SOLVERS:
+        if sparsity is None:
+            # Same default as solve(): K ~ M / 2 recoverable atoms.
+            sparsity = max(1, operator.m // 2)
+        options = {"sparsity": sparsity, **options}
     results = _BATCH_SOLVERS[name](operator, b_stack, **options)
     if _SOLVE_HOOKS:
         finished = []

@@ -62,7 +62,9 @@ def solve_basis_pursuit(
             raise ValueError(
                 f"measurement vector shape {b.shape} does not match m={operator.m}"
             )
-        a = operator.to_matrix()
+        # The LP genuinely needs entries; this is the one sanctioned
+        # dense-materialisation site in the solver layer (seam-checked).
+        a = operator.to_dense()
         m, n = a.shape
         cost = np.ones(2 * n)
         a_eq = np.hstack([a, -a])

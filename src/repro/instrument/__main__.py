@@ -153,6 +153,84 @@ def _profile_engine_stream(args) -> str:
     )
 
 
+def _profile_implicit_operators(args) -> str:
+    """Dense vs implicit operator mode on a same-shape decode stream.
+
+    Decodes the same 64x64 stream twice through fresh engines: once in
+    ``"dense"`` operator mode (materialised ``A = Phi_M @ Psi``, the
+    pre-refactor representation) and once in the default ``"implicit"``
+    mode (matrix-free FFT applies).  Wall-clock of each arm, their
+    ratio, the operator-cache bytes each mode holds and the max
+    reconstruction difference land in the ``implicit_operators.*``
+    gauges; the CI bench-smoke job fails when the implicit route stops
+    being faster or drifts past the documented 1e-10 agreement.  The
+    ``operator_cache.bytes`` gauge in the report shows the live cache
+    footprint (the implicit mode's near-zero memory model).
+    """
+    import numpy as np
+
+    from . import set_gauge
+    from ..core.engine import DecodeContext, DecodeEngine
+
+    shape = (64, 64)
+    frames = max(2, args.frames if args.frames > 2 else 8)
+    rng = np.random.default_rng(args.seed)
+    r, c = np.mgrid[0 : shape[0], 0 : shape[1]]
+    scene = [
+        np.clip(
+            np.exp(
+                -((r - 32 - 8 * np.sin(0.3 * k)) ** 2 + (c - 32) ** 2) / 80.0
+            )
+            + 0.02 * rng.normal(size=shape),
+            0.0,
+            1.0,
+        )
+        for k in range(frames)
+    ]
+    plan = DecodeContext(
+        shape=shape, sampling_fraction=0.35, solver=args.solver
+    )
+
+    def run_arm(mode: str) -> tuple[float, list, int]:
+        engine = DecodeEngine(operator_mode=mode)
+        # Warm-up decode: builds (and caches) the operator template.
+        engine.decode(scene[0], plan, np.random.default_rng(args.seed))
+        start = time.perf_counter()
+        with span(f"implicit_operators.{mode}", frames=frames):
+            recons = [
+                engine.decode(frame, plan, np.random.default_rng(1000 + k))
+                for k, frame in enumerate(scene)
+            ]
+        return time.perf_counter() - start, recons, engine.cache.bytes
+
+    dense_s, dense_recons, dense_bytes = run_arm("dense")
+    implicit_s, implicit_recons, implicit_bytes = run_arm("implicit")
+    speedup = dense_s / implicit_s if implicit_s > 0 else float("inf")
+    max_diff = float(
+        max(
+            np.max(np.abs(d - i))
+            for d, i in zip(dense_recons, implicit_recons)
+        )
+    )
+    set_gauge("implicit_operators.frames", frames)
+    set_gauge("implicit_operators.dense_s", dense_s)
+    set_gauge("implicit_operators.implicit_s", implicit_s)
+    set_gauge("implicit_operators.speedup", speedup)
+    set_gauge("implicit_operators.dense_cache_bytes", dense_bytes)
+    set_gauge("implicit_operators.implicit_cache_bytes", implicit_bytes)
+    set_gauge("implicit_operators.max_diff", max_diff)
+    return (
+        f"implicit operators bench: {frames} frames at {shape[0]}x{shape[1]}, "
+        f"solver={args.solver}\n"
+        f"  dense mode (materialised A):    {dense_s:.3f} s, "
+        f"cache {dense_bytes / 1e6:.2f} MB\n"
+        f"  implicit mode (FFT matvecs):    {implicit_s:.3f} s, "
+        f"cache {implicit_bytes / 1e3:.2f} kB\n"
+        f"  speedup:                        {speedup:.2f}x\n"
+        f"  max reconstruction difference:  {max_diff:.2e}"
+    )
+
+
 def _profile_array_chaos(args) -> str:
     """Static vs adaptive resilience under array-layer fault injection.
 
@@ -324,6 +402,7 @@ PROFILES = {
     "scaling": _profile_scaling,
     "resilience_sweep": _profile_resilience,
     "engine_stream": _profile_engine_stream,
+    "implicit_operators": _profile_implicit_operators,
     "parallel_blocks": _profile_parallel_blocks,
 }
 """Profilable experiments: name -> runner(args) -> result table text."""

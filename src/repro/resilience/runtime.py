@@ -249,6 +249,199 @@ class ResilientDecoder:
         outcome.policy_snapshot = self.policy.snapshot()
         return outcome
 
+    def decode_batch(
+        self,
+        frames,
+        sampling_fraction: float,
+        rng: np.random.Generator,
+        exclude_mask: np.ndarray | None = None,
+        noise_sigma: float = 0.0,
+        solver_options: dict | None = None,
+        shared_phi: bool = False,
+    ) -> list[DecodeOutcome]:
+        """Supervise a whole batch through one optimistic multi-RHS pass.
+
+        Fast path: snapshot the RNG state, run the *head* solver of the
+        fallback chain over all frames via
+        :meth:`repro.core.engine.DecodeEngine.decode_batch` (which
+        vectorises the solve when ``shared_phi`` is set and the solver
+        has a multi-RHS kernel), then health-validate every frame with
+        exactly the checks :meth:`decode` applies.  When every frame
+        passes, the outcomes are committed -- breaker successes
+        recorded, frame guard updated -- and with ``shared_phi=False``
+        they are bitwise identical to ``len(frames)`` serial
+        :meth:`decode` calls, because batch acquisition consumes the RNG
+        in the same frame order.
+
+        Pessimistic path: if *any* frame fails validation (or the batch
+        solve raises), the RNG state is restored and the batch is
+        replayed through the ordinary per-frame supervised loop, so
+        fallback chains, retry rounds, breaker bookkeeping and graceful
+        degradation behave exactly as N serial calls would.  The batch
+        is also supervised per-frame when an adaptive controller is
+        attached (its policy mutates between frames) or the breaker has
+        the head solver sidelined.
+
+        ``shared_phi=True`` reuses one sampling pattern for the whole
+        batch (the streaming-hardware regime); the fast path is then
+        deterministic per batch but intentionally *not* equivalent to
+        serial calls, which each draw a fresh pattern.
+
+        Input validation (bad frames, starving masks) raises
+        ``ValueError`` up front, before any RNG consumption; solver
+        faults never escape.
+        """
+        frames = [
+            validate_decode_inputs(frame, sampling_fraction, noise_sigma)
+            for frame in frames
+        ]
+        if not frames:
+            return []
+        if exclude_mask is not None:
+            exclude_mask = np.asarray(exclude_mask, dtype=bool)
+            if exclude_mask.shape != frames[0].shape:
+                raise ValueError("exclude_mask shape must match frame shape")
+            if int(exclude_mask.sum()) >= frames[0].size:
+                raise ValueError(
+                    "exclusion mask leaves no pixels to sample "
+                    f"({int(exclude_mask.sum())} of {frames[0].size} excluded)"
+                )
+        instrument.incr("resilience.batch_decodes")
+        policy = self.policy
+        breaker = policy.breaker
+        head = policy.fallback_chain[0]
+        serial = self.adaptive is not None or (
+            breaker is not None and breaker.is_open(head)
+        )
+        if not serial:
+            outcomes = self._decode_batch_optimistic(
+                frames,
+                sampling_fraction,
+                rng,
+                exclude_mask,
+                noise_sigma,
+                solver_options,
+                shared_phi,
+                head,
+            )
+            if outcomes is not None:
+                return outcomes
+            instrument.incr("resilience.batch_fallbacks")
+        return [
+            self.decode(
+                frame,
+                sampling_fraction,
+                rng,
+                exclude_mask=exclude_mask,
+                noise_sigma=noise_sigma,
+                solver_options=solver_options,
+            )
+            for frame in frames
+        ]
+
+    def _decode_batch_optimistic(
+        self,
+        frames: list[np.ndarray],
+        sampling_fraction: float,
+        rng: np.random.Generator,
+        exclude_mask: np.ndarray | None,
+        noise_sigma: float,
+        solver_options: dict | None,
+        shared_phi: bool,
+        head: str,
+    ) -> list[DecodeOutcome] | None:
+        """One batched head-solver pass; ``None`` means replay serially.
+
+        Inputs are already validated by :meth:`decode_batch`.  Snapshots
+        the RNG state and restores it whenever the pass cannot be
+        committed, so the serial replay observes the exact generator the
+        caller handed in.
+        """
+        policy = self.policy
+        options = dict(solver_options or {})
+        options.update(policy.budget_for(head).solver_options(head))
+        plan = DecodeContext(
+            shape=frames[0].shape,
+            sampling_fraction=sampling_fraction,
+            noise_sigma=noise_sigma,
+            exclude_mask=exclude_mask,
+            solver=head,
+            solver_options=options,
+        )
+        state = rng.bit_generator.state
+        start = time.perf_counter()
+        with instrument.span(
+            "resilience.decode_batch",
+            frames=len(frames),
+            solver=head,
+            shared_phi=shared_phi,
+        ) as sp:
+            try:
+                decodes = get_engine().decode_batch(
+                    frames,
+                    plan,
+                    rng,
+                    shared_phi=shared_phi,
+                    full_output=True,
+                )
+            except Exception:
+                rng.bit_generator.state = state
+                sp.set(committed=False)
+                return None
+            duration = (time.perf_counter() - start) / len(frames)
+            outcomes: list[DecodeOutcome] = []
+            for frame, decode in zip(frames, decodes):
+                result = decode.solver_result
+                health = validate_reconstruction(
+                    decode.reconstruction,
+                    expected_shape=frame.shape,
+                    value_range=policy.value_range,
+                    solver_result=result,
+                    measurements=decode.measurements,
+                    residual_factor=policy.residual_factor,
+                )
+                if not health.ok or (
+                    not result.converged and not policy.accept_nonconverged
+                ):
+                    rng.bit_generator.state = state
+                    sp.set(committed=False)
+                    return None
+                status = "ok" if result.converged else "degraded"
+                outcomes.append(
+                    DecodeOutcome(
+                        frame=decode.reconstruction,
+                        status=status,
+                        solver=head,
+                        attempts=[
+                            AttemptRecord(
+                                1,
+                                head,
+                                "ok",
+                                iterations=result.iterations,
+                                duration_s=duration,
+                            )
+                        ],
+                        faults_seen=tuple(
+                            sorted(set(_solver_fault_labels(result.info)))
+                        ),
+                        health=health,
+                        policy_snapshot=policy.snapshot(),
+                    )
+                )
+            # Commit: every frame is healthy, so replay the per-frame
+            # bookkeeping the serial loop would have done.
+            breaker = policy.breaker
+            for outcome in outcomes:
+                instrument.incr("resilience.decodes")
+                instrument.incr("resilience.attempts")
+                if breaker is not None:
+                    breaker.record_success(head)
+                self.guard.update(outcome.frame)
+                instrument.incr(f"resilience.decodes_{outcome.status}")
+                instrument.observe("resilience.attempts_per_decode", 1)
+            sp.set(committed=True)
+            return outcomes
+
     def _decode_supervised(
         self,
         frame: np.ndarray,

@@ -130,6 +130,20 @@ def decode_pending(
         supervised=decoder is not None,
     ):
         if decoder is not None:
+            batch_decode = getattr(decoder, "decode_batch", None)
+            if batch_decode is not None:
+                try:
+                    return batch_decode(
+                        frames,
+                        plan.sampling_fraction,
+                        rng,
+                        exclude_mask=plan.exclude_mask,
+                        noise_sigma=plan.noise_sigma,
+                        solver_options=dict(plan.solver_options),
+                        shared_phi=shared_phi,
+                    )
+                except Exception:  # noqa: BLE001 - retry frame-by-frame
+                    instrument.incr("serve.batch_retries")
             outcomes = []
             for frame in frames:
                 try:

@@ -86,13 +86,20 @@ class TestSuites:
                     "faulted workload with an unsupervised route"
                 )
 
-    def test_smoke_is_the_tier1_set(self):
+    def test_smoke_covers_the_tier1_set(self):
         cells = suite_cells("smoke")
-        assert all(w.tier == 1 for w, _ in cells)
-        datasets = {w.dataset for w, _ in cells}
+        # The gated core is tier 1; the operator-layer cells (dense
+        # control arm, batch supervision, 128^2/256^2 implicit
+        # coverage) ride along as tier 2.  Tier-3 test cells never
+        # enter the trajectory.
+        assert all(w.tier in (1, 2) for w, _ in cells)
+        tier1 = [(w, r) for w, r in cells if w.tier == 1]
+        datasets = {w.dataset for w, _ in tier1}
         assert datasets == set(dataset_names())
-        routes = {r for _, r in cells}
+        routes = {r for _, r in tier1}
         assert {"serial", "batch_shared", "resilient", "adaptive"} <= routes
+        extra_routes = {r for _, r in cells}
+        assert {"serial_dense", "resilient_batch"} <= extra_routes
 
     def test_unknown_suite_raises(self):
         with pytest.raises(KeyError, match="unknown suite"):
@@ -119,10 +126,12 @@ class TestRoutes:
     def test_route_vocabulary(self):
         assert set(route_names()) == {
             "serial",
+            "serial_dense",
             "thread",
             "process",
             "batch_shared",
             "resilient",
+            "resilient_batch",
             "adaptive",
         }
 

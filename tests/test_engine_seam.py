@@ -6,7 +6,10 @@ construction may exist outside ``repro.core.engine`` (one construction
 site is what makes the operator cache authoritative), and no
 ``ThreadPoolExecutor`` / ``ProcessPoolExecutor`` / ``Pool``
 construction outside ``repro.core.executor`` (one pool seam is what
-keeps every fan-out deterministic and instrumented).
+keeps every fan-out deterministic and instrumented), and no
+``.to_dense()`` / ``.to_matrix()`` dense materialisation outside the
+operator layer's sanctioned sites (matrix-free applies are what keep
+the implicit route ``O(N log N)`` in time and ~zero in memory).
 """
 
 import importlib.util
@@ -55,6 +58,28 @@ def test_checker_ignores_strings_and_definitions(tmp_path):
         'LABEL = "SensingOperator(phi, basis)"\n'  # repr text, not a call
     )
     assert checker.check_file(ok) == []
+
+
+def test_checker_flags_dense_materialisation(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "bad_dense.py"
+    bad.write_text(
+        "a = operator.to_dense()\n"
+        "psi = basis.to_matrix()\n"
+    )
+    problems = checker.check_file(bad)
+    assert len(problems) == 2
+    assert "to_dense" in problems[0] and "matrix-free" in problems[0]
+    assert "to_matrix" in problems[1]
+
+
+def test_dense_materialisation_allowed_in_sanctioned_sites():
+    checker = _load_checker()
+    for rel in (
+        ("src", "repro", "core", "operators.py"),
+        ("src", "repro", "core", "solvers", "basis_pursuit.py"),
+    ):
+        assert checker.check_file(REPO_ROOT.joinpath(*rel)) == []
 
 
 def test_checker_flags_raw_pool_construction(tmp_path):

@@ -15,10 +15,18 @@ behind one ``Executor`` protocol with deterministic result ordering,
 per-task error capture and ``executor.*`` metrics, instead of ad-hoc
 ``concurrent.futures`` scattered through call sites.
 
+Since the implicit-operator refactor the seam also covers **dense
+materialisation**: ``.to_dense()`` / ``.to_matrix()`` turn an
+``O(N log N)``, near-zero-memory implicit operator into an ``O(N^2)``
+matrix, so those escape hatches are confined to the operator layer
+itself, the engine's (size-guarded) dense mode, and the LP solver that
+genuinely needs entries.
+
 This checker walks the AST of every library and example module and
 fails on any *call* to a guarded constructor (``Dct2Basis``,
 ``Dct3Basis``, ``Haar2Basis``, ``SensingOperator``; pool constructors
-``ThreadPoolExecutor``, ``ProcessPoolExecutor``, ``Pool``) outside the
+``ThreadPoolExecutor``, ``ProcessPoolExecutor``, ``Pool``) or guarded
+dense-materialisation method (``to_dense``, ``to_matrix``) outside the
 allowed modules.  An AST walk rather than a grep keeps class
 definitions, docstrings and ``repr`` strings from false-positiving.
 
@@ -26,6 +34,9 @@ Allowed sites:
 
 * ``src/repro/core/engine.py`` -- the engine seam itself;
 * ``src/repro/core/executor.py`` -- the pool seam itself;
+* ``src/repro/core/operators.py`` and
+  ``src/repro/core/solvers/basis_pursuit.py`` -- the sanctioned dense
+  materialisation sites;
 * the modules that *define* a guarded class may construct it inside
   methods of that class (e.g. ``to_matrix`` round-trips);
 * tests and benchmarks (they exercise the raw pieces on purpose).
@@ -62,6 +73,23 @@ POOL_ALLOWED = {
 }
 """Modules allowed to construct worker pools directly."""
 
+DENSE_GUARDED = {"to_dense", "to_matrix"}
+"""Dense-materialisation escape hatches (``O(N^2)`` memory).
+
+The implicit-operator refactor made matrix-free ``matvec``/``rmatvec``
+the only sanctioned way to apply ``A`` in library code; materialising
+the entries defeats the ``O(N log N)`` route and its memory model, so
+any new ``.to_dense()`` / ``.to_matrix()`` call site must be argued
+into :data:`DENSE_ALLOWED` explicitly.
+"""
+
+DENSE_ALLOWED = {
+    "src/repro/core/operators.py",  # defines the escape hatch
+    "src/repro/core/engine.py",  # dense operator mode (size-guarded)
+    "src/repro/core/solvers/basis_pursuit.py",  # the LP needs entries
+}
+"""Modules allowed to materialise dense operator/basis matrices."""
+
 SCANNED = ["src/repro", "examples"]
 """Paths (relative to the repo root) held to the seam."""
 
@@ -84,6 +112,7 @@ def check_file(path: Path) -> list[str]:
     tree = ast.parse(path.read_text(), filename=str(path))
     engine_guarded = set() if rel in ALLOWED else GUARDED
     pool_guarded = set() if rel in POOL_ALLOWED else POOL_GUARDED
+    dense_guarded = set() if rel in DENSE_ALLOWED else DENSE_GUARDED
     home_classes = _defined_classes(tree, engine_guarded | pool_guarded)
     problems = []
     for node in ast.walk(tree):
@@ -95,6 +124,16 @@ def check_file(path: Path) -> list[str]:
             name = func.id
         elif isinstance(func, ast.Attribute):
             name = func.attr
+        if (
+            isinstance(func, ast.Attribute)
+            and name in dense_guarded
+        ):
+            problems.append(
+                f"{rel}:{node.lineno}: .{name}() materialises a dense "
+                "matrix outside the sanctioned sites -- use the "
+                "operator's matvec/rmatvec (matrix-free) instead"
+            )
+            continue
         if name in home_classes:
             continue
         if name in engine_guarded:
