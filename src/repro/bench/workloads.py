@@ -290,7 +290,10 @@ _SUITES: dict[str, tuple[tuple[str, tuple], ...]] = {
         ("thermal-32x32-s50-f00", _ENGINE_ROUTES + ("serial_dense",)),
         ("tactile-32x32-s50-f00", _ENGINE_ROUTES),
         ("ultrasound-32x32-s50-f00", _ENGINE_ROUTES),
-        ("thermal-32x32-s50-f10", _SUPERVISED_ROUTES + ("resilient_batch",)),
+        (
+            "thermal-32x32-s50-f10",
+            _SUPERVISED_ROUTES + ("resilient_batch", "resilient_journal"),
+        ),
         ("thermal-128x128-s50-f00", ("serial", "batch_shared")),
         ("thermal-256x256-s50-f00", ("batch_shared",)),
     ),

@@ -39,9 +39,12 @@ from .executor import (
     Executor,
     ProcessExecutor,
     SerialExecutor,
+    SupervisedExecutor,
     TaskError,
     TaskResult,
     ThreadExecutor,
+    WorkerCrash,
+    WorkerLossEvent,
     collect_values,
     default_workers,
     resolve_executor,
@@ -138,6 +141,9 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SupervisedExecutor",
+    "WorkerCrash",
+    "WorkerLossEvent",
     "TaskResult",
     "TaskError",
     "collect_values",

@@ -49,13 +49,65 @@ __all__ = [
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",
+    "SupervisedExecutor",
     "TaskError",
     "TaskResult",
     "ThreadExecutor",
+    "WorkerCrash",
+    "WorkerLossEvent",
     "collect_values",
     "default_workers",
+    "register_worker_hook",
     "resolve_executor",
+    "unregister_worker_hook",
 ]
+
+
+class WorkerCrash(RuntimeError):
+    """A worker died (or simulated dying) while running a task.
+
+    Raised by the ``worker_crash`` chaos injector
+    (:mod:`repro.resilience.worker_chaos`) to simulate process death on
+    the executor seam; :class:`SupervisedExecutor` treats it -- along
+    with real pool breakage (``BrokenProcessPool``) and heartbeat
+    timeouts -- as a *worker loss*: the task is retried on a surviving
+    worker instead of failing the whole map.
+    """
+
+
+#: Error-string prefixes :class:`SupervisedExecutor` treats as worker
+#: loss (retryable infrastructure death) rather than task failure.
+_LOSS_PREFIXES = (
+    "WorkerCrash",
+    "WorkerTimeout",
+    "BrokenProcessPool",
+    "BrokenThreadPool",
+)
+
+_WORKER_HOOKS: list = []
+"""Registered worker-chaos hooks, consulted by :func:`_run_task`.
+
+The executor-layer analogue of the solver/array hook seams: each hook's
+``before_task(label, index)`` runs at the top of every task body, where
+it may sleep (hang / slow-start injection) or raise
+:class:`WorkerCrash` (crash injection).  Hooks live in the *submitting*
+process's registry, so they reach serial and thread backends; process
+pool workers run in child interpreters whose registries are empty --
+kill real processes to chaos-test that path.
+"""
+
+
+def register_worker_hook(hook) -> None:
+    """Attach a worker-chaos hook to the executor task seam."""
+    _WORKER_HOOKS.append(hook)
+
+
+def unregister_worker_hook(hook) -> None:
+    """Detach a previously registered worker-chaos hook (idempotent)."""
+    try:
+        _WORKER_HOOKS.remove(hook)
+    except ValueError:
+        pass
 
 
 @dataclass(frozen=True)
@@ -114,10 +166,14 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _run_task(fn: Callable, index: int, item) -> TaskResult:
+def _run_task(fn: Callable, index: int, item, label: str = "map") -> TaskResult:
     """Run one task body, capturing errors and timing (picklable)."""
     start = time.perf_counter()
     try:
+        for hook in tuple(_WORKER_HOOKS):
+            before = getattr(hook, "before_task", None)
+            if before is not None:
+                before(label, index)
         value = fn(item)
     except Exception as exc:  # noqa: BLE001 - per-task containment
         return TaskResult(
@@ -166,13 +222,15 @@ class Executor:
             instrument.incr("executor.map_calls")
             instrument.incr("executor.tasks", len(items))
             instrument.set_gauge("executor.workers", self.workers)
-            results = self._run(fn, items)
+            results = self._run(fn, items, label)
             errors = sum(1 for r in results if not r.ok)
             if errors:
                 instrument.incr("executor.task_errors", errors)
         return results
 
-    def _run(self, fn: Callable, items: list) -> list[TaskResult]:
+    def _run(
+        self, fn: Callable, items: list, label: str = "map"
+    ) -> list[TaskResult]:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -194,8 +252,13 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def _run(self, fn: Callable, items: list) -> list[TaskResult]:
-        return [_run_task(fn, index, item) for index, item in enumerate(items)]
+    def _run(
+        self, fn: Callable, items: list, label: str = "map"
+    ) -> list[TaskResult]:
+        return [
+            _run_task(fn, index, item, label)
+            for index, item in enumerate(items)
+        ]
 
 
 class _PooledExecutor(Executor):
@@ -219,10 +282,12 @@ class _PooledExecutor(Executor):
             self._pool = type(self)._pool_factory(max_workers=self.workers)
         return self._pool
 
-    def _run(self, fn: Callable, items: list) -> list[TaskResult]:
+    def _run(
+        self, fn: Callable, items: list, label: str = "map"
+    ) -> list[TaskResult]:
         pool = self._ensure_pool()
         pending = [
-            pool.submit(_run_task, fn, index, item)
+            pool.submit(_run_task, fn, index, item, label)
             for index, item in enumerate(items)
         ]
         results = []
@@ -269,6 +334,229 @@ class ProcessExecutor(_PooledExecutor):
 
     name = "process"
     _pool_factory = futures.ProcessPoolExecutor
+
+
+@dataclass(frozen=True)
+class WorkerLossEvent:
+    """One worker loss a :class:`SupervisedExecutor` detected.
+
+    Attributes
+    ----------
+    label:
+        The ``map_tasks`` label the loss occurred under.
+    index:
+        Submission index of the lost task.
+    kind:
+        ``"crash"`` (the task raised :class:`WorkerCrash` / the pool
+        broke) or ``"timeout"`` (no result within ``timeout_s`` despite
+        heartbeat polling).
+    error:
+        The captured error string.
+    retry_round:
+        0 for a loss on the first attempt, ``n`` for a loss during the
+        ``n``-th retry.
+    """
+
+    label: str
+    index: int
+    kind: str
+    error: str
+    retry_round: int
+
+
+class SupervisedExecutor(Executor):
+    """Worker supervision wrapped around any inner backend.
+
+    The unsupervised backends equate a dead or hung worker with a
+    failed *task*: a :class:`WorkerCrash` surfaces as an error result,
+    and a hang blocks ``map_tasks`` forever.  This wrapper treats both
+    as *infrastructure* faults and contains them:
+
+    * **heartbeat/timeout detection** -- on pooled inner backends each
+      task's future is polled every ``heartbeat_s``; a task with no
+      result after ``timeout_s`` is declared lost (``"timeout"``) and
+      its future abandoned, so one hung worker can never stall the
+      dispatch loop (serial inner backends cannot be preempted:
+      overlong serial tasks are counted under ``executor.worker_slow``
+      but keep their results);
+    * **retry on surviving workers** -- lost tasks are resubmitted (up
+      to ``max_retries`` rounds) with ``backoff_s * round`` linear
+      backoff between rounds; a broken process pool is torn down first
+      so the lazy rebuild provisions fresh workers;
+    * **accounting** -- every loss increments ``executor.worker_lost``
+      (and ``executor.worker_lost.<kind>``), every resubmission
+      ``executor.worker_retries``, and a drainable
+      :class:`WorkerLossEvent` trail (:meth:`pop_losses`) lets the
+      decode service raise per-stream alerts.
+
+    Tasks must be idempotent to retry -- true for every decode fan-out
+    in this repo, whose RNG-consuming acquisition happens *before* the
+    fan-out (the execution-layer determinism contract).
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        inner: "Executor | str | int | None" = None,
+        timeout_s: float | None = None,
+        heartbeat_s: float = 0.05,
+        max_retries: int = 2,
+        backoff_s: float = 0.0,
+    ):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        if heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be > 0, got {heartbeat_s}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        resolved = resolve_executor(inner) if inner is not None else None
+        self.inner = resolved if resolved is not None else SerialExecutor()
+        if isinstance(self.inner, SupervisedExecutor):
+            raise ValueError("cannot nest SupervisedExecutor in itself")
+        self.timeout_s = timeout_s
+        self.heartbeat_s = float(heartbeat_s)
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self._losses: list[WorkerLossEvent] = []
+
+    @property
+    def workers(self) -> int:
+        """Worker slots of the wrapped backend."""
+        return self.inner.workers
+
+    def pop_losses(self) -> tuple[WorkerLossEvent, ...]:
+        """Drain the worker-loss events recorded since the last call."""
+        losses = tuple(self._losses)
+        self._losses.clear()
+        return losses
+
+    def close(self) -> None:
+        """Release the wrapped backend's pooled workers."""
+        self.inner.close()
+
+    # -- supervision internals ----------------------------------------------
+    @staticmethod
+    def _loss_kind(result: TaskResult) -> str | None:
+        """Classify a task result as a worker loss (or ``None``)."""
+        if result.ok or result.error is None:
+            return None
+        if result.error.startswith("WorkerTimeout"):
+            return "timeout"
+        if result.error.startswith(_LOSS_PREFIXES):
+            return "crash"
+        return None
+
+    def _run(
+        self, fn: Callable, items: list, label: str = "map"
+    ) -> list[TaskResult]:
+        results: dict[int, TaskResult] = {}
+        todo = list(range(len(items)))
+        for attempt in range(self.max_retries + 1):
+            if not todo:
+                break
+            if attempt and self.backoff_s:
+                time.sleep(self.backoff_s * attempt)
+            batch = self._attempt(fn, items, todo, label)
+            retry: list[int] = []
+            for index, result in zip(todo, batch):
+                kind = self._loss_kind(result)
+                if kind is None:
+                    results[index] = result
+                    continue
+                self._losses.append(
+                    WorkerLossEvent(
+                        label=label,
+                        index=index,
+                        kind=kind,
+                        error=result.error or "",
+                        retry_round=attempt,
+                    )
+                )
+                instrument.incr("executor.worker_lost")
+                instrument.incr(f"executor.worker_lost.{kind}")
+                if kind == "crash" and not result.error.startswith(
+                    "WorkerCrash"
+                ):
+                    # Real pool breakage: tear it down so the lazy
+                    # rebuild provisions fresh workers for the retry.
+                    self.inner.close()
+                if attempt < self.max_retries:
+                    instrument.incr("executor.worker_retries")
+                    retry.append(index)
+                else:
+                    results[index] = result
+            todo = retry
+        return [results[index] for index in range(len(items))]
+
+    def _attempt(
+        self, fn: Callable, items: list, indices: list, label: str
+    ) -> list[TaskResult]:
+        """Run the tasks at ``indices`` once through the inner backend."""
+        if isinstance(self.inner, _PooledExecutor):
+            pool = self.inner._ensure_pool()
+            pending = []
+            for index in indices:
+                try:
+                    pending.append(
+                        pool.submit(_run_task, fn, index, items[index], label)
+                    )
+                except Exception as exc:  # noqa: BLE001 - broken pool
+                    pending.append(
+                        TaskResult(
+                            index=index,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+            return [
+                entry
+                if isinstance(entry, TaskResult)
+                else self._await(entry, index)
+                for index, entry in zip(indices, pending)
+            ]
+        results = []
+        for index in indices:
+            result = _run_task(fn, index, items[index], label)
+            if (
+                self.timeout_s is not None
+                and result.ok
+                and result.duration_s > self.timeout_s
+            ):
+                # A serial task cannot be preempted; flag the overrun
+                # but keep its (already computed) result.
+                instrument.incr("executor.worker_slow")
+            results.append(result)
+        return results
+
+    def _await(self, future, index: int) -> TaskResult:
+        """Heartbeat-poll one future; declare it lost on timeout."""
+        waited = 0.0
+        while True:
+            step = self.heartbeat_s
+            if self.timeout_s is not None:
+                step = min(step, max(1e-6, self.timeout_s - waited))
+            try:
+                return future.result(timeout=step)
+            except futures.TimeoutError:
+                waited += step
+                instrument.incr("executor.heartbeats")
+                if self.timeout_s is not None and waited >= self.timeout_s:
+                    future.cancel()
+                    return TaskResult(
+                        index=index,
+                        error=(
+                            f"WorkerTimeout: no result within "
+                            f"{self.timeout_s}s (heartbeat "
+                            f"{self.heartbeat_s}s)"
+                        ),
+                        duration_s=waited,
+                    )
+            except Exception as exc:  # noqa: BLE001 - pool breakage
+                return TaskResult(
+                    index=index, error=f"{type(exc).__name__}: {exc}"
+                )
 
 
 def resolve_executor(spec, workers: int | None = None) -> Executor | None:

@@ -6,10 +6,12 @@ decode itself misbehaves?" -- a crashing or diverging solver, poisoned
 or dropped measurements, a blown latency budget.  Three pieces:
 
 * :mod:`~repro.resilience.chaos` + :mod:`~repro.resilience.array_chaos`
-  -- composable fault injectors that attach to the solver dispatch seam
-  and the array-layer hook seam (stuck gate lines, dropped scan cycles,
-  ADC bit flips, saturation bursts, gain drift, stuck pixel rows), so
-  any experiment or test can run under a reproducible fault mix;
+  + :mod:`~repro.resilience.worker_chaos` -- composable fault injectors
+  that attach to the solver dispatch seam, the array-layer hook seam
+  (stuck gate lines, dropped scan cycles, ADC bit flips, saturation
+  bursts, gain drift, stuck pixel rows) and the executor task seam
+  (worker crash/hang/slow-start), so any experiment or test can run
+  under a reproducible fault mix;
 * :mod:`~repro.resilience.policies` -- declarative knobs: solver
   fallback chain, retry bounds, per-solver budgets, circuit breaker;
 * :mod:`~repro.resilience.adaptive` -- a feedback controller that
@@ -73,6 +75,12 @@ from .policies import (
     RetryPolicy,
     SolverBudget,
 )
+from .worker_chaos import (
+    WorkerCrashInjector,
+    WorkerHangInjector,
+    WorkerSlowStartInjector,
+    default_worker_taxonomy,
+)
 from .runtime import (
     AttemptRecord,
     DecodeOutcome,
@@ -100,6 +108,11 @@ __all__ = [
     "GainDriftInjector",
     "StuckPixelRowInjector",
     "default_array_taxonomy",
+    # executor-layer chaos
+    "WorkerCrashInjector",
+    "WorkerHangInjector",
+    "WorkerSlowStartInjector",
+    "default_worker_taxonomy",
     # adaptive
     "AdaptationEvent",
     "AdaptivePolicy",

@@ -15,15 +15,18 @@ injector                        simulates
 :class:`BudgetExhaustionInjector` iteration/latency budget exhaustion
 ==============================  ======================================
 
-A second injector family lives in
-:mod:`repro.resilience.array_chaos` and attacks the *physical* array
-layer instead (stuck row-select lines, dropped scan cycles, ADC bit
-flips, saturation bursts, gain drift, stuck pixel rows); each injector
-declares its seam through a ``layer`` attribute (``"solver"`` here,
-``"array"`` there) and the :func:`chaos` context manager dispatches it
-to the right hook registry
-(:func:`repro.core.solvers.register_solve_hook` or
-:func:`repro.array.hooks.register_array_hook`), so mixed-layer fault
+Two sibling injector families live alongside this one:
+:mod:`repro.resilience.array_chaos` attacks the *physical* array layer
+(stuck row-select lines, dropped scan cycles, ADC bit flips, saturation
+bursts, gain drift, stuck pixel rows) and
+:mod:`repro.resilience.worker_chaos` attacks the *execution* layer
+(worker crash, hang, slow start).  Each injector declares its seam
+through a ``layer`` attribute (``"solver"`` here, ``"array"`` /
+``"executor"`` there) and the :func:`chaos` context manager dispatches
+it to the right hook registry
+(:func:`repro.core.solvers.register_solve_hook`,
+:func:`repro.array.hooks.register_array_hook` or
+:func:`repro.core.executor.register_worker_hook`), so mixed-layer fault
 campaigns compose in one ``with`` block and *any* experiment, benchmark
 or test can run under injected faults without modifying the code under
 test::
@@ -111,8 +114,10 @@ class FaultInjector:
     name = "fault"
 
     #: Which hook seam :func:`chaos` attaches this injector to:
-    #: ``"solver"`` (the solve dispatch) or ``"array"`` (the physical
-    #: acquisition path; see :mod:`repro.resilience.array_chaos`).
+    #: ``"solver"`` (the solve dispatch), ``"array"`` (the physical
+    #: acquisition path; see :mod:`repro.resilience.array_chaos`) or
+    #: ``"executor"`` (the worker task seam; see
+    #: :mod:`repro.resilience.worker_chaos`).
     layer = "solver"
 
     def __post_init__(self) -> None:
@@ -316,28 +321,37 @@ def chaos(*injectors: FaultInjector):
 
     Each injector is dispatched by its ``layer`` attribute: solver
     injectors attach to the solve dispatch seam, array injectors
-    (:mod:`repro.resilience.array_chaos`) to the array hook seam -- a
-    single ``with chaos(...)`` block can therefore run a mixed-layer
-    fault campaign.  Yields the injector tuple (handy for asserting on
-    ``.trips``); hooks are removed on exit even when the block raises,
-    so a chaos run can never leak faults into subsequent code.
+    (:mod:`repro.resilience.array_chaos`) to the array hook seam, and
+    executor injectors (:mod:`repro.resilience.worker_chaos`) to the
+    worker task seam -- a single ``with chaos(...)`` block can
+    therefore run a mixed-layer fault campaign.  Yields the injector
+    tuple (handy for asserting on ``.trips``); hooks are removed on
+    exit even when the block raises, so a chaos run can never leak
+    faults into subsequent code.
     """
     # Function-level import: the array package imports the resilience
     # policies for its imager, so the hook registry is resolved at
     # attach time rather than at module import.
     from ..array.hooks import register_array_hook, unregister_array_hook
+    from ..core.executor import register_worker_hook, unregister_worker_hook
 
     for injector in injectors:
-        if getattr(injector, "layer", "solver") == "array":
+        layer = getattr(injector, "layer", "solver")
+        if layer == "array":
             register_array_hook(injector)
+        elif layer == "executor":
+            register_worker_hook(injector)
         else:
             register_solve_hook(injector)
     try:
         yield injectors
     finally:
         for injector in injectors:
-            if getattr(injector, "layer", "solver") == "array":
+            layer = getattr(injector, "layer", "solver")
+            if layer == "array":
                 unregister_array_hook(injector)
+            elif layer == "executor":
+                unregister_worker_hook(injector)
             else:
                 unregister_solve_hook(injector)
 
@@ -367,19 +381,26 @@ def default_taxonomy(
     layer:
         ``"solver"`` (the five decode-stack families), ``"array"`` (the
         six physical-layer families from
-        :mod:`repro.resilience.array_chaos`) or ``"all"`` (both, each
-        layer at ``fault_rate`` split across its own families).
+        :mod:`repro.resilience.array_chaos`), ``"executor"`` (the three
+        worker-fault families from
+        :mod:`repro.resilience.worker_chaos`) or ``"all"`` (every
+        layer, each at ``fault_rate`` split across its own families).
     """
     if not 0.0 <= fault_rate <= 1.0:
         raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
-    if layer not in ("solver", "array", "all"):
+    if layer not in ("solver", "array", "executor", "all"):
         raise ValueError(
-            f"layer must be 'solver', 'array' or 'all', got {layer!r}"
+            f"layer must be 'solver', 'array', 'executor' or 'all', "
+            f"got {layer!r}"
         )
     if layer == "array":
         from .array_chaos import default_array_taxonomy
 
         return default_array_taxonomy(fault_rate, seed=seed)
+    if layer == "executor":
+        from .worker_chaos import default_worker_taxonomy
+
+        return default_worker_taxonomy(fault_rate, seed=seed)
     per_family = fault_rate / 5.0
     solver_families = (
         SolverExceptionInjector(rate=per_family, seed=seed),
@@ -393,5 +414,10 @@ def default_taxonomy(
     if layer == "solver":
         return solver_families
     from .array_chaos import default_array_taxonomy
+    from .worker_chaos import default_worker_taxonomy
 
-    return solver_families + default_array_taxonomy(fault_rate, seed=seed + 5)
+    return (
+        solver_families
+        + default_array_taxonomy(fault_rate, seed=seed + 5)
+        + default_worker_taxonomy(fault_rate, seed=seed + 11)
+    )

@@ -26,7 +26,11 @@ adds the robust front end that owns them under load:
 * **batch coalescing** (:mod:`.coalescer`): same-plan frames collapse
   into ``decode_batch`` calls on a shared executor;
 * an **asyncio front end** (:mod:`.async_service`) over the
-  deterministic synchronous core (:mod:`.service`).
+  deterministic synchronous core (:mod:`.service`);
+* **durability** (:mod:`.durability`, :mod:`.replay`): a CRC-guarded
+  write-ahead verdict journal, checkpoint + crash recovery with
+  ``recovered=True`` honesty flags, and an offline replay/audit CLI
+  (``python -m repro.serve.replay``).
 
 Quickstart::
 
@@ -54,14 +58,29 @@ from .admission import REJECTION_REASONS, AdmissionController, Quota, TokenBucke
 from .async_service import AsyncDecodeService
 from .clock import Clock, MonotonicClock, VirtualClock
 from .coalescer import CoalescedBatch, Coalescer, decode_pending
+from .durability import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    JournalVersionError,
+    VerdictJournal,
+    read_journal,
+    scan_journal,
+)
 from .queueing import (
     PendingFrame,
     StreamQueue,
     select_for_dispatch,
     shed_overload,
 )
+# NOTE: .replay is deliberately NOT imported eagerly -- it doubles as
+# the ``python -m repro.serve.replay`` CLI, and importing it here would
+# put it in sys.modules before runpy executes it as __main__ (the
+# "found in sys.modules" RuntimeWarning).  The two public names resolve
+# lazily through __getattr__ below.
 from .service import (
     DecodeService,
+    DrainExhausted,
+    DrainResult,
     FrameVerdict,
     StreamConfig,
     SubmitTicket,
@@ -77,7 +96,12 @@ __all__ = [
     "CoalescedBatch",
     "Coalescer",
     "DecodeService",
+    "DrainExhausted",
+    "DrainResult",
     "FrameVerdict",
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "JournalVersionError",
     "MonotonicClock",
     "PendingFrame",
     "Quota",
@@ -88,8 +112,22 @@ __all__ = [
     "SubmitTicket",
     "TenantConfig",
     "TokenBucket",
+    "VerdictJournal",
     "VirtualClock",
     "decode_pending",
+    "read_journal",
+    "render_report",
+    "replay_report",
+    "scan_journal",
     "select_for_dispatch",
     "shed_overload",
 ]
+
+
+def __getattr__(name: str):
+    """Resolve the replay re-exports lazily (see the NOTE above)."""
+    if name in ("render_report", "replay_report"):
+        from . import replay
+
+        return getattr(replay, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

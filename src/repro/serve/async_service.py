@@ -13,7 +13,11 @@ The split keeps the robustness logic testable: everything that decides
 by the deterministic overload tests; this module only adds scheduling
 (futures, the pump task, graceful shutdown) and inherits the core's
 zero-unanswered-frames contract -- ``aclose`` drains the backlog, so
-every pending future resolves before the loop is released.
+every pending future resolves before the loop is released.  The
+contract survives *ungraceful* shutdown too: if the pump task is
+cancelled mid-cycle (event-loop teardown, task group abort), every
+still-pending future resolves with a terminal ``shed``/``"shutdown"``
+verdict instead of dangling forever.
 
 Typical use::
 
@@ -28,6 +32,7 @@ Typical use::
 from __future__ import annotations
 
 import asyncio
+import contextlib
 
 import numpy as np
 
@@ -58,6 +63,7 @@ class AsyncDecodeService:
         self._wakeup: asyncio.Event | None = None
         self._pump_task: asyncio.Task | None = None
         self._futures: dict[int, asyncio.Future] = {}
+        self._tickets: dict[int, SubmitTicket] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closing = False
 
@@ -84,18 +90,30 @@ class AsyncDecodeService:
         self._pump_task = asyncio.create_task(self._pump())
 
     async def aclose(self) -> None:
-        """Drain the backlog, resolve every pending future, stop the pump."""
+        """Drain the backlog, resolve every pending future, stop the pump.
+
+        Safe to call after the pump task was cancelled externally: the
+        cancellation is absorbed, the core still drains, and any future
+        the drain could not answer (its frame was lost with the
+        cancelled cycle) resolves with a terminal ``"shutdown"``
+        verdict.
+        """
         if self._pump_task is None:
             return
         self._closing = True
         assert self._wakeup is not None
         self._wakeup.set()
-        await self._pump_task
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._pump_task
         self._pump_task = None
         # The core's stop() rejects future submissions and drains, so
         # no admitted frame is left without a verdict.
         async with self._lock:
             await asyncio.to_thread(self._service.stop)
+        # Belt and braces: anything still unresolved (e.g. the pump was
+        # cancelled mid-cycle and the drain could not re-answer it)
+        # gets the terminal shutdown verdict rather than dangling.
+        self._resolve_pending_shutdown()
 
     # -- submission ---------------------------------------------------------
     async def submit(
@@ -120,6 +138,7 @@ class AsyncDecodeService:
                 assert self._loop is not None
                 future = self._loop.create_future()
                 self._futures[ticket.seq] = future
+                self._tickets[ticket.seq] = ticket
         assert self._wakeup is not None
         self._wakeup.set()
         return ticket, future
@@ -144,6 +163,7 @@ class AsyncDecodeService:
     def _on_verdict(self, verdict: FrameVerdict) -> None:
         """Core callback: resolve the matching future (thread-safe)."""
         future = self._futures.pop(verdict.seq, None)
+        self._tickets.pop(verdict.seq, None)
         if future is None or future.done():
             return
         loop = self._loop
@@ -153,17 +173,56 @@ class AsyncDecodeService:
             lambda: None if future.done() else future.set_result(verdict)
         )
 
-    async def _pump(self) -> None:
-        """Run dispatch cycles while there is backlog; sleep otherwise."""
-        assert self._wakeup is not None
-        while True:
-            if self._service.backlog == 0:
-                if self._closing:
-                    return
-                self._wakeup.clear()
-                await self._wakeup.wait()
+    def _resolve_pending_shutdown(self) -> None:
+        """Resolve every dangling future with a terminal shutdown verdict.
+
+        Runs on the event loop thread (cancellation handler / aclose
+        epilogue), so futures are resolved directly.  The synthetic
+        verdict is honest: ``shed`` with reason ``"shutdown"`` -- the
+        service died before (or while) deciding the frame, and the
+        caller must not wait forever for an answer that can no longer
+        arrive.
+        """
+        for seq, future in sorted(self._futures.items()):
+            ticket = self._tickets.get(seq)
+            if future.done():
                 continue
-            async with self._lock:
-                await asyncio.to_thread(self._service.run_cycle)
-            # Yield so submitters interleave between cycles.
-            await asyncio.sleep(0)
+            stream = "" if ticket is None else ticket.stream
+            state = self._service._streams.get(stream)
+            future.set_result(
+                FrameVerdict(
+                    seq=seq,
+                    stream=stream,
+                    tenant="" if ticket is None else ticket.tenant,
+                    priority=0 if state is None else state.priority,
+                    status="shed",
+                    reason="shutdown",
+                )
+            )
+        self._futures.clear()
+        self._tickets.clear()
+
+    async def _pump(self) -> None:
+        """Run dispatch cycles while there is backlog; sleep otherwise.
+
+        Cancellation mid-cycle is terminal for the pump but must not be
+        terminal for the *callers*: every future still pending when the
+        cancel lands resolves with the ``shed``/``"shutdown"`` verdict
+        before the cancellation propagates.
+        """
+        assert self._wakeup is not None
+        try:
+            while True:
+                if self._service.backlog == 0:
+                    if self._closing:
+                        return
+                    self._wakeup.clear()
+                    await self._wakeup.wait()
+                    continue
+                async with self._lock:
+                    await asyncio.to_thread(self._service.run_cycle)
+                # Yield so submitters interleave between cycles.
+                await asyncio.sleep(0)
+        except asyncio.CancelledError:
+            self._resolve_pending_shutdown()
+            raise

@@ -63,6 +63,11 @@ class PendingFrame:
     deadline:
         Absolute clock time after which the decode is worthless;
         ``None`` means no deadline.
+    recovered:
+        ``True`` when this frame was re-enqueued by crash recovery
+        (:meth:`repro.serve.service.DecodeService.recover`) rather than
+        submitted live; its eventual verdict carries the flag through
+        as the at-least-once honesty marker.
     """
 
     seq: int
@@ -72,6 +77,7 @@ class PendingFrame:
     frame: np.ndarray
     submitted_at: float
     deadline: float | None = None
+    recovered: bool = False
 
     def expired(self, now: float) -> bool:
         """Whether the deadline has passed as of ``now``."""
@@ -116,9 +122,16 @@ class StreamQueue:
         """Whether the backlog is at or past the high-water mark."""
         return len(self._frames) >= self.high_water
 
-    def push(self, pending: PendingFrame) -> bool:
-        """Enqueue; ``False`` (frame not queued) when at the limit."""
-        if len(self._frames) >= self.limit:
+    def push(self, pending: PendingFrame, force: bool = False) -> bool:
+        """Enqueue; ``False`` (frame not queued) when at the limit.
+
+        ``force=True`` bypasses the limit -- used only by crash
+        recovery, which must re-enqueue every admitted-but-undecided
+        frame even if the replayed backlog momentarily exceeds the
+        configured bound (the overload shedder reins it back in on the
+        next cycle, with honest verdicts).
+        """
+        if not force and len(self._frames) >= self.limit:
             return False
         self._frames.append(pending)
         return True

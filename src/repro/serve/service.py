@@ -32,6 +32,22 @@ cycle:
    :class:`~repro.serve.supervisor.StreamSupervisor`, and collect any
    alerts the supervisors raised.
 
+Two optional robustness layers extend the in-process contract:
+
+* **durability** -- attach a
+  :class:`~repro.serve.durability.VerdictJournal` and every admission,
+  rejection, dispatch and verdict is journalled (flushed once per
+  cycle); after a crash, :meth:`DecodeService.recover` rebuilds the
+  accounting and re-enqueues every admitted-but-undecided frame with a
+  ``recovered=True`` honesty flag (at-least-once), and
+  :mod:`repro.serve.replay` audits the journal offline;
+* **worker supervision** -- ``supervise_workers=True`` wraps the decode
+  executor in a :class:`~repro.core.executor.SupervisedExecutor`, so a
+  crashed or hung decode worker trips per-worker backoff + retry on a
+  surviving worker instead of stalling the pump, surfacing
+  ``worker_lost`` :class:`~repro.serve.supervisor.AlertEvent`\\ s and
+  ``executor.worker_lost`` counters.
+
 All of it is instrumented under ``serve.*`` so the profiling CLI and
 the bench trend job can watch the service like any other subsystem.
 """
@@ -45,12 +61,18 @@ import numpy as np
 
 from .. import instrument
 from ..core.engine import DecodeContext
-from ..core.executor import Executor, resolve_executor
+from ..core.executor import Executor, SupervisedExecutor, resolve_executor
 from ..resilience.health import FrameGuard
 from ..resilience.runtime import DecodeOutcome, ResilientDecoder
 from .admission import REJECTION_REASONS, AdmissionController, Quota
 from .clock import Clock, MonotonicClock
 from .coalescer import Coalescer, decode_pending
+from .durability import (
+    JournalError,
+    VerdictJournal,
+    pack_frame,
+    unpack_frame,
+)
 from .queueing import (
     PendingFrame,
     StreamQueue,
@@ -61,6 +83,8 @@ from .supervisor import AlertEvent, StreamSupervisor
 
 __all__ = [
     "DecodeService",
+    "DrainExhausted",
+    "DrainResult",
     "FrameVerdict",
     "StreamConfig",
     "SubmitTicket",
@@ -226,6 +250,12 @@ class FrameVerdict:
         decoded).
     cycle:
         Dispatch cycle index that produced the verdict.
+    recovered:
+        ``True`` when the frame was replayed by crash recovery rather
+        than decoded on its first admission -- the at-least-once
+        honesty flag (a caller may therefore see the same ``seq``
+        answered in two different process lifetimes; the flagged one is
+        the replay).
     """
 
     seq: int
@@ -239,6 +269,7 @@ class FrameVerdict:
     decode_s: float = 0.0
     deadline_missed: bool = False
     cycle: int = -1
+    recovered: bool = False
 
     @property
     def delivered_frame(self) -> np.ndarray | None:
@@ -266,6 +297,7 @@ class FrameVerdict:
                 "decode_s": self.decode_s,
                 "deadline_missed": self.deadline_missed,
                 "cycle": self.cycle,
+                "recovered": self.recovered,
                 "outcome": None
                 if self.outcome is None
                 else self.outcome.to_dict(),
@@ -293,12 +325,44 @@ class _TenantAccount:
     admitted: int = 0
     rejected: dict = field(default_factory=dict)
     verdicts: dict = field(default_factory=dict)
+    recovered: int = 0
 
     def record_rejection(self, reason: str) -> None:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
 
-    def record_verdict(self, status: str) -> None:
+    def record_verdict(self, status: str, recovered: bool = False) -> None:
         self.verdicts[status] = self.verdicts.get(status, 0) + 1
+        if recovered:
+            self.recovered += 1
+
+
+class DrainExhausted(RuntimeError):
+    """``drain`` ran out of cycles with backlog remaining.
+
+    Carries the verdicts issued so far in ``.verdicts`` and the
+    leftover backlog size in ``.backlog`` so a caller that catches the
+    exhaustion still gets the partial answer instead of losing it.
+    """
+
+    def __init__(self, message: str, verdicts: list, backlog: int):
+        super().__init__(message)
+        self.verdicts = verdicts
+        self.backlog = backlog
+
+
+class DrainResult(list):
+    """The verdict list a ``drain`` call returns, plus its honesty bit.
+
+    Behaves exactly like the plain ``list`` of
+    :class:`FrameVerdict` older callers expect, with one extra
+    attribute: ``drained`` is ``True`` when the backlog actually hit
+    zero and ``False`` when ``max_cycles`` ran out first (only
+    reachable with ``on_exhausted="return"``).
+    """
+
+    def __init__(self, verdicts=(), drained: bool = True):
+        super().__init__(verdicts)
+        self.drained = bool(drained)
 
 
 class DecodeService:
@@ -328,6 +392,21 @@ class DecodeService:
     on_verdict:
         Optional callback invoked with every :class:`FrameVerdict` as
         it is issued (the asyncio front end resolves futures with it).
+    journal:
+        Optional :class:`~repro.serve.durability.VerdictJournal` (or a
+        path, opened as one) recording every admit/reject/dispatch/
+        verdict; flushed durable once per cycle.  Enables
+        :meth:`recover` and the :mod:`repro.serve.replay` audit CLI.
+    supervise_workers:
+        Wrap the decode executor in a
+        :class:`~repro.core.executor.SupervisedExecutor` so crashed or
+        hung workers are detected, counted and retried on a surviving
+        worker instead of stalling the pump.
+    worker_timeout_s:
+        Per-task wall-clock budget for supervised dispatch (``None`` =
+        no timeout; crash detection still applies).
+    worker_retries:
+        Retry rounds for lost workers under supervision.
     """
 
     def __init__(
@@ -338,11 +417,26 @@ class DecodeService:
         max_batch: int = 8,
         backlog_limit: int | None = None,
         on_verdict: Callable[[FrameVerdict], None] | None = None,
+        journal: VerdictJournal | str | None = None,
+        supervise_workers: bool = False,
+        worker_timeout_s: float | None = None,
+        worker_retries: int = 2,
     ):
         if cycle_budget < 1:
             raise ValueError(f"cycle_budget must be >= 1, got {cycle_budget}")
         self.clock = clock if clock is not None else MonotonicClock()
         self.executor = resolve_executor(executor)
+        if supervise_workers and not isinstance(
+            self.executor, SupervisedExecutor
+        ):
+            self.executor = SupervisedExecutor(
+                self.executor,
+                timeout_s=worker_timeout_s,
+                max_retries=worker_retries,
+            )
+        if journal is not None and not isinstance(journal, VerdictJournal):
+            journal = VerdictJournal(journal)
+        self.journal = journal
         self.cycle_budget = int(cycle_budget)
         self.backlog_limit = (
             2 * self.cycle_budget if backlog_limit is None else backlog_limit
@@ -469,6 +563,21 @@ class DecodeService:
         if not state.queue.push(pending):
             return self._reject(state, account, seq, now, "queue_full")
         account.admitted += 1
+        if self.journal is not None:
+            # The admit record carries the frame payload so recovery
+            # can re-decode it from the journal alone.
+            self.journal.append(
+                "admit",
+                {
+                    "seq": seq,
+                    "stream": stream,
+                    "tenant": state.config.tenant,
+                    "priority": state.priority,
+                    "submitted_at": now,
+                    "deadline": deadline,
+                    "frame": pack_frame(frame),
+                },
+            )
         instrument.incr("serve.admitted")
         instrument.set_gauge(f"serve.queue_depth.{stream}", state.queue.depth)
         status = "queued" if state.queue.congested else "accepted"
@@ -491,6 +600,17 @@ class DecodeService:
     ) -> SubmitTicket:
         assert reason in REJECTION_REASONS, reason
         account.record_rejection(reason)
+        if self.journal is not None:
+            self.journal.append(
+                "reject",
+                {
+                    "seq": seq,
+                    "stream": state.config.name,
+                    "tenant": state.config.tenant,
+                    "reason": reason,
+                    "submitted_at": now,
+                },
+            )
         instrument.incr("serve.rejected")
         instrument.incr(f"serve.rejected.{reason}")
         return SubmitTicket(
@@ -520,6 +640,14 @@ class DecodeService:
                     )
             # 2. Priority-ordered dispatch under the cycle budget.
             dispatched = select_for_dispatch(queues, self.cycle_budget)
+            if self.journal is not None and dispatched:
+                self.journal.append(
+                    "dispatch",
+                    {
+                        "cycle": self._cycle,
+                        "seqs": [p.seq for p in dispatched],
+                    },
+                )
             # 3. Sustained-overload shedding of the remaining backlog.
             for pending in shed_overload(queues, self.backlog_limit):
                 verdicts.append(
@@ -543,6 +671,7 @@ class DecodeService:
                     verdicts.append(
                         self._decode_verdict(pending, outcome, now, per_frame)
                     )
+                self._harvest_worker_losses(state)
             # 5. Feed supervisors, collect alerts, publish gauges.
             for verdict in verdicts:
                 state = self._streams[verdict.stream]
@@ -555,12 +684,62 @@ class DecodeService:
                     f"serve.queue_depth.{name}", state.queue.depth
                 )
         for verdict in verdicts:
-            self._accounts[verdict.tenant].record_verdict(verdict.status)
+            self._accounts[verdict.tenant].record_verdict(
+                verdict.status, recovered=verdict.recovered
+            )
             instrument.incr(f"serve.verdicts.{verdict.status}")
             self._verdicts.append(verdict)
+            if self.journal is not None:
+                self.journal.append("verdict", self._journal_verdict(verdict))
             if self.on_verdict is not None:
                 self.on_verdict(verdict)
+        if self.journal is not None:
+            # One durable flush per cycle: a crash loses at most the
+            # current cycle's records, and at-least-once recovery
+            # re-decodes exactly those frames.
+            self.journal.flush()
         return verdicts
+
+    @staticmethod
+    def _journal_verdict(verdict: FrameVerdict) -> dict:
+        """Compact journal form of a verdict (no frame payload)."""
+        return {
+            "seq": verdict.seq,
+            "stream": verdict.stream,
+            "tenant": verdict.tenant,
+            "priority": verdict.priority,
+            "status": verdict.status,
+            "reason": verdict.reason,
+            "cycle": verdict.cycle,
+            "deadline_missed": verdict.deadline_missed,
+            "recovered": verdict.recovered,
+            "queue_latency_s": verdict.queue_latency_s,
+            "decode_s": verdict.decode_s,
+            "solver": None
+            if verdict.outcome is None
+            else verdict.outcome.solver,
+        }
+
+    def _harvest_worker_losses(self, state: _StreamState) -> None:
+        """Turn supervised-executor losses into worker_lost alerts."""
+        if not isinstance(self.executor, SupervisedExecutor):
+            return
+        for loss in self.executor.pop_losses():
+            self._alerts.append(
+                AlertEvent(
+                    stream=state.config.name,
+                    tenant=state.config.tenant,
+                    kind="worker_lost",
+                    detail=(
+                        f"worker {loss.kind} on {loss.label!r} task "
+                        f"{loss.index} (retry round {loss.retry_round}): "
+                        f"{loss.error}"
+                    ),
+                    severity="critical",
+                    observed_frames=state.supervisor.observed,
+                )
+            )
+            instrument.incr("serve.alerts.worker_lost")
 
     def _shed_verdict(
         self, pending: PendingFrame, now: float, reason: str
@@ -576,6 +755,7 @@ class DecodeService:
             queue_latency_s=max(0.0, now - pending.submitted_at),
             deadline_missed=reason == "deadline_expired",
             cycle=self._cycle,
+            recovered=pending.recovered,
         )
 
     def _decode_verdict(
@@ -605,6 +785,7 @@ class DecodeService:
             decode_s=decode_s,
             deadline_missed=missed,
             cycle=self._cycle,
+            recovered=pending.recovered,
         )
 
     # -- lifecycle / draining ----------------------------------------------
@@ -613,34 +794,232 @@ class DecodeService:
         """Total frames currently queued across all streams."""
         return sum(s.queue.depth for s in self._streams.values())
 
-    def drain(self, max_cycles: int = 1000) -> list[FrameVerdict]:
+    def drain(
+        self,
+        max_cycles: int = 1000,
+        on_exhausted: str = "raise",
+    ) -> DrainResult:
         """Run cycles until every queue is empty; returns all verdicts.
 
-        Raises ``RuntimeError`` if the backlog fails to empty within
-        ``max_cycles`` (a wedged queue is a bug, not a steady state).
+        Exhaustion -- backlog still non-empty after ``max_cycles`` --
+        is never silent.  With ``on_exhausted="raise"`` (the default) a
+        :class:`DrainExhausted` is raised carrying the partial verdict
+        list; with ``on_exhausted="return"`` the verdicts come back as
+        a :class:`DrainResult` whose ``drained`` attribute is ``False``
+        -- an explicit marker the caller must check, for loops that
+        interleave draining with other work and want to keep going.
         """
+        if on_exhausted not in ("raise", "return"):
+            raise ValueError(
+                f"on_exhausted must be 'raise' or 'return', "
+                f"got {on_exhausted!r}"
+            )
         verdicts: list[FrameVerdict] = []
         for _ in range(max_cycles):
             if self.backlog == 0:
-                return verdicts
+                return DrainResult(verdicts, drained=True)
             verdicts.extend(self.run_cycle())
-        if self.backlog:
-            raise RuntimeError(
+        if self.backlog == 0:
+            return DrainResult(verdicts, drained=True)
+        if on_exhausted == "raise":
+            raise DrainExhausted(
                 f"backlog of {self.backlog} frame(s) left after "
-                f"{max_cycles} drain cycles"
+                f"{max_cycles} drain cycles",
+                verdicts=verdicts,
+                backlog=self.backlog,
             )
-        return verdicts
+        instrument.incr("serve.drain_exhausted")
+        return DrainResult(verdicts, drained=False)
 
-    def stop(self) -> list[FrameVerdict]:
+    def stop(self) -> DrainResult:
         """Stop admitting and drain the backlog; returns final verdicts.
 
         After ``stop`` every ``submit`` is rejected with
         ``"service_stopped"``; frames already admitted still receive
         their terminal verdicts (the zero-unanswered-frames contract
-        survives shutdown).
+        survives shutdown).  An attached journal is flushed durable
+        (but left open -- its owner closes it).
         """
         self._stopped = True
-        return self.drain()
+        verdicts = self.drain()
+        if self.journal is not None:
+            self.journal.flush()
+        return verdicts
+
+    # -- durability: checkpoint + crash recovery ----------------------------
+    def checkpoint(self, compact: bool = False) -> dict:
+        """Journal a checkpoint of the full recoverable state.
+
+        The checkpoint carries the sequence counter, cycle counter,
+        per-tenant accounting and every still-queued frame (payload
+        included), so recovery can resume from it without replaying the
+        records before it.  With ``compact=True`` the journal file is
+        atomically rewritten as header + this checkpoint, reclaiming
+        the space of the now-redundant prefix.  Requires a journal.
+        """
+        if self.journal is None:
+            raise JournalError("checkpoint requires a journal")
+        payload = {
+            "seq": self._seq,
+            "cycle": self._cycle,
+            "accounts": {
+                name: {
+                    "submitted": account.submitted,
+                    "admitted": account.admitted,
+                    "rejected": dict(account.rejected),
+                    "verdicts": dict(account.verdicts),
+                    "recovered": account.recovered,
+                }
+                for name, account in sorted(self._accounts.items())
+            },
+            "pending": [
+                {
+                    "seq": pending.seq,
+                    "stream": pending.stream,
+                    "tenant": pending.tenant,
+                    "priority": pending.priority,
+                    "submitted_at": pending.submitted_at,
+                    "deadline": pending.deadline,
+                    "frame": pack_frame(pending.frame),
+                }
+                for state in self._streams.values()
+                for pending in state.queue.peek_all()
+            ],
+        }
+        if compact:
+            self.journal.compact(payload)
+        else:
+            self.journal.append("checkpoint", payload)
+            self.journal.flush()
+        instrument.incr("serve.checkpoints")
+        return payload
+
+    def recover(self) -> list[int]:
+        """Rebuild state from the attached journal after a crash.
+
+        Replays the journal's durable records (the ones present when
+        the journal was opened): per-tenant accounting, the sequence
+        and cycle counters, and -- the heart of it -- every frame that
+        was **admitted but never received a terminal verdict** is
+        re-enqueued with ``recovered=True``, so its eventual verdict
+        carries the at-least-once honesty flag.  Requires the service
+        to be configured identically to the crashed one (same tenants
+        and streams registered; plans are not serialised).  Returns the
+        re-enqueued seqs, in order.
+
+        Raises :class:`~repro.serve.durability.JournalError` when the
+        journal references a tenant or stream this service does not
+        know -- recovering into a half-configured service would silently
+        orphan frames, the exact failure mode the journal exists to
+        prevent.
+        """
+        if self.journal is None:
+            raise JournalError("recover requires a journal")
+        admits: dict[int, dict] = {}
+        decided: set[int] = set()
+        max_seq = 0
+        max_cycle = 0
+        accounts: dict[str, _TenantAccount] = {}
+
+        def bucket(tenant: str) -> _TenantAccount:
+            if tenant not in self._accounts:
+                raise JournalError(
+                    f"journal references unregistered tenant {tenant!r}; "
+                    "recover into an identically configured service"
+                )
+            return accounts.setdefault(tenant, _TenantAccount())
+
+        for record in self.journal.recovered_records:
+            kind = record["type"]
+            if kind == "admit":
+                seq = int(record["seq"])
+                if seq in admits:
+                    continue
+                admits[seq] = record
+                max_seq = max(max_seq, seq)
+                account = bucket(record["tenant"])
+                account.submitted += 1
+                account.admitted += 1
+            elif kind == "reject":
+                seq = int(record["seq"])
+                max_seq = max(max_seq, seq)
+                bucket(record["tenant"]).record_rejection(record["reason"])
+            elif kind == "verdict":
+                seq = int(record["seq"])
+                if seq in decided:
+                    continue
+                decided.add(seq)
+                max_seq = max(max_seq, seq)
+                max_cycle = max(max_cycle, int(record.get("cycle") or 0))
+                bucket(record["tenant"]).record_verdict(
+                    record["status"],
+                    recovered=bool(record.get("recovered", False)),
+                )
+            elif kind == "dispatch":
+                max_cycle = max(max_cycle, int(record.get("cycle") or 0))
+            elif kind == "checkpoint":
+                # A checkpoint supersedes everything replayed so far.
+                admits = {
+                    int(entry["seq"]): entry
+                    for entry in record.get("pending", [])
+                }
+                decided = set()
+                accounts = {}
+                for name, acct in record.get("accounts", {}).items():
+                    if name not in self._accounts:
+                        raise JournalError(
+                            f"journal references unregistered tenant "
+                            f"{name!r}; recover into an identically "
+                            "configured service"
+                        )
+                    accounts[name] = _TenantAccount(
+                        submitted=int(acct.get("submitted", 0)),
+                        admitted=int(acct.get("admitted", 0)),
+                        rejected=dict(acct.get("rejected", {})),
+                        verdicts=dict(acct.get("verdicts", {})),
+                        recovered=int(acct.get("recovered", 0)),
+                    )
+                max_seq = max(max_seq, int(record.get("seq") or 0))
+                max_cycle = max(max_cycle, int(record.get("cycle") or 0))
+        for tenant, account in accounts.items():
+            self._accounts[tenant] = account
+        self._seq = max(self._seq, max_seq)
+        self._cycle = max(self._cycle, max_cycle)
+        recovered_seqs: list[int] = []
+        for seq in sorted(admits):
+            if seq in decided:
+                continue
+            record = admits[seq]
+            state = self._streams.get(record["stream"])
+            if state is None:
+                raise JournalError(
+                    f"journal references unregistered stream "
+                    f"{record['stream']!r}; recover into an identically "
+                    "configured service"
+                )
+            deadline = record.get("deadline")
+            pending = PendingFrame(
+                seq=seq,
+                stream=record["stream"],
+                tenant=record["tenant"],
+                priority=int(record.get("priority", state.priority)),
+                frame=unpack_frame(record["frame"]),
+                submitted_at=float(record.get("submitted_at", 0.0)),
+                deadline=None if deadline is None else float(deadline),
+                recovered=True,
+            )
+            # Force past the queue limit: recovery must never orphan an
+            # admitted frame; the overload shedder answers any excess
+            # honestly on the next cycle.
+            state.queue.push(pending, force=True)
+            recovered_seqs.append(seq)
+        if recovered_seqs:
+            instrument.incr("serve.recovered_frames", len(recovered_seqs))
+        for name, state in self._streams.items():
+            instrument.set_gauge(
+                f"serve.queue_depth.{name}", state.queue.depth
+            )
+        return recovered_seqs
 
     def _collect_alerts(self, state: _StreamState) -> None:
         self._alerts.extend(state.supervisor.pop_alerts())
@@ -671,6 +1050,7 @@ class DecodeService:
                 "admitted": account.admitted,
                 "rejected": dict(sorted(account.rejected.items())),
                 "verdicts": dict(sorted(account.verdicts.items())),
+                "recovered": account.recovered,
             }
         return instrument.json_safe(
             {
@@ -678,6 +1058,9 @@ class DecodeService:
                 "cycles": self._cycle,
                 "backlog": self.backlog,
                 "stopped": self._stopped,
+                "journal": None
+                if self.journal is None
+                else str(self.journal.path),
                 "tenants": tenants,
                 "streams": {
                     name: state.supervisor.snapshot()

@@ -47,6 +47,32 @@ class TestRunCell:
         assert cell["extras"]["statuses"]  # audit trail present
         assert cell["fault_rate"] == 0.20
 
+    def test_journal_route_matches_resilient_bit_for_bit(self):
+        """The journalled route must change only the bookkeeping: its
+        reconstructions (and so rmse) are identical to ``resilient`` on
+        the same workload and seed, isolating journal overhead."""
+        plain = run_cell(get_workload(TINY_FAULTED), "resilient", base_seed=0)
+        journalled = run_cell(
+            get_workload(TINY_FAULTED), "resilient_journal", base_seed=0
+        )
+        assert journalled["metrics"]["rmse"] == plain["metrics"]["rmse"]
+        assert journalled["metrics"]["delivered"] == 1.0
+        assert journalled["extras"]["faults_seen"] == (
+            plain["extras"]["faults_seen"]
+        )
+
+    def test_journal_route_reports_journal_cost(self):
+        cell = run_cell(
+            get_workload(TINY_FAULTED), "resilient_journal", base_seed=0
+        )
+        extras = cell["extras"]
+        assert extras["journalled"] is True
+        # One admit + one verdict per frame.
+        assert extras["journal_records"] == 2 * cell["frames"]
+        assert extras["journal_bytes"] > 0
+        # The overhead fraction the CI crash-smoke job gates at 10%.
+        assert 0.0 < extras["journal_wall_s"] < cell["metrics"]["wall_s"]
+
     def test_rmse_is_deterministic_across_runs(self):
         first = run_cell(get_workload(TINY), "serial", base_seed=3)
         second = run_cell(get_workload(TINY), "serial", base_seed=3)

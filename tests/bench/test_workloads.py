@@ -99,7 +99,11 @@ class TestSuites:
         routes = {r for _, r in tier1}
         assert {"serial", "batch_shared", "resilient", "adaptive"} <= routes
         extra_routes = {r for _, r in cells}
-        assert {"serial_dense", "resilient_batch"} <= extra_routes
+        assert {
+            "serial_dense",
+            "resilient_batch",
+            "resilient_journal",
+        } <= extra_routes
 
     def test_unknown_suite_raises(self):
         with pytest.raises(KeyError, match="unknown suite"):
@@ -132,6 +136,7 @@ class TestRoutes:
             "batch_shared",
             "resilient",
             "resilient_batch",
+            "resilient_journal",
             "adaptive",
         }
 

@@ -155,3 +155,151 @@ class TestPoolLifecycle:
     def test_task_results_picklable(self):
         result = TaskResult(index=1, value=2.0, duration_s=0.1)
         assert pickle.loads(pickle.dumps(result)) == result
+
+
+def _crash_on_two(x):
+    from repro.core.executor import WorkerCrash
+
+    if x == 2:
+        raise WorkerCrash("injected loss on two")
+    return x * 10
+
+
+class TestSupervisedExecutor:
+    def test_wraps_any_backend_and_passes_clean_work_through(self):
+        from repro.core.executor import SupervisedExecutor
+
+        for inner in (SerialExecutor(), ThreadExecutor(2)):
+            executor = SupervisedExecutor(inner)
+            assert collect_values(
+                executor.map_tasks(_square, [1, 2, 3])
+            ) == [1, 4, 9]
+            assert executor.pop_losses() == ()
+            executor.close()
+
+    def test_worker_crash_is_retried_not_surfaced(self):
+        from repro.core.executor import SupervisedExecutor, WorkerCrash
+
+        calls = []
+
+        def flaky_once(x):
+            calls.append(x)
+            if x == 2 and calls.count(2) == 1:
+                raise WorkerCrash("first attempt dies")
+            return x * 10
+
+        executor = SupervisedExecutor(SerialExecutor(), max_retries=2)
+        values = collect_values(executor.map_tasks(flaky_once, [1, 2, 3]))
+        assert values == [10, 20, 30]
+        losses = executor.pop_losses()
+        assert len(losses) == 1
+        assert losses[0].kind == "crash"
+        assert losses[0].index == 1
+        # pop_losses drains.
+        assert executor.pop_losses() == ()
+
+    def test_exhausted_retries_surface_the_failure(self):
+        from repro.core.executor import SupervisedExecutor
+
+        executor = SupervisedExecutor(SerialExecutor(), max_retries=1)
+        results = executor.map_tasks(_crash_on_two, [1, 2, 3])
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert results[1].error.startswith("WorkerCrash")
+        # One loss per attempt: initial + 1 retry.
+        assert len(executor.pop_losses()) == 2
+
+    def test_hung_worker_times_out_and_unblocks_the_caller(self):
+        import time as _time
+
+        from repro.core.executor import SupervisedExecutor
+
+        def hang(x):
+            if x == 1:
+                _time.sleep(0.5)
+            return x
+
+        executor = SupervisedExecutor(
+            ThreadExecutor(2),
+            timeout_s=0.05,
+            heartbeat_s=0.01,
+            max_retries=0,
+        )
+        start = _time.monotonic()
+        results = executor.map_tasks(hang, [0, 1])
+        elapsed = _time.monotonic() - start
+        assert elapsed < 0.45, "timeout must beat the hang"
+        assert results[0].ok
+        assert not results[1].ok
+        assert results[1].error.startswith("WorkerTimeout")
+        assert [loss.kind for loss in executor.pop_losses()] == ["timeout"]
+        executor.close()
+
+    def test_serial_inner_flags_overruns_but_keeps_results(self):
+        import time as _time
+
+        from repro import instrument as _instrument
+        from repro.core.executor import SupervisedExecutor
+
+        def slow(x):
+            _time.sleep(0.03)
+            return x
+
+        executor = SupervisedExecutor(SerialExecutor(), timeout_s=0.001)
+        _instrument.enable()
+        try:
+            _instrument.reset()
+            values = collect_values(executor.map_tasks(slow, [7]))
+        finally:
+            report = _instrument.report()
+            _instrument.disable()
+            _instrument.reset()
+        assert values == [7]
+        assert _instrument.counter_value(report, "executor.worker_slow") == 1
+
+    def test_loss_counter_increments(self):
+        from repro import instrument as _instrument
+        from repro.core.executor import SupervisedExecutor
+
+        executor = SupervisedExecutor(SerialExecutor(), max_retries=0)
+        _instrument.enable()
+        try:
+            _instrument.reset()
+            executor.map_tasks(_crash_on_two, [2])
+        finally:
+            report = _instrument.report()
+            _instrument.disable()
+            _instrument.reset()
+        assert _instrument.counter_value(report, "executor.worker_lost") == 1
+        assert (
+            _instrument.counter_value(report, "executor.worker_lost.crash")
+            == 1
+        )
+
+    def test_nesting_rejected(self):
+        from repro.core.executor import SupervisedExecutor
+
+        with pytest.raises(ValueError, match="nest"):
+            SupervisedExecutor(SupervisedExecutor())
+
+    def test_parameter_validation(self):
+        from repro.core.executor import SupervisedExecutor
+
+        with pytest.raises(ValueError, match="timeout_s"):
+            SupervisedExecutor(timeout_s=0)
+        with pytest.raises(ValueError, match="heartbeat_s"):
+            SupervisedExecutor(heartbeat_s=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisedExecutor(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_s"):
+            SupervisedExecutor(backoff_s=-0.1)
+
+    def test_loss_events_are_ordered_and_labelled(self):
+        from repro.core.executor import SupervisedExecutor
+
+        executor = SupervisedExecutor(SerialExecutor(), max_retries=0)
+        executor.map_tasks(_crash_on_two, [2, 2], label="decode_batch")
+        losses = executor.pop_losses()
+        assert [loss.label for loss in losses] == ["decode_batch"] * 2
+        assert [loss.index for loss in losses] == [0, 1]
+        assert [loss.retry_round for loss in losses] == [0, 0]

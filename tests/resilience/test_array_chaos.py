@@ -338,9 +338,12 @@ class TestArrayTaxonomy:
     def test_layer_dispatch_in_default_taxonomy(self):
         assert len(default_taxonomy(0.3, layer="array")) == 6
         assert len(default_taxonomy(0.3, layer="solver")) == 5
-        both = default_taxonomy(0.3, layer="all")
-        assert len(both) == 11
-        assert {i.layer for i in both} == {"solver", "array"}
+        assert len(default_taxonomy(0.3, layer="executor")) == 3
+        everything = default_taxonomy(0.3, layer="all")
+        assert len(everything) == 14
+        assert {i.layer for i in everything} == {
+            "solver", "array", "executor"
+        }
 
     def test_layer_validated(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,151 @@
+"""Tests for the executor-layer chaos family (repro.resilience.worker_chaos)."""
+
+import time
+
+import pytest
+
+from repro.core.executor import (
+    SerialExecutor,
+    SupervisedExecutor,
+    ThreadExecutor,
+    WorkerCrash,
+    collect_values,
+)
+from repro.resilience import (
+    WorkerCrashInjector,
+    WorkerHangInjector,
+    WorkerSlowStartInjector,
+    chaos,
+    default_taxonomy,
+    default_worker_taxonomy,
+)
+
+
+def _double(x):
+    return x * 2
+
+
+class TestInjectors:
+    def test_crash_injector_surfaces_as_worker_crash_error(self):
+        injector = WorkerCrashInjector(rate=1.0, seed=0)
+        with chaos(injector):
+            results = SerialExecutor().map_tasks(_double, [1])
+        assert not results[0].ok
+        assert results[0].error.startswith("WorkerCrash")
+        assert "injected worker crash" in results[0].error
+        assert injector.trips == 1
+
+    def test_crash_injector_raises_outside_executor(self):
+        injector = WorkerCrashInjector(rate=1.0, seed=0)
+        with pytest.raises(WorkerCrash, match="injected worker crash"):
+            injector.before_task("manual", 0)
+
+    def test_crash_injector_rate_zero_never_fires(self):
+        injector = WorkerCrashInjector(rate=0.0, seed=0)
+        with chaos(injector):
+            values = collect_values(
+                SerialExecutor().map_tasks(_double, list(range(20)))
+            )
+        assert values == [x * 2 for x in range(20)]
+        assert injector.trips == 0
+
+    def test_hang_injector_stalls_the_task(self):
+        injector = WorkerHangInjector(rate=1.0, seed=0, hang_s=0.05)
+        start = time.monotonic()
+        with chaos(injector):
+            values = collect_values(SerialExecutor().map_tasks(_double, [3]))
+        assert values == [6]
+        assert time.monotonic() - start >= 0.04
+        assert injector.trips == 1
+
+    def test_slow_start_fires_once_per_worker(self):
+        injector = WorkerSlowStartInjector(rate=1.0, seed=0, delay_s=0.0)
+        with chaos(injector):
+            SerialExecutor().map_tasks(_double, list(range(10)))
+        # Serial backend = one thread = one cold start.
+        assert injector.trips == 1
+        injector.reset()
+        assert injector.trips == 0
+        with chaos(injector):
+            SerialExecutor().map_tasks(_double, [1])
+        assert injector.trips == 1
+
+    def test_seeded_runs_trip_identically(self):
+        trips = []
+        for _ in range(2):
+            injector = WorkerCrashInjector(rate=0.5, seed=42)
+            with chaos(injector):
+                results = SerialExecutor().map_tasks(
+                    _double, list(range(12))
+                )
+            trips.append(tuple(r.ok for r in results))
+        assert trips[0] == trips[1]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="hang_s"):
+            WorkerHangInjector(hang_s=-1)
+        with pytest.raises(ValueError, match="delay_s"):
+            WorkerSlowStartInjector(delay_s=-1)
+        with pytest.raises(ValueError, match="rate"):
+            WorkerCrashInjector(rate=1.5)
+
+    def test_hooks_detach_on_exit(self):
+        injector = WorkerCrashInjector(rate=1.0, seed=0)
+        with chaos(injector):
+            pass
+        results = SerialExecutor().map_tasks(_double, [1])
+        assert results[0].ok
+
+
+class TestSupervisedUnderChaos:
+    def test_supervision_absorbs_injected_crashes(self):
+        executor = SupervisedExecutor(SerialExecutor(), max_retries=4)
+        injector = WorkerCrashInjector(rate=0.4, seed=1)
+        with chaos(injector):
+            values = collect_values(
+                executor.map_tasks(_double, list(range(10)))
+            )
+        assert values == [x * 2 for x in range(10)]
+        assert injector.trips > 0
+        assert len(executor.pop_losses()) == injector.trips
+
+    def test_supervision_times_out_injected_hangs(self):
+        executor = SupervisedExecutor(
+            ThreadExecutor(2), timeout_s=0.05, heartbeat_s=0.01, max_retries=0
+        )
+        injector = WorkerHangInjector(rate=1.0, seed=0, hang_s=0.3)
+        with chaos(injector):
+            results = executor.map_tasks(_double, [1])
+        assert not results[0].ok
+        assert results[0].error.startswith("WorkerTimeout")
+        assert [loss.kind for loss in executor.pop_losses()] == ["timeout"]
+        executor.close()
+
+
+class TestTaxonomy:
+    def test_worker_taxonomy_families_and_seeds(self):
+        taxonomy = default_worker_taxonomy(0.3, seed=10)
+        assert [type(i).__name__ for i in taxonomy] == [
+            "WorkerCrashInjector",
+            "WorkerHangInjector",
+            "WorkerSlowStartInjector",
+        ]
+        assert [i.seed for i in taxonomy] == [10, 11, 12]
+        assert all(i.rate == pytest.approx(0.1) for i in taxonomy)
+        assert all(i.layer == "executor" for i in taxonomy)
+
+    def test_default_taxonomy_layer_executor(self):
+        taxonomy = default_taxonomy(0.3, seed=5, layer="executor")
+        assert len(taxonomy) == 3
+        assert all(i.layer == "executor" for i in taxonomy)
+
+    def test_default_taxonomy_layer_all_includes_workers(self):
+        taxonomy = default_taxonomy(0.3, seed=0, layer="all")
+        layers = {i.layer for i in taxonomy}
+        assert layers == {"solver", "array", "executor"}
+        worker_seeds = [i.seed for i in taxonomy if i.layer == "executor"]
+        assert worker_seeds == [11, 12, 13]
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="fault_rate"):
+            default_worker_taxonomy(1.5)

@@ -109,3 +109,77 @@ class TestAsyncDecodeService:
         service = _service()
         srv = AsyncDecodeService(service)
         assert srv.service is service
+
+    def test_cancelled_pump_resolves_pending_with_shutdown_verdicts(self):
+        """Regression: cancelling the pump mid-cycle must never leave a
+        submitted future dangling -- each resolves with a terminal
+        shed/"shutdown" verdict."""
+        import threading
+
+        release = threading.Event()
+
+        class BlockingService(DecodeService):
+            """A core whose first run_cycle blocks until released."""
+
+            def run_cycle(self):
+                release.wait(timeout=5.0)
+                return super().run_cycle()
+
+        service = BlockingService(cycle_budget=4)
+        service.register_tenant(TenantConfig("lab"))
+        service.register_stream(
+            StreamConfig(
+                name="lab/s0",
+                tenant="lab",
+                plan=DecodeContext(
+                    shape=(6, 6),
+                    sampling_fraction=0.6,
+                    solver_options={"max_iterations": 40},
+                ),
+                queue_limit=16,
+            )
+        )
+
+        async def main():
+            srv = AsyncDecodeService(service)
+            await srv.start()
+            futures = []
+            for i in range(3):
+                ticket, future = await srv.submit("lab/s0", _frame(i))
+                assert ticket.admitted
+                futures.append(future)
+            # Let the pump enter the blocking cycle, then kill it.
+            await asyncio.sleep(0.05)
+            srv._pump_task.cancel()
+            try:
+                await srv._pump_task
+            except asyncio.CancelledError:
+                pass
+            verdicts = await asyncio.gather(*futures)
+            release.set()  # unblock the abandoned worker thread
+            return verdicts
+
+        verdicts = asyncio.run(main())
+        assert [v.status for v in verdicts] == ["shed"] * 3
+        assert [v.reason for v in verdicts] == ["shutdown"] * 3
+        assert sorted(v.seq for v in verdicts) == [1, 2, 3]
+
+    def test_aclose_after_external_cancellation_is_clean(self):
+        """aclose() must absorb a pump cancelled behind its back and
+        still uphold the every-future-resolves contract."""
+
+        async def main():
+            srv = AsyncDecodeService(_service())
+            await srv.start()
+            ticket, future = await srv.submit("lab/s0", _frame())
+            assert ticket.admitted
+            srv._pump_task.cancel()
+            await srv.aclose()
+            assert future.done()
+            return future.result()
+
+        verdict = asyncio.run(main())
+        # Either the drain answered it (decoded) or the cancellation
+        # beat the cycle (shutdown shed) -- both are terminal; dangling
+        # is the only failure.
+        assert verdict.status in ("decoded", "shed")

@@ -1,0 +1,161 @@
+"""Tests for the write-ahead verdict journal (repro.serve.durability)."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.serve.durability import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    JournalVersionError,
+    VerdictJournal,
+    encode_record,
+    read_journal,
+    scan_journal,
+)
+
+
+def _journal_path(tmp_path):
+    return tmp_path / "journal.jsonl"
+
+
+class TestEncoding:
+    def test_record_roundtrips_through_crc(self):
+        line = encode_record("admit", {"seq": 1, "stream": "s"})
+        record = json.loads(line)
+        crc = record.pop("crc")
+        canonical = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        )
+        assert zlib.crc32(canonical.encode()) == crc
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(JournalError, match="unknown journal record"):
+            encode_record("banana", {})
+
+
+class TestOpenAndAppend:
+    def test_new_journal_writes_schema_header(self, tmp_path):
+        path = _journal_path(tmp_path)
+        journal = VerdictJournal(path)
+        journal.close()
+        records = read_journal(path)
+        assert records[0] == {"type": "open", "schema": JOURNAL_SCHEMA}
+
+    def test_appends_survive_close_and_reopen(self, tmp_path):
+        path = _journal_path(tmp_path)
+        with VerdictJournal(path) as journal:
+            journal.append("admit", {"seq": 1, "stream": "s", "tenant": "t"})
+        with VerdictJournal(path) as journal:
+            journal.append("verdict", {"seq": 1, "status": "decoded"})
+            assert len(journal.recovered_records) == 2  # header + admit
+        kinds = [r["type"] for r in read_journal(path)]
+        assert kinds == ["open", "admit", "verdict"]
+
+    def test_sync_every_batches_flushes(self, tmp_path):
+        path = _journal_path(tmp_path)
+        journal = VerdictJournal(path, sync_every=3)
+        journal.append("admit", {"seq": 1})
+        journal.append("admit", {"seq": 2})
+        assert journal.pending == 2
+        journal.append("admit", {"seq": 3})  # hits sync_every
+        assert journal.pending == 0
+        journal.close()
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = VerdictJournal(_journal_path(tmp_path))
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("admit", {"seq": 1})
+
+    def test_sync_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="sync_every"):
+            VerdictJournal(_journal_path(tmp_path), sync_every=0)
+
+
+class TestTornTail:
+    def test_torn_final_record_is_truncated_on_open(self, tmp_path):
+        path = _journal_path(tmp_path)
+        with VerdictJournal(path) as journal:
+            journal.append("admit", {"seq": 1, "stream": "s"})
+        with open(path, "ab") as fh:
+            fh.write(b'{"type": "verdict", "seq": 2, "status"')  # torn
+        scan = scan_journal(path)
+        assert scan.torn == 1
+        assert [r["type"] for r in scan.records] == ["open", "admit"]
+        # Re-opening for writing repairs the file in place.
+        with VerdictJournal(path) as journal:
+            journal.append("verdict", {"seq": 1, "status": "decoded"})
+        kinds = [r["type"] for r in read_journal(path)]
+        assert kinds == ["open", "admit", "verdict"]
+
+    def test_corrupt_middle_record_discards_the_rest(self, tmp_path):
+        path = _journal_path(tmp_path)
+        with VerdictJournal(path) as journal:
+            journal.append("admit", {"seq": 1})
+            journal.append("admit", {"seq": 2})
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][:-10] + b"corrupted\n"  # flip bytes mid-file
+        path.write_bytes(b"".join(lines))
+        scan = scan_journal(path)
+        # Only the header survives: nothing after the first bad record
+        # can be trusted.
+        assert [r["type"] for r in scan.records] == ["open"]
+
+    def test_missing_trailing_newline_is_torn(self, tmp_path):
+        path = _journal_path(tmp_path)
+        VerdictJournal(path).close()
+        with open(path, "ab") as fh:
+            fh.write(encode_record("admit", {"seq": 1}).encode())  # no \n
+        assert scan_journal(path).torn == 1
+
+
+class TestEdgeCases:
+    def test_empty_journal_scans_clean(self, tmp_path):
+        path = _journal_path(tmp_path)
+        path.write_bytes(b"")
+        scan = scan_journal(path)
+        assert scan.records == ()
+        assert scan.torn == 0
+        assert read_journal(path) == []
+
+    def test_missing_file_scans_clean(self, tmp_path):
+        assert scan_journal(tmp_path / "nope.jsonl").records == ()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = _journal_path(tmp_path)
+        line = encode_record("open", {"schema": "repro.journal/v99"})
+        path.write_text(line + "\n")
+        with pytest.raises(JournalVersionError, match="v99"):
+            scan_journal(path)
+        with pytest.raises(JournalVersionError):
+            VerdictJournal(path)
+
+    def test_journal_without_header_rejected(self, tmp_path):
+        path = _journal_path(tmp_path)
+        path.write_text(encode_record("admit", {"seq": 1}) + "\n")
+        with pytest.raises(JournalError, match="open"):
+            scan_journal(path)
+
+    def test_fully_corrupt_header_rejected(self, tmp_path):
+        path = _journal_path(tmp_path)
+        path.write_text("not json at all\n")
+        with pytest.raises(JournalError, match="header itself is corrupt"):
+            scan_journal(path)
+
+
+class TestCompaction:
+    def test_compact_rewrites_as_header_plus_checkpoint(self, tmp_path):
+        path = _journal_path(tmp_path)
+        with VerdictJournal(path) as journal:
+            for seq in range(1, 20):
+                journal.append("admit", {"seq": seq})
+            size_before = None
+            journal.flush()
+            size_before = path.stat().st_size
+            journal.compact({"seq": 19, "accounts": {}, "pending": []})
+            journal.append("admit", {"seq": 20})
+        kinds = [r["type"] for r in read_journal(path)]
+        assert kinds == ["open", "checkpoint", "admit"]
+        assert path.stat().st_size < size_before

@@ -296,3 +296,62 @@ class TestDeterminism:
             return trace
 
         assert run() == run()
+
+
+class TestDrainExhaustion:
+    def _backlogged_service(self, frames=5):
+        from repro.serve import DecodeService
+
+        service = DecodeService(
+            clock=VirtualClock(), cycle_budget=1, backlog_limit=64
+        )
+        service.register_tenant(TenantConfig("lab"))
+        service.register_stream(
+            StreamConfig(
+                name="lab/s0", tenant="lab", plan=_plan(), queue_limit=16
+            )
+        )
+        for i in range(frames):
+            service.submit("lab/s0", _frame(i))
+        return service
+
+    def test_exhaustion_raises_by_default_with_partial_verdicts(self):
+        from repro.serve import DrainExhausted
+
+        service = self._backlogged_service(frames=5)
+        with pytest.raises(DrainExhausted, match="after 2 drain cycles"):
+            service.drain(max_cycles=2)
+        try:
+            service.drain(max_cycles=1)
+        except DrainExhausted as exc:
+            # The partial answer rides on the exception.
+            assert len(exc.verdicts) == 1
+            assert exc.backlog == 2
+        else:  # pragma: no cover - assertion path
+            pytest.fail("expected DrainExhausted")
+
+    def test_exhaustion_returns_explicit_marker_when_asked(self):
+        from repro.serve import DrainResult
+
+        service = self._backlogged_service(frames=5)
+        verdicts = service.drain(max_cycles=2, on_exhausted="return")
+        assert isinstance(verdicts, DrainResult)
+        assert verdicts.drained is False
+        assert len(verdicts) == 2
+        assert service.backlog == 3
+        # Finishing the drain flips the marker back to honest success.
+        rest = service.drain(on_exhausted="return")
+        assert rest.drained is True
+        assert service.backlog == 0
+
+    def test_successful_drain_is_marked_drained(self):
+        service = self._backlogged_service(frames=2)
+        verdicts = service.drain()
+        assert verdicts.drained is True
+        assert isinstance(verdicts, list)  # backwards compatible
+        assert len(verdicts) == 2
+
+    def test_invalid_on_exhausted_rejected(self):
+        service = self._backlogged_service(frames=1)
+        with pytest.raises(ValueError, match="on_exhausted"):
+            service.drain(on_exhausted="explode")
