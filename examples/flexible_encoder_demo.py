@@ -23,7 +23,7 @@ from repro.circuits import (
     ShiftRegister,
     build_inverter,
 )
-from repro.core import RowSamplingMatrix
+from repro.core import get_measurement
 from repro.experiments.fig5_circuits import run_fig5b
 
 
@@ -73,7 +73,9 @@ def amplifier_demo() -> None:
 def scan_demo() -> None:
     shape = (16, 16)
     n = shape[0] * shape[1]
-    phi = RowSamplingMatrix.random(n, n // 2, np.random.default_rng(0))
+    phi = get_measurement("row_sampling").draw(
+        shape, n // 2, np.random.default_rng(0)
+    )
     schedule = ScanSchedule.from_phi(phi, shape)
     drivers = ScanDrivers(shape)
     cost = schedule.communication_cost()

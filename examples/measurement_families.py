@@ -1,0 +1,57 @@
+"""Sweep the three measurement families at matched M/N on one frame.
+
+The measurement layer (docs/ENGINE.md, "Measurement layer") makes the
+sampling code an axis of the decode plan: the paper's random
+row-sampling encoder (Eq. 8), dense Bernoulli codes with summed
+readout, and block-confined codes all decode through the same basis,
+operator cache and solver -- only ``measurement=`` changes.  This
+script decodes the same thermal frame with each family at the same
+measurement budget and prints RMSE and wall-clock side by side.
+
+Run:  PYTHONPATH=src python examples/measurement_families.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import DecodeContext, DecodeEngine, rmse, use_engine
+from repro.datasets import ThermalHandGenerator
+
+FAMILIES = ("row_sampling", "dense_codes", "block_sampling")
+SAMPLING_FRACTION = 0.5
+
+
+def main() -> None:
+    frame = ThermalHandGenerator(seed=7).frame()
+    n = frame.size
+    m = int(round(SAMPLING_FRACTION * n))
+
+    print("Measurement-family sweep (32x32 thermal hand, fista)")
+    print(f"  budget: M = {m} of N = {n} pixels (M/N = {m / n:.2f})")
+    print()
+    print(f"  {'family':<16} {'rmse':>8} {'wall_ms':>9}")
+    with use_engine(DecodeEngine()) as engine:
+        for family in FAMILIES:
+            plan = DecodeContext(
+                shape=frame.shape,
+                sampling_fraction=SAMPLING_FRACTION,
+                measurement=family,
+            )
+            engine.decode(frame, plan, np.random.default_rng(0))  # warm-up
+            start = time.perf_counter()
+            recon = engine.decode(frame, plan, np.random.default_rng(0))
+            wall_ms = (time.perf_counter() - start) * 1e3
+            print(
+                f"  {family:<16} {rmse(frame, recon):>8.4f} {wall_ms:>9.2f}"
+            )
+    print()
+    print(
+        "All three families reconstruct the ~50%-DCT-sparse frame from "
+        "half the pixels;\nrow_sampling is the paper's hardware encoder "
+        "and the repo's bit-compatible default."
+    )
+
+
+if __name__ == "__main__":
+    main()

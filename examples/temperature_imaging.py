@@ -18,7 +18,7 @@ Run:  python examples/temperature_imaging.py
 import numpy as np
 
 from repro.array import ActiveMatrix, FlexibleEncoder, ReadoutChain
-from repro.core import RowSamplingMatrix, get_engine, rmse, solve
+from repro.core import get_engine, get_measurement, rmse, solve
 from repro.datasets import ThermalHandGenerator
 from repro.devices import DefectMap, VariationModel
 
@@ -49,8 +49,8 @@ def main() -> None:
     # FE-side encoding: random sampling of 55 % of the pixels, skipping
     # the defects found at test time.
     n = shape[0] * shape[1]
-    phi = RowSamplingMatrix.random(
-        n,
+    phi = get_measurement("row_sampling").draw(
+        shape,
         int(0.55 * n),
         rng,
         exclude=np.flatnonzero(defects.mask().ravel()),

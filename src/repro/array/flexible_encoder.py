@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import instrument
-from ..core.sensing import RowSamplingMatrix
+from ..core.measurement import resolve_measurement_for
 from .active_matrix import ActiveMatrix
 from .drivers import ScanDrivers
 from .readout import ReadoutChain
@@ -38,10 +38,10 @@ class EncoderOutput:
     Attributes
     ----------
     measurements:
-        Normalised measurement vector ``b`` (length M), ordered to
-        match ``phi.indices``.
+        Normalised measurement vector ``b`` (length M); for row
+        sampling, ordered to match ``phi.indices``.
     phi:
-        The sensing matrix used.
+        The measurement code used (any registered family's carrier).
     schedule:
         The scan plan (for cost accounting).
     scan_time_s:
@@ -58,7 +58,7 @@ class EncoderOutput:
     """
 
     measurements: np.ndarray
-    phi: RowSamplingMatrix
+    phi: object
     schedule: ScanSchedule
     scan_time_s: float
     codes: np.ndarray | None = None
@@ -94,20 +94,29 @@ class FlexibleEncoder:
         self._cal_span: np.ndarray | None = None
 
     # ------------------------------------------------------------------
-    def _scan(self, readings: np.ndarray, phi: RowSamplingMatrix) -> EncoderOutput:
+    def _scan(self, readings: np.ndarray, phi) -> EncoderOutput:
         """Drive the scan schedule and gather the sampled pixel codes.
+
+        The code's registered
+        :class:`~repro.core.measurement.MeasurementModel` supplies the
+        scan plan (which pixels to read) and the combine step (how the
+        per-pixel readings become measurements: a gather for row
+        sampling, weighted sums for dense/block codes).  Because the
+        drivers walk the same ``drive(schedule)`` seam for every
+        family, all array-layer fault injectors perturb any family.
 
         Instrumented under the ``encoder.scan`` span (measurement count,
         scan cycles, modelled scan time) with ``encoder.scans`` /
         ``encoder.measurements`` counters.
 
-        Sampled pixels the drivers never delivered -- a scan cycle
-        dropped or a row-select line dead under array-layer fault
+        Pixels the code needs but the drivers never delivered -- a scan
+        cycle dropped or a row-select line dead under array-layer fault
         injection -- read the dark code ``0.0`` (the S/H holds nothing)
         rather than crashing the scan; they are counted under
         ``encoder.missing_reads`` and reported on the output.
         """
-        with instrument.span("encoder.scan", m=len(phi.indices)) as sp:
+        model = resolve_measurement_for(phi)
+        with instrument.span("encoder.scan", m=int(phi.m)) as sp:
             rows, cols = self.array.shape
             schedule = ScanSchedule.from_phi(phi, self.array.shape)
             acquired: dict[int, float] = {}
@@ -115,16 +124,13 @@ class FlexibleEncoder:
                 column = int(np.flatnonzero(column_select)[0])
                 for row in np.flatnonzero(row_mask):
                     acquired[int(row) * cols + column] = readings[int(row), column]
-            missing = sum(1 for i in phi.indices if i not in acquired)
+            measurements, missing = model.combine(phi, acquired)
             if missing:
                 instrument.incr("encoder.missing_reads", missing)
-            measurements = np.array(
-                [acquired.get(i, 0.0) for i in phi.indices], dtype=float
-            )
             scan_time_s = self.drivers.scan_time_s(schedule)
             sp.set(cycles=schedule.num_cycles, scan_time_s=scan_time_s)
             instrument.incr("encoder.scans")
-            instrument.incr("encoder.measurements", len(phi.indices))
+            instrument.incr("encoder.measurements", int(phi.m))
             return EncoderOutput(
                 measurements=measurements,
                 phi=phi,
@@ -134,9 +140,7 @@ class FlexibleEncoder:
                 missing_reads=missing,
             )
 
-    def scan_normalized(
-        self, frame: np.ndarray, phi: RowSamplingMatrix
-    ) -> EncoderOutput:
+    def scan_normalized(self, frame: np.ndarray, phi) -> EncoderOutput:
         """Scan a normalised frame: transduce -> scan -> digitise."""
         with instrument.span("encoder.scan_normalized"):
             frame = np.asarray(frame, dtype=float)
@@ -186,7 +190,7 @@ class FlexibleEncoder:
     def scan_temperature(
         self,
         field_celsius: np.ndarray,
-        phi: RowSamplingMatrix,
+        phi,
         t_low: float = 20.0,
         t_high: float = 100.0,
     ) -> EncoderOutput:

@@ -28,8 +28,8 @@ from .. import instrument
 from ..core.engine import get_engine
 from ..core.errors import SparseErrorModel
 from ..core.executor import collect_values, resolve_executor
+from ..core.measurement import get_measurement
 from ..core.rpca import detect_outliers
-from ..core.sensing import RowSamplingMatrix
 from ..core.solvers import solve
 from ..resilience.health import FrameGuard, validate_reconstruction
 from ..resilience.policies import ResiliencePolicy
@@ -54,7 +54,7 @@ class _Acquisition:
     index: int
     clean: np.ndarray
     corrupted: np.ndarray
-    phi: RowSamplingMatrix
+    phi: object
     output: object
     excluded_pixels: int
 
@@ -117,8 +117,13 @@ class StreamingImager:
         steering the *next* frame's sampling away from dead lines),
         and each frame's delivery status is fed back so the policy
         escalates/de-escalates with the stream's health.
+    measurement:
+        Registered measurement family drawing the per-frame code
+        (``"row_sampling"`` default).  Families without exclusion
+        support skip the defect/RPCA/stuck-line masks (with an
+        adaptive ``unsupported`` event when a controller is attached).
     seed:
-        RNG seed for Phi_M draws.
+        RNG seed for the per-frame code draws.
     """
 
     encoder: FlexibleEncoder
@@ -129,6 +134,7 @@ class StreamingImager:
     solver: str = "fista"
     policy: ResiliencePolicy | None = None
     adaptive: object | None = None
+    measurement: str = "row_sampling"
     seed: int = 0
     _history: list[np.ndarray] = field(default_factory=list, repr=False)
     _count: int = field(default=0, repr=False)
@@ -171,7 +177,7 @@ class StreamingImager:
         return chain
 
     def _decode(
-        self, measurements: np.ndarray, phi: RowSamplingMatrix, shape: tuple
+        self, measurements: np.ndarray, phi, shape: tuple
     ) -> tuple[np.ndarray, str, str | None]:
         """Solve the scanned measurements; returns (frame, status, solver).
 
@@ -230,14 +236,21 @@ class StreamingImager:
         else:
             corrupted = clean_frame.copy()
         exclusion = self._exclusions(corrupted)
+        model = get_measurement(self.measurement)
         n = clean_frame.size
         m = int(round(self.sampling_fraction * n))
         excluded = np.flatnonzero(exclusion.ravel())
-        m = min(m, n - len(excluded))
-        phi = RowSamplingMatrix.random(
-            n, m, self._rng,
-            exclude=excluded if len(excluded) else None,
-        )
+        if len(excluded) and not model.supports_exclusions:
+            if self.adaptive is not None:
+                self.adaptive.note_unsupported(
+                    f"measurement family {self.measurement!r} lacks "
+                    f"exclusion support; ignoring {len(excluded)} "
+                    "excluded pixels"
+                )
+            excluded = np.array([], dtype=int)
+        exclude = excluded if len(excluded) else None
+        m = model.budget(n, m, exclude)
+        phi = model.draw(shape, m, self._rng, exclude=exclude)
         output = self.encoder.scan_normalized(corrupted, phi)
         if self.adaptive is not None and output.codes is not None:
             stuck = detect_stuck_lines(output.codes)

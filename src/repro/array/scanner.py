@@ -1,11 +1,16 @@
-"""Scan scheduling: turning ``Phi_M`` into a sqrt(N)-cycle scan.
+"""Scan scheduling: turning a measurement code into a sqrt(N)-cycle scan.
 
-Fig. 4 and Sec. 4.1: because ``Phi_M`` holds at most one '1' per
-column, the whole measurement set is acquired in ``sqrt(N)`` scan
-cycles -- the column driver walks the columns once while the row driver
-asserts, per cycle, exactly the rows whose pixels are sampled in that
-column.  The schedule also yields the communication-cost accounting
-(cycles, row assertions, ADC conversions) for the COMM experiment.
+Fig. 4 and Sec. 4.1: the column driver walks the columns once while the
+row driver asserts, per cycle, exactly the rows whose pixels the code
+touches in that column.  For the paper's row-sampling ``Phi_M`` (at
+most one '1' per column of ``Phi``) that reads each sampled pixel once;
+dense and block codes assert every pixel in their support, and the
+encoder combines the per-pixel readings into summed measurements
+afterwards.  The control words come from the code's registered
+:class:`~repro.core.measurement.MeasurementModel`, so any family drives
+the same hardware seam.  The schedule also yields the
+communication-cost accounting (cycles, row assertions, ADC conversions)
+for the COMM experiment.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.sensing import RowSamplingMatrix, column_control_words
+from ..core.measurement import resolve_measurement_for
 
 __all__ = ["ScanCycle", "ScanSchedule"]
 
@@ -49,10 +54,15 @@ class ScanSchedule:
 
     @classmethod
     def from_phi(
-        cls, phi: RowSamplingMatrix, array_shape: tuple[int, int]
+        cls, phi, array_shape: tuple[int, int]
     ) -> "ScanSchedule":
-        """Expand ``Phi_M`` into the per-column scan plan."""
-        words = column_control_words(phi, array_shape)
+        """Expand any family's code into the per-column scan plan.
+
+        The carrier's registered model supplies the control words
+        (:meth:`~repro.core.measurement.MeasurementModel.control_words`);
+        row-sampling codes keep the exact pre-refactor expansion.
+        """
+        words = resolve_measurement_for(phi).control_words(phi, array_shape)
         cycles = [ScanCycle(column=c, row_mask=mask) for c, mask in enumerate(words)]
         return cls(array_shape=array_shape, cycles=cycles)
 
@@ -64,7 +74,8 @@ class ScanSchedule:
 
     @property
     def total_reads(self) -> int:
-        """Total pixel reads = ADC conversions = M."""
+        """Total pixel reads = ADC conversions (= M for row sampling;
+        the code's pixel support size for dense/block families)."""
         return sum(cycle.reads for cycle in self.cycles)
 
     def pixel_order(self) -> np.ndarray:

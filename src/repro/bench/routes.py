@@ -169,6 +169,7 @@ def _plan(workload: Workload, operator_mode: str | None = None):
         sampling_fraction=workload.sampling_fraction,
         solver=workload.solver,
         operator_mode=operator_mode,
+        measurement=workload.measurement,
     )
 
 
@@ -234,7 +235,8 @@ def _run_supervised(adaptive: bool):
         )
 
         decoder = ResilientDecoder(
-            adaptive=AdaptivePolicy() if adaptive else None
+            adaptive=AdaptivePolicy() if adaptive else None,
+            measurement=workload.measurement,
         )
         rng = np.random.default_rng(seed)
         statuses: list[str] = []
@@ -275,7 +277,7 @@ def _run_supervised(adaptive: bool):
 def _run_resilient_batch(frames, workload: Workload, seed: int) -> RouteResult:
     from ..resilience import ResilientDecoder, chaos, default_taxonomy
 
-    decoder = ResilientDecoder()
+    decoder = ResilientDecoder(measurement=workload.measurement)
     rng = np.random.default_rng(seed)
 
     def decode_all():
@@ -314,7 +316,7 @@ def _run_resilient_journal(frames, workload: Workload, seed: int) -> RouteResult
     from ..resilience import ResilientDecoder, chaos, default_taxonomy
     from ..serve.durability import VerdictJournal, pack_frame
 
-    decoder = ResilientDecoder()
+    decoder = ResilientDecoder(measurement=workload.measurement)
     rng = np.random.default_rng(seed)
     statuses: list[str] = []
     faults: set[str] = set()

@@ -189,6 +189,7 @@ def run_cell(
         "fault_rate": workload.fault_rate,
         "frames": int(workload.frames),
         "solver": workload.solver,
+        "measurement": workload.measurement,
         "tier": int(workload.tier),
         "seed": int(seed),
         "metrics": {

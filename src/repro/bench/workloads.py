@@ -67,6 +67,12 @@ class Workload:
     solver:
         Decoder name for the engine routes and the head of the
         resilience fallback chain.
+    measurement:
+        Registered measurement-family name (see
+        :mod:`repro.core.measurement`) the cell samples with; the
+        default ``"row_sampling"`` keeps every pre-existing cell's
+        trajectory comparable across PRs.  Validated at decode-plan
+        time, keeping this module import-light.
     tier:
         ``1`` marks cells whose trajectory the CI regression gate
         thresholds; higher tiers are informational.
@@ -79,6 +85,7 @@ class Workload:
     fault_rate: float = 0.0
     frames: int = 4
     solver: str = "fista"
+    measurement: str = "row_sampling"
     tier: int = 2
 
     def __post_init__(self) -> None:
@@ -163,12 +170,19 @@ def cell_seed(base_seed: int, workload_name: str) -> int:
 
 
 def _matrix_name(
-    dataset: str, shape: tuple, sampling: float, fault: float
+    dataset: str,
+    shape: tuple,
+    sampling: float,
+    fault: float,
+    measurement: str = "row_sampling",
 ) -> str:
-    return (
+    name = (
         f"{dataset}-{shape[0]}x{shape[1]}"
         f"-s{round(sampling * 100):02d}-f{round(fault * 100):02d}"
     )
+    if measurement != "row_sampling":
+        name += f"-{measurement}"
+    return name
 
 
 def _standard_matrix() -> dict[str, Workload]:
@@ -176,9 +190,15 @@ def _standard_matrix() -> dict[str, Workload]:
     matrix: dict[str, Workload] = {}
 
     def add(
-        dataset, shape, sampling, fault=0.0, frames=4, tier=2
+        dataset,
+        shape,
+        sampling,
+        fault=0.0,
+        frames=4,
+        tier=2,
+        measurement="row_sampling",
     ) -> None:
-        name = _matrix_name(dataset, shape, sampling, fault)
+        name = _matrix_name(dataset, shape, sampling, fault, measurement)
         matrix[name] = Workload(
             name=name,
             dataset=dataset,
@@ -186,6 +206,7 @@ def _standard_matrix() -> dict[str, Workload]:
             sampling_fraction=sampling,
             fault_rate=fault,
             frames=frames,
+            measurement=measurement,
             tier=tier,
         )
 
@@ -210,6 +231,32 @@ def _standard_matrix() -> dict[str, Workload]:
     # The implicit-operator route keeps 256 x 256 under the smoke
     # budget (a dense A here would be 34 GB; the FFT route holds ~0).
     add("thermal", (256, 256), 0.5, 0.0, frames=2)
+    # Measurement-family axis: the dense-code and block-sampling
+    # families at the operating point, small shapes only (their Phi is
+    # an explicit M x N matrix, so cells scale O(M N) in memory).
+    add("thermal", (32, 32), 0.5, 0.0, frames=3, measurement="dense_codes")
+    add(
+        "thermal", (32, 32), 0.5, 0.0, frames=3, measurement="block_sampling"
+    )
+    add("tactile", (32, 32), 0.5, 0.0, frames=3, measurement="dense_codes")
+    add(
+        "thermal",
+        (16, 16),
+        0.5,
+        0.0,
+        frames=3,
+        tier=3,
+        measurement="dense_codes",
+    )
+    add(
+        "thermal",
+        (16, 16),
+        0.5,
+        0.0,
+        frames=3,
+        tier=3,
+        measurement="block_sampling",
+    )
     # Tiny cells for fast unit tests and local iteration.
     matrix["thermal-16x16-s50-f00"] = Workload(
         name="thermal-16x16-s50-f00",
@@ -296,6 +343,11 @@ _SUITES: dict[str, tuple[tuple[str, tuple], ...]] = {
         ),
         ("thermal-128x128-s50-f00", ("serial", "batch_shared")),
         ("thermal-256x256-s50-f00", ("batch_shared",)),
+        # Measurement-family smoke cells (tier 2: informational
+        # trajectory for the dense-code and block-sampling families;
+        # the gated row_sampling cells above are untouched).
+        ("thermal-32x32-s50-f00-dense_codes", ("serial", "batch_shared")),
+        ("thermal-32x32-s50-f00-block_sampling", ("serial", "batch_shared")),
     ),
     # The whole matrix: every engine route (incl. the process pool) on
     # every clean cell, supervised routes on every faulted cell, plus

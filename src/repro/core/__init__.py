@@ -5,6 +5,11 @@ Public surface:
 * :mod:`repro.core.dct` -- Eq. (4)-(7) DCT bases and fast transforms;
 * :mod:`repro.core.sensing` -- the row-sampling encoder matrix ``Phi_M``
   and classic dense baselines;
+* :mod:`repro.core.measurement` -- pluggable measurement families: the
+  :class:`~repro.core.measurement.MeasurementModel` protocol, the
+  ``register_measurement`` registry (mirroring ``register_basis``), and
+  the built-in ``row_sampling`` / ``dense_codes`` / ``block_sampling``
+  families;
 * :mod:`repro.core.operators` -- the combined ``A = Phi_M @ Psi`` map;
 * :mod:`repro.core.engine` -- the shared decode engine: frozen
   :class:`~repro.core.engine.DecodeContext` plans, the bounded
@@ -71,12 +76,25 @@ from .pipeline import (
     normalize_frame,
     process_frames,
 )
+from .measurement import (
+    BlockSamplingMatrix,
+    BlockSamplingModel,
+    DenseCodeMatrix,
+    DenseCodesModel,
+    MeasurementModel,
+    RowSamplingModel,
+    get_measurement,
+    measurement_names,
+    register_measurement,
+    resolve_measurement_for,
+)
 from .rpca import RpcaResult, detect_outliers, rpca
 from .sensing import (
     RowSamplingMatrix,
     bernoulli_matrix,
     column_control_words,
     gaussian_matrix,
+    hadamard_matrix,
     sample_indices,
     weighted_sample_indices,
 )
@@ -135,8 +153,19 @@ __all__ = [
     "RowSamplingMatrix",
     "gaussian_matrix",
     "bernoulli_matrix",
+    "hadamard_matrix",
     "sample_indices",
     "column_control_words",
+    "MeasurementModel",
+    "RowSamplingModel",
+    "DenseCodesModel",
+    "BlockSamplingModel",
+    "DenseCodeMatrix",
+    "BlockSamplingMatrix",
+    "get_measurement",
+    "measurement_names",
+    "register_measurement",
+    "resolve_measurement_for",
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",

@@ -18,8 +18,8 @@ This module is the seam that amortises all of it:
   fraction, solver config, exclusion mask, sampling weights, operator
   mode) that can be built once per stream and reused per frame;
 * :class:`OperatorCache` -- a bounded, thread-safe LRU cache of basis
-  entries keyed on ``(shape, basis kind, operator mode)``, with
-  hit/miss/eviction/byte counters exported through
+  entries keyed on ``(shape, basis kind, operator mode, measurement
+  family)``, with hit/miss/eviction/byte counters exported through
   :mod:`repro.instrument`;
 * :class:`DecodeEngine` -- ``decode(frame, plan, rng)``, the single
   canonical sample -> solve -> validate -> reshape path (including the
@@ -45,8 +45,9 @@ implementations, never matrices.  Two operator modes exist:
   frames (see ``docs/ENGINE.md``).
 
 All cached objects are deterministic functions of
-``(shape, kind, mode)``, so cached and cache-disabled decodes are
-bit-identical under a fixed seed (covered by regression tests).
+``(shape, kind, mode, measurement)``, so cached and cache-disabled
+decodes are bit-identical under a fixed seed (covered by regression
+tests).
 Construction of ``Dct2Basis`` / ``SensingOperator`` outside the
 operator layer is forbidden in library and example code, as is dense
 materialisation (``to_dense`` / ``to_matrix``); CI enforces both seams
@@ -71,8 +72,12 @@ import numpy as np
 
 from .. import instrument
 from .dct import Dct2Basis, SeparableDct2Basis
-from .operators import DenseOperator, SensingOperator, SeparableDCTOperator
-from .sensing import RowSamplingMatrix, weighted_sample_indices
+from .measurement import (
+    MeasurementModel,
+    get_measurement,
+    resolve_measurement_for,
+)
+from .operators import DenseOperator, SensingOperator
 from .solvers import SolverResult, solve
 
 __all__ = [
@@ -263,10 +268,10 @@ class CacheEntry:
 class OperatorCache:
     """Bounded, thread-safe LRU cache of :class:`CacheEntry` objects.
 
-    Keys are ``(shape, basis kind, operator mode)`` tuples: everything
-    else about a decode (the random ``Phi_M`` draw, the solver, the
-    measurements) changes per call, while the basis and its solver
-    hints are pure functions of the key.  Entries are immutable and
+    Keys are ``(shape, basis kind, operator mode, measurement family)``
+    tuples: everything else about a decode (the random code draw, the
+    solver, the measurements) changes per call, while the basis and its
+    solver hints are pure functions of the key.  Entries are immutable and
     safe to share across threads; the cache itself serialises access
     with a lock.
 
@@ -383,6 +388,10 @@ class DecodeContext:
         Operator representation for this plan: ``"implicit"``
         (matrix-free applies), ``"dense"`` (materialised matrix), or
         ``None`` to defer to the engine's default.
+    measurement:
+        Registered measurement family drawing the per-frame code
+        (``"row_sampling"`` default -- the paper's encoder; see
+        :func:`~repro.core.measurement.register_measurement`).
     """
 
     shape: tuple
@@ -396,6 +405,7 @@ class DecodeContext:
     )
     weights: np.ndarray | None = field(default=None, compare=False, repr=False)
     operator_mode: str | None = None
+    measurement: str = "row_sampling"
 
     def __post_init__(self) -> None:
         shape = tuple(int(s) for s in self.shape)
@@ -403,6 +413,7 @@ class DecodeContext:
             raise ValueError(f"invalid plan shape {self.shape}")
         object.__setattr__(self, "shape", shape)
         _validate_operator_mode(self.operator_mode)
+        get_measurement(self.measurement)  # typo check; raises KeyError
         if not 0.0 < self.sampling_fraction <= 1.0:
             raise ValueError(
                 f"sampling_fraction must be in (0, 1], got "
@@ -494,6 +505,11 @@ class DecodeContext:
             )
         if not mask.any():
             return self
+        if not get_measurement(self.measurement).supports_exclusions:
+            raise ValueError(
+                f"measurement family {self.measurement!r} does not support "
+                "exclusion masks; clear the mask or switch families"
+            )
         merged = (
             mask if self.exclude_mask is None else (self.exclude_mask | mask)
         )
@@ -533,14 +549,20 @@ class DecodeEngine:
         return _validate_operator_mode(mode) or self.operator_mode
 
     # -- operator construction (the only sanctioned site) -----------------
-    def _build_entry(self, shape: tuple, kind: str, mode: str) -> CacheEntry:
+    def _build_entry(
+        self,
+        shape: tuple,
+        kind: str,
+        mode: str,
+        measurement: str = "row_sampling",
+    ) -> CacheEntry:
         spec = _BASIS_KINDS.get(kind)
         if spec is None:
             raise KeyError(
                 f"unknown basis kind {kind!r}; registered: {basis_kinds()}"
             )
         hint = 1.0 if (self.fast_basis and spec.orthonormal) else None
-        key = (tuple(shape), kind, mode)
+        key = (tuple(shape), kind, mode, measurement)
         if mode == "dense":
             n = int(np.prod([int(s) for s in shape]))
             if n > _DENSE_MODE_MAX_N:
@@ -572,16 +594,26 @@ class DecodeEngine:
         )
 
     def entry_for(
-        self, shape: tuple, basis: str = "dct2", mode: str | None = None
+        self,
+        shape: tuple,
+        basis: str = "dct2",
+        mode: str | None = None,
+        measurement: str = "row_sampling",
     ) -> CacheEntry:
-        """The (cached) operator template for ``(shape, basis, mode)``."""
+        """The cached template for ``(shape, basis, mode, measurement)``.
+
+        The measurement axis keys the cache even though the basis
+        itself is family-independent: the entry's solver hints (and any
+        family-registered basis spec swap) are allowed to differ per
+        family, so entries never leak across the axis.
+        """
         shape = tuple(int(s) for s in shape)
         mode = self._resolve_mode(mode)
         if self.cache is None:
-            return self._build_entry(shape, basis, mode)
+            return self._build_entry(shape, basis, mode, measurement)
         return self.cache.get_or_create(
-            (shape, basis, mode),
-            lambda: self._build_entry(shape, basis, mode),
+            (shape, basis, mode, measurement),
+            lambda: self._build_entry(shape, basis, mode, measurement),
         )
 
     def basis_for(self, shape: tuple, basis: str = "dct2"):
@@ -595,45 +627,59 @@ class DecodeEngine:
 
     def operator(
         self,
-        phi: RowSamplingMatrix,
+        phi,
         shape: tuple,
         basis: str = "dct2",
         mode: str | None = None,
+        measurement: str | None = None,
     ):
-        """Bind a sampling matrix to the cached template for ``shape``.
+        """Bind a measurement code to the cached template for ``shape``.
 
         This is the repo's only sanctioned operator construction site
         (CI enforces the seam); every decode path -- including ones
         that own their measurement acquisition, like the hardware-scan
         imager or the video burst decoder -- gets its operator here.
 
-        Returns a :class:`~repro.core.operators.LinearOperator`:
-
-        * implicit mode + row sampling + separable DCT basis ->
-          :class:`~repro.core.operators.SeparableDCTOperator`;
-        * implicit mode otherwise -> :class:`EngineOperator`;
-        * dense mode -> :class:`~repro.core.operators.DenseOperator`
-          over the row-gathered ``Phi @ Psi`` product.
+        ``measurement`` names the family that drew ``phi``; ``None``
+        recovers it from the carrier type
+        (:func:`~repro.core.measurement.resolve_measurement_for`).  The
+        model then builds the :class:`~repro.core.operators.LinearOperator`
+        (row sampling keeps the pre-refactor recipe exactly:
+        :class:`~repro.core.operators.SeparableDCTOperator` on the
+        implicit separable-DCT path, :class:`EngineOperator` otherwise,
+        row-gathered :class:`~repro.core.operators.DenseOperator` in
+        dense mode).  A raw dense ``(m, n)`` ndarray is still accepted
+        for backward compatibility and treated as an anonymous dense
+        code.
         """
-        entry = self.entry_for(shape, basis, mode)
-        hint = entry.spectral_norm_hint
-        if hint is not None and not isinstance(phi, RowSamplingMatrix):
-            # The unit-norm bound only holds for row sampling.
-            hint = None
-        if entry.mode == "dense":
-            psi = entry.basis
-            if isinstance(phi, RowSamplingMatrix):
-                a = psi[phi.indices, :]
-            else:
-                a = np.asarray(phi, dtype=float) @ psi
-            return DenseOperator(a, basis=psi, spectral_norm_hint=hint)
-        if isinstance(phi, RowSamplingMatrix) and isinstance(
-            entry.basis, (Dct2Basis, SeparableDct2Basis)
-        ):
-            return SeparableDCTOperator(
-                phi, entry.basis, spectral_norm_hint=hint
-            )
-        return EngineOperator(phi, entry.basis, spectral_norm_hint=hint)
+        model: MeasurementModel | None
+        if measurement is not None:
+            model = get_measurement(measurement)
+            if model.phi_type is not None and not isinstance(
+                phi, model.phi_type
+            ):
+                raise TypeError(
+                    f"measurement family {measurement!r} expects "
+                    f"{model.phi_type.__name__} codes, got "
+                    f"{type(phi).__name__}"
+                )
+        else:
+            try:
+                model = resolve_measurement_for(phi)
+            except TypeError:
+                model = None  # legacy raw-ndarray Phi
+        if model is None:
+            entry = self.entry_for(shape, basis, mode)
+            if entry.mode == "dense":
+                a = np.asarray(phi, dtype=float) @ entry.basis
+                return DenseOperator(
+                    a, basis=entry.basis, spectral_norm_hint=None
+                )
+            return EngineOperator(phi, entry.basis, spectral_norm_hint=None)
+        entry = self.entry_for(
+            shape, basis, mode, measurement=measurement or model.name
+        )
+        return model.build_operator(phi, entry, operator_cls=EngineOperator)
 
     # -- the canonical decode path -----------------------------------------
     @staticmethod
@@ -652,18 +698,17 @@ class DecodeEngine:
     def _measurement_budget(
         plan: DecodeContext, n: int
     ) -> tuple[int, np.ndarray | None]:
-        """The measurement count ``m`` and flat excluded indices."""
+        """The measurement count ``m`` and flat excluded indices.
+
+        The family decides how exclusions shrink the budget: row
+        sampling clamps ``m`` to the surviving pixels, dense codes keep
+        ``m`` (they zero excluded columns instead).
+        """
         m = max(1, int(round(plan.sampling_fraction * n)))
         exclude = None
         if plan.exclude_mask is not None:
             exclude = np.flatnonzero(plan.exclude_mask.ravel())
-            m = min(m, n - len(exclude))
-            if m < 1:
-                raise ValueError(
-                    f"exclusion mask leaves no pixels to sample "
-                    f"({len(exclude)} of {n} pixels excluded); relax the "
-                    "mask or fall back to unmasked sampling"
-                )
+        m = get_measurement(plan.measurement).budget(n, m, exclude)
         return m, exclude
 
     @staticmethod
@@ -673,24 +718,23 @@ class DecodeEngine:
         m: int,
         exclude: np.ndarray | None,
         rng: np.random.Generator,
-    ) -> RowSamplingMatrix:
-        """Draw one ``Phi_M`` under the plan (the only sampling RNG use)."""
-        if plan.weights is not None:
-            indices = weighted_sample_indices(
-                n, m, plan.weights.ravel(), rng, exclude=exclude
-            )
-            return RowSamplingMatrix(n=n, indices=indices)
-        return RowSamplingMatrix.random(n, m, rng, exclude=exclude)
+    ):
+        """Draw one per-frame code under the plan (the only sampling RNG use)."""
+        return get_measurement(plan.measurement).draw(
+            plan.shape, m, rng, exclude=exclude, weights=plan.weights
+        )
 
     @staticmethod
     def _measure(
         frame: np.ndarray,
         plan: DecodeContext,
-        phi: RowSamplingMatrix,
+        phi,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Apply ``Phi_M`` to the frame, adding plan noise if configured."""
-        measurements = phi.apply(frame.ravel())
+        """Apply the code to the frame, adding plan noise if configured."""
+        measurements = get_measurement(plan.measurement).measure(
+            frame.ravel(), phi
+        )
         if plan.noise_sigma > 0.0:
             measurements = measurements + rng.normal(
                 0.0, plan.noise_sigma, size=measurements.shape
@@ -700,7 +744,7 @@ class DecodeEngine:
     def _solve_acquired(
         self,
         plan: DecodeContext,
-        phi: RowSamplingMatrix,
+        phi,
         measurements: np.ndarray,
         full_output: bool = False,
     ) -> np.ndarray | DecodeResult:
@@ -712,7 +756,11 @@ class DecodeEngine:
         this is what :meth:`decode_batch` fans out.
         """
         operator = self.operator(
-            phi, plan.shape, plan.basis, mode=plan.operator_mode
+            phi,
+            plan.shape,
+            plan.basis,
+            mode=plan.operator_mode,
+            measurement=plan.measurement,
         )
         result = solve(
             plan.solver, operator, measurements, **dict(plan.solver_options)
@@ -838,15 +886,20 @@ class DecodeEngine:
                     )
             # Phase 2: pure solves -- vectorised, fanned out, or serial.
             if shared_phi and vectorize is not False and len(frames) > 1:
-                batched = self._solve_batch_vectorized(
-                    plan, acquired[0][0], [b for _, b in acquired], full_output
-                )
-                if batched is not None:
-                    return batched
+                if get_measurement(plan.measurement).supports_multi_rhs:
+                    batched = self._solve_batch_vectorized(
+                        plan,
+                        acquired[0][0],
+                        [b for _, b in acquired],
+                        full_output,
+                    )
+                    if batched is not None:
+                        return batched
                 if vectorize:
                     raise ValueError(
-                        f"solver {plan.solver!r} has no vectorised "
-                        "multi-RHS path for this configuration"
+                        f"solver {plan.solver!r} / measurement "
+                        f"{plan.measurement!r} has no vectorised multi-RHS "
+                        "path for this configuration"
                     )
             ex = resolve_executor(executor)
             if ex is None:
@@ -862,7 +915,7 @@ class DecodeEngine:
     def _solve_batch_vectorized(
         self,
         plan: DecodeContext,
-        phi: RowSamplingMatrix,
+        phi,
         measurements: list,
         full_output: bool,
     ) -> list | None:
@@ -870,7 +923,11 @@ class DecodeEngine:
         from .solvers import solve_batch
 
         operator = self.operator(
-            phi, plan.shape, plan.basis, mode=plan.operator_mode
+            phi,
+            plan.shape,
+            plan.basis,
+            mode=plan.operator_mode,
+            measurement=plan.measurement,
         )
         results = solve_batch(
             plan.solver,

@@ -1,0 +1,588 @@
+"""Pluggable measurement families: the ``MeasurementModel`` abstraction.
+
+The paper's encoder is one point in measurement space -- ``Phi_M`` as
+``M`` random identity rows (Sec. 3.1, Eq. 8), i.e. *scan out a random
+pixel subset*.  Related work reads the same hardware differently:
+single-pixel-style summed readout with dense Bernoulli / Hadamard codes
+(Slepyan et al., arXiv 2511.16898) and on-sensor block-wise acquisition
+(arXiv 1709.07041).  This module turns "row sampling with exceptions"
+into "family-parameterised with row sampling as one instance": a
+:class:`MeasurementModel` owns everything family-specific about one
+measurement scheme, and every layer (engine, array scan path,
+resilience, bench) talks to the model instead of assuming indices.
+
+A model answers seven questions:
+
+* :meth:`~MeasurementModel.budget` -- how many measurements ``m`` are
+  actually possible given an exclusion set (row sampling clamps to the
+  surviving pixels; dense codes keep ``m`` and zero excluded columns);
+* :meth:`~MeasurementModel.draw` -- draw the per-frame code ``Phi``
+  (the *only* RNG consumer on the sampling side);
+* :meth:`~MeasurementModel.measure` -- apply ``Phi`` to a pixel vector;
+* :meth:`~MeasurementModel.build_operator` -- bind ``Phi`` to a cached
+  basis entry as a matrix-free
+  :class:`~repro.core.operators.LinearOperator`;
+* :meth:`~MeasurementModel.support_mask` /
+  :meth:`~MeasurementModel.control_words` -- which pixels the code
+  touches, expanded to per-scan-cycle row-driver words for the
+  active-matrix hardware (Fig. 4);
+* :meth:`~MeasurementModel.combine` -- turn the per-pixel readings the
+  scan hardware returns into the measurement vector.
+
+Capability flags (``supports_exclusions`` / ``supports_weights`` /
+``supports_multi_rhs``) let callers degrade explicitly instead of
+silently: :meth:`DecodeContext.with_exclusions
+<repro.core.engine.DecodeContext.with_exclusions>` and the resilience
+layer consult them.
+
+Families are registered under a string name (the ``measurement=`` axis
+of :class:`~repro.core.engine.DecodeContext`) through
+:func:`register_measurement`, mirroring
+:func:`~repro.core.engine.register_basis`.  Three ship by default:
+
+* ``"row_sampling"`` -- the paper's encoder, bit-identical to the
+  pre-refactor decode path (the control arm);
+* ``"dense_codes"`` -- dense ``+-1/sqrt(m)`` Bernoulli summed readout
+  (:class:`DenseCodesModel` also supports Hadamard and Gaussian codes);
+* ``"block_sampling"`` -- block-diagonal codes: each measurement sums
+  one spatial tile of the array, the on-sensor acquisition regime.
+
+This module (together with :mod:`repro.core.sensing`) is the only
+sanctioned construction site for measurement matrices; CI enforces the
+seam with ``tools/check_engine_seam.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .dct import Dct2Basis, SeparableDct2Basis
+from .operators import CompositeOperator, DenseOperator, SeparableDCTOperator
+from .sensing import (
+    RowSamplingMatrix,
+    _zero_excluded_columns,
+    bernoulli_matrix,
+    column_control_words,
+    gaussian_matrix,
+    hadamard_matrix,
+    weighted_sample_indices,
+)
+
+__all__ = [
+    "BlockSamplingMatrix",
+    "BlockSamplingModel",
+    "DenseCodeMatrix",
+    "DenseCodesModel",
+    "MeasurementModel",
+    "RowSamplingModel",
+    "get_measurement",
+    "measurement_names",
+    "register_measurement",
+    "resolve_measurement_for",
+]
+
+
+# --------------------------------------------------------------------------
+# Code carriers: what a family's ``draw`` hands back.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class DenseCodeMatrix:
+    """A dense measurement code: an explicit ``(m, n)`` matrix ``Phi``.
+
+    The carrier for summed-readout families (every measurement is a
+    weighted sum over many pixels).  The matrix is stored read-only;
+    ``code`` records which ensemble drew it (``"bernoulli"``,
+    ``"hadamard"``, ``"gaussian"``, ``"block"``).
+    """
+
+    matrix: np.ndarray = field(repr=False)
+    code: str = "bernoulli"
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"dense code must be a 2-D matrix, got shape {matrix.shape}"
+            )
+        matrix = np.ascontiguousarray(matrix)
+        matrix.setflags(write=False)
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def m(self) -> int:
+        """Number of measurements (matrix rows)."""
+        return self.matrix.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of pixels (matrix columns)."""
+        return self.matrix.shape[1]
+
+    def apply(self, y: np.ndarray) -> np.ndarray:
+        """``Phi @ y``: one summed readout per measurement row."""
+        y = np.asarray(y, dtype=float)
+        if y.shape[0] != self.n:
+            raise ValueError(
+                f"vector length {y.shape[0]} does not match n={self.n}"
+            )
+        return self.matrix @ y
+
+    def adjoint(self, v: np.ndarray) -> np.ndarray:
+        """``Phi.T @ v``: back-project measurements onto the pixels."""
+        v = np.asarray(v, dtype=float)
+        if v.shape[0] != self.m:
+            raise ValueError(
+                f"vector length {v.shape[0]} does not match m={self.m}"
+            )
+        return self.matrix.T @ v
+
+
+@dataclass(frozen=True, eq=False)
+class BlockSamplingMatrix(DenseCodeMatrix):
+    """A block-diagonal dense code: each measurement sums one tile.
+
+    ``block_shape`` records the tile size the generating model used;
+    the matrix itself is an ordinary dense code whose rows have support
+    confined to single spatial blocks (on-sensor acquisition,
+    arXiv 1709.07041).
+    """
+
+    block_shape: tuple = (8, 8)
+
+
+# --------------------------------------------------------------------------
+# The model protocol.
+# --------------------------------------------------------------------------
+
+
+class MeasurementModel:
+    """One measurement family: code generation, applies, hardware words.
+
+    Subclasses set the class attributes and implement :meth:`draw`,
+    :meth:`measure` and :meth:`build_operator`; the support/combine
+    defaults are generic over any carrier the model can describe via
+    :meth:`support_mask`.
+
+    Attributes
+    ----------
+    name:
+        Registry name (the ``measurement=`` plan axis).
+    phi_type:
+        Carrier class :meth:`draw` returns; used by
+        :func:`resolve_measurement_for` to recover the model from a
+        bare carrier.
+    supports_exclusions:
+        Whether :meth:`draw` honours an exclusion index set.
+    supports_weights:
+        Whether :meth:`draw` honours per-pixel sampling weights.
+    supports_multi_rhs:
+        Whether the family's operators take the vectorised multi-RHS
+        solve path (shared-``Phi`` batch decodes).
+    """
+
+    name: str = "abstract"
+    phi_type: type | None = None
+    supports_exclusions: bool = True
+    supports_weights: bool = False
+    supports_multi_rhs: bool = True
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _pixel_count(shape) -> int:
+        if isinstance(shape, (int, np.integer)):
+            return int(shape)
+        return int(np.prod([int(s) for s in shape]))
+
+    def _reject_weights(self, weights) -> None:
+        if weights is not None and not self.supports_weights:
+            raise ValueError(
+                f"measurement family {self.name!r} does not support "
+                "per-pixel sampling weights; use row_sampling"
+            )
+
+    # -- family-specific (subclass responsibility) -------------------------
+    def budget(self, n: int, m: int, exclude: np.ndarray | None = None) -> int:
+        """Measurement count actually possible under the exclusion set.
+
+        The default keeps ``m`` (summed-readout codes drop excluded
+        *columns*, not measurements) and rejects exclusions outright
+        for families that cannot honour them.
+        """
+        if (
+            exclude is not None
+            and len(exclude) > 0
+            and not self.supports_exclusions
+        ):
+            raise ValueError(
+                f"measurement family {self.name!r} does not support "
+                "exclusion masks"
+            )
+        return m
+
+    def draw(
+        self,
+        shape,
+        m: int,
+        rng: np.random.Generator,
+        exclude: np.ndarray | None = None,
+        weights: np.ndarray | None = None,
+    ):
+        """Draw one per-frame code (the only sampling-side RNG consumer)."""
+        raise NotImplementedError
+
+    def measure(self, pixels: np.ndarray, phi) -> np.ndarray:
+        """``Phi @ pixels`` for this family's carrier."""
+        raise NotImplementedError
+
+    def build_operator(self, phi, entry, operator_cls: type | None = None):
+        """Bind a drawn code to a cached basis entry as a LinearOperator.
+
+        ``entry`` is a :class:`~repro.core.engine.CacheEntry`;
+        ``operator_cls`` lets the engine substitute its own composite
+        subclass (:class:`~repro.core.engine.EngineOperator`) without a
+        circular import.
+        """
+        raise NotImplementedError
+
+    # -- generic hardware expansion ----------------------------------------
+    def support_mask(self, phi) -> np.ndarray:
+        """Boolean length-``n`` mask of pixels the code ever touches."""
+        raise NotImplementedError
+
+    def control_words(
+        self, phi, array_shape: tuple[int, int]
+    ) -> list[np.ndarray]:
+        """Per-scan-cycle row-driver control words (Fig. 4).
+
+        Word ``c`` asserts the rows whose pixels in column ``c``
+        contribute to at least one measurement; the generic expansion
+        works for any family via :meth:`support_mask`.
+        """
+        rows, cols = array_shape
+        n = int(phi.n)
+        if rows * cols != n:
+            raise ValueError(
+                f"array shape {array_shape} does not hold n={n} pixels"
+            )
+        grid = self.support_mask(phi).reshape(rows, cols)
+        return [grid[:, c].copy() for c in range(cols)]
+
+    def combine(self, phi, acquired: dict) -> tuple[np.ndarray, int]:
+        """Measurement vector from per-pixel scan readings.
+
+        ``acquired`` maps flat pixel index to the reading the scan
+        hardware produced; pixels the code needs but the scan never
+        delivered count as ``missing`` and contribute 0 (a dropped-read
+        fault).  Returns ``(measurements, missing)``.
+        """
+        support = np.flatnonzero(self.support_mask(phi))
+        missing = sum(1 for i in support if int(i) not in acquired)
+        pixels = np.zeros(int(phi.n), dtype=float)
+        for i in support:
+            pixels[i] = acquired.get(int(i), 0.0)
+        return np.asarray(self.measure(pixels, phi), dtype=float), missing
+
+
+# --------------------------------------------------------------------------
+# Family: row_sampling (the paper's encoder -- the control arm).
+# --------------------------------------------------------------------------
+
+
+class RowSamplingModel(MeasurementModel):
+    """``Phi_M`` as ``M`` random identity rows (paper Sec. 3.1, Eq. 8).
+
+    Bit-identical to the pre-refactor decode path: the RNG consumption
+    of :meth:`draw`, the budget clamp (and its error message), the
+    measurement gather and the operator construction all reproduce the
+    engine's previous hard-wired recipe exactly -- regression tests pin
+    this.
+    """
+
+    name = "row_sampling"
+    phi_type = RowSamplingMatrix
+    supports_exclusions = True
+    supports_weights = True
+    supports_multi_rhs = True
+
+    def budget(self, n: int, m: int, exclude: np.ndarray | None = None) -> int:
+        if exclude is not None:
+            m = min(m, n - len(exclude))
+            if m < 1:
+                raise ValueError(
+                    f"exclusion mask leaves no pixels to sample "
+                    f"({len(exclude)} of {n} pixels excluded); relax the "
+                    "mask or fall back to unmasked sampling"
+                )
+        return m
+
+    def draw(
+        self,
+        shape,
+        m: int,
+        rng: np.random.Generator,
+        exclude: np.ndarray | None = None,
+        weights: np.ndarray | None = None,
+    ) -> RowSamplingMatrix:
+        n = self._pixel_count(shape)
+        if weights is not None:
+            indices = weighted_sample_indices(
+                n,
+                m,
+                np.asarray(weights, dtype=float).ravel(),
+                rng,
+                exclude=exclude,
+            )
+            return RowSamplingMatrix(n=n, indices=indices)
+        return RowSamplingMatrix.random(n, m, rng, exclude=exclude)
+
+    def from_indices(self, n: int, indices: np.ndarray) -> RowSamplingMatrix:
+        """Carrier from a precomputed index set (video voxel stacking)."""
+        return RowSamplingMatrix(n=n, indices=indices)
+
+    def measure(self, pixels: np.ndarray, phi: RowSamplingMatrix) -> np.ndarray:
+        return phi.apply(pixels)
+
+    def build_operator(
+        self, phi: RowSamplingMatrix, entry, operator_cls: type | None = None
+    ):
+        hint = entry.spectral_norm_hint
+        if entry.mode == "dense":
+            psi = entry.basis
+            return DenseOperator(
+                psi[phi.indices, :], basis=psi, spectral_norm_hint=hint
+            )
+        if isinstance(entry.basis, (Dct2Basis, SeparableDct2Basis)):
+            return SeparableDCTOperator(
+                phi, entry.basis, spectral_norm_hint=hint
+            )
+        cls = operator_cls or CompositeOperator
+        return cls(phi, entry.basis, spectral_norm_hint=hint)
+
+    def support_mask(self, phi: RowSamplingMatrix) -> np.ndarray:
+        mask = np.zeros(phi.n, dtype=bool)
+        mask[phi.indices] = True
+        return mask
+
+    def control_words(
+        self, phi: RowSamplingMatrix, array_shape: tuple[int, int]
+    ) -> list[np.ndarray]:
+        return column_control_words(phi, array_shape)
+
+    def combine(
+        self, phi: RowSamplingMatrix, acquired: dict
+    ) -> tuple[np.ndarray, int]:
+        # The exact pre-refactor encoder recipe: gather in index order.
+        missing = sum(1 for i in phi.indices if i not in acquired)
+        measurements = np.array(
+            [acquired.get(i, 0.0) for i in phi.indices], dtype=float
+        )
+        return measurements, missing
+
+
+# --------------------------------------------------------------------------
+# Dense summed-readout families.
+# --------------------------------------------------------------------------
+
+
+class _DenseFamilyModel(MeasurementModel):
+    """Shared behaviour of families carrying an explicit dense matrix."""
+
+    supports_exclusions = True
+    supports_weights = False
+    supports_multi_rhs = True
+
+    def measure(self, pixels: np.ndarray, phi: DenseCodeMatrix) -> np.ndarray:
+        return phi.apply(pixels)
+
+    def build_operator(
+        self, phi: DenseCodeMatrix, entry, operator_cls: type | None = None
+    ):
+        # The unit-norm hint only holds for row sampling of an
+        # orthonormal basis; dense codes always estimate ||A||_2.
+        if entry.mode == "dense":
+            a = phi.matrix @ entry.basis
+            return DenseOperator(a, basis=entry.basis, spectral_norm_hint=None)
+        cls = operator_cls or CompositeOperator
+        return cls(phi.matrix, entry.basis, spectral_norm_hint=None)
+
+    def support_mask(self, phi: DenseCodeMatrix) -> np.ndarray:
+        return np.any(phi.matrix != 0.0, axis=0)
+
+
+class DenseCodesModel(_DenseFamilyModel):
+    """Dense summed-readout codes (single-pixel style, arXiv 2511.16898).
+
+    Every measurement is a random weighted sum over the whole array;
+    the ``code`` parameter selects the ensemble -- ``"bernoulli"``
+    (default, ``+-1/sqrt(m)``), ``"hadamard"`` (randomised partial
+    Sylvester-Hadamard) or ``"gaussian"`` (``N(0, 1/m)``, the classic
+    theory baseline).  Exclusion masks zero the defective pixels'
+    columns; the RNG consumption is mask-independent.
+    """
+
+    name = "dense_codes"
+    phi_type = DenseCodeMatrix
+
+    _CODE_FACTORIES = {
+        "bernoulli": bernoulli_matrix,
+        "hadamard": hadamard_matrix,
+        "gaussian": gaussian_matrix,
+    }
+
+    def __init__(self, code: str = "bernoulli"):
+        if code not in self._CODE_FACTORIES:
+            raise ValueError(
+                f"unknown dense code ensemble {code!r}; supported: "
+                f"{tuple(sorted(self._CODE_FACTORIES))}"
+            )
+        self.code = code
+
+    def draw(
+        self,
+        shape,
+        m: int,
+        rng: np.random.Generator,
+        exclude: np.ndarray | None = None,
+        weights: np.ndarray | None = None,
+    ) -> DenseCodeMatrix:
+        self._reject_weights(weights)
+        n = self._pixel_count(shape)
+        matrix = self._CODE_FACTORIES[self.code](m, n, rng, exclude=exclude)
+        return DenseCodeMatrix(matrix=matrix, code=self.code)
+
+
+class BlockSamplingModel(_DenseFamilyModel):
+    """Block-diagonal codes: on-sensor block acquisition (arXiv 1709.07041).
+
+    The frame is tiled into ``block_size x block_size`` blocks (partial
+    blocks at the edges); the ``m`` measurements are distributed
+    round-robin over the blocks in raster order, and each measurement
+    is a random ``+-1/sqrt(m_b)`` sum over its own block's pixels only.
+    Locality keeps the readout wiring per-tile -- the acquisition
+    regime of block-based CS hardware.  Exclusions zero defective
+    columns after the draw (mask-independent RNG, uniform with the
+    other families).
+    """
+
+    name = "block_sampling"
+    phi_type = BlockSamplingMatrix
+
+    def __init__(self, block_size: int = 8):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = int(block_size)
+
+    def draw(
+        self,
+        shape,
+        m: int,
+        rng: np.random.Generator,
+        exclude: np.ndarray | None = None,
+        weights: np.ndarray | None = None,
+    ) -> BlockSamplingMatrix:
+        self._reject_weights(weights)
+        if isinstance(shape, (int, np.integer)) or len(shape) != 2:
+            raise ValueError(
+                "block_sampling requires a 2-D frame shape, got "
+                f"{shape!r}; use dense_codes for flat pixel vectors"
+            )
+        rows, cols = int(shape[0]), int(shape[1])
+        n = rows * cols
+        if m < 1:
+            raise ValueError(f"cannot take {m} measurements")
+        b = self.block_size
+        blocks = []
+        for r0 in range(0, rows, b):
+            for c0 in range(0, cols, b):
+                rr = np.arange(r0, min(r0 + b, rows))
+                cc = np.arange(c0, min(c0 + b, cols))
+                blocks.append((rr[:, None] * cols + cc[None, :]).ravel())
+        base, rem = divmod(m, len(blocks))
+        matrix = np.zeros((m, n))
+        row = 0
+        for index, pixels in enumerate(blocks):
+            m_b = base + (1 if index < rem else 0)
+            if m_b == 0:
+                continue
+            signs = rng.choice([-1.0, 1.0], size=(m_b, len(pixels)))
+            matrix[row : row + m_b, pixels] = signs / np.sqrt(m_b)
+            row += m_b
+        matrix = _zero_excluded_columns(matrix, n, exclude)
+        return BlockSamplingMatrix(
+            matrix=matrix, code="block", block_shape=(b, b)
+        )
+
+
+# --------------------------------------------------------------------------
+# Registry (mirrors ``register_basis``).
+# --------------------------------------------------------------------------
+
+_MEASUREMENT_MODELS: dict[str, MeasurementModel] = {}
+
+
+def register_measurement(name: str, model) -> None:
+    """Register a measurement family under ``name``.
+
+    ``model`` is a :class:`MeasurementModel` instance (models are
+    stateless singletons) or a zero-argument factory producing one.
+    Registering an existing name replaces it; engine cache entries are
+    keyed on the *name*, so call
+    :meth:`~repro.core.engine.OperatorCache.clear` on engines that may
+    hold entries built for the old family.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(
+            f"measurement name must be a non-empty string, got {name!r}"
+        )
+    if callable(model) and not isinstance(model, MeasurementModel):
+        model = model()
+    if not isinstance(model, MeasurementModel):
+        raise TypeError(
+            f"expected a MeasurementModel, got {type(model).__name__}"
+        )
+    model.name = name  # the registry name is authoritative for cache keys
+    _MEASUREMENT_MODELS[name] = model
+
+
+def get_measurement(name: str) -> MeasurementModel:
+    """The registered model for ``name`` (KeyError with the vocabulary)."""
+    model = _MEASUREMENT_MODELS.get(name)
+    if model is None:
+        raise KeyError(
+            f"unknown measurement family {name!r}; registered: "
+            f"{measurement_names()}"
+        )
+    return model
+
+
+def measurement_names() -> tuple[str, ...]:
+    """The registered family names (plan-axis vocabulary)."""
+    return tuple(sorted(_MEASUREMENT_MODELS))
+
+
+def resolve_measurement_for(phi) -> MeasurementModel:
+    """Recover the family from a bare code carrier.
+
+    Exact carrier type wins over subclass matches (a
+    :class:`BlockSamplingMatrix` *is a* :class:`DenseCodeMatrix`, but
+    belongs to ``block_sampling``).
+    """
+    for model in _MEASUREMENT_MODELS.values():
+        if model.phi_type is not None and type(phi) is model.phi_type:
+            return model
+    for model in _MEASUREMENT_MODELS.values():
+        if model.phi_type is not None and isinstance(phi, model.phi_type):
+            return model
+    raise TypeError(
+        f"no registered measurement family handles "
+        f"{type(phi).__name__} carriers"
+    )
+
+
+register_measurement("row_sampling", RowSamplingModel())
+register_measurement("dense_codes", DenseCodesModel())
+register_measurement("block_sampling", BlockSamplingModel())

@@ -394,13 +394,43 @@ class CompositeOperator(LinearOperator):
             and hasattr(self._basis, "analyze_batch")
         )
 
+    def _has_dense_phi_batch(self) -> bool:
+        # Dense Phi vectorises through broadcast matmul for any basis
+        # except a matrix-free one without batched applies.
+        return not isinstance(self._phi, RowSamplingMatrix) and (
+            self._basis is None
+            or not _is_matrix_free(self._basis)
+            or (
+                hasattr(self._basis, "synthesize_batch")
+                and hasattr(self._basis, "analyze_batch")
+            )
+        )
+
+    def _synthesize_batch(self, x: np.ndarray) -> np.ndarray:
+        """``Psi @ x_i`` per row, bitwise the serial :meth:`synthesize`."""
+        if self._basis is None:
+            return x
+        if _is_matrix_free(self._basis):
+            return self._basis.synthesize_batch(x)
+        return np.matmul(self._basis, x[:, :, None])[..., 0]
+
+    def _analyze_batch(self, y: np.ndarray) -> np.ndarray:
+        """``Psi.T @ y_i`` per row, bitwise the serial :meth:`analyze`."""
+        if self._basis is None:
+            return y
+        if _is_matrix_free(self._basis):
+            return self._basis.analyze_batch(y)
+        return np.matmul(self._basis.T, y[:, :, None])[..., 0]
+
     def matvec_batch(self, x: np.ndarray) -> np.ndarray:
         """``A @ x_i`` for every row of a ``(k, n)`` stack.
 
-        Row ``i`` of the result is bitwise ``matvec(x[i])``: the fast
-        path uses the basis's batched apply (same per-slice arithmetic)
-        plus row-sampling fancy indexing, and configurations without a
-        batched basis fall back to a per-row loop.
+        Row ``i`` of the result is bitwise ``matvec(x[i])``: row
+        sampling uses the basis's batched apply (same per-slice
+        arithmetic) plus fancy indexing, dense codes use broadcast
+        matmul (``np.matmul`` applies the identical ``(m, n) @ (n, 1)``
+        product per slice), and configurations without either fall back
+        to a per-row loop.
         """
         x = np.asarray(x, dtype=float)
         if x.ndim != 2 or x.shape[1] != self.n:
@@ -409,6 +439,10 @@ class CompositeOperator(LinearOperator):
             )
         if self._has_batch_basis():
             return self._basis.synthesize_batch(x)[:, self._phi.indices]
+        if self._has_dense_phi_batch():
+            return np.matmul(self._phi, self._synthesize_batch(x)[:, :, None])[
+                ..., 0
+            ]
         return np.stack([self.matvec(row) for row in x])
 
     def rmatvec_batch(self, r: np.ndarray) -> np.ndarray:
@@ -422,11 +456,14 @@ class CompositeOperator(LinearOperator):
             scattered = np.zeros((r.shape[0], self.n))
             scattered[:, self._phi.indices] = r
             return self._basis.analyze_batch(scattered)
+        if self._has_dense_phi_batch():
+            scattered = np.matmul(self._phi.T, r[:, :, None])[..., 0]
+            return self._analyze_batch(scattered)
         return np.stack([self.rmatvec(row) for row in r])
 
     def supports_batch(self) -> bool:
-        """Whether the batched applies take the vectorised fast path."""
-        return self._has_batch_basis()
+        """Whether the batched applies take a vectorised fast path."""
+        return self._has_batch_basis() or self._has_dense_phi_batch()
 
     @property
     def nbytes(self) -> int:

@@ -20,10 +20,36 @@ __all__ = [
     "RowSamplingMatrix",
     "gaussian_matrix",
     "bernoulli_matrix",
+    "hadamard_matrix",
     "sample_indices",
     "weighted_sample_indices",
     "column_control_words",
 ]
+
+
+def _zero_excluded_columns(
+    matrix: np.ndarray, n: int, exclude: np.ndarray | None
+) -> np.ndarray:
+    """Zero the columns of excluded pixels (defect-aware dense codes).
+
+    Dense code families honour an exclusion mask by never *weighting*
+    an excluded pixel: its column is zeroed after the full matrix is
+    drawn, so the RNG consumption is independent of the mask (two runs
+    with and without exclusions share every other entry bit for bit)
+    and the excluded pixel contributes nothing to any measurement --
+    the dense analogue of :func:`sample_indices` never picking it.
+    """
+    if exclude is None or len(exclude) == 0:
+        return matrix
+    exclude = np.asarray(exclude, dtype=int)
+    if len(exclude) and (exclude.min() < 0 or exclude.max() >= n):
+        raise ValueError("excluded indices out of range")
+    if len(np.unique(exclude)) >= n:
+        raise ValueError(
+            f"exclusion set covers all {n} pixels; nothing left to measure"
+        )
+    matrix[:, exclude] = 0.0
+    return matrix
 
 
 def sample_indices(
@@ -172,23 +198,72 @@ class RowSamplingMatrix:
         return phi
 
 
-def gaussian_matrix(m: int, n: int, rng: np.random.Generator) -> np.ndarray:
+def gaussian_matrix(
+    m: int,
+    n: int,
+    rng: np.random.Generator,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
     """Dense i.i.d. Gaussian sensing matrix with unit-norm expected columns.
 
     Classic CS baseline used by the sensing-matrix ablation; entries are
-    ``N(0, 1/m)`` so that column norms concentrate around 1.
+    ``N(0, 1/m)`` so that column norms concentrate around 1.  Excluded
+    pixel columns (known defects, Sec. 4.2) are zeroed after the draw,
+    so the mask changes no other entry.
     """
     if m < 1 or n < 1:
         raise ValueError(f"invalid matrix shape ({m}, {n})")
-    return rng.normal(0.0, 1.0 / np.sqrt(m), size=(m, n))
+    matrix = rng.normal(0.0, 1.0 / np.sqrt(m), size=(m, n))
+    return _zero_excluded_columns(matrix, n, exclude)
 
 
-def bernoulli_matrix(m: int, n: int, rng: np.random.Generator) -> np.ndarray:
-    """Dense random +-1/sqrt(m) Bernoulli sensing matrix (ablation baseline)."""
+def bernoulli_matrix(
+    m: int,
+    n: int,
+    rng: np.random.Generator,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Dense random +-1/sqrt(m) Bernoulli sensing matrix (summed readout).
+
+    The single-pixel-style code family: every measurement sums half the
+    array with random signs.  Excluded pixel columns are zeroed after
+    the draw (defect-aware sampling, uniform with
+    :func:`sample_indices`).
+    """
     if m < 1 or n < 1:
         raise ValueError(f"invalid matrix shape ({m}, {n})")
     signs = rng.choice([-1.0, 1.0], size=(m, n))
-    return signs / np.sqrt(m)
+    return _zero_excluded_columns(signs / np.sqrt(m), n, exclude)
+
+
+def hadamard_matrix(
+    m: int,
+    n: int,
+    rng: np.random.Generator,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Randomised partial Hadamard sensing matrix (structured dense codes).
+
+    ``m`` rows are drawn without replacement from the order-``p``
+    Sylvester-Hadamard matrix (``p`` the next power of two at or above
+    ``n``), the columns get random sign flips (breaking coherence with
+    the DC row), and the result is truncated to ``n`` columns and
+    scaled by ``1/sqrt(m)``.  Excluded pixel columns are zeroed after
+    the draw, exactly like the other dense families.
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"invalid matrix shape ({m}, {n})")
+    from scipy.linalg import hadamard as _hadamard
+
+    p = 1 << max(0, int(np.ceil(np.log2(n))))
+    if m > p:
+        raise ValueError(
+            f"cannot draw {m} distinct Hadamard rows of order {p}"
+        )
+    rows = rng.choice(p, size=m, replace=False)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    matrix = _hadamard(p)[rows][:, :n] * signs / np.sqrt(m)
+    return _zero_excluded_columns(matrix, n, exclude)
 
 
 def column_control_words(

@@ -59,6 +59,7 @@ def sample_and_reconstruct(
     solver_options: dict | None = None,
     full_output: bool = False,
     operator_mode: str | None = None,
+    measurement: str = "row_sampling",
 ) -> np.ndarray | DecodeResult:
     """One random-sampling + L1-reconstruction round (the core decode).
 
@@ -92,6 +93,10 @@ def sample_and_reconstruct(
         ``"dense"`` (materialised ``A = Phi_M @ Psi``); ``None`` defers
         to the engine's configured default.  See
         :data:`repro.core.engine.OPERATOR_MODES`.
+    measurement:
+        Registered measurement family drawing the per-frame code
+        (``"row_sampling"`` default; see
+        :func:`repro.core.measurement.register_measurement`).
 
     Returns
     -------
@@ -108,6 +113,7 @@ def sample_and_reconstruct(
         noise_sigma=noise_sigma,
         exclude_mask=exclude_mask,
         operator_mode=operator_mode,
+        measurement=measurement,
     )
     return get_engine().decode(frame, plan, rng, full_output=full_output)
 
@@ -121,6 +127,7 @@ class NaiveStrategy:
     solver: str = "fista"
     noise_sigma: float = 0.0
     solver_options: dict = field(default_factory=dict)
+    measurement: str = "row_sampling"
 
     def reconstruct(
         self, corrupted: np.ndarray, rng: np.random.Generator, **_
@@ -133,6 +140,7 @@ class NaiveStrategy:
             solver=self.solver,
             noise_sigma=self.noise_sigma,
             solver_options=self.solver_options,
+            measurement=self.measurement,
         )
 
 
@@ -150,6 +158,7 @@ class OracleExclusionStrategy:
     solver: str = "fista"
     noise_sigma: float = 0.0
     solver_options: dict = field(default_factory=dict)
+    measurement: str = "row_sampling"
 
     def reconstruct(
         self,
@@ -169,6 +178,7 @@ class OracleExclusionStrategy:
             exclude_mask=error_mask,
             noise_sigma=self.noise_sigma,
             solver_options=self.solver_options,
+            measurement=self.measurement,
         )
 
 
@@ -202,6 +212,7 @@ class ResamplingStrategy:
     noise_sigma: float = 0.0
     solver_options: dict = field(default_factory=dict)
     executor: object | None = None
+    measurement: str = "row_sampling"
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -235,6 +246,7 @@ class ResamplingStrategy:
             solver=self.solver,
             solver_options=self.solver_options,
             noise_sigma=self.noise_sigma,
+            measurement=self.measurement,
         ).with_exclusions(error_mask)
         stack = np.stack(
             engine.decode_batch(
@@ -261,6 +273,7 @@ class RpcaExclusionStrategy:
     solver: str = "fista"
     noise_sigma: float = 0.0
     solver_options: dict = field(default_factory=dict)
+    measurement: str = "row_sampling"
 
     def detect(self, frame_stack: np.ndarray) -> np.ndarray:
         """Outlier mask for each frame in a ``(frames, rows, cols)`` stack."""
@@ -300,6 +313,7 @@ class RpcaExclusionStrategy:
             exclude_mask=mask,
             noise_sigma=self.noise_sigma,
             solver_options=self.solver_options,
+            measurement=self.measurement,
         )
 
 

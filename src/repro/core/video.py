@@ -20,7 +20,7 @@ import numpy as np
 from scipy import fft as _fft
 
 from .engine import get_engine
-from .sensing import RowSamplingMatrix
+from .measurement import get_measurement
 from .solvers import solve
 
 __all__ = ["dct3", "idct3", "Dct3Basis", "reconstruct_burst"]
@@ -113,6 +113,7 @@ def reconstruct_burst(
         raise ValueError("sampling_fraction must be in (0, 1]")
     frames, rows, cols = burst.shape
     pixels = rows * cols
+    model = get_measurement("row_sampling")
     voxel_indices = []
     for k in range(frames):
         exclude = None
@@ -124,9 +125,9 @@ def reconstruct_burst(
         m = max(1, int(round(sampling_fraction * pixels)))
         if exclude is not None:
             m = min(m, pixels - len(exclude))
-        frame_phi = RowSamplingMatrix.random(pixels, m, rng, exclude=exclude)
+        frame_phi = model.draw(pixels, m, rng, exclude=exclude)
         voxel_indices.append(frame_phi.indices + k * pixels)
-    phi = RowSamplingMatrix(
+    phi = model.from_indices(
         n=frames * pixels, indices=np.concatenate(voxel_indices)
     )
     operator = get_engine().operator(phi, burst.shape, basis="dct3")

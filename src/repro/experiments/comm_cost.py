@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..array import ActiveMatrix, FlexibleEncoder, ReadoutChain, ScanSchedule
-from ..core.sensing import RowSamplingMatrix
+from ..core.measurement import get_measurement
 from ..core.theory import required_measurements
 
 __all__ = ["CommCostResult", "run_comm_cost", "run_encoder_check"]
@@ -52,12 +52,13 @@ def run_comm_cost(
     if not 0.0 < sampling_fraction <= 1.0:
         raise ValueError("sampling_fraction must be in (0, 1]")
     rng = np.random.default_rng(seed)
+    model = get_measurement("row_sampling")
     results = []
     for shape in array_shapes:
         rows, cols = shape
         n = rows * cols
         m = int(round(sampling_fraction * n))
-        phi = RowSamplingMatrix.random(n, m, rng)
+        phi = model.draw(shape, m, rng)
         schedule = ScanSchedule.from_phi(phi, shape)
         cost = schedule.communication_cost()
         results.append(
@@ -92,7 +93,7 @@ def run_encoder_check(
     readout = ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0, adc_bits=16)
     encoder = FlexibleEncoder(array, readout=readout)
     m = int(round(sampling_fraction * n))
-    phi = RowSamplingMatrix.random(n, m, rng)
+    phi = get_measurement("row_sampling").draw(shape, m, rng)
     output = encoder.scan_normalized(frame, phi)
     expected = phi.apply(frame.ravel())
     deviation = float(np.max(np.abs(output.measurements - expected)))

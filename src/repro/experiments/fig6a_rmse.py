@@ -35,6 +35,7 @@ class OracleSweepFactory:
 
     solver: str = "fista"
     noise_sigma: float = 0.02
+    measurement: str = "row_sampling"
 
     def __call__(self, fraction: float) -> OracleExclusionStrategy:
         """Build the strategy for one sampling fraction."""
@@ -42,6 +43,7 @@ class OracleSweepFactory:
             sampling_fraction=fraction,
             solver=self.solver,
             noise_sigma=self.noise_sigma,
+            measurement=self.measurement,
         )
 
 
@@ -51,13 +53,19 @@ def default_sweep(
     solver: str = "fista",
     noise_sigma: float = 0.02,
     seed: int = 0,
+    measurement: str = "row_sampling",
 ) -> RobustnessSweep:
-    """The Fig. 6a sweep object (oracle-exclusion strategy)."""
+    """The Fig. 6a sweep object (oracle-exclusion strategy).
+
+    ``measurement`` selects the sampling family (any name registered in
+    :mod:`repro.core.measurement`); families without exclusion support
+    can still run the error-free column of the sweep.
+    """
     return RobustnessSweep(
         sampling_fractions=sampling_fractions,
         error_rates=error_rates,
         strategy_factory=OracleSweepFactory(
-            solver=solver, noise_sigma=noise_sigma
+            solver=solver, noise_sigma=noise_sigma, measurement=measurement
         ),
         seed=seed,
     )
@@ -71,18 +79,21 @@ def run_fig6a(
     noise_sigma: float = 0.02,
     seed: int = 0,
     workers: int = 1,
+    measurement: str = "row_sampling",
 ) -> list[SweepPoint]:
     """Regenerate the Fig. 6a grid on synthetic thermal frames.
 
     ``workers > 1`` distributes grid points over a process pool with
     results identical to the sequential sweep (every point derives its
-    own RNG stream from the seed).
+    own RNG stream from the seed).  ``measurement`` reruns the same grid
+    under a different sampling family (dense codes, block sampling).
     """
     with instrument.span(
         "experiment.fig6a_rmse",
         num_frames=num_frames,
         solver=solver,
         seed=seed,
+        measurement=measurement,
     ):
         frames = ThermalHandGenerator(seed=seed).frames(num_frames)
         sweep = default_sweep(
@@ -91,6 +102,7 @@ def run_fig6a(
             solver=solver,
             noise_sigma=noise_sigma,
             seed=seed,
+            measurement=measurement,
         )
         return sweep.run(frames, executor=workers if workers > 1 else None)
 

@@ -20,8 +20,8 @@ import numpy as np
 
 from ..core.dct import idct2
 from ..core.engine import get_engine
+from ..core.measurement import get_measurement
 from ..core.metrics import rmse
-from ..core.sensing import RowSamplingMatrix
 from ..core.solvers import solve
 from ..core.theory import error_bound, required_measurements
 
@@ -69,6 +69,7 @@ def run_eq1_phase_transition(
     rows, cols = shape
     n = rows * cols
     engine = get_engine()
+    model = get_measurement("row_sampling")
     points = []
     for sparsity in sparsities:
         for fraction in m_grid:
@@ -76,7 +77,7 @@ def run_eq1_phase_transition(
             successes = 0
             for _ in range(trials):
                 image = _sparse_image(shape, sparsity, rng)
-                phi = RowSamplingMatrix.random(n, m, rng)
+                phi = model.draw(shape, m, rng)
                 operator = engine.operator(phi, shape)
                 result = solve(
                     solver, operator, phi.apply(image.ravel()), sparsity=sparsity
@@ -125,9 +126,10 @@ def run_eq2_bound(
     engine = get_engine()
     image = _sparse_image(shape, sparsity, rng)
     coefficients = engine.basis_for(shape).analyze(image.ravel())
+    model = get_measurement("row_sampling")
     points = []
     for noise in noise_levels:
-        phi = RowSamplingMatrix.random(n, m, rng)
+        phi = model.draw(shape, m, rng)
         operator = engine.operator(phi, shape)
         measurements = phi.apply(image.ravel())
         if noise > 0:

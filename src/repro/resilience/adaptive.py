@@ -56,7 +56,7 @@ class AdaptationEvent:
         (0-based, counted by the controller).
     action:
         ``"escalate"`` | ``"de_escalate"`` | ``"exclude_lines"`` |
-        ``"mask_capped"`` | ``"probe_budget"``.
+        ``"mask_capped"`` | ``"probe_budget"`` | ``"unsupported"``.
     detail:
         Human-readable specifics (new level, rows excluded, solver
         probed, ...).
@@ -272,6 +272,19 @@ class AdaptivePolicy:
         instrument.set_gauge(
             "resilience.adaptive.mask_pixels", int(merged.sum())
         )
+
+    def note_unsupported(self, detail: str) -> None:
+        """Record that a capability degradation occurred (audit trail).
+
+        Called by runtimes when the active measurement family cannot
+        honour an adaptation -- e.g. stuck-line exclusions against a
+        family without exclusion support.  The degradation is explicit:
+        an ``"unsupported"`` :class:`AdaptationEvent` plus the
+        ``resilience.adaptive.unsupported`` counter, never a silent
+        skip.
+        """
+        self._record("unsupported", detail)
+        instrument.incr("resilience.adaptive.unsupported")
 
     def reset(self) -> None:
         """Restore the initial controller state (level 0, no mask)."""

@@ -28,6 +28,7 @@ import numpy as np
 
 from .. import instrument
 from ..core.engine import DecodeContext, get_engine, validate_decode_inputs
+from ..core.measurement import get_measurement
 from .health import FrameGuard, HealthReport, validate_reconstruction
 from .policies import ResiliencePolicy
 
@@ -198,11 +199,18 @@ class ResilientDecoder:
         merges the controller's stuck-line exclusion mask into the
         sampling exclusions, and feeds the outcome back so the next
         frame's policy reflects this frame's health.
+    measurement:
+        Registered measurement-family name (see
+        :mod:`repro.core.measurement`) every supervised decode samples
+        with.  Families without exclusion support reject caller-supplied
+        masks up front (``ValueError``) and skip adaptive stuck-line
+        masks with an explicit ``"unsupported"`` adaptation event.
     """
 
     policy: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     guard: FrameGuard = field(default_factory=FrameGuard)
     adaptive: object | None = None
+    measurement: str = "row_sampling"
 
     def decode(
         self,
@@ -230,11 +238,21 @@ class ResilientDecoder:
                 np.shape(np.asarray(frame))
             )
             if adaptive_mask is not None:
-                exclude_mask = (
-                    adaptive_mask
-                    if exclude_mask is None
-                    else np.asarray(exclude_mask, dtype=bool) | adaptive_mask
-                )
+                if not get_measurement(self.measurement).supports_exclusions:
+                    # Degrade explicitly, not silently: the stuck-line
+                    # mask cannot steer this family's sampling.
+                    self.adaptive.note_unsupported(
+                        f"measurement family {self.measurement!r} lacks "
+                        f"exclusion support; ignoring "
+                        f"{int(adaptive_mask.sum())} stuck-line pixels"
+                    )
+                else:
+                    exclude_mask = (
+                        adaptive_mask
+                        if exclude_mask is None
+                        else np.asarray(exclude_mask, dtype=bool)
+                        | adaptive_mask
+                    )
         outcome = self._decode_supervised(
             frame,
             sampling_fraction,
@@ -306,6 +324,7 @@ class ResilientDecoder:
                     "exclusion mask leaves no pixels to sample "
                     f"({int(exclude_mask.sum())} of {frames[0].size} excluded)"
                 )
+            self._require_exclusion_support(exclude_mask)
         instrument.incr("resilience.batch_decodes")
         policy = self.policy
         breaker = policy.breaker
@@ -339,6 +358,16 @@ class ResilientDecoder:
             for frame in frames
         ]
 
+    def _require_exclusion_support(self, exclude_mask: np.ndarray) -> None:
+        """Caller-supplied masks against a mask-blind family are a bug."""
+        if exclude_mask.any() and not get_measurement(
+            self.measurement
+        ).supports_exclusions:
+            raise ValueError(
+                f"measurement family {self.measurement!r} does not support "
+                "exclusion masks; clear the mask or switch families"
+            )
+
     def _decode_batch_optimistic(
         self,
         frames: list[np.ndarray],
@@ -367,6 +396,7 @@ class ResilientDecoder:
             exclude_mask=exclude_mask,
             solver=head,
             solver_options=options,
+            measurement=self.measurement,
         )
         state = rng.bit_generator.state
         start = time.perf_counter()
@@ -462,6 +492,7 @@ class ResilientDecoder:
                     "exclusion mask leaves no pixels to sample "
                     f"({int(exclude_mask.sum())} of {frame.size} excluded)"
                 )
+            self._require_exclusion_support(exclude_mask)
         # One plan for the whole supervised decode: every retry round and
         # fallback solver reuses the same cached operator template, so an
         # attempt costs a solve, not a rebuild.
@@ -470,6 +501,7 @@ class ResilientDecoder:
             sampling_fraction=sampling_fraction,
             noise_sigma=noise_sigma,
             exclude_mask=exclude_mask,
+            measurement=self.measurement,
         )
         policy = self.policy
         breaker = policy.breaker
@@ -644,6 +676,7 @@ def resilient_sample_and_reconstruct(
     noise_sigma: float = 0.0,
     solver_options: dict | None = None,
     guard: FrameGuard | None = None,
+    measurement: str = "row_sampling",
 ) -> DecodeOutcome:
     """One-shot resilient decode (drop-in hardened ``sample_and_reconstruct``).
 
@@ -654,6 +687,7 @@ def resilient_sample_and_reconstruct(
     decoder = ResilientDecoder(
         policy=policy if policy is not None else ResiliencePolicy(),
         guard=guard if guard is not None else FrameGuard(),
+        measurement=measurement,
     )
     return decoder.decode(
         frame,

@@ -62,6 +62,55 @@ class TestNormalizedScan:
         assert np.allclose(full, frame, atol=1e-4)
 
 
+class TestMeasurementFamilies:
+    """The scan path serves any registered measurement family."""
+
+    def _ideal_encoder(self, shape):
+        return FlexibleEncoder(
+            ActiveMatrix(shape),
+            readout=ReadoutChain(noise_sigma_v=0.0, sh_droop=0.0, adc_bits=16),
+        )
+
+    @pytest.mark.parametrize("family", ["dense_codes", "block_sampling"])
+    def test_ideal_chain_matches_model_measure(self, family):
+        from repro.core.measurement import get_measurement
+
+        shape = (8, 8)
+        frame = np.random.default_rng(0).random(shape)
+        model = get_measurement(family)
+        phi = model.draw(shape, 30, np.random.default_rng(1))
+        output = self._ideal_encoder(shape).scan_normalized(frame, phi)
+        # Summed readout accumulates per-pixel ADC quantisation, so the
+        # tolerance scales with the code support (64 pixels here).
+        assert np.allclose(
+            output.measurements,
+            model.measure(frame.ravel(), phi),
+            atol=1e-3,
+        )
+        assert output.missing_reads == 0
+
+    @pytest.mark.parametrize(
+        "family", ["row_sampling", "dense_codes", "block_sampling"]
+    )
+    def test_stuck_line_chaos_perturbs_any_family(self, family):
+        from repro.core.measurement import get_measurement
+        from repro.resilience import StuckLineInjector, chaos
+
+        shape = (8, 8)
+        frame = np.random.default_rng(2).random(shape)
+        model = get_measurement(family)
+        phi = model.draw(shape, 40, np.random.default_rng(3))
+        clean = self._ideal_encoder(shape).scan_normalized(frame, phi)
+        injector = StuckLineInjector(
+            rate=1.0, seed=4, mode="dead", max_lines=2
+        )
+        with chaos(injector):
+            faulty = self._ideal_encoder(shape).scan_normalized(frame, phi)
+        assert injector.stuck_rows  # the fault actually fired
+        assert faulty.missing_reads > 0
+        assert not np.allclose(faulty.measurements, clean.measurements)
+
+
 class TestTemperatureScan:
     def _encoder(self, shape, defect_rate=0.0, seed=0):
         rng = np.random.default_rng(seed)

@@ -6,10 +6,13 @@ construction may exist outside ``repro.core.engine`` (one construction
 site is what makes the operator cache authoritative), and no
 ``ThreadPoolExecutor`` / ``ProcessPoolExecutor`` / ``Pool``
 construction outside ``repro.core.executor`` (one pool seam is what
-keeps every fan-out deterministic and instrumented), and no
+keeps every fan-out deterministic and instrumented), no
 ``.to_dense()`` / ``.to_matrix()`` dense materialisation outside the
 operator layer's sanctioned sites (matrix-free applies are what keep
-the implicit route ``O(N log N)`` in time and ~zero in memory).
+the implicit route ``O(N log N)`` in time and ~zero in memory), and no
+direct ``Phi`` construction (``RowSamplingMatrix`` / dense code
+factories) outside the measurement layer (one draw recipe per family
+is what the bit-reproducibility contract pins).
 """
 
 import importlib.util
@@ -101,6 +104,45 @@ def test_pool_construction_allowed_in_executor_seam():
     checker = _load_checker()
     seam = REPO_ROOT / "src" / "repro" / "core" / "executor.py"
     assert checker.check_file(seam) == []
+
+
+def test_checker_flags_direct_phi_construction(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "bad_phi.py"
+    bad.write_text(
+        "from repro.core.sensing import RowSamplingMatrix, bernoulli_matrix\n"
+        "phi = RowSamplingMatrix(n=16, indices=idx)\n"
+        "phi2 = RowSamplingMatrix.random(16, 8, rng)\n"
+        "code = bernoulli_matrix(8, 16, rng)\n"
+    )
+    problems = checker.check_file(bad)
+    assert len(problems) == 3
+    assert all("repro.core.measurement" in p for p in problems)
+    # The classmethod spelling is caught via the attribute's owner.
+    assert any("RowSamplingMatrix.random" in p for p in problems)
+
+
+def test_phi_construction_allowed_in_measurement_layer():
+    checker = _load_checker()
+    for rel in (
+        ("src", "repro", "core", "measurement.py"),
+        ("src", "repro", "core", "sensing.py"),
+    ):
+        assert checker.check_file(REPO_ROOT.joinpath(*rel)) == []
+
+
+def test_phi_seam_holds_across_library_and_examples():
+    """No library/example module may construct Phi outside the seam."""
+    checker = _load_checker()
+    problems = []
+    for root in checker.SCANNED:
+        for path in sorted((REPO_ROOT / root).rglob("*.py")):
+            problems.extend(
+                p
+                for p in checker.check_file(path)
+                if "measurement code" in p
+            )
+    assert problems == []
 
 
 def test_checker_cli_exit_codes(tmp_path, capsys):

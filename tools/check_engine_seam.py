@@ -22,13 +22,25 @@ matrix, so those escape hatches are confined to the operator layer
 itself, the engine's (size-guarded) dense mode, and the LP solver that
 genuinely needs entries.
 
+Since the measurement-family refactor the seam also covers **direct
+``Phi`` construction**: sampling codes are drawn through a registered
+:class:`~repro.core.measurement.MeasurementModel` (``draw`` consumes
+the RNG in a pinned order, ``budget`` applies the exclusion clamp), so
+calling ``RowSamplingMatrix(...)`` / ``RowSamplingMatrix.random(...)``
+or a dense code factory (``gaussian_matrix`` /  ``bernoulli_matrix`` /
+``hadamard_matrix``) outside the measurement layer forks the draw
+recipe and silently breaks the bit-reproducibility contract.
+
 This checker walks the AST of every library and example module and
 fails on any *call* to a guarded constructor (``Dct2Basis``,
 ``Dct3Basis``, ``Haar2Basis``, ``SensingOperator``; pool constructors
-``ThreadPoolExecutor``, ``ProcessPoolExecutor``, ``Pool``) or guarded
-dense-materialisation method (``to_dense``, ``to_matrix``) outside the
-allowed modules.  An AST walk rather than a grep keeps class
-definitions, docstrings and ``repr`` strings from false-positiving.
+``ThreadPoolExecutor``, ``ProcessPoolExecutor``, ``Pool``; ``Phi``
+carriers and factories like ``RowSamplingMatrix`` or
+``bernoulli_matrix`` -- including classmethod spellings such as
+``RowSamplingMatrix.random(...)``) or guarded dense-materialisation
+method (``to_dense``, ``to_matrix``) outside the allowed modules.  An
+AST walk rather than a grep keeps class definitions, docstrings and
+``repr`` strings from false-positiving.
 
 Allowed sites:
 
@@ -37,6 +49,8 @@ Allowed sites:
 * ``src/repro/core/operators.py`` and
   ``src/repro/core/solvers/basis_pursuit.py`` -- the sanctioned dense
   materialisation sites;
+* ``src/repro/core/measurement.py`` and ``src/repro/core/sensing.py``
+  -- the measurement layer that owns ``Phi`` construction;
 * the modules that *define* a guarded class may construct it inside
   methods of that class (e.g. ``to_matrix`` round-trips);
 * tests and benchmarks (they exercise the raw pieces on purpose).
@@ -90,6 +104,31 @@ DENSE_ALLOWED = {
 }
 """Modules allowed to materialise dense operator/basis matrices."""
 
+PHI_GUARDED = {
+    "RowSamplingMatrix",
+    "DenseCodeMatrix",
+    "BlockSamplingMatrix",
+    "gaussian_matrix",
+    "bernoulli_matrix",
+    "hadamard_matrix",
+}
+"""``Phi`` carriers/factories that may only be called in the measurement
+layer.
+
+Library code draws codes through
+``get_measurement(name).draw(...)`` (or receives a carrier and
+dispatches via ``resolve_measurement_for``); constructing ``Phi``
+directly forks the draw recipe the bit-reproducibility contract pins.
+Both ``RowSamplingMatrix(...)`` and attribute spellings like
+``RowSamplingMatrix.random(...)`` are caught.
+"""
+
+PHI_ALLOWED = {
+    "src/repro/core/measurement.py",  # the measurement families
+    "src/repro/core/sensing.py",  # the raw encoders they wrap
+}
+"""Modules allowed to construct measurement codes directly."""
+
 SCANNED = ["src/repro", "examples"]
 """Paths (relative to the repo root) held to the seam."""
 
@@ -113,17 +152,23 @@ def check_file(path: Path) -> list[str]:
     engine_guarded = set() if rel in ALLOWED else GUARDED
     pool_guarded = set() if rel in POOL_ALLOWED else POOL_GUARDED
     dense_guarded = set() if rel in DENSE_ALLOWED else DENSE_GUARDED
-    home_classes = _defined_classes(tree, engine_guarded | pool_guarded)
+    phi_guarded = set() if rel in PHI_ALLOWED else PHI_GUARDED
+    home_classes = _defined_classes(
+        tree, engine_guarded | pool_guarded | phi_guarded
+    )
     problems = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
         func = node.func
         name = None
+        owner = None
         if isinstance(func, ast.Name):
             name = func.id
         elif isinstance(func, ast.Attribute):
             name = func.attr
+            if isinstance(func.value, ast.Name):
+                owner = func.value.id
         if (
             isinstance(func, ast.Attribute)
             and name in dense_guarded
@@ -132,6 +177,15 @@ def check_file(path: Path) -> list[str]:
                 f"{rel}:{node.lineno}: .{name}() materialises a dense "
                 "matrix outside the sanctioned sites -- use the "
                 "operator's matvec/rmatvec (matrix-free) instead"
+            )
+            continue
+        # Classmethod spellings (RowSamplingMatrix.random(...)) carry
+        # the guarded name as the attribute's *owner*, not the callee.
+        if owner in phi_guarded and owner not in home_classes:
+            problems.append(
+                f"{rel}:{node.lineno}: {owner}.{name}(...) constructs a "
+                "measurement code outside repro.core.measurement -- "
+                "route through get_measurement(name).draw() instead"
             )
             continue
         if name in home_classes:
@@ -147,6 +201,12 @@ def check_file(path: Path) -> list[str]:
                 f"{rel}:{node.lineno}: {name}(...) constructed outside "
                 "repro.core.executor -- route through "
                 "resolve_executor()/ThreadExecutor/ProcessExecutor instead"
+            )
+        elif name in phi_guarded:
+            problems.append(
+                f"{rel}:{node.lineno}: {name}(...) constructs a "
+                "measurement code outside repro.core.measurement -- "
+                "route through get_measurement(name).draw() instead"
             )
     return problems
 
